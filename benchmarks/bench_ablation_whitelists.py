@@ -1,0 +1,111 @@
+"""Ablation A3: VFC restriction templates.
+
+The acceptance matrix across the three preconfigured templates
+(guided-only, standard, full) for a representative command set, measured
+against a live VFC at an active waypoint — the mechanism behind "drone
+providers can customize the degree of control a user is given".
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.flight import Geofence, GeoPoint, SitlDrone, offset_geopoint
+from repro.mavlink import (
+    CommandLong,
+    CopterMode,
+    ManualControl,
+    MavCommand,
+    MavResult,
+    SetPositionTarget,
+)
+from repro.mavproxy import MavProxy, TEMPLATES
+from repro.sim import Simulator, RngRegistry
+
+HOME = GeoPoint(43.6084298, -85.8110359, 0.0)
+WAYPOINT = offset_geopoint(HOME, east=50.0, north=0.0, up=15.0)
+
+
+def active_vfc(template_name):
+    sim = Simulator()
+    drone = SitlDrone(sim, RngRegistry(31), home=HOME, rate_hz=100)
+    drone.start()
+    proxy = MavProxy(sim, drone)
+    vfc = proxy.create_vfc("tenant", TEMPLATES[template_name],
+                           waypoint=WAYPOINT)
+    drone.arm()
+    drone.takeoff(15.0)
+    drone.run_until(lambda: drone.physics.position[2] > 13.0, timeout_s=60)
+    drone.goto(WAYPOINT)
+    drone.run_until(
+        lambda: drone.physics.geoposition().horizontal_distance_to(WAYPOINT) < 3.5,
+        timeout_s=120)
+    vfc.activate(Geofence(center=WAYPOINT, radius_m=30.0))
+    return sim, drone, vfc
+
+
+INSIDE = offset_geopoint(WAYPOINT, east=5.0, north=5.0, up=15.0)
+PROBES = {
+    "position target (in fence)": lambda vfc: vfc.send(SetPositionTarget(
+        lat_int=int(INSIDE.latitude * 1e7), lon_int=int(INSIDE.longitude * 1e7),
+        alt=15.0)),
+    "velocity target": lambda vfc: vfc.send(SetPositionTarget(
+        vx=1.0, vy=0.0, vz=0.0, type_mask=0x0007)),
+    "NAV_WAYPOINT (in fence)": lambda vfc: vfc.send(CommandLong(
+        command=int(MavCommand.NAV_WAYPOINT), param5=INSIDE.latitude,
+        param6=INSIDE.longitude, param7=15.0)),
+    "CONDITION_YAW": lambda vfc: vfc.send(CommandLong(
+        command=int(MavCommand.CONDITION_YAW), param1=90.0)),
+    "mode -> LOITER": lambda vfc: vfc.send(CommandLong(
+        command=int(MavCommand.DO_SET_MODE),
+        param2=float(int(CopterMode.LOITER)))),
+    "mode -> STABILIZE": lambda vfc: vfc.send(CommandLong(
+        command=int(MavCommand.DO_SET_MODE),
+        param2=float(int(CopterMode.STABILIZE)))),
+    "manual control": lambda vfc: vfc.send(ManualControl(x=300, z=500)),
+    "RTL": lambda vfc: vfc.send(CommandLong(
+        command=int(MavCommand.NAV_RETURN_TO_LAUNCH))),
+    "disarm": lambda vfc: vfc.send(CommandLong(
+        command=int(MavCommand.COMPONENT_ARM_DISARM), param1=0.0)),
+}
+
+#: Expected acceptance per template (the paper's policy intent).
+EXPECTED = {
+    "guided-only": {"position target (in fence)"},
+    "standard": {"position target (in fence)", "velocity target",
+                 "NAV_WAYPOINT (in fence)", "CONDITION_YAW", "mode -> LOITER"},
+    "full": {"position target (in fence)", "velocity target",
+             "NAV_WAYPOINT (in fence)", "CONDITION_YAW", "mode -> LOITER",
+             "mode -> STABILIZE", "manual control", "RTL"},
+}
+
+
+def probe_template(name):
+    accepted = set()
+    for probe_name, probe in PROBES.items():
+        sim, drone, vfc = active_vfc(name)
+        before = vfc.commands_accepted
+        reply = probe(vfc)
+        if vfc.commands_accepted > before:
+            accepted.add(probe_name)
+    return accepted
+
+
+def run_ablation():
+    return {name: probe_template(name) for name in EXPECTED}
+
+
+def test_ablation_whitelist_templates(benchmark, record_result):
+    accepted = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    rows = []
+    for probe_name in PROBES:
+        rows.append((probe_name,) + tuple(
+            "yes" if probe_name in accepted[t] else "DENIED"
+            for t in ("guided-only", "standard", "full")))
+    record_result("ablation_whitelists", render_table(
+        ["Command", "guided-only", "standard", "full"], rows,
+        title="Ablation A3: VFC command acceptance by restriction template"))
+
+    for template, expected in EXPECTED.items():
+        assert accepted[template] == expected, template
+    # Nobody, ever, may disarm mid-flight.
+    assert all("disarm" not in acc for acc in accepted.values())

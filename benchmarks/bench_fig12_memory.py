@@ -1,0 +1,54 @@
+"""Figure 12: memory usage.
+
+Memory in each configuration: base (host OS + VDC), device + flight
+containers, then one to three virtual drones.  Paper: <100 MB base,
+~150 MB more for device+flight, ~185 MB per virtual drone; 880 MB usable;
+a fourth virtual drone fails to start without harming the running three.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.kernel import OutOfMemoryError
+from tests.util import make_node, simple_definition
+
+
+def run_figure12():
+    node = make_node(seed=2)
+    usage = {}
+    # Reconstruct the staged configurations from the running system's
+    # per-owner accounting (the node boots everything at once).
+    owners = node.kernel.memory.owners()
+    usage["Base"] = owners["host-base"] / 1024
+    usage["Dev+Flight Con"] = usage["Base"] + (
+        owners["device"] + owners["flight"]) / 1024
+    for i in (1, 2, 3):
+        node.start_virtual_drone(simple_definition(f"vd{i}", apps=[]))
+        usage[f"{i} VDrone"] = node.kernel.memory.used_kb / 1024
+    # The fourth fails, leaving the others untouched.
+    fourth_failed = False
+    try:
+        node.start_virtual_drone(simple_definition("vd4", apps=[]))
+    except OutOfMemoryError:
+        fourth_failed = True
+    return node, usage, fourth_failed
+
+
+def test_fig12_memory_usage(benchmark, record_result):
+    node, usage, fourth_failed = benchmark.pedantic(
+        run_figure12, rounds=1, iterations=1)
+    rows = [(config, round(mb)) for config, mb in usage.items()]
+    rows.append(("4th VDrone", "fails: OOM (others unaffected)"
+                 if fourth_failed else "started?!"))
+    record_result("fig12", render_table(
+        ["Configuration", "Memory (MB)"], rows,
+        title="Figure 12: memory usage; paper: <100 base, +~150 dev+flight, "
+              "+~185 per vdrone, 880 MB budget"))
+
+    assert usage["Base"] < 100
+    assert 140 <= usage["Dev+Flight Con"] - usage["Base"] <= 160
+    per_vdrone = usage["2 VDrone"] - usage["1 VDrone"]
+    assert per_vdrone == pytest.approx(185, abs=5)
+    assert usage["3 VDrone"] <= 880
+    assert fourth_failed
+    assert node.running_virtual_drones() == 3

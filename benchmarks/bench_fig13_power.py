@@ -1,0 +1,64 @@
+"""Figure 13: power consumption.
+
+Idle power in each configuration, normalized to stock Android Things
+idling on its launcher; paper: every configuration within 3% of stock,
+~1.7 W absolute with three idle virtual drones.  Fully stressed, every
+configuration draws the same 3.4 W (omitted from the paper's figure; we
+assert it).  Both are insignificant next to >100 W of propulsion.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.workloads import StressWorkload, IperfSession
+from tests.util import make_node, simple_definition
+
+
+def measure_idle_power(node, seconds=30):
+    node.power.start()
+    node.sim.run(until=node.sim.now + seconds * 1_000_000)
+    return node.power.average_soc_power_w()
+
+
+def run_figure13():
+    # Stock: no containers at all (fresh node, nothing started).
+    stock = make_node(seed=3)
+    stock.power.containers = 0
+    stock_power = measure_idle_power(stock)
+
+    configs = {}
+    node = make_node(seed=4)
+    configs["Base"] = measure_idle_power(node)
+    for i in (1, 2, 3):
+        node.start_virtual_drone(simple_definition(f"vd{i}", apps=[]))
+        node.power.samples.clear()
+        configs[f"{i} VDrone"] = measure_idle_power(node)
+
+    # Fully stressed (stress + iperf), three vdrones running.
+    StressWorkload(node.kernel).start()
+    IperfSession(node.kernel).start()
+    node.power.samples.clear()
+    stressed_power = measure_idle_power(node, seconds=20)
+    return stock_power, configs, stressed_power
+
+
+def test_fig13_power_consumption(benchmark, record_result):
+    stock_power, configs, stressed_power = benchmark.pedantic(
+        run_figure13, rounds=1, iterations=1)
+    rows = [("Stock (idle)", round(stock_power, 3), 1.0)]
+    for config, watts in configs.items():
+        rows.append((config + " (idle)", round(watts, 3),
+                     round(watts / stock_power, 3)))
+    rows.append(("3 VDrone (stressed)", round(stressed_power, 2),
+                 round(stressed_power / stock_power, 2)))
+    record_result("fig13", render_table(
+        ["Configuration", "Power (W)", "Normalized"], rows,
+        title="Figure 13: idle power normalized to stock; paper: all "
+              "within 3% of stock, ~1.7 W @ 3 vdrones, 3.4 W stressed"))
+
+    # All idle configurations within ~3% of stock.
+    for config, watts in configs.items():
+        assert watts / stock_power < 1.05, config
+    assert configs["3 VDrone"] == pytest.approx(1.7, abs=0.15)
+    # Stressed: ~3.4 W regardless of configuration.
+    assert stressed_power == pytest.approx(3.4, abs=0.25)

@@ -1,0 +1,143 @@
+"""Section 6.6: the multi-waypoint SITL flight demonstration.
+
+Three virtual drones on one simulated flight: an autonomous survey app
+(takes photos + video, DroneKit-style), an interactive app given full
+control that intentionally breaches its geofence, and a direct-access
+tenant operating through its VFC and the SDK CLI.  Checks every step of
+the paper's narrative: creation from definitions, correct pathing, device
+grant/deny at waypoint boundaries, breach recovery, and return to base.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core import AnDroneSystem
+from repro.mavlink import CommandLong, MavCommand, SetPositionTarget
+from repro.mavproxy.whitelist import FULL
+from repro.sdk import AndroneCli
+from repro.sdk.listener import WaypointListener
+
+SURVEY_ANDROID = ('<manifest package="com.demo.survey">'
+                  '<uses-permission name="android.permission.CAMERA"/>'
+                  '<uses-permission name="android.permission.ACCESS_FINE_LOCATION"/>'
+                  '<uses-permission name="androne.permission.FLIGHT_CONTROL"/>'
+                  "</manifest>")
+SURVEY_ANDRONE = ('<androne-manifest package="com.demo.survey">'
+                  '<uses-permission name="camera" type="waypoint"/>'
+                  '<uses-permission name="gps" type="waypoint"/>'
+                  '<uses-permission name="flight-control" type="waypoint"/>'
+                  "</androne-manifest>")
+RC_ANDROID = ('<manifest package="com.demo.rc">'
+              '<uses-permission name="androne.permission.FLIGHT_CONTROL"/>'
+              "</manifest>")
+RC_ANDRONE = ('<androne-manifest package="com.demo.rc">'
+              '<uses-permission name="flight-control" type="waypoint"/>'
+              "</androne-manifest>")
+
+
+def run_sec66():
+    system = AnDroneSystem(seed=17)
+    system.app_store.publish("Survey", "field survey", SURVEY_ANDROID,
+                             SURVEY_ANDRONE)
+    system.app_store.publish("RC", "interactive control", RC_ANDROID,
+                             RC_ANDRONE)
+    checks = {"photos": 0, "denied_before_waypoint": False,
+              "breach_handled": False, "cli_output": "",
+              "camera_denied_for_direct_before": False}
+
+    survey_order = system.portal.order_virtual_drone(
+        user="survey", waypoints=[
+            {"latitude": 43.6090, "longitude": -85.8104, "altitude": 15,
+             "max-radius": 40}],
+        apps=["com.demo.survey"], max_charge=25.0, max_duration_s=90.0)
+
+    def survey_installer(app, sdk, vdrone):
+        checks["denied_before_waypoint"] = app.call_service(
+            "CameraService", "capture").get("denied", False)
+
+        class L(WaypointListener):
+            def waypoint_active(self, wp):
+                # DroneKit-style lawnmower: photos along the pass.
+                for _ in range(8):
+                    if app.call_service("CameraService",
+                                        "capture").get("status") == "ok":
+                        checks["photos"] += 1
+                sdk.waypoint_completed()
+
+        sdk.register_waypoint_listener(L())
+
+    system.register_app_behavior("com.demo.survey", survey_installer)
+
+    rc_order = system.portal.order_virtual_drone(
+        user="pilot", waypoints=[
+            {"latitude": 43.6078, "longitude": -85.8119, "altitude": 15,
+             "max-radius": 25}],
+        apps=["com.demo.rc"], max_charge=25.0, max_duration_s=150.0)
+
+    def rc_installer(app, sdk, vdrone):
+        vfc = vdrone.vfc
+        vfc.template = FULL
+
+        class L(WaypointListener):
+            def __init__(self):
+                self.breached_once = False
+
+            def waypoint_active(self, wp):
+                if not self.breached_once:
+                    self.breached_once = True
+                    vfc.send(SetPositionTarget(vx=0.0, vy=4.0, vz=0.0,
+                                               type_mask=0x0007))
+                else:
+                    sdk.waypoint_completed()
+
+        listener = L()
+        sdk.register_waypoint_listener(listener)
+        original = vfc._recovery_done
+
+        def recovery_done():
+            original()
+            checks["breach_handled"] = True
+            listener.waypoint_active(None)
+
+        vfc._recovery_done = recovery_done
+
+    system.register_app_behavior("com.demo.rc", rc_installer)
+
+    direct_order = system.portal.order_virtual_drone(
+        user="direct", waypoints=[
+            {"latitude": 43.6094, "longitude": -85.8124, "altitude": 15,
+             "max-radius": 30}],
+        extra_devices={"camera": "waypoint", "flight-control": "waypoint"},
+        max_charge=15.0, max_duration_s=60.0)
+
+    report = system.fly_orders([survey_order, rc_order, direct_order])
+
+    # Direct-access tenant: exercise the CLI against its SDK post-hoc.
+    node = system.fleet[0]
+    direct = node.vdc.drones[direct_order.definition.name]
+    cli = AndroneCli(direct.sdk)
+    checks["cli_output"] = cli.run("energy-left") + " | " + cli.run("fc-ip")
+    return system, report, checks, (survey_order, rc_order, direct_order)
+
+
+def test_sec66_multi_waypoint_flight(benchmark, record_result):
+    system, report, checks, orders = benchmark.pedantic(
+        run_sec66, rounds=1, iterations=1)
+    rows = [(f"{e.time_s:8.1f}s", e.text) for e in report.events]
+    text = render_table(["Time", "Event"], rows,
+                        title="Section 6.6: multi-waypoint SITL flight timeline")
+    text += (f"\nphotos={checks['photos']} breach_handled="
+             f"{checks['breach_handled']} waypoints={report.waypoints_serviced}"
+             f" returned_home={report.returned_home}")
+    record_result("sec66", text)
+
+    # The paper's workflow, step by step:
+    assert checks["denied_before_waypoint"], "camera must be denied pre-waypoint"
+    assert checks["photos"] == 8, "survey app photographed at its waypoint"
+    assert checks["breach_handled"], "geofence breach handled without failsafe"
+    assert report.waypoints_serviced == 3
+    assert report.returned_home, "drone returned to base"
+    assert len(report.vdr_entries) == 3, "virtual drones saved to the VDR"
+    assert "J" in checks["cli_output"]
+    for order in orders:
+        assert order.state.value in ("completed", "interrupted")

@@ -1,0 +1,26 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one of the paper's tables or figures, prints
+the same rows/series the paper reports, and appends the rendered output
+to ``results/`` so EXPERIMENTS.md can be checked against a fresh run.
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture
+def record_result():
+    """Returns a writer: record_result(experiment_id, text)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(experiment_id: str, text: str) -> None:
+        path = RESULTS_DIR / f"{experiment_id}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return write

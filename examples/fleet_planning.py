@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Fleet planning with the Dorling energy model and VRP solver.
+
+A delivery operator's morning: eleven tenants have ordered virtual drone
+service across town.  The planner computes each tenant's energy needs
+from the multirotor power model, assigns waypoints to battery-feasible
+flights with the simulated-annealing VRP (vs the naive nearest-neighbour
+baseline), and the portal quotes operating windows, flight-time
+estimates, and prices.
+"""
+
+import random
+
+from repro.analysis import render_table
+from repro.cloud.billing import BillingService
+from repro.cloud.planner import (
+    DroneEnergyModel,
+    FlightPlanner,
+    nearest_neighbor_routes,
+)
+from repro.cloud.planner.vrp import Stop
+from repro.flight.geo import GeoPoint, offset_geopoint
+from repro.vdc.definition import VirtualDroneDefinition, WaypointSpec
+
+HOME = GeoPoint(43.6084298, -85.8110359, 0.0)
+
+
+def main() -> None:
+    model = DroneEnergyModel()
+    billing = BillingService(model=model)
+    rng = random.Random(2024)
+
+    print("=== the drone (F450-class, Dorling energy model) ===")
+    print(f"hover power:        {model.hover_power_w():7.1f} W")
+    print(f"hover + 0.5 kg:     {model.hover_power_w(0.5):7.1f} W")
+    print(f"best-range speed:   {model.best_range_speed_ms():7.1f} m/s")
+    print(f"hover endurance:    {model.endurance_s() / 60:7.1f} min")
+
+    # Eleven tenants, 1-3 waypoints each, scattered over ~1.5 km.
+    definitions = []
+    for i in range(11):
+        waypoints = []
+        for w in range(rng.randint(1, 3)):
+            point = offset_geopoint(HOME, east=rng.uniform(-800, 800),
+                                    north=rng.uniform(-800, 800), up=15.0)
+            waypoints.append(WaypointSpec(point.latitude, point.longitude,
+                                          15.0, 30.0))
+        max_charge = rng.choice([5.0, 10.0, 15.0])
+        definitions.append(VirtualDroneDefinition(
+            name=f"tenant-{i:02d}",
+            waypoints=waypoints,
+            max_duration_s=120.0 * len(waypoints),
+            energy_allotted_j=billing.max_charge_to_energy_j(max_charge),
+            waypoint_devices=["camera", "flight-control"],
+        ))
+
+    total_waypoints = sum(len(d.waypoints) for d in definitions)
+    print(f"\n=== {len(definitions)} tenants, {total_waypoints} waypoints ===")
+
+    planner = FlightPlanner(HOME, model, rng=random.Random(1))
+    battery = model.battery_capacity_j * 0.7
+    plans = planner.plan(definitions, battery_j=battery)
+
+    rows = []
+    for plan in plans:
+        rows.append((
+            plan.flight_id,
+            len(plan.stops),
+            ", ".join(sorted(set(s.tenant for s in plan.stops))),
+            f"{plan.total_duration_s / 60:.1f} min",
+            f"{plan.total_energy_j / 1000:.0f} kJ",
+        ))
+    print(render_table(["Flight", "Stops", "Tenants", "Duration", "Energy"],
+                       rows, title="SA-optimized flight plans"))
+
+    # Compare against nearest-neighbour.
+    stops = []
+    for d in definitions:
+        for w, spec in enumerate(d.waypoints):
+            stops.append(Stop(f"{d.name}#{w}", spec.geopoint(),
+                              d.energy_allotted_j / len(d.waypoints),
+                              d.max_duration_s / len(d.waypoints)))
+    nn = nearest_neighbor_routes(HOME, stops, model, battery)
+    nn_time = sum(r.duration_s for r in nn)
+    sa_time = sum(p.total_duration_s for p in plans)
+    print(f"\nnearest-neighbour: {len(nn)} flights, {nn_time / 60:.1f} min total")
+    print(f"simulated annealing: {len(plans)} flights, "
+          f"{sa_time / 60:.1f} min total "
+          f"({(1 - sa_time / nn_time) * 100:+.1f}% vs NN)")
+
+    # Operating windows + quotes, as the portal would present them.
+    print("\n=== tenant quotes ===")
+    quote_rows = []
+    for d in definitions[:6]:
+        window = None
+        for plan in plans:
+            try:
+                window = plan.operating_window(d.name)
+                break
+            except KeyError:
+                continue
+        charge = billing.estimate_charge(d.energy_allotted_j)
+        quote_rows.append((
+            d.name, len(d.waypoints),
+            f"{window[0] / 60:.1f}-{window[1] / 60:.1f} min" if window else "-",
+            f"{billing.estimate_flight_time_s(d.energy_allotted_j) / 60:.1f} min",
+            f"${charge:.2f}",
+        ))
+    print(render_table(
+        ["Tenant", "Waypoints", "Operating window", "Est. flight time",
+         "Max charge"], quote_rows))
+
+
+if __name__ == "__main__":
+    main()

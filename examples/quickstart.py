@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Quickstart: order a virtual drone, fly it, get your files.
+
+The minimal end-to-end AnDrone flow (paper Figure 4):
+
+1. a developer publishes an app to the AnDrone app store;
+2. a user orders a virtual drone through the web portal, picking the app
+   and a waypoint;
+3. the flight planner schedules a flight, the VDC creates the virtual
+   drone container, and the drone flies;
+4. at the waypoint the app gets camera + flight control, does its work,
+   and calls ``waypointCompleted()``;
+5. the drone returns to base, files are offloaded to cloud storage, the
+   virtual drone is saved to the VDR, and the user is emailed links.
+"""
+
+from repro.core import AnDroneSystem
+from repro.sdk.listener import WaypointListener
+
+ANDROID_MANIFEST = """
+<manifest package="com.example.photographer">
+  <uses-permission name="android.permission.CAMERA"/>
+  <uses-permission name="androne.permission.FLIGHT_CONTROL"/>
+</manifest>
+"""
+
+ANDRONE_MANIFEST = """
+<androne-manifest package="com.example.photographer">
+  <uses-permission name="camera" type="waypoint"/>
+  <uses-permission name="flight-control" type="waypoint"/>
+  <argument name="shots" type="int" required="true"/>
+</androne-manifest>
+"""
+
+
+def main() -> None:
+    system = AnDroneSystem(seed=42)
+
+    # 1. Publish the app.
+    system.app_store.publish(
+        "Aerial Photographer", "photographs a property from above",
+        ANDROID_MANIFEST, ANDRONE_MANIFEST)
+
+    # 2. Order a virtual drone via the portal.
+    order = system.portal.order_virtual_drone(
+        user="alice",
+        waypoints=[{"latitude": 43.6092, "longitude": -85.8107,
+                    "altitude": 15, "max-radius": 30}],
+        apps=["com.example.photographer"],
+        app_args={"com.example.photographer": {"shots": 4}},
+        max_charge=20.0,          # dollars -> caps the energy allotment
+        max_duration_s=120.0,
+    )
+    print(f"ordered {order.definition.name}: "
+          f"{order.definition.energy_allotted_j:.0f} J allotted, "
+          f"~{order.estimated_flight_time_s / 60:.1f} min estimated")
+
+    # 3. Define the app's behaviour (what its APK would do on the drone).
+    def installer(app, sdk, vdrone):
+        shots = order.definition.app_args["com.example.photographer"]["shots"]
+        sim = vdrone.container.kernel.sim
+
+        class Photographer(WaypointListener):
+            def waypoint_active(self, waypoint):
+                print(f"  [app] waypoint {waypoint.index} active, "
+                      f"{sdk.get_allotted_energy_left():.0f} J left")
+                self.taken = 0
+                self.take_photo()
+
+            def take_photo(self):
+                frame = app.call_service("CameraService", "capture")["frame"]
+                path = app.write_file(f"shot{self.taken}.jpg",
+                                      f"jpeg@{frame['latitude']:.6f}")
+                sdk.mark_file_for_user(path)
+                self.taken += 1
+                if self.taken < shots:
+                    # Reposition between shots: one photo every 3 seconds.
+                    sim.after(3_000_000, self.take_photo)
+                else:
+                    print(f"  [app] captured {shots} photos, "
+                          "handing back control")
+                    sdk.waypoint_completed()
+
+        sdk.register_waypoint_listener(Photographer())
+
+    system.register_app_behavior("com.example.photographer", installer)
+
+    # 4. Fly.
+    report = system.fly_orders([order])
+
+    # 5. Results.
+    print(f"\nflight complete in {report.duration_s:.0f} s (sim time), "
+          f"{report.waypoints_serviced} waypoint(s) serviced")
+    tenant = order.definition.name
+    print(f"files in cloud storage for {tenant}:")
+    for path in system.storage.list_files(tenant):
+        print(f"  {system.storage.link_for(tenant, path)}")
+    energy = report.energy_by_account.get(tenant, 0.0)
+    invoice = system.billing.invoice(tenant, energy_used_j=energy,
+                                     storage_bytes=system.storage.usage_bytes(tenant))
+    print(f"invoice for {tenant}: ${invoice.total:.2f} "
+          f"({energy:.0f} J of flight energy)")
+    print(f"last portal notification: {order.notifications[-1].text}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Highway traffic survey with continuous devices — and tenant privacy.
+
+The paper's motivating multi-tenant scenario (Sections 1-2): a news
+company's virtual drone surveys traffic *between* its waypoints using
+continuous camera + GPS access, while a second tenant (a real-estate
+photographer) owns a waypoint in the middle of the route.  While the
+drone services the photographer's waypoint, the traffic tenant's
+continuous access is suspended for privacy and its app is told to pause;
+access resumes automatically afterwards.
+"""
+
+from repro.android.manifest import AndroidManifest, AnDroneManifest
+from repro.android.permissions import Permission
+from repro.core.drone_node import DroneNode
+from repro.core.mission import MissionRunner
+from repro.cloud.planner import FlightPlanner
+from repro.flight.geo import GeoPoint, offset_geopoint
+from repro.sdk.listener import WaypointListener
+from repro.vdc.definition import VirtualDroneDefinition, WaypointSpec
+
+HOME = GeoPoint(43.6084298, -85.8110359, 0.0)
+
+
+def manifests(package, continuous=False):
+    access = "continuous" if continuous else "waypoint"
+    android = AndroidManifest(package, [
+        Permission.CAMERA, Permission.ACCESS_FINE_LOCATION,
+        Permission.FLIGHT_CONTROL])
+    androne = AnDroneManifest.parse(
+        f'<androne-manifest package="{package}">'
+        f'<uses-permission name="camera" type="{access}"/>'
+        f'<uses-permission name="gps" type="{access}"/>'
+        '<uses-permission name="flight-control" type="waypoint"/>'
+        "</androne-manifest>")
+    return android, androne
+
+
+def main() -> None:
+    node = DroneNode(seed=23, home=HOME, sitl_rate_hz=100.0)
+
+    # Tenant A: traffic survey along the highway — two waypoints far
+    # apart, with CONTINUOUS camera+gps to film the road between them.
+    highway = [offset_geopoint(HOME, east=100.0, north=0.0, up=15.0),
+               offset_geopoint(HOME, east=100.0, north=220.0, up=15.0)]
+    traffic_def = VirtualDroneDefinition(
+        name="news-traffic",
+        waypoints=[WaypointSpec(p.latitude, p.longitude, 15.0, 30.0)
+                   for p in highway],
+        max_duration_s=300.0,
+        energy_allotted_j=60_000.0,
+        continuous_devices=["camera", "gps"],
+        waypoint_devices=["flight-control"],
+        apps=["com.news.traffic"],
+    )
+    traffic = node.start_virtual_drone(
+        traffic_def,
+        app_manifests={"com.news.traffic": manifests("com.news.traffic", True)})
+    traffic_app = traffic.env.apps["com.news.traffic"]
+
+    # Tenant B: a real-estate shoot at one waypoint halfway up the road.
+    estate_point = offset_geopoint(HOME, east=100.0, north=110.0, up=15.0)
+    estate_def = VirtualDroneDefinition(
+        name="realestate",
+        waypoints=[WaypointSpec(estate_point.latitude, estate_point.longitude,
+                                15.0, 25.0)],
+        max_duration_s=60.0,
+        energy_allotted_j=20_000.0,
+        waypoint_devices=["camera", "flight-control"],
+        apps=["com.estate.photos"],
+    )
+    estate = node.start_virtual_drone(
+        estate_def,
+        app_manifests={"com.estate.photos": manifests("com.estate.photos")})
+    estate_app = estate.env.apps["com.estate.photos"]
+
+    # Traffic app: sample the camera every 2 s whenever access is live.
+    frames = {"captured": 0, "denied": 0}
+    state = {"suspended": False}
+
+    def sample():
+        reply = traffic_app.call_service("CameraService", "capture")
+        if reply.get("status") == "ok":
+            frames["captured"] += 1
+        else:
+            frames["denied"] += 1
+        node.sim.after(2_000_000, sample)
+
+    class TrafficListener(WaypointListener):
+        def waypoint_active(self, waypoint):
+            print(f"  [traffic] waypoint {waypoint.index}: filming leg")
+            node.sim.after(6_000_000,
+                           lambda: traffic.sdk.waypoint_completed())
+
+        def suspend_continuous_devices(self):
+            state["suspended"] = True
+            print("  [traffic] PRIVACY: continuous access suspended "
+                  "(another tenant's waypoint)")
+
+        def resume_continuous_devices(self):
+            state["suspended"] = False
+            print("  [traffic] continuous access restored")
+
+    class EstateListener(WaypointListener):
+        def waypoint_active(self, waypoint):
+            shots = sum(
+                1 for _ in range(5)
+                if estate_app.call_service("CameraService",
+                                           "capture").get("status") == "ok")
+            print(f"  [estate] photographed the property ({shots} shots); "
+                  "traffic tenant could not see a thing")
+            node.sim.after(4_000_000,
+                           lambda: estate.sdk.waypoint_completed())
+
+    traffic.sdk.register_waypoint_listener(TrafficListener())
+    estate.sdk.register_waypoint_listener(EstateListener())
+    sample()
+
+    planner = FlightPlanner(HOME)
+    plan = planner.plan([traffic_def, estate_def])[0]
+    print("visit order:",
+          " -> ".join(f"{s.tenant}#{s.waypoint_index}" for s in plan.stops))
+    node.boot()
+    report = MissionRunner(node, plan).execute()
+
+    print(f"\ntraffic frames captured: {frames['captured']}, "
+          f"denied while suspended/inactive: {frames['denied']}")
+    print(f"waypoints serviced: {report.waypoints_serviced}; "
+          f"returned home: {report.returned_home}")
+    assert frames["captured"] > 0 and frames["denied"] > 0
+    assert "suspendContinuousDevices" in traffic.sdk.events
+    assert "resumeContinuousDevices" in traffic.sdk.events
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""AnDrone: Virtual Drone Computing in the Cloud — full reproduction.
+
+A Python reimplementation of the EuroSys 2019 paper by Van't Hof and
+Nieh, including every substrate the system depends on (simulated Linux
+kernel, Binder IPC with device namespaces, containers, Android Things
+services, a quadcopter flight stack with MAVLink/MAVProxy, and the cloud
+service) plus the benchmark harness regenerating every table and figure
+of the paper's evaluation.
+
+Entry points:
+
+* :class:`repro.core.AnDroneSystem` — the full system (cloud + fleet);
+* :class:`repro.core.DroneNode` — one drone's onboard stack;
+* :class:`repro.flight.SitlDrone` — just the flight simulation;
+* :mod:`repro.workloads` — PassMark/cyclictest/stress/iperf analogs.
+
+See README.md for a tour and DESIGN.md for the substitution map.
+"""
+
+__version__ = "1.0.0"
+__paper__ = ("Alexander Van't Hof and Jason Nieh. AnDrone: Virtual Drone "
+             "Computing in the Cloud. EuroSys 2019. "
+             "https://doi.org/10.1145/3302424.3303969")

@@ -1,0 +1,8 @@
+"""Statistics helpers and table/figure renderers for the benchmark
+harness (every benchmark prints the same rows/series the paper reports)."""
+
+from repro.analysis.stats import Summary, summarize
+from repro.analysis.reporting import render_table, render_series, render_histogram
+
+__all__ = ["Summary", "summarize", "render_table", "render_series",
+           "render_histogram"]

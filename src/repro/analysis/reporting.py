@@ -1,0 +1,60 @@
+"""Plain-text tables and series, matching how EXPERIMENTS.md records
+paper-vs-measured results."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """A fixed-width ASCII table."""
+    rendered_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_series(name: str, points: Sequence[Tuple[float, float]],
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """A figure series as aligned (x, y) pairs."""
+    lines = [f"series {name} ({x_label} -> {y_label})"]
+    for x, y in points:
+        lines.append(f"  {_fmt(x):>12}  {_fmt(y)}")
+    return "\n".join(lines)
+
+
+def render_histogram(name: str, bins: Sequence[Tuple[float, int]],
+                     width: int = 50) -> str:
+    """Log-style histogram with hash bars (Figure 11's presentation)."""
+    import math
+
+    lines = [f"histogram {name} (latency_us -> samples)"]
+    if not bins:
+        return lines[0] + "\n  (empty)"
+    max_count = max(count for _, count in bins)
+    for value, count in bins:
+        bar = "#" * max(1, int(width * math.log10(count + 1)
+                               / math.log10(max_count + 1)))
+        lines.append(f"  {value:>10.1f}  {count:>9d}  {bar}")
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3g}" if abs(value) < 10 else f"{value:.1f}"
+    return str(value)

@@ -1,0 +1,55 @@
+"""Summary statistics for benchmark samples."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass
+class Summary:
+    count: int
+    mean: float
+    stddev: float
+    minimum: float
+    p50: float
+    p99: float
+    maximum: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"n={self.count} mean={self.mean:.2f} sd={self.stddev:.2f} "
+                f"min={self.minimum:.2f} p50={self.p50:.2f} "
+                f"p99={self.p99:.2f} max={self.maximum:.2f}")
+
+
+def _percentile(ordered: Sequence[float], p: float) -> float:
+    if not ordered:
+        return 0.0
+    k = (len(ordered) - 1) * p / 100.0
+    lo = math.floor(k)
+    hi = math.ceil(k)
+    if lo == hi:
+        return ordered[int(k)]
+    value = ordered[lo] * (hi - k) + ordered[hi] * (k - lo)
+    # Interpolation can overshoot its bracket by one ulp; clamp.
+    return min(max(value, ordered[lo]), ordered[hi])
+
+
+def summarize(samples: Sequence[float]) -> Summary:
+    """Full summary of a sample list (empty lists allowed)."""
+    if not samples:
+        return Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    ordered = sorted(samples)
+    n = len(ordered)
+    mean = sum(ordered) / n
+    variance = sum((x - mean) ** 2 for x in ordered) / max(1, n - 1)
+    return Summary(
+        count=n,
+        mean=mean,
+        stddev=math.sqrt(variance),
+        minimum=ordered[0],
+        p50=_percentile(ordered, 50),
+        p99=_percentile(ordered, 99),
+        maximum=ordered[-1],
+    )

@@ -1,0 +1,34 @@
+"""Android Things model.
+
+Reproduces the Android userspace pieces AnDrone builds on: the
+SystemServer that starts system services, the per-container
+ActivityManager and its permission model, the four shared device services
+(Table 1), app installation with manifests, and the activity lifecycle
+(``onSaveInstanceState``) AnDrone uses to save and resume virtual drones.
+
+The package is organised around :class:`~repro.android.environment.
+AndroidEnvironment`: one per container, wiring a Binder process, a
+ServiceManager, an ActivityManager, and a SystemServer together.  Virtual
+drone containers run with device services *disabled* (AnDrone modifies
+init and SystemServer, Section 4.2); the device container runs them with
+exclusive device access and publishes them everywhere.
+"""
+
+from repro.android.permissions import Permission
+from repro.android.manifest import AndroidManifest, AnDroneManifest, ManifestError
+from repro.android.activity_manager import ActivityManager
+from repro.android.system_server import SystemServer
+from repro.android.environment import AndroidEnvironment
+from repro.android.app import App, AppState
+
+__all__ = [
+    "Permission",
+    "AndroidManifest",
+    "AnDroneManifest",
+    "ManifestError",
+    "ActivityManager",
+    "SystemServer",
+    "AndroidEnvironment",
+    "App",
+    "AppState",
+]

@@ -1,0 +1,161 @@
+"""Apps and the activity lifecycle.
+
+An :class:`App` is an installed package with its own Binder fd (so its
+uid/pid reach services in transactions), service lookup helpers, and the
+Android activity lifecycle.  AnDrone leans on ``onSaveInstanceState()``:
+"apps are informed when they are about to be terminated and allowed to
+save their current state ... a virtual drone's state can then safely be
+saved offline as part of its disk image" (Section 4.4).  Saved state is
+written into the container's writable layer, so a container commit
+captures it.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from typing import Any, Callable, Dict, Optional
+
+
+class AppState(enum.Enum):
+    INSTALLED = "installed"
+    CREATED = "created"
+    RESUMED = "resumed"     # foreground, running
+    PAUSED = "paused"
+    STOPPED = "stopped"
+    DESTROYED = "destroyed"
+
+
+class LifecycleError(RuntimeError):
+    """Illegal lifecycle transition."""
+
+
+class App:
+    """One installed app in one container's environment."""
+
+    def __init__(self, environment, android_manifest, androne_manifest=None,
+                 uid: int = 10_000, pid: int = 1000, container=None):
+        self.env = environment
+        self.manifest = android_manifest
+        self.androne_manifest = androne_manifest
+        self.package = android_manifest.package
+        self.uid = uid
+        self.pid = pid
+        #: the repro.containers Container holding this app's files (optional).
+        self.container = container
+        self.state = AppState.INSTALLED
+        self.binder = environment.driver.open(
+            pid, euid=uid, container=environment.container_name,
+            device_ns=environment.device_ns,
+        )
+        self._service_handles: Dict[str, int] = {}
+        # Lifecycle callbacks the "developer" can install.
+        self.on_create: Optional[Callable[[Optional[dict]], None]] = None
+        self.on_resume: Optional[Callable[[], None]] = None
+        self.on_pause: Optional[Callable[[], None]] = None
+        self.on_save_instance_state: Optional[Callable[[], dict]] = None
+        self.on_destroy: Optional[Callable[[], None]] = None
+        self.lifecycle_log: list = []
+        #: the app's live in-memory state: mutated freely while running,
+        #: captured verbatim by transparent (CRIU-style) checkpointing —
+        #: unlike ``on_save_instance_state``, which needs app cooperation.
+        self.memory: Dict[str, Any] = {}
+
+    # -- service access ------------------------------------------------------------
+    def get_service(self, name: str) -> int:
+        """Look a service up through this container's ServiceManager."""
+        if name not in self._service_handles:
+            reply = self.binder.transact(0, "get", {"name": name})
+            if reply.get("status") != "ok":
+                raise LookupError(f"service {name!r} not available: {reply}")
+            self._service_handles[name] = reply["service"]
+        return self._service_handles[name]
+
+    def call_service(self, service: str, code: str, data: Optional[dict] = None) -> Any:
+        return self.binder.transact(self.get_service(service), code, data or {})
+
+    # -- files ----------------------------------------------------------------------
+    @property
+    def data_dir(self) -> str:
+        return f"/data/data/{self.package}"
+
+    def write_file(self, relative_path: str, content: str) -> str:
+        if self.container is None:
+            raise RuntimeError(f"app {self.package!r} has no container filesystem")
+        path = f"{self.data_dir}/{relative_path}"
+        self.container.write_file(path, content)
+        return path
+
+    def read_file(self, relative_path: str) -> Optional[str]:
+        if self.container is None:
+            return None
+        return self.container.read_file(f"{self.data_dir}/{relative_path}")
+
+    # -- lifecycle --------------------------------------------------------------------
+    def _log(self, event: str) -> None:
+        self.lifecycle_log.append(event)
+
+    def create(self) -> None:
+        if self.state not in (AppState.INSTALLED, AppState.STOPPED, AppState.DESTROYED):
+            raise LifecycleError(f"cannot create from {self.state}")
+        saved = self._load_saved_state()
+        self.state = AppState.CREATED
+        self._log("onCreate")
+        if self.on_create is not None:
+            self.on_create(saved)
+
+    def resume(self) -> None:
+        if self.state not in (AppState.CREATED, AppState.PAUSED):
+            raise LifecycleError(f"cannot resume from {self.state}")
+        self.state = AppState.RESUMED
+        self._log("onResume")
+        if self.on_resume is not None:
+            self.on_resume()
+
+    def pause(self) -> None:
+        if self.state is not AppState.RESUMED:
+            raise LifecycleError(f"cannot pause from {self.state}")
+        self.state = AppState.PAUSED
+        self._log("onPause")
+        if self.on_pause is not None:
+            self.on_pause()
+
+    def stop(self) -> None:
+        """Pause (if needed), save instance state, and stop.
+
+        This is the path the VDC drives before persisting a virtual drone
+        to the VDR: the app's saved state lands in the container's
+        writable layer just before the commit.
+        """
+        if self.state is AppState.RESUMED:
+            self.pause()
+        if self.state is not AppState.PAUSED and self.state is not AppState.CREATED:
+            raise LifecycleError(f"cannot stop from {self.state}")
+        state = {}
+        if self.on_save_instance_state is not None:
+            state = self.on_save_instance_state()
+        self._log("onSaveInstanceState")
+        if self.container is not None:
+            self.write_file("saved_state.json", json.dumps(state))
+        self.state = AppState.STOPPED
+        self._log("onStop")
+
+    def destroy(self) -> None:
+        if self.state is AppState.RESUMED:
+            self.pause()
+        if self.state in (AppState.PAUSED, AppState.CREATED):
+            self.stop()
+        self.state = AppState.DESTROYED
+        self._log("onDestroy")
+        if self.on_destroy is not None:
+            self.on_destroy()
+        self.binder.close()
+
+    def _load_saved_state(self) -> Optional[dict]:
+        raw = self.read_file("saved_state.json")
+        if raw is None:
+            return None
+        return json.loads(raw)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<App {self.package} uid={self.uid} {self.state.value}>"

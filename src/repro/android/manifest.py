@@ -1,0 +1,124 @@
+"""Android and AnDrone app manifests.
+
+Every AnDrone app ships the usual Android XML manifest plus an AnDrone
+manifest (Section 5) declaring device permissions — each with a ``type``
+of ``waypoint`` or ``continuous`` — and the arguments the app expects the
+user to supply through the portal.  Both are real XML, parsed with the
+standard library.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.android.permissions import Permission
+
+
+class ManifestError(ValueError):
+    """Malformed or inconsistent manifest."""
+
+
+@dataclass
+class AndroidManifest:
+    """The standard Android manifest (the parts we need)."""
+
+    package: str
+    permissions: List[Permission] = field(default_factory=list)
+    version: str = "1.0"
+
+    @classmethod
+    def parse(cls, xml_text: str) -> "AndroidManifest":
+        try:
+            root = ET.fromstring(xml_text)
+        except ET.ParseError as exc:
+            raise ManifestError(f"bad XML: {exc}") from exc
+        if root.tag != "manifest":
+            raise ManifestError(f"expected <manifest>, got <{root.tag}>")
+        package = root.get("package")
+        if not package:
+            raise ManifestError("manifest missing package attribute")
+        permissions = []
+        for node in root.findall("uses-permission"):
+            name = node.get("name", "")
+            try:
+                permissions.append(Permission(name))
+            except ValueError as exc:
+                raise ManifestError(f"unknown permission {name!r}") from exc
+        return cls(package=package, permissions=permissions,
+                   version=root.get("versionName", "1.0"))
+
+
+@dataclass
+class DevicePermissionRequest:
+    """One <uses-permission> entry of the AnDrone manifest."""
+
+    device: str
+    access_type: str  # "waypoint" or "continuous"
+
+
+@dataclass
+class ArgumentSpec:
+    """One <argument> entry: what the portal must prompt the user for."""
+
+    name: str
+    arg_type: str
+    required: bool = True
+
+
+@dataclass
+class AnDroneManifest:
+    """The AnDrone manifest (Section 5)."""
+
+    package: str
+    device_permissions: List[DevicePermissionRequest] = field(default_factory=list)
+    arguments: List[ArgumentSpec] = field(default_factory=list)
+
+    VALID_ACCESS_TYPES = ("waypoint", "continuous")
+
+    @classmethod
+    def parse(cls, xml_text: str) -> "AnDroneManifest":
+        try:
+            root = ET.fromstring(xml_text)
+        except ET.ParseError as exc:
+            raise ManifestError(f"bad XML: {exc}") from exc
+        if root.tag != "androne-manifest":
+            raise ManifestError(f"expected <androne-manifest>, got <{root.tag}>")
+        package = root.get("package")
+        if not package:
+            raise ManifestError("androne-manifest missing package attribute")
+        devices = []
+        for node in root.findall("uses-permission"):
+            device = node.get("name", "")
+            access = node.get("type", "waypoint")
+            if access not in cls.VALID_ACCESS_TYPES:
+                raise ManifestError(f"bad access type {access!r} for {device!r}")
+            if device == "flight-control" and access == "continuous":
+                # "Flight control can only be specified as a waypoint
+                # device, not a continuous device" (Section 3).
+                raise ManifestError("flight-control cannot be continuous")
+            devices.append(DevicePermissionRequest(device, access))
+        args = []
+        for node in root.findall("argument"):
+            name = node.get("name", "")
+            if not name:
+                raise ManifestError("<argument> missing name")
+            args.append(ArgumentSpec(
+                name=name,
+                arg_type=node.get("type", "string"),
+                required=node.get("required", "true").lower() == "true",
+            ))
+        return cls(package=package, device_permissions=devices, arguments=args)
+
+    def waypoint_devices(self) -> List[str]:
+        return [d.device for d in self.device_permissions if d.access_type == "waypoint"]
+
+    def continuous_devices(self) -> List[str]:
+        return [d.device for d in self.device_permissions if d.access_type == "continuous"]
+
+    def validate_args(self, supplied: Dict[str, object]) -> None:
+        """Check user-supplied arguments against the spec (portal-side)."""
+        for spec in self.arguments:
+            if spec.required and spec.name not in supplied:
+                raise ManifestError(f"missing required argument {spec.name!r}")

@@ -1,0 +1,41 @@
+"""Android permission names used by the device services.
+
+``FLIGHT_CONTROL`` is AnDrone's addition: requesting it in the AnDrone
+manifest is how an app asks for waypoint flight control.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Permission(str, enum.Enum):
+    CAMERA = "android.permission.CAMERA"
+    RECORD_AUDIO = "android.permission.RECORD_AUDIO"
+    ACCESS_FINE_LOCATION = "android.permission.ACCESS_FINE_LOCATION"
+    BODY_SENSORS = "android.permission.BODY_SENSORS"
+    INTERNET = "android.permission.INTERNET"
+    FLIGHT_CONTROL = "androne.permission.FLIGHT_CONTROL"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Mapping from AnDrone device names (virtual drone definitions use these)
+#: to the Android permission guarding the corresponding service.
+DEVICE_PERMISSIONS = {
+    "camera": Permission.CAMERA,
+    "microphone": Permission.RECORD_AUDIO,
+    "speakers": Permission.RECORD_AUDIO,
+    "gps": Permission.ACCESS_FINE_LOCATION,
+    "sensors": Permission.BODY_SENSORS,
+    "flight-control": Permission.FLIGHT_CONTROL,
+}
+
+#: Mapping from service name to the device names it fronts (paper Table 1).
+SERVICE_DEVICES = {
+    "AudioFlinger": ("microphone", "speakers"),
+    "CameraService": ("camera",),
+    "LocationManagerService": ("gps",),
+    "SensorService": ("sensors",),
+}

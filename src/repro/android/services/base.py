@@ -1,0 +1,122 @@
+"""Base machinery for device services.
+
+A service dispatches Binder transaction codes to ``op_<code>`` methods.
+Access control happens per call, in two stages (Sections 4.2 and 4.4):
+
+1. **Android permission** — the service queries the *calling container's*
+   ActivityManager (reached through the device container's ServiceManager
+   under the ``ActivityManager@<container>`` name installed by
+   PUBLISH_TO_DEV_CON) with the caller's uid.
+2. **AnDrone device policy** — the service queries the VDC through the
+   environment's permission hook, which knows the virtual drone
+   definition's device list and the current waypoint state.  Unlike stock
+   Android, this check happens on *every* call, which is what makes
+   revocation at waypoint boundaries effective.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from repro.android.permissions import Permission
+from repro.binder.objects import Transaction
+
+
+class ServiceAccessDenied(PermissionError):
+    """A service call failed its permission or policy check."""
+
+
+class SystemService:
+    """Base class for the shared device services."""
+
+    #: Binder registration name; subclasses set this.
+    name = "SystemService"
+    #: AnDrone device name this service's policy checks use.
+    androne_device = ""
+    #: Android permission guarding calls.
+    required_permission: Optional[Permission] = None
+
+    def __init__(self, environment):
+        """``environment`` is the device container's AndroidEnvironment."""
+        self.env = environment
+        # Live client sessions: (container, uid) pairs currently attached.
+        self._clients: Set[Tuple[str, int]] = set()
+        self.denied_calls = 0
+        self.served_calls = 0
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self, device_bus) -> None:
+        """Open the service's devices (the single native client)."""
+
+    def stop(self) -> None:
+        """Release devices."""
+
+    # -- dispatch ----------------------------------------------------------------
+    def handle_txn(self, txn: Transaction):
+        method = getattr(self, f"op_{txn.code}", None)
+        if method is None:
+            return {"error": f"{self.name}: unknown code {txn.code!r}"}
+        try:
+            self.check_access(txn)
+        except ServiceAccessDenied as denied:
+            self.denied_calls += 1
+            return {"error": str(denied), "denied": True}
+        self.served_calls += 1
+        return method(txn)
+
+    # -- access control -------------------------------------------------------------
+    def check_access(self, txn: Transaction) -> None:
+        if self.required_permission is not None:
+            if not self._android_permission_granted(txn):
+                raise ServiceAccessDenied(
+                    f"{self.name}: {txn.calling_container or 'host'}/uid "
+                    f"{txn.calling_euid} lacks {self.required_permission}"
+                )
+        if self.androne_device and not self.env.policy_allows(
+            txn.calling_container, self.androne_device
+        ):
+            raise ServiceAccessDenied(
+                f"{self.name}: VDC denies {self.androne_device!r} for "
+                f"container {txn.calling_container!r}"
+            )
+
+    def _android_permission_granted(self, txn: Transaction) -> bool:
+        if txn.calling_euid == 0:
+            # Root callers (the flight container's HAL bridge, the VDC)
+            # pass the Android check, exactly as in Android's
+            # checkPermission(); AnDrone policy still applies.
+            return True
+        if txn.calling_container == self.env.container_name:
+            # A call from inside the device container: use our own AM.
+            return self.env.activity_manager.check_permission(
+                self.required_permission, txn.calling_euid
+            )
+        # Modified checkPermission(): find the *calling* container's AM by
+        # the scoped name PUBLISH_TO_DEV_CON registered.
+        scoped = f"ActivityManager@{txn.calling_container}"
+        if not self.env.service_manager.has_service(scoped):
+            return False
+        handle = self.env.service_manager.lookup_handle(scoped)
+        reply = self.env.binder_proc.transact(handle, "checkPermission", {
+            "permission": str(self.required_permission),
+            "uid": txn.calling_euid,
+        })
+        return bool(reply.get("granted"))
+
+    # -- client/session tracking (used by VDC revocation) -----------------------------
+    def attach_client(self, txn: Transaction) -> None:
+        self._clients.add((txn.calling_container, txn.calling_euid))
+
+    def detach_client(self, txn: Transaction) -> None:
+        self._clients.discard((txn.calling_container, txn.calling_euid))
+
+    def clients_from(self, container: str):
+        """UIDs in ``container`` still attached — the VDC asks this after a
+        revocation notice to find processes to terminate (Section 4.4)."""
+        return sorted(uid for c, uid in self._clients if c == container)
+
+    def drop_container(self, container: str) -> int:
+        """Force-detach every session from ``container``."""
+        stale = {key for key in self._clients if key[0] == container}
+        self._clients -= stale
+        return len(stale)

@@ -1,0 +1,74 @@
+"""SystemServer: starts (or deliberately does not start) system services.
+
+In stock Android Things the SystemServer brings up all system services.
+AnDrone "disables the equivalent device services inside the virtual drone
+containers from starting by modifying init files and Android's
+SystemServer" (Section 4.2).  So:
+
+* in the **device container**, SystemServer starts the four device
+  services with real device access and registers them (which triggers
+  PUBLISH_TO_ALL_NS in the ServiceManager);
+* in a **virtual drone container**, the device services are listed as
+  disabled and only non-device services (the ActivityManager) start.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.android.services import (
+    AudioFlinger,
+    CameraService,
+    LocationManagerService,
+    SensorService,
+    SystemService,
+)
+
+#: The device services AnDrone centralizes (paper Table 1).
+DEVICE_SERVICE_CLASSES = (
+    AudioFlinger,
+    CameraService,
+    LocationManagerService,
+    SensorService,
+)
+
+
+class SystemServer:
+    """Per-container service bootstrap."""
+
+    def __init__(self, environment):
+        self.env = environment
+        self.services: Dict[str, SystemService] = {}
+        self.disabled_services: List[str] = []
+        self.started = False
+
+    def start(self, device_bus=None) -> None:
+        """Bring up services appropriate to the container type."""
+        if self.started:
+            raise RuntimeError("SystemServer already started")
+        self.started = True
+        if self.env.is_device_container:
+            if device_bus is None:
+                raise ValueError("device container requires a device bus")
+            for service_cls in DEVICE_SERVICE_CLASSES:
+                service = service_cls(self.env)
+                service.start(device_bus)
+                self.services[service.name] = service
+                ref = self.env.binder_proc.create_node(
+                    service.handle_txn, f"{service.name}@{self.env.container_name}"
+                )
+                # Registration in the device container's ServiceManager
+                # triggers PUBLISH_TO_ALL_NS for shared names.
+                self.env.service_manager.register(service.name, ref)
+        else:
+            # AnDrone-modified init: device services must not start here.
+            self.disabled_services = [cls.name for cls in DEVICE_SERVICE_CLASSES]
+
+    def stop(self) -> None:
+        for service in self.services.values():
+            service.stop()
+        self.services.clear()
+        self.started = False
+
+    def get(self, name: str) -> SystemService:
+        return self.services[name]

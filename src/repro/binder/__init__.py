@@ -1,0 +1,46 @@
+"""Android Binder IPC, with AnDrone's device-namespace extensions.
+
+Binder is Android's primary IPC mechanism (Section 4.1).  Services exist
+as *nodes*; clients reference nodes through per-process integer *handles*.
+A client can only talk to a service after being handed a handle — either
+by the node's owner or by someone who already holds one — so isolation is
+inherent.  Handle 0 always resolves to the Context Manager (the userspace
+ServiceManager).
+
+AnDrone's changes, reproduced here:
+
+* **Device namespaces** — each container's device namespace gets its own
+  Context Manager, so every virtual drone has a private ServiceManager.
+* **PUBLISH_TO_ALL_NS** — ioctl callable only by the device container;
+  registers one of its services with every other namespace's
+  ServiceManager (Figure 6, top).
+* **PUBLISH_TO_DEV_CON** — registers a container's ActivityManager with
+  the device container's ServiceManager under a container-suffixed name,
+  so shared services can route permission checks back to the calling
+  container (Figure 6, bottom).
+* Transactions carry the caller's PID, EUID **and container identifier**.
+"""
+
+from repro.binder.driver import (
+    BinderDriver,
+    BinderProcess,
+    BinderError,
+    BadHandleError,
+    PermissionDeniedError,
+    NodeRef,
+)
+from repro.binder.objects import BinderNode, Transaction
+from repro.binder.service_manager import ServiceManager, ServiceNotFoundError
+
+__all__ = [
+    "BinderDriver",
+    "BinderProcess",
+    "BinderError",
+    "BadHandleError",
+    "PermissionDeniedError",
+    "NodeRef",
+    "BinderNode",
+    "Transaction",
+    "ServiceManager",
+    "ServiceNotFoundError",
+]

@@ -1,0 +1,282 @@
+"""The Binder driver.
+
+Processes ``open()`` the driver to get a :class:`BinderProcess` (their
+/dev/binder fd).  All communication goes through :meth:`BinderProcess.
+transact`; handles are per-process and translated by the driver, never
+forged by userspace.  Binder objects embedded in transaction payloads are
+passed as :class:`NodeRef` wrappers and translated into fresh handles in
+the receiver's table — exactly how real Binder flattens objects.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Optional
+
+from repro.binder.objects import BinderNode, Transaction
+from repro.kernel.namespaces import Namespace
+
+
+class BinderError(RuntimeError):
+    """Base class for Binder failures."""
+
+
+class BadHandleError(BinderError):
+    """Transaction on a handle the process does not hold."""
+
+
+class PermissionDeniedError(BinderError):
+    """Privileged ioctl called by an unauthorized process."""
+
+
+class DeadNodeError(BinderError):
+    """Transaction on a node whose owner has exited."""
+
+
+class NodeRef:
+    """A binder object embedded in a payload (strong reference).
+
+    Userspace never sees the node directly: on delivery the driver
+    translates the ref into a handle valid in the *receiver's* table; when
+    userspace wants to send an object it owns or holds, it builds the ref
+    via :meth:`BinderProcess.ref_for_handle` or receives one from a
+    registration.
+    """
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: BinderNode):
+        self.node = node
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<NodeRef {self.node.label!r}>"
+
+
+#: Handle value that always resolves to the namespace's Context Manager.
+CONTEXT_MANAGER_HANDLE = 0
+
+
+class BinderProcess:
+    """A process's open binder fd: its private handle table."""
+
+    def __init__(self, driver: "BinderDriver", pid: int, euid: int,
+                 container: str, device_ns: Namespace):
+        self.driver = driver
+        self.pid = pid
+        self.euid = euid
+        self.container = container
+        self.device_ns = device_ns
+        self._handles: Dict[int, BinderNode] = {}
+        self._next_handle = itertools.count(1)  # 0 is the context manager
+        self._nodes: list = []
+        self.closed = False
+
+    # -- node/handle management ------------------------------------------------
+    def create_node(self, handler: Callable, label: str = "") -> NodeRef:
+        """Publish a service endpoint owned by this process."""
+        node = self.driver._new_node(self, handler, label)
+        self._nodes.append(node)
+        return NodeRef(node)
+
+    def _install_ref(self, node: BinderNode) -> int:
+        """Translate a node into a handle in this process's table."""
+        for handle, existing in self._handles.items():
+            if existing is node:
+                return handle
+        handle = next(self._next_handle)
+        self._handles[handle] = node
+        return handle
+
+    def ref_for_handle(self, handle: int) -> NodeRef:
+        """Build a sendable ref from a handle this process holds."""
+        return NodeRef(self._resolve(handle))
+
+    def _resolve(self, handle: int) -> BinderNode:
+        if self.closed:
+            raise BinderError(f"pid {self.pid}: binder fd is closed")
+        if handle == CONTEXT_MANAGER_HANDLE:
+            node = self.driver._context_manager_for(self.device_ns)
+            if node is None:
+                raise BadHandleError(
+                    f"pid {self.pid}: no context manager in {self.device_ns}"
+                )
+            return node
+        node = self._handles.get(handle)
+        if node is None:
+            raise BadHandleError(f"pid {self.pid}: bad handle {handle}")
+        return node
+
+    # -- transactions ------------------------------------------------------------
+    def transact(self, handle: int, code: str, data: Optional[Dict[str, Any]] = None) -> Any:
+        """Synchronous transaction; returns the service's reply.
+
+        Any :class:`NodeRef` in the (flat) data dict is translated to a
+        handle in the receiving process's table and delivered as an integer
+        under the same key, mirroring Binder object flattening.
+        """
+        node = self._resolve(handle)
+        if node.dead:
+            raise DeadNodeError(f"node {node.label!r} is dead")
+        delivered: Dict[str, Any] = {}
+        for key, value in (data or {}).items():
+            if isinstance(value, NodeRef):
+                delivered[key] = node.owner._install_ref(value.node)
+            else:
+                delivered[key] = value
+        txn = Transaction(
+            code=code,
+            data=delivered,
+            calling_pid=self.pid,
+            calling_euid=self.euid,
+            calling_container=self.container,
+        )
+        reply = node.handler(txn)
+        if isinstance(reply, dict):
+            # Translate any refs in the reply into *our* handle table, the
+            # way Binder flattens objects in reply parcels.
+            translated = {}
+            for key, value in reply.items():
+                if isinstance(value, NodeRef):
+                    translated[key] = self._install_ref(value.node)
+                else:
+                    translated[key] = value
+            return translated
+        return reply
+
+    # -- privileged ioctls ---------------------------------------------------------
+    def ioctl_set_context_mgr(self, ref: NodeRef) -> None:
+        """Register this ref as the Context Manager of the caller's device
+        namespace (the device-namespace extension: one per namespace, not
+        one global)."""
+        self.driver._set_context_manager(self.device_ns, ref.node)
+
+    def ioctl_publish_to_all_ns(self, name: str, ref: NodeRef) -> int:
+        """AnDrone's PUBLISH_TO_ALL_NS: register ``name`` with every other
+        namespace's ServiceManager.  Only the device container may call it
+        (Section 4.2).  Returns the number of namespaces published to."""
+        return self.driver._publish_to_all_ns(self, name, ref.node)
+
+    def ioctl_publish_to_dev_con(self, name: str, ref: NodeRef) -> str:
+        """AnDrone's PUBLISH_TO_DEV_CON: register this container's service
+        (in practice its ActivityManager) with the *device container's*
+        ServiceManager under a container-suffixed name.  Returns the name
+        used."""
+        return self.driver._publish_to_dev_con(self, name, ref.node)
+
+    def link_to_death(self, handle: int, recipient) -> None:
+        """Android's linkToDeath(): ``recipient(node)`` fires when the
+        node behind ``handle`` dies (or immediately if already dead)."""
+        node = self._resolve(handle)
+        if node.dead:
+            recipient(node)
+        else:
+            node.death_recipients.append(recipient)
+
+    def close(self) -> None:
+        """Process exit: all owned nodes die, death recipients fire."""
+        self.closed = True
+        for node in self._nodes:
+            node.kill()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BinderProcess pid={self.pid} container={self.container!r}>"
+
+
+class BinderDriver:
+    """The kernel driver: node table and per-namespace context managers."""
+
+    def __init__(self, device_container_name: str = "device"):
+        self._node_ids = itertools.count(1)
+        self._context_managers: Dict[int, BinderNode] = {}
+        self._processes: list = []
+        #: name of the container allowed to call PUBLISH_TO_ALL_NS.
+        self.device_container_name = device_container_name
+        #: namespace of the device container, learned at SET_CONTEXT_MGR time.
+        self._device_ns: Optional[Namespace] = None
+
+    def open(self, pid: int, euid: int, container: str, device_ns: Namespace) -> BinderProcess:
+        proc = BinderProcess(self, pid, euid, container, device_ns)
+        self._processes.append(proc)
+        return proc
+
+    def _new_node(self, owner: BinderProcess, handler: Callable, label: str) -> BinderNode:
+        return BinderNode(next(self._node_ids), owner, handler, label)
+
+    # -- context managers -----------------------------------------------------
+    def _set_context_manager(self, ns: Namespace, node: BinderNode) -> None:
+        if ns.ns_id in self._context_managers and not self._context_managers[ns.ns_id].dead:
+            raise BinderError(f"{ns} already has a context manager")
+        self._context_managers[ns.ns_id] = node
+        if node.owner.container == self.device_container_name:
+            self._device_ns = ns
+
+    def _context_manager_for(self, ns: Namespace) -> Optional[BinderNode]:
+        node = self._context_managers.get(ns.ns_id)
+        if node is not None and node.dead:
+            return None
+        return node
+
+    def context_manager_count(self) -> int:
+        return sum(1 for n in self._context_managers.values() if not n.dead)
+
+    # -- AnDrone ioctls ----------------------------------------------------------
+    def _publish_to_all_ns(self, caller: BinderProcess, name: str, node: BinderNode) -> int:
+        if caller.container != self.device_container_name:
+            raise PermissionDeniedError(
+                f"PUBLISH_TO_ALL_NS denied for container {caller.container!r}"
+            )
+        published = 0
+        for ns_id, manager in list(self._context_managers.items()):
+            if manager.dead or ns_id == caller.device_ns.ns_id:
+                continue
+            # The presence of a ServiceManager identifies the namespace as a
+            # running virtual drone; make the registration call into it.
+            handle = manager.owner._install_ref(node)
+            manager.handler(Transaction(
+                code="register",
+                data={"name": name, "service": handle},
+                calling_pid=caller.pid,
+                calling_euid=caller.euid,
+                calling_container=caller.container,
+            ))
+            published += 1
+        return published
+
+    def _publish_to_dev_con(self, caller: BinderProcess, name: str, node: BinderNode) -> str:
+        if self._device_ns is None:
+            raise BinderError("device container has no context manager yet")
+        manager = self._context_managers.get(self._device_ns.ns_id)
+        if manager is None or manager.dead:
+            raise BinderError("device container context manager is dead")
+        scoped_name = f"{name}@{caller.container}"
+        handle = manager.owner._install_ref(node)
+        manager.handler(Transaction(
+            code="register",
+            data={"name": scoped_name, "service": handle},
+            calling_pid=caller.pid,
+            calling_euid=caller.euid,
+            calling_container=caller.container,
+        ))
+        return scoped_name
+
+    def publish_to_namespace(self, ns: Namespace, name: str, node: BinderNode,
+                             caller: BinderProcess) -> bool:
+        """Publish one device-container service into one (newly created)
+        namespace — the "same process performed in the future for newly
+        created virtual drone containers" step of Section 4.2."""
+        if caller.container != self.device_container_name:
+            raise PermissionDeniedError(
+                f"publish denied for container {caller.container!r}"
+            )
+        manager = self._context_managers.get(ns.ns_id)
+        if manager is None or manager.dead:
+            return False
+        handle = manager.owner._install_ref(node)
+        manager.handler(Transaction(
+            code="register",
+            data={"name": name, "service": handle},
+            calling_pid=caller.pid,
+            calling_euid=caller.euid,
+            calling_container=caller.container,
+        ))
+        return True

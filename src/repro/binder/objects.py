@@ -1,0 +1,53 @@
+"""Binder kernel objects: nodes and transactions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+
+class BinderNode:
+    """A kernel node representing one service endpoint.
+
+    ``handler`` is the userspace target: a callable invoked with the
+    :class:`Transaction`, returning the reply payload.  The node remembers
+    which process owns it; ownership matters for PUBLISH_TO_ALL_NS checks.
+    """
+
+    def __init__(self, node_id: int, owner: "BinderProcess", handler: Callable, label: str = ""):
+        self.node_id = node_id
+        self.owner = owner
+        self.handler = handler
+        self.label = label
+        self.dead = False
+        #: linkToDeath recipients, called once when the node dies.
+        self.death_recipients: list = []
+
+    def kill(self) -> None:
+        """Mark dead and deliver death notifications exactly once."""
+        if self.dead:
+            return
+        self.dead = True
+        recipients, self.death_recipients = self.death_recipients, []
+        for recipient in recipients:
+            recipient(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BinderNode {self.node_id} {self.label!r}>"
+
+
+@dataclass
+class Transaction:
+    """One Binder transaction as seen by the receiving service.
+
+    AnDrone adds ``calling_container`` alongside the standard calling PID
+    and EUID (Section 4.2) so shared device services can identify which
+    virtual drone a request came from.
+    """
+
+    code: str
+    data: Dict[str, Any]
+    calling_pid: int
+    calling_euid: int
+    calling_container: str
+    reply: Any = None

@@ -1,0 +1,37 @@
+"""The AnDrone cloud service (paper Section 4, Figure 3).
+
+Five components: the **web portal** users order virtual drones through,
+the **app store**, general **cloud storage** for flight data, the
+**virtual drone repository (VDR)** holding offline virtual drones, and
+the **flight planner** built on the Dorling et al. multirotor energy
+model and drone-delivery vehicle routing algorithm.  Billing is
+energy-based (Section 2).
+"""
+
+from repro.cloud.storage import CloudStorage
+from repro.cloud.vdr import VirtualDroneRepository, VdrEntry
+from repro.cloud.app_store import AppStore, StoreApp
+from repro.cloud.billing import BillingService, BillingRates
+from repro.cloud.portal import WebPortal, Order, OrderState, PortalError
+from repro.cloud.weather import WeatherService, WeatherSample
+from repro.cloud.planner import DroneEnergyModel, FlightPlanner, FlightPlan, solve_vrp
+
+__all__ = [
+    "CloudStorage",
+    "VirtualDroneRepository",
+    "VdrEntry",
+    "AppStore",
+    "StoreApp",
+    "BillingService",
+    "BillingRates",
+    "WebPortal",
+    "Order",
+    "OrderState",
+    "PortalError",
+    "WeatherService",
+    "WeatherSample",
+    "DroneEnergyModel",
+    "FlightPlanner",
+    "FlightPlan",
+    "solve_vrp",
+]

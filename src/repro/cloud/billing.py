@@ -1,0 +1,88 @@
+"""Energy-based billing (paper Section 2).
+
+"AnDrone bills traditional cloud services such as storage or network
+bandwidth based on regular usage, but bills drone usage based on energy
+consumption, like a traditional energy utility service."  Users specify a
+maximum billing charge, which caps the energy their virtual drone may
+consume at its waypoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cloud.planner.energy import DroneEnergyModel
+
+
+@dataclass
+class BillingRates:
+    """Service-provider pricing."""
+
+    # Drone energy is precious: priced far above utility grid rates.
+    currency_per_joule: float = 0.0005          # $1.80 per Wh of flight
+    currency_per_storage_gb_month: float = 0.02
+    currency_per_bandwidth_gb: float = 0.08
+
+
+@dataclass
+class LineItem:
+    description: str
+    amount: float
+
+
+@dataclass
+class Invoice:
+    tenant: str
+    items: List[LineItem]
+
+    @property
+    def total(self) -> float:
+        return round(sum(item.amount for item in self.items), 6)
+
+
+class BillingService:
+    """Charges per tenant: energy at waypoints + storage + bandwidth."""
+
+    def __init__(self, rates: Optional[BillingRates] = None,
+                 model: Optional[DroneEnergyModel] = None):
+        self.rates = rates or BillingRates()
+        self.model = model or DroneEnergyModel()
+
+    # -- ordering-time estimates -----------------------------------------------------
+    def max_charge_to_energy_j(self, max_charge: float) -> float:
+        """The user's maximum billing charge caps the energy allotment."""
+        if max_charge <= 0:
+            raise ValueError("max charge must be positive")
+        return max_charge / self.rates.currency_per_joule
+
+    def estimate_flight_time_s(self, energy_j: float, payload_kg: float = 0.0) -> float:
+        """Flight-time estimate from energy, shown when ordering."""
+        return energy_j / self.model.hover_power_w(payload_kg)
+
+    def estimate_charge(self, energy_j: float) -> float:
+        return energy_j * self.rates.currency_per_joule
+
+    # -- invoicing ------------------------------------------------------------------------
+    def invoice(self, tenant: str, energy_used_j: float,
+                storage_bytes: int = 0, bandwidth_bytes: int = 0,
+                storage_months: float = 1.0) -> Invoice:
+        if energy_used_j < 0 or storage_bytes < 0 or bandwidth_bytes < 0:
+            raise ValueError("usage quantities must be non-negative")
+        gb = 1024 ** 3
+        items = [
+            LineItem(f"drone energy ({energy_used_j:.0f} J)",
+                     energy_used_j * self.rates.currency_per_joule),
+        ]
+        if storage_bytes:
+            items.append(LineItem(
+                f"cloud storage ({storage_bytes / gb:.3f} GB-month)",
+                storage_bytes / gb * storage_months
+                * self.rates.currency_per_storage_gb_month,
+            ))
+        if bandwidth_bytes:
+            items.append(LineItem(
+                f"bandwidth ({bandwidth_bytes / gb:.3f} GB)",
+                bandwidth_bytes / gb * self.rates.currency_per_bandwidth_gb,
+            ))
+        return Invoice(tenant, items)

@@ -1,0 +1,177 @@
+"""Waypoint ordering and grouping constraints — the paper's future work.
+
+"A limitation of the algorithm is that it treats all waypoints
+independently, so users may not prescribe that waypoints be traversed in
+a specified order and the algorithm may decide to visit waypoints of one
+virtual drone in the middle of a set of waypoints of another virtual
+drone.  Providing a planner algorithm that can support waypoint ordering
+and grouping is an area of future work" (Section 4).
+
+This module implements that future work as constraints layered on the
+same SA solver:
+
+* **ordering** — a tenant's waypoints must be visited in definition
+  order (precedence within the giant tour);
+* **grouping** — a tenant's waypoints must be visited back-to-back, with
+  no other tenant's stop interleaved.
+
+Both are enforced by *repairing* candidate tours after each SA move:
+ordering by stable-sorting each tenant's stops into its occupied slots,
+grouping by collapsing each tenant's stops around their earliest
+occurrence.  Repair keeps the move semantics (positions still explore the
+space) while guaranteeing feasibility, so the solver degrades gracefully:
+unconstrained tenants still interleave freely.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.cloud.planner.energy import DroneEnergyModel
+from repro.cloud.planner.vrp import (
+    InfeasibleStopError,
+    Route,
+    Stop,
+    _cost,
+    nearest_neighbor_routes,
+    split_into_routes,
+)
+from repro.flight.geo import GeoPoint
+
+
+@dataclass(frozen=True)
+class OrderingConstraints:
+    """Which tenants require ordering and/or grouping."""
+
+    ordered_tenants: frozenset = frozenset()
+    grouped_tenants: frozenset = frozenset()
+
+    @classmethod
+    def of(cls, ordered: Sequence[str] = (), grouped: Sequence[str] = ()):
+        return cls(frozenset(ordered), frozenset(grouped))
+
+    @property
+    def empty(self) -> bool:
+        return not self.ordered_tenants and not self.grouped_tenants
+
+
+def _tenant_of(stop: Stop) -> str:
+    tenant, _, _ = stop.stop_id.rpartition("#")
+    return tenant
+
+
+def _index_of(stop: Stop) -> int:
+    _, _, index = stop.stop_id.rpartition("#")
+    return int(index)
+
+
+def repair_tour(order: List[Stop], constraints: OrderingConstraints) -> List[Stop]:
+    """Return the nearest feasible tour to ``order``.
+
+    Grouping first (collapse each grouped tenant around its first stop's
+    position), then ordering (stable reassignment of each ordered
+    tenant's stops into that tenant's slots, sorted by definition index).
+    """
+    tour = list(order)
+    # --- grouping ---
+    for tenant in constraints.grouped_tenants:
+        positions = [i for i, stop in enumerate(tour) if _tenant_of(stop) == tenant]
+        if len(positions) <= 1:
+            continue
+        block = [tour[i] for i in positions]
+        anchor = positions[0]
+        remaining = [stop for stop in tour if _tenant_of(stop) != tenant]
+        anchor = min(anchor, len(remaining))
+        tour = remaining[:anchor] + block + remaining[anchor:]
+    # --- ordering ---
+    for tenant in constraints.ordered_tenants:
+        positions = [i for i, stop in enumerate(tour) if _tenant_of(stop) == tenant]
+        stops = sorted((tour[i] for i in positions), key=_index_of)
+        for position, stop in zip(positions, stops):
+            tour[position] = stop
+    return tour
+
+
+def validate_tour(order: Sequence[Stop], constraints: OrderingConstraints) -> bool:
+    """Check a tour against the constraints (used by tests)."""
+    last_index: Dict[str, int] = {}
+    last_seen_at: Dict[str, int] = {}
+    open_groups: Set[str] = set()
+    closed_groups: Set[str] = set()
+    for position, stop in enumerate(order):
+        tenant = _tenant_of(stop)
+        if tenant in constraints.ordered_tenants:
+            index = _index_of(stop)
+            if tenant in last_index and index < last_index[tenant]:
+                return False
+            last_index[tenant] = index
+        if tenant in constraints.grouped_tenants:
+            if tenant in closed_groups:
+                return False
+            if tenant in last_seen_at and last_seen_at[tenant] != position - 1:
+                return False
+            last_seen_at[tenant] = position
+            open_groups.add(tenant)
+        for other in list(open_groups):
+            if other != tenant:
+                open_groups.discard(other)
+                closed_groups.add(other)
+    return True
+
+
+def solve_vrp_constrained(
+    depot: GeoPoint,
+    stops: Sequence[Stop],
+    model: DroneEnergyModel,
+    battery_j: float,
+    constraints: OrderingConstraints,
+    fleet_size: int = 1,
+    cruise_ms: float = 8.0,
+    rng=None,
+    iterations: int = 4_000,
+) -> List[Route]:
+    """The SA solver with ordering/grouping repair after each move."""
+    if not stops:
+        return []
+    import random as _random
+
+    rng = rng or _random.Random(0)
+    order = [s for route in nearest_neighbor_routes(
+        depot, list(stops), model, battery_j, cruise_ms) for s in route.stops]
+    order = repair_tour(order, constraints)
+
+    def evaluate(candidate: List[Stop]):
+        routes = split_into_routes(depot, candidate, model, battery_j, cruise_ms)
+        return _cost(routes, fleet_size), routes
+
+    cost, routes = evaluate(order)
+    best_cost, best_routes = cost, routes
+    n = len(order)
+    if n < 2:
+        return routes
+    temperature = max(60.0, cost * 0.1)
+    cooling = (0.01 / temperature) ** (1.0 / max(1, iterations))
+    for _ in range(iterations):
+        i, j = rng.randrange(n), rng.randrange(n)
+        if i == j:
+            continue
+        candidate = list(order)
+        if rng.random() < 0.5:
+            candidate[i], candidate[j] = candidate[j], candidate[i]
+        else:
+            stop = candidate.pop(i)
+            candidate.insert(j, stop)
+        candidate = repair_tour(candidate, constraints)
+        try:
+            cand_cost, cand_routes = evaluate(candidate)
+        except InfeasibleStopError:
+            continue
+        delta = cand_cost - cost
+        if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-9)):
+            order, cost, routes = candidate, cand_cost, cand_routes
+            if cost < best_cost:
+                best_cost, best_routes = cost, routes
+        temperature *= cooling
+    return best_routes

@@ -1,0 +1,215 @@
+"""The AnDrone web portal (paper Section 2, Figure 1).
+
+The ordering workflow: select waypoints and a time range, pick a drone
+type, choose apps from the store (the portal prompts for each app's
+AnDrone-manifest arguments), set a maximum billing charge (which caps the
+energy allotment), and optionally request advanced direct access with
+explicit device lists.  The portal emits the virtual drone JSON
+definition, tracks order state through the flight, and delivers
+notifications (modelled as a message log) and access information.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.android.manifest import ManifestError
+from repro.cloud.app_store import AppStore
+from repro.cloud.billing import BillingService
+from repro.vdc.definition import (
+    KNOWN_DEVICES,
+    DefinitionError,
+    VirtualDroneDefinition,
+    WaypointSpec,
+)
+
+_order_ids = itertools.count(1)
+
+
+class PortalError(ValueError):
+    """Invalid order input."""
+
+
+class OrderState(enum.Enum):
+    CONFIGURING = "configuring"
+    SUBMITTED = "submitted"
+    SCHEDULED = "scheduled"      # operating window confirmed
+    IN_FLIGHT = "in_flight"
+    COMPLETED = "completed"
+    INTERRUPTED = "interrupted"  # to be resumed on a later flight
+
+
+@dataclass
+class Notification:
+    channel: str    # "email" or "sms"
+    text: str
+
+
+@dataclass
+class Order:
+    """One user's virtual drone order."""
+
+    order_id: int
+    user: str
+    drone_type: str
+    definition: VirtualDroneDefinition
+    max_charge: float
+    estimated_flight_time_s: float
+    schedule_mode: str = "flexible"
+    window_confirmed: bool = False
+    state: OrderState = OrderState.SUBMITTED
+    notifications: List[Notification] = field(default_factory=list)
+    access_info: Optional[Dict[str, Any]] = None
+    result_links: List[str] = field(default_factory=list)
+
+
+#: Geofence radius defaults and cap (Section 2: "up to a maximum size
+#: ... with a default size provided").
+DEFAULT_GEOFENCE_RADIUS_M = 30.0
+MAX_GEOFENCE_RADIUS_M = 100.0
+
+
+class WebPortal:
+    """The user-facing front end of the cloud service."""
+
+    def __init__(self, app_store: AppStore, billing: BillingService,
+                 drone_types: Optional[Dict[str, str]] = None):
+        self.app_store = app_store
+        self.billing = billing
+        #: drone type name -> human description (video, sensor payloads, ...)
+        self.drone_types = drone_types or {
+            "standard": "quadcopter with camera and GPS",
+            "video": "quadcopter specialized for stabilized video",
+            "sensor": "quadcopter with environmental sensor payload",
+        }
+        self.orders: Dict[int, Order] = {}
+
+    # -- ordering (basic service) ----------------------------------------------------
+    def order_virtual_drone(
+        self,
+        user: str,
+        waypoints: List[Dict[str, float]],
+        drone_type: str = "standard",
+        apps: Optional[List[str]] = None,
+        app_args: Optional[Dict[str, Dict[str, Any]]] = None,
+        max_charge: float = 25.0,
+        max_duration_s: float = 600.0,
+        geofence_radius_m: Optional[float] = None,
+        extra_devices: Optional[Dict[str, str]] = None,
+        schedule_mode: str = "flexible",
+    ) -> Order:
+        """Order a virtual drone; returns the submitted order.
+
+        ``extra_devices`` (advanced usage) maps device name to access type
+        ("waypoint" or "continuous") beyond what the apps' manifests
+        request.
+
+        ``schedule_mode`` is "immediate" (the user will take over as soon
+        as the drone reaches the first waypoint, so the window estimate is
+        sent right away) or "flexible" (the window is proposed a day in
+        advance for confirmation) — Section 2's two advanced flows.
+        """
+        if schedule_mode not in ("immediate", "flexible"):
+            raise PortalError(f"bad schedule mode {schedule_mode!r}")
+        if drone_type not in self.drone_types:
+            raise PortalError(f"unknown drone type {drone_type!r}: "
+                              f"choose from {sorted(self.drone_types)}")
+        if not waypoints:
+            raise PortalError("select at least one waypoint")
+        radius = geofence_radius_m if geofence_radius_m is not None \
+            else DEFAULT_GEOFENCE_RADIUS_M
+        if radius > MAX_GEOFENCE_RADIUS_M:
+            raise PortalError(
+                f"geofence radius {radius} m exceeds the maximum "
+                f"{MAX_GEOFENCE_RADIUS_M} m")
+        specs = [WaypointSpec.from_json({**w, "max-radius": w.get("max-radius", radius)})
+                 for w in waypoints]
+        # Collect device needs from app manifests + validate app args.
+        waypoint_devices: List[str] = []
+        continuous_devices: List[str] = []
+        for package in apps or []:
+            store_app = self.app_store.get(package)
+            supplied = (app_args or {}).get(package, {})
+            try:
+                store_app.androne_manifest.validate_args(supplied)
+            except ManifestError as bad:
+                raise PortalError(f"app {package!r}: {bad}") from bad
+            waypoint_devices += store_app.androne_manifest.waypoint_devices()
+            continuous_devices += store_app.androne_manifest.continuous_devices()
+        for device, access in (extra_devices or {}).items():
+            if device not in KNOWN_DEVICES:
+                raise PortalError(f"unknown device {device!r}")
+            if access == "continuous":
+                continuous_devices.append(device)
+            elif access == "waypoint":
+                waypoint_devices.append(device)
+            else:
+                raise PortalError(f"bad access type {access!r}")
+        energy_j = self.billing.max_charge_to_energy_j(max_charge)
+        try:
+            definition = VirtualDroneDefinition(
+                name=f"{user}-order{next(_order_ids)}",
+                waypoints=specs,
+                max_duration_s=max_duration_s,
+                energy_allotted_j=energy_j,
+                continuous_devices=sorted(set(continuous_devices)),
+                waypoint_devices=sorted(set(waypoint_devices)),
+                apps=list(apps or []),
+                app_args=dict(app_args or {}),
+            )
+        except DefinitionError as bad:
+            raise PortalError(str(bad)) from bad
+        order = Order(
+            order_id=int(definition.name.rsplit("order", 1)[1]),
+            user=user,
+            drone_type=drone_type,
+            definition=definition,
+            max_charge=max_charge,
+            estimated_flight_time_s=self.billing.estimate_flight_time_s(energy_j),
+            schedule_mode=schedule_mode,
+        )
+        self.orders[order.order_id] = order
+        return order
+
+    def user_confirms_window(self, order_id: int) -> None:
+        """Flexible orders: the user accepts the proposed window."""
+        order = self.orders[order_id]
+        order.window_confirmed = True
+
+    # -- lifecycle notifications (driven by the planner / mission runner) ----------------
+    def confirm_window(self, order_id: int, start_s: float, end_s: float) -> None:
+        order = self.orders[order_id]
+        order.state = OrderState.SCHEDULED
+        window = f"estimated operating window {start_s:.0f}s-{end_s:.0f}s after launch"
+        if order.schedule_mode == "immediate":
+            # Immediate usage: the estimate goes out right away so the
+            # user can take over when the drone arrives (Section 2).
+            order.window_confirmed = True
+            order.notifications.append(Notification("sms", window))
+        else:
+            order.notifications.append(Notification(
+                "email", window + " — please confirm"))
+
+    def flight_started(self, order_id: int, ip: str, port: int,
+                       how: str = "ssh via per-container VPN") -> None:
+        """Take-off: send the access information (Section 2)."""
+        order = self.orders[order_id]
+        order.state = OrderState.IN_FLIGHT
+        order.access_info = {"ip": ip, "port": port, "connect": how}
+        order.notifications.append(Notification(
+            "sms", f"your virtual drone is airborne: {ip}:{port}"))
+
+    def flight_completed(self, order_id: int, result_links: List[str],
+                         interrupted: bool = False) -> None:
+        order = self.orders[order_id]
+        order.state = OrderState.INTERRUPTED if interrupted else OrderState.COMPLETED
+        order.result_links = list(result_links)
+        body = "flight complete"
+        if interrupted:
+            body += " (task interrupted; will resume on a later flight)"
+        if result_links:
+            body += "; your files: " + ", ".join(result_links)
+        order.notifications.append(Notification("email", body))

@@ -1,0 +1,49 @@
+"""General cloud storage for drone flight data.
+
+Files marked by apps (``markFileForUser``) are offloaded here after the
+flight; "users retrieve files on demand from cloud storage" (Figure 4)
+via emailed links.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class StoredFile:
+    tenant: str
+    path: str
+    content: str
+    size_bytes: int
+
+
+class CloudStorage:
+    """Per-tenant object store."""
+
+    def __init__(self) -> None:
+        self._files: Dict[Tuple[str, str], StoredFile] = {}
+        self.bytes_uploaded = 0
+
+    def put(self, tenant: str, path: str, content: str) -> str:
+        """Store a file; returns a retrieval link."""
+        record = StoredFile(tenant, path, content, len(content))
+        self._files[(tenant, path)] = record
+        self.bytes_uploaded += record.size_bytes
+        return self.link_for(tenant, path)
+
+    def get(self, tenant: str, path: str) -> Optional[str]:
+        record = self._files.get((tenant, path))
+        return record.content if record else None
+
+    def list_files(self, tenant: str) -> List[str]:
+        return sorted(path for t, path in self._files if t == tenant)
+
+    def usage_bytes(self, tenant: str) -> int:
+        return sum(f.size_bytes for (t, _), f in self._files.items() if t == tenant)
+
+    def link_for(self, tenant: str, path: str) -> str:
+        token = hashlib.sha256(f"{tenant}:{path}".encode()).hexdigest()[:20]
+        return f"https://storage.androne.cloud/{tenant}/{token}"

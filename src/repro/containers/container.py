@@ -1,0 +1,141 @@
+"""Container lifecycle.
+
+A container is an image plus a mutable writable layer, a namespace set, a
+cgroup, and a memory reservation in the simulated kernel.  Threads started
+inside a container are tagged with its name, so scheduler accounting and
+Binder transactions can attribute them.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional
+
+from repro.containers.image import Image, Layer, diff_layer
+from repro.kernel.cgroups import Cgroup, CgroupLimits
+from repro.kernel.kernel import Kernel
+from repro.kernel.namespaces import NamespaceSet
+from repro.kernel.thread import SchedPolicy, Thread
+
+
+class ContainerError(RuntimeError):
+    """Invalid container operation for its current state."""
+
+
+class ContainerState(enum.Enum):
+    CREATED = "created"
+    RUNNING = "running"
+    STOPPED = "stopped"
+    REMOVED = "removed"
+
+
+class Container:
+    """One container instance, managed by the :class:`ContainerRuntime`."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        name: str,
+        image: Image,
+        memory_kb: int,
+        cgroup: Cgroup,
+        host_namespaces: NamespaceSet,
+    ):
+        self.kernel = kernel
+        self.name = name
+        self.image = image
+        self.memory_kb = int(memory_kb)
+        self.cgroup = cgroup
+        self.namespaces = NamespaceSet(name, parent=host_namespaces)
+        self.state = ContainerState.CREATED
+        self._writable: Dict[str, str] = {}
+        self._deleted: set = set()
+        self._threads: list = []
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        """Reserve memory and mark running; raises OutOfMemoryError if the
+        reservation does not fit (leaving other containers untouched)."""
+        if self.state not in (ContainerState.CREATED, ContainerState.STOPPED):
+            raise ContainerError(f"cannot start container in state {self.state}")
+        self.cgroup.charge_memory(self.memory_kb)
+        try:
+            self.kernel.memory.allocate(self.name, self.memory_kb)
+        except Exception:
+            self.cgroup.uncharge_memory(self.memory_kb)
+            raise
+        self.state = ContainerState.RUNNING
+
+    def stop(self) -> None:
+        if self.state is not ContainerState.RUNNING:
+            raise ContainerError(f"cannot stop container in state {self.state}")
+        for thread in self._threads:
+            self.kernel.kill(thread)
+        self._threads.clear()
+        self.kernel.memory.free(self.name)
+        self.cgroup.uncharge_memory(self.memory_kb)
+        self.state = ContainerState.STOPPED
+
+    # ------------------------------------------------------------ processes
+    def spawn(
+        self,
+        program,
+        name: str = "",
+        policy: SchedPolicy = SchedPolicy.NORMAL,
+        priority: int = 0,
+        nice: int = 0,
+        uid: int = 10_000,
+    ) -> Thread:
+        """Start a thread inside this container."""
+        if self.state is not ContainerState.RUNNING:
+            raise ContainerError(f"container {self.name!r} is not running")
+        thread = self.kernel.spawn(
+            program,
+            name=f"{self.name}/{name}",
+            policy=policy,
+            priority=priority,
+            nice=nice,
+            container=self.name,
+            uid=uid,
+        )
+        self._threads.append(thread)
+        return thread
+
+    def threads(self):
+        """Live threads belonging to this container."""
+        self._threads = [t for t in self._threads if t.alive]
+        return list(self._threads)
+
+    # ------------------------------------------------------------ filesystem
+    def read_file(self, path: str) -> Optional[str]:
+        if path in self._deleted:
+            return None
+        if path in self._writable:
+            return self._writable[path]
+        return self.image.read(path)
+
+    def write_file(self, path: str, content: str) -> None:
+        self._deleted.discard(path)
+        self._writable[path] = content
+
+    def delete_file(self, path: str) -> None:
+        self._writable.pop(path, None)
+        self._deleted.add(path)
+
+    def filesystem_view(self) -> Dict[str, str]:
+        view = self.image.flatten()
+        for path in self._deleted:
+            view.pop(path, None)
+        view.update(self._writable)
+        return view
+
+    def commit(self, comment: str = "") -> Layer:
+        """Snapshot the writable layer as an immutable diff layer.
+
+        This is how a virtual drone's state (including files its apps
+        saved) is captured for the VDR at the end of a flight.
+        """
+        return diff_layer(self.image, self.filesystem_view(), comment)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Container {self.name!r} {self.state.value}>"

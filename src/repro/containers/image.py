@@ -1,0 +1,163 @@
+"""Layered container images.
+
+A :class:`Layer` is an immutable mapping of paths to file contents,
+identified by a content hash.  An :class:`Image` is an ordered stack of
+layers; reads resolve top-down, and a special :data:`WHITEOUT` marker in an
+upper layer hides a path from lower layers (overlayfs semantics).  The
+:class:`ImageStore` deduplicates layers by content hash, which is what
+makes many virtual drones sharing one Android Things base cheap to store —
+the storage-cost claim of Section 4.1.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Marker hiding a lower-layer path (overlayfs whiteout).
+WHITEOUT = "\0whiteout\0"
+
+
+def _content_hash(files: Dict[str, str]) -> str:
+    digest = hashlib.sha256()
+    for path in sorted(files):
+        digest.update(path.encode())
+        digest.update(b"\0")
+        digest.update(str(files[path]).encode())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+class Layer:
+    """One immutable image layer."""
+
+    def __init__(self, files: Dict[str, str], comment: str = ""):
+        self._files = dict(files)
+        self.comment = comment
+        self.layer_id = _content_hash(self._files)
+
+    @property
+    def files(self) -> Dict[str, str]:
+        return dict(self._files)
+
+    def size_bytes(self) -> int:
+        """Approximate layer size (whiteouts are metadata-only)."""
+        return sum(
+            len(str(content)) for content in self._files.values()
+            if content != WHITEOUT
+        )
+
+    def paths(self) -> Iterable[str]:
+        return self._files.keys()
+
+    def get(self, path: str) -> Optional[str]:
+        return self._files.get(path)
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._files
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Layer {self.layer_id} files={len(self._files)}>"
+
+
+class Image:
+    """An ordered stack of layers, bottom first."""
+
+    def __init__(self, layers: List[Layer], tag: str = ""):
+        if not layers:
+            raise ValueError("an image needs at least one layer")
+        self.layers = list(layers)
+        self.tag = tag
+
+    @property
+    def image_id(self) -> str:
+        digest = hashlib.sha256(
+            "".join(layer.layer_id for layer in self.layers).encode()
+        )
+        return digest.hexdigest()[:16]
+
+    def read(self, path: str) -> Optional[str]:
+        """Resolve ``path`` top-down; whiteouts hide lower layers."""
+        for layer in reversed(self.layers):
+            if path in layer:
+                content = layer.get(path)
+                return None if content == WHITEOUT else content
+        return None
+
+    def flatten(self) -> Dict[str, str]:
+        """The merged filesystem view."""
+        merged: Dict[str, str] = {}
+        for layer in self.layers:
+            for path in layer.paths():
+                content = layer.get(path)
+                if content == WHITEOUT:
+                    merged.pop(path, None)
+                else:
+                    merged[path] = content
+        return merged
+
+    def extend(self, layer: Layer, tag: str = "") -> "Image":
+        """A new image with ``layer`` stacked on top."""
+        return Image(self.layers + [layer], tag or self.tag)
+
+    def size_bytes(self) -> int:
+        return sum(layer.size_bytes() for layer in self.layers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Image {self.tag or self.image_id} layers={len(self.layers)}>"
+
+
+def diff_layer(base: Image, current_files: Dict[str, str], comment: str = "") -> Layer:
+    """Compute the writable-layer delta between an image and a live view.
+
+    Files changed or added appear with their content; files deleted from
+    the base appear as whiteouts.  This is what gets committed and shipped
+    to the VDR — "only its differences from a base virtual drone image".
+    """
+    base_view = base.flatten()
+    delta: Dict[str, str] = {}
+    for path, content in current_files.items():
+        if base_view.get(path) != content:
+            delta[path] = content
+    for path in base_view:
+        if path not in current_files:
+            delta[path] = WHITEOUT
+    return Layer(delta, comment)
+
+
+class ImageStore:
+    """Content-addressed layer and tag registry (the local Docker store)."""
+
+    def __init__(self) -> None:
+        self._layers: Dict[str, Layer] = {}
+        self._tags: Dict[str, Image] = {}
+
+    def add_layer(self, layer: Layer) -> Layer:
+        """Store a layer, deduplicating by content hash."""
+        return self._layers.setdefault(layer.layer_id, layer)
+
+    def tag(self, name: str, image: Image) -> Image:
+        stored_layers = [self.add_layer(layer) for layer in image.layers]
+        stored = Image(stored_layers, name)
+        self._tags[name] = stored
+        return stored
+
+    def get(self, name: str) -> Image:
+        if name not in self._tags:
+            raise KeyError(f"unknown image tag {name!r}")
+        return self._tags[name]
+
+    def has(self, name: str) -> bool:
+        return name in self._tags
+
+    def tags(self) -> List[str]:
+        return sorted(self._tags)
+
+    def unique_bytes(self) -> int:
+        """Total bytes stored, after layer deduplication."""
+        return sum(layer.size_bytes() for layer in self._layers.values())
+
+    def apparent_bytes(self) -> int:
+        """Total bytes if every tag stored its full stack separately."""
+        return sum(image.size_bytes() for image in self._tags.values())

@@ -1,0 +1,28 @@
+"""AnDrone assembled: the paper's system, end to end.
+
+* :mod:`repro.core.hardware` — the prototype hardware profile (Raspberry
+  Pi 3 + Navio2 + camera + battery) and its device inventory;
+* :mod:`repro.core.power` — the SoC power model and battery-draw monitor
+  behind Figure 13 and energy billing;
+* :mod:`repro.core.drone_node` — one physical drone: kernel, containers
+  (device, flight, virtual drones), Binder, MAVProxy, VDC;
+* :mod:`repro.core.androne` — the full system: cloud service + fleet;
+* :mod:`repro.core.mission` — flies a flight plan, coordinating the
+  planner, VDC, VFCs, tenants and the portal (the Figure 4 workflow).
+"""
+
+from repro.core.hardware import HardwareProfile
+from repro.core.power import PowerModel, PowerMonitor
+from repro.core.drone_node import DroneNode
+from repro.core.androne import AnDroneSystem
+from repro.core.mission import MissionRunner, MissionReport
+
+__all__ = [
+    "HardwareProfile",
+    "PowerModel",
+    "PowerMonitor",
+    "DroneNode",
+    "AnDroneSystem",
+    "MissionRunner",
+    "MissionReport",
+]

@@ -1,0 +1,160 @@
+"""The complete AnDrone system: cloud service plus drone fleet."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.android.manifest import AndroidManifest, AnDroneManifest
+from repro.cloud.app_store import AppStore
+from repro.cloud.billing import BillingService
+from repro.cloud.planner import DroneEnergyModel, FlightPlanner
+from repro.cloud.portal import Order, WebPortal
+from repro.cloud.storage import CloudStorage
+from repro.cloud.vdr import VirtualDroneRepository
+from repro.core.drone_node import DroneNode
+from repro.core.mission import MissionReport, MissionRunner
+from repro.flight.geo import GeoPoint
+from repro.kernel.config import PreemptionMode
+from repro.sim import RngRegistry, Simulator
+
+DEFAULT_HOME = GeoPoint(43.6084298, -85.8110359, 0.0)
+
+
+class AnDroneSystem:
+    """Top-level façade: one cloud service and a fleet of drones."""
+
+    def __init__(self, sim: Optional[Simulator] = None, seed: int = 0,
+                 home: GeoPoint = DEFAULT_HOME, fleet_size: int = 1):
+        self.sim = sim or Simulator()
+        self.rng = RngRegistry(seed)
+        self.home = home
+        self.app_store = AppStore()
+        self.billing = BillingService()
+        self.portal = WebPortal(self.app_store, self.billing)
+        self.vdr = VirtualDroneRepository()
+        self.storage = CloudStorage()
+        self.planner = FlightPlanner(home, DroneEnergyModel(),
+                                     fleet_size=fleet_size,
+                                     rng=self.rng.stream("planner.sa"))
+        self.fleet: List[DroneNode] = []
+        #: package -> behaviour installer, called as f(app, sdk, vdrone)
+        #: when a virtual drone starts with that app.
+        self.app_behaviors: Dict[str, Callable] = {}
+
+    # -- fleet -------------------------------------------------------------------------
+    def add_drone(self, seed: Optional[int] = None,
+                  preemption: PreemptionMode = PreemptionMode.PREEMPT_RT,
+                  sitl_rate_hz: float = 100.0,
+                  drone_type: str = "standard", **kw) -> DroneNode:
+        """Add a drone of one of the portal's types to the fleet."""
+        from repro.core.hardware import profile_for_drone_type
+
+        node = DroneNode(
+            sim=self.sim,
+            seed=seed if seed is not None else len(self.fleet) + 1,
+            profile=profile_for_drone_type(drone_type),
+            home=self.home,
+            sitl_rate_hz=sitl_rate_hz,
+            preemption=preemption,
+            vdr=self.vdr,
+            cloud_storage=self.storage,
+            **kw,
+        )
+        node.drone_type = drone_type
+        self.fleet.append(node)
+        return node
+
+    # -- app behaviours ------------------------------------------------------------------
+    def register_app_behavior(self, package: str, installer: Callable) -> None:
+        """``installer(app, sdk, vdrone)`` wires an app's runtime logic
+        (SDK listeners, service calls) when its virtual drone starts."""
+        self.app_behaviors[package] = installer
+
+    def _manifests_for(self, order: Order) -> Dict[str, Tuple[AndroidManifest, AnDroneManifest]]:
+        manifests = {}
+        for package in order.definition.apps:
+            store_app = self.app_store.download(package)
+            manifests[package] = (store_app.android_manifest,
+                                  store_app.androne_manifest)
+        return manifests
+
+    # -- fleet dispatch --------------------------------------------------------------------
+    def dispatch_orders(self, orders: List[Order],
+                        resume: bool = False) -> Dict[str, MissionReport]:
+        """Group orders by requested drone type and fly each group on a
+        matching drone (creating fleet drones as needed).
+
+        Returns a report per drone type flown.
+        """
+        by_type: Dict[str, List[Order]] = {}
+        for order in orders:
+            by_type.setdefault(order.drone_type, []).append(order)
+        reports: Dict[str, MissionReport] = {}
+        for drone_type, group in by_type.items():
+            node = next((d for d in self.fleet
+                         if getattr(d, "drone_type", "standard") == drone_type
+                         and not d.vdc.drones), None)
+            if node is None:
+                node = self.add_drone(drone_type=drone_type)
+            reports[drone_type] = self.fly_orders(group, node=node,
+                                                  resume=resume)
+        return reports
+
+    # -- the end-to-end flow -----------------------------------------------------------------
+    def fly_orders(self, orders: List[Order], node: Optional[DroneNode] = None,
+                   resume: bool = False) -> MissionReport:
+        """Plan and execute one flight servicing ``orders``.
+
+        With ``resume=True``, tenants with a resumable VDR entry are
+        restored from their stored diff instead of a clean image.
+        """
+        if node is None:
+            node = self.fleet[0] if self.fleet else self.add_drone()
+        definitions = [order.definition for order in orders]
+        plans = self.planner.plan(definitions,
+                                  battery_j=node.battery.remaining_j * 0.8)
+        # Communicate operating windows (Section 2).
+        order_ids = {}
+        for order in orders:
+            order_ids[order.definition.name] = order.order_id
+            for plan in plans:
+                try:
+                    window = plan.operating_window(order.definition.name)
+                except KeyError:
+                    continue
+                self.portal.confirm_window(order.order_id, *window)
+                break
+        # Create (or resume) the virtual drones on the hardware.
+        for order in orders:
+            name = order.definition.name
+            resume_diff = None
+            completed = None
+            if resume:
+                entry = self.vdr.latest_for(name)
+                if entry is not None and entry.resumable:
+                    resume_diff = entry.diff
+                    completed = entry.completed_waypoints
+            vdrone = node.start_virtual_drone(
+                order.definition,
+                app_manifests=self._manifests_for(order),
+                resume_diff=resume_diff,
+                completed_waypoints=completed,
+            )
+            for package, app in vdrone.env.apps.items():
+                installer = self.app_behaviors.get(package)
+                if installer is not None:
+                    installer(app, vdrone.sdk, vdrone)
+        node.boot()
+        # Execute every planned flight, swapping a fresh pack in between.
+        report: MissionReport = None
+        for index, plan in enumerate(plans):
+            if index:
+                node.battery.swap_pack()
+            runner = MissionRunner(node, plan, portal=self.portal,
+                                   order_ids=order_ids)
+            flight_report = runner.execute()
+            if report is None:
+                report = flight_report
+            else:
+                report.merge(flight_report)
+        return report

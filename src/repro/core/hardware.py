@@ -1,0 +1,98 @@
+"""Hardware profiles.
+
+The paper's prototype: DJI F450 airframe, four MN2213 motors, Raspberry
+Pi 3 Model B (4x Cortex-A53 @1.2 GHz, 1 GB RAM with 880 MB usable), Emlid
+Navio2 (IMU, barometer, GPS, magnetometer), Pi Camera v2, Turnigy
+5000 mAh 3S pack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.devices import (
+    Barometer,
+    Battery,
+    Camera,
+    DeviceBus,
+    GpsReceiver,
+    Imu,
+    Magnetometer,
+    Microphone,
+    Speaker,
+)
+from repro.kernel.config import KernelConfig, PreemptionMode
+
+
+@dataclass
+class HardwareProfile:
+    """Static description of one drone's hardware."""
+
+    name: str = "rpi3-navio2"
+    num_cpus: int = 4
+    cpu_freq_mhz: int = 1200
+    memory_kb: int = 880 * 1024
+    battery_capacity_wh: float = 55.5
+    camera_width: int = 3280
+    camera_height: int = 2464
+
+    def kernel_config(self, preemption: PreemptionMode = PreemptionMode.PREEMPT_RT,
+                      **overrides) -> KernelConfig:
+        return KernelConfig(
+            num_cpus=self.num_cpus,
+            cpu_freq_mhz=self.cpu_freq_mhz,
+            memory_kb=self.memory_kb,
+            preemption=preemption,
+            **overrides,
+        )
+
+    def build_device_bus(self, state_provider: Callable, rng) -> DeviceBus:
+        """Instantiate the prototype's device inventory."""
+        bus = DeviceBus()
+        bus.register(Camera(state_provider=state_provider,
+                            width=self.camera_width, height=self.camera_height))
+        bus.register(GpsReceiver(state_provider=state_provider,
+                                 rng=rng.stream("gps.noise")))
+        bus.register(Imu(state_provider=state_provider, rng=rng.stream("imu.noise")))
+        bus.register(Barometer(state_provider=state_provider,
+                               rng=rng.stream("baro.noise")))
+        bus.register(Magnetometer(state_provider=state_provider,
+                                  rng=rng.stream("mag.noise")))
+        bus.register(Microphone())
+        bus.register(Speaker(name="speakers"))
+        from repro.devices.gimbal import Gimbal
+
+        bus.register(Gimbal(state_provider=state_provider))
+        return bus
+
+    def build_battery(self) -> Battery:
+        return Battery(capacity_wh=self.battery_capacity_wh)
+
+
+#: The portal's drone types (Section 2: "drones specializing in obtaining
+#: video, drones equipped with specialized sensors, etc.") mapped to
+#: hardware profiles.  The video platform carries a heavier stabilized
+#: camera and a bigger pack; the sensor platform trades camera resolution
+#: for endurance.
+DRONE_TYPE_PROFILES = {
+    "standard": HardwareProfile(name="rpi3-navio2"),
+    "video": HardwareProfile(
+        name="rpi3-navio2-video",
+        battery_capacity_wh=88.8,       # 8000 mAh 3S
+        camera_width=4056, camera_height=3040,
+    ),
+    "sensor": HardwareProfile(
+        name="rpi3-navio2-sensor",
+        battery_capacity_wh=66.6,
+        camera_width=1640, camera_height=1232,
+    ),
+}
+
+
+def profile_for_drone_type(drone_type: str) -> HardwareProfile:
+    """The hardware profile backing a portal drone type."""
+    if drone_type not in DRONE_TYPE_PROFILES:
+        raise KeyError(f"unknown drone type {drone_type!r}: "
+                       f"choose from {sorted(DRONE_TYPE_PROFILES)}")
+    return DRONE_TYPE_PROFILES[drone_type]

@@ -1,0 +1,47 @@
+"""Hardware device models.
+
+Models the drone prototype's devices: the Raspberry Pi camera, the
+Navio2's GPS/IMU/barometer/magnetometer, audio, the (virtual) framebuffer,
+and the flight battery.  Two properties matter for the paper:
+
+* **single-client native interfaces** — real device stacks "are often not
+  designed to support multiplexing" (Section 1), so every device here
+  raises :class:`DeviceBusyError` on a second concurrent open.  The device
+  container is what makes multi-tenant access possible, and these models
+  make that claim testable;
+* **realistic readings** — sensors derive values from a shared
+  :class:`~repro.devices.state.DroneStateSnapshot` provider (the physics
+  simulation) plus calibrated noise, so apps and the flight controller see
+  consistent data.
+"""
+
+from repro.devices.bus import Device, DeviceBus, DeviceBusyError, DeviceHandle
+from repro.devices.state import DroneStateSnapshot
+from repro.devices.camera import Camera, CameraFrame
+from repro.devices.gps import GpsReceiver, GpsFix
+from repro.devices.imu import Imu, ImuReading
+from repro.devices.barometer import Barometer
+from repro.devices.magnetometer import Magnetometer
+from repro.devices.audio import Microphone, Speaker
+from repro.devices.framebuffer import VirtualFramebuffer
+from repro.devices.battery import Battery
+
+__all__ = [
+    "Device",
+    "DeviceBus",
+    "DeviceBusyError",
+    "DeviceHandle",
+    "DroneStateSnapshot",
+    "Camera",
+    "CameraFrame",
+    "GpsReceiver",
+    "GpsFix",
+    "Imu",
+    "ImuReading",
+    "Barometer",
+    "Magnetometer",
+    "Microphone",
+    "Speaker",
+    "VirtualFramebuffer",
+    "Battery",
+]

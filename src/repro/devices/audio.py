@@ -1,0 +1,45 @@
+"""Audio devices: microphone and speaker (AudioFlinger's hardware)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.bus import Device, DeviceHandle
+
+
+@dataclass
+class AudioClip:
+    """A recorded clip: duration and PCM size (16-bit mono 44.1 kHz)."""
+
+    duration_s: float
+
+    @property
+    def size_bytes(self) -> int:
+        return int(self.duration_s * 44_100 * 2)
+
+
+class Microphone(Device):
+    """Single-client microphone."""
+
+    def __init__(self, name: str = "microphone", state_provider=None):
+        super().__init__(name, state_provider)
+        self.recorded_seconds = 0.0
+
+    def record(self, handle: DeviceHandle, duration_s: float) -> AudioClip:
+        self._check(handle)
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        self.recorded_seconds += duration_s
+        return AudioClip(duration_s)
+
+
+class Speaker(Device):
+    """Single-client speaker."""
+
+    def __init__(self, name: str = "speaker", state_provider=None):
+        super().__init__(name, state_provider)
+        self.played_clips = 0
+
+    def play(self, handle: DeviceHandle, clip: AudioClip) -> None:
+        self._check(handle)
+        self.played_clips += 1

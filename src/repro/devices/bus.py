@@ -1,0 +1,105 @@
+"""Device registry and single-client access control.
+
+Every physical device exposes a native interface that supports exactly one
+concurrent client — the device container relies on this being true (it
+presents itself to devices as that single client, Section 1/4.2).  A
+second :meth:`Device.open` raises :class:`DeviceBusyError`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.devices.state import DroneStateSnapshot
+
+
+class DeviceBusyError(RuntimeError):
+    """A second client tried to open a single-client device."""
+
+    def __init__(self, device: str, holder: str, claimant: str):
+        super().__init__(
+            f"device {device!r} is held by {holder!r}; {claimant!r} cannot open it"
+        )
+        self.device = device
+        self.holder = holder
+        self.claimant = claimant
+
+
+class DeviceHandle:
+    """An open session on a device; close it to release the device."""
+
+    def __init__(self, device: "Device", client: str):
+        self.device = device
+        self.client = client
+        self.closed = False
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self.device._release(self)
+
+    def __enter__(self) -> "DeviceHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class Device:
+    """Base class: named device with single-client open semantics."""
+
+    def __init__(self, name: str, state_provider: Optional[Callable[[], DroneStateSnapshot]] = None):
+        self.name = name
+        self._state_provider = state_provider or DroneStateSnapshot
+        self._holder: Optional[DeviceHandle] = None
+        self.open_count = 0
+
+    @property
+    def held_by(self) -> Optional[str]:
+        return self._holder.client if self._holder else None
+
+    def open(self, client: str) -> DeviceHandle:
+        if self._holder is not None:
+            raise DeviceBusyError(self.name, self._holder.client, client)
+        handle = DeviceHandle(self, client)
+        self._holder = handle
+        self.open_count += 1
+        return handle
+
+    def _release(self, handle: DeviceHandle) -> None:
+        if self._holder is handle:
+            self._holder = None
+
+    def _state(self) -> DroneStateSnapshot:
+        return self._state_provider()
+
+    def _check(self, handle: DeviceHandle) -> None:
+        if handle.closed or self._holder is not handle:
+            raise PermissionError(f"stale handle for device {self.name!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r} holder={self.held_by!r}>"
+
+
+class DeviceBus:
+    """All devices on one drone, keyed by name."""
+
+    def __init__(self) -> None:
+        self._devices: Dict[str, Device] = {}
+
+    def register(self, device: Device) -> Device:
+        if device.name in self._devices:
+            raise ValueError(f"device {device.name!r} already registered")
+        self._devices[device.name] = device
+        return device
+
+    def get(self, name: str) -> Device:
+        if name not in self._devices:
+            raise KeyError(f"no device named {name!r}")
+        return self._devices[name]
+
+    def names(self) -> List[str]:
+        return sorted(self._devices)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._devices

@@ -1,0 +1,40 @@
+"""The virtual framebuffer.
+
+Drones are headless, so "each container can be simply given a virtual
+framebuffer device to use rather than the real one, and the virtual
+framebuffer device can just be a memory region" (Section 4.1).  Unlike
+the physical devices, virtual framebuffers are per-container: one is
+created for every virtual drone, so they are NOT single-client-contended.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class VirtualFramebuffer:
+    """A plain memory region posing as /dev/fb0 for one container."""
+
+    def __init__(self, owner: str, width: int = 1280, height: int = 720, bpp: int = 4):
+        self.owner = owner
+        self.width = width
+        self.height = height
+        self.bpp = bpp
+        self._pages: Dict[int, bytes] = {}
+        self.writes = 0
+
+    @property
+    def size_bytes(self) -> int:
+        return self.width * self.height * self.bpp
+
+    def write(self, offset: int, data: bytes) -> None:
+        if offset < 0 or offset + len(data) > self.size_bytes:
+            raise ValueError("framebuffer write out of bounds")
+        self._pages[offset] = bytes(data)
+        self.writes += 1
+
+    def read(self, offset: int, length: int) -> bytes:
+        stored = self._pages.get(offset, b"")
+        if len(stored) >= length:
+            return stored[:length]
+        return stored + b"\0" * (length - len(stored))

@@ -1,0 +1,66 @@
+"""Camera gimbal.
+
+The paper lists "cameras, camera gimbals, sensors, and GPS" among the
+devices whose access can be conditionally granted to virtual drones
+(Section 1).  The gimbal is a single-client device like the rest; the
+CameraService fronts it so tenants aim the camera through Binder (and
+remote pilots through MAVLink's DO_MOUNT_CONTROL).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.devices.bus import Device, DeviceHandle
+
+
+@dataclass
+class GimbalOrientation:
+    """Current gimbal angles, degrees (vehicle-relative)."""
+
+    pitch: float = 0.0   # -90 (straight down) .. +30
+    roll: float = 0.0    # stabilization only, small range
+    yaw: float = 0.0     # -180 .. 180 relative to vehicle nose
+
+
+class Gimbal(Device):
+    """A 3-axis brushless gimbal with slew-rate limiting."""
+
+    PITCH_RANGE = (-90.0, 30.0)
+    ROLL_RANGE = (-15.0, 15.0)
+    YAW_RANGE = (-180.0, 180.0)
+    #: degrees per command, modelling finite slew per control tick.
+    MAX_STEP_DEG = 60.0
+
+    def __init__(self, name: str = "gimbal", state_provider=None):
+        super().__init__(name, state_provider)
+        self.orientation = GimbalOrientation()
+        self.commands = 0
+
+    def point(self, handle: DeviceHandle, pitch: float, roll: float = 0.0,
+              yaw: float = 0.0) -> GimbalOrientation:
+        """Command target angles; returns the achieved orientation."""
+        self._check(handle)
+        self.commands += 1
+        target = (
+            _clamp(pitch, *self.PITCH_RANGE),
+            _clamp(roll, *self.ROLL_RANGE),
+            _clamp(yaw, *self.YAW_RANGE),
+        )
+        current = (self.orientation.pitch, self.orientation.roll,
+                   self.orientation.yaw)
+        achieved = tuple(
+            c + _clamp(t - c, -self.MAX_STEP_DEG, self.MAX_STEP_DEG)
+            for c, t in zip(current, target)
+        )
+        self.orientation = GimbalOrientation(*achieved)
+        return self.orientation
+
+    def nadir(self, handle: DeviceHandle) -> GimbalOrientation:
+        """Point straight down (the mapping/survey position)."""
+        return self.point(handle, pitch=-90.0)
+
+
+def _clamp(value: float, lo: float, hi: float) -> float:
+    return max(lo, min(hi, value))

@@ -1,0 +1,59 @@
+"""The Navio2's u-blox GPS receiver model.
+
+Fixes carry realistic horizontal noise (~1.2 m CEP) and report speed and
+accuracy so the flight controller's estimator and the
+LocationManagerService both behave like the real stack.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.devices.bus import Device, DeviceHandle
+
+#: Meters of latitude per degree (spherical approximation).
+M_PER_DEG_LAT = 111_320.0
+
+
+@dataclass
+class GpsFix:
+    time_us: int
+    latitude: float
+    longitude: float
+    altitude_m: float
+    ground_speed_ms: float
+    hdop: float
+    satellites: int
+    fix_type: int  # 3 = 3D fix
+
+
+class GpsReceiver(Device):
+    """Single-client GPS with 5 Hz fixes and Gaussian position noise."""
+
+    def __init__(self, name: str = "gps", state_provider=None, rng=None,
+                 noise_m: float = 1.2, rate_hz: float = 5.0):
+        super().__init__(name, state_provider)
+        self._rng = rng
+        self.noise_m = noise_m
+        self.rate_hz = rate_hz
+
+    def read_fix(self, handle: DeviceHandle) -> GpsFix:
+        self._check(handle)
+        state = self._state()
+        noise_n = self._rng.gauss(0.0, self.noise_m) if self._rng else 0.0
+        noise_e = self._rng.gauss(0.0, self.noise_m) if self._rng else 0.0
+        lat = state.latitude + noise_n / M_PER_DEG_LAT
+        lon_scale = M_PER_DEG_LAT * max(0.01, math.cos(math.radians(state.latitude)))
+        lon = state.longitude + noise_e / lon_scale
+        vx, vy, _ = state.velocity_enu
+        return GpsFix(
+            time_us=state.time_us,
+            latitude=lat,
+            longitude=lon,
+            altitude_m=state.altitude_m + (self._rng.gauss(0, 2.0) if self._rng else 0.0),
+            ground_speed_ms=math.hypot(vx, vy),
+            hdop=0.9,
+            satellites=12,
+            fix_type=3,
+        )

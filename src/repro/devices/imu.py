@@ -1,0 +1,63 @@
+"""The Navio2's MPU9250 inertial measurement unit model.
+
+Reports body-frame accelerometer and gyroscope values with white noise
+and a small constant bias — the inputs ArduPilot's fast loop consumes at
+400 Hz.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.devices.bus import Device, DeviceHandle
+
+GRAVITY = 9.80665
+
+
+@dataclass
+class ImuReading:
+    time_us: int
+    accel: Tuple[float, float, float]   # m/s^2, body frame (includes gravity)
+    gyro: Tuple[float, float, float]    # rad/s, body frame
+
+
+class Imu(Device):
+    """Single-client IMU sampled at up to 1 kHz."""
+
+    def __init__(self, name: str = "imu", state_provider=None, rng=None,
+                 accel_noise: float = 0.05, gyro_noise: float = 0.002):
+        super().__init__(name, state_provider)
+        self._rng = rng
+        self.accel_noise = accel_noise
+        self.gyro_noise = gyro_noise
+        # Fixed per-device bias, as on a real uncalibrated part.
+        if rng is not None:
+            self._accel_bias = tuple(rng.gauss(0.0, 0.02) for _ in range(3))
+            self._gyro_bias = tuple(rng.gauss(0.0, 0.001) for _ in range(3))
+        else:
+            self._accel_bias = (0.0, 0.0, 0.0)
+            self._gyro_bias = (0.0, 0.0, 0.0)
+
+    def read(self, handle: DeviceHandle) -> ImuReading:
+        self._check(handle)
+        state = self._state()
+        # Gravity resolved into the body frame from roll/pitch.
+        gx = -math.sin(state.pitch) * GRAVITY
+        gy = math.sin(state.roll) * math.cos(state.pitch) * GRAVITY
+        gz = math.cos(state.roll) * math.cos(state.pitch) * GRAVITY
+        ax, ay, az = state.accel_body
+        noise = (lambda s: self._rng.gauss(0.0, s)) if self._rng else (lambda s: 0.0)
+        accel = (
+            ax + gx + self._accel_bias[0] + noise(self.accel_noise),
+            ay + gy + self._accel_bias[1] + noise(self.accel_noise),
+            az + gz + self._accel_bias[2] + noise(self.accel_noise),
+        )
+        p, q, r = state.angular_rates
+        gyro = (
+            p + self._gyro_bias[0] + noise(self.gyro_noise),
+            q + self._gyro_bias[1] + noise(self.gyro_noise),
+            r + self._gyro_bias[2] + noise(self.gyro_noise),
+        )
+        return ImuReading(time_us=state.time_us, accel=accel, gyro=gyro)

@@ -1,0 +1,24 @@
+"""Magnetometer (compass) model: yields heading from true yaw plus noise."""
+
+from __future__ import annotations
+
+import math
+
+from repro.devices.bus import Device, DeviceHandle
+
+
+class Magnetometer(Device):
+    """Single-client compass with ~1 degree of heading noise."""
+
+    def __init__(self, name: str = "magnetometer", state_provider=None, rng=None,
+                 declination_rad: float = 0.0):
+        super().__init__(name, state_provider)
+        self._rng = rng
+        self.declination_rad = declination_rad
+
+    def read_heading(self, handle: DeviceHandle) -> float:
+        """Magnetic heading in radians, [0, 2*pi)."""
+        self._check(handle)
+        state = self._state()
+        noise = self._rng.gauss(0.0, math.radians(1.0)) if self._rng else 0.0
+        return (state.yaw + self.declination_rad + noise) % (2.0 * math.pi)

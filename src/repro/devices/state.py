@@ -1,0 +1,33 @@
+"""The physical state snapshot sensors sample from.
+
+The flight physics simulation (:mod:`repro.flight.physics`) produces these;
+devices consume them through a zero-argument provider callable, keeping
+the devices package independent of the flight stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass
+class DroneStateSnapshot:
+    """Ground-truth physical state at one instant."""
+
+    time_us: int = 0
+    # Geodetic position.
+    latitude: float = 0.0
+    longitude: float = 0.0
+    altitude_m: float = 0.0          # above home/ground level
+    # Local ENU kinematics (meters, m/s, m/s^2).
+    position_enu: Tuple[float, float, float] = (0.0, 0.0, 0.0)
+    velocity_enu: Tuple[float, float, float] = (0.0, 0.0, 0.0)
+    accel_body: Tuple[float, float, float] = (0.0, 0.0, 0.0)
+    # Attitude (radians) and body rates (rad/s).
+    roll: float = 0.0
+    pitch: float = 0.0
+    yaw: float = 0.0
+    angular_rates: Tuple[float, float, float] = (0.0, 0.0, 0.0)
+    # Whether the vehicle is on the ground.
+    on_ground: bool = True

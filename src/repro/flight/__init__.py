@@ -1,0 +1,50 @@
+"""The flight software stack.
+
+An ArduPilot-Copter-like flight controller running against a 6-DOF
+quadcopter physics model:
+
+* :mod:`repro.flight.physics` — rigid-body quadcopter with a motor mixer,
+  parameterized to the prototype airframe (DJI F450, MN2213 motors);
+* :mod:`repro.flight.estimator` — complementary-filter attitude estimate
+  plus GPS/baro position fusion;
+* :mod:`repro.flight.controllers` — the PID cascade (rate → attitude →
+  velocity → position);
+* :mod:`repro.flight.autopilot` — mode logic (GUIDED/LOITER/AUTO/RTL/...),
+  the 400 Hz fast loop, MAVLink command handling, telemetry;
+* :mod:`repro.flight.geofence` — AnDrone's modified geofence whose breach
+  action recovers and continues instead of failsafe-landing;
+* :mod:`repro.flight.logs` — dataflash-style logging and the Attitude
+  Estimate Divergence analyzer used in Section 6.2;
+* :mod:`repro.flight.sitl` — the software-in-the-loop harness of
+  Section 6.6.
+"""
+
+from repro.flight.geo import GeoPoint, enu_between, offset_geopoint
+from repro.flight.physics import QuadcopterPhysics, QuadcopterParams
+from repro.flight.estimator import AttitudeEstimator
+from repro.flight.geofence import Geofence, GeofenceBreach
+from repro.flight.autopilot import Autopilot
+from repro.flight.logs import (
+    FlightLog,
+    analyze_attitude_divergence,
+    analyze_gps_glitches,
+    analyze_vibration,
+)
+from repro.flight.sitl import SitlDrone
+
+__all__ = [
+    "GeoPoint",
+    "enu_between",
+    "offset_geopoint",
+    "QuadcopterPhysics",
+    "QuadcopterParams",
+    "AttitudeEstimator",
+    "Geofence",
+    "GeofenceBreach",
+    "Autopilot",
+    "FlightLog",
+    "analyze_attitude_divergence",
+    "analyze_gps_glitches",
+    "analyze_vibration",
+    "SitlDrone",
+]

@@ -1,0 +1,78 @@
+"""Geofencing, with AnDrone's modified breach behaviour.
+
+Stock MAVLink/ArduPilot geofences failsafe-land on breach.  "For AnDrone,
+this behavior is undesired as the flight must continue ... a breach causes
+the following steps: inform the virtual drone of the breach, disable
+commands on the VFC connection, guide the drone back inside the geofence,
+and switch it into loiter mode ... Flight control is then returned to the
+virtual drone" (Section 4.3).  The fence itself lives here; the recovery
+*sequence* is driven by the VFC in :mod:`repro.mavproxy.vfc`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.flight.geo import GeoPoint, enu_between
+
+
+class GeofenceBreach(Exception):
+    """Raised (or reported) when the vehicle exits the fence volume."""
+
+    def __init__(self, distance_m: float, fence: "Geofence"):
+        super().__init__(
+            f"geofence breach: {distance_m:.1f} m from center "
+            f"(radius {fence.radius_m:.1f} m)"
+        )
+        self.distance_m = distance_m
+        self.fence = fence
+
+
+@dataclass
+class Geofence:
+    """A spherical volume around a waypoint (Section 3's max-radius).
+
+    The virtual drone definition's waypoint coordinates plus max-radius
+    "define a spherical volume" the tenant may fly in; altitude limits
+    bound it further.
+    """
+
+    center: GeoPoint
+    radius_m: float
+    min_altitude_m: float = 0.0
+    max_altitude_m: float = 120.0   # FAA 400 ft
+
+    def distance_from_center(self, position: GeoPoint) -> float:
+        return self.center.distance_to(position)
+
+    def contains(self, position: GeoPoint) -> bool:
+        if not self.min_altitude_m <= position.altitude_m <= self.max_altitude_m:
+            return False
+        return self.distance_from_center(position) <= self.radius_m
+
+    def check(self, position: GeoPoint) -> Optional[GeofenceBreach]:
+        """None if inside; a breach report otherwise."""
+        if self.contains(position):
+            return None
+        return GeofenceBreach(self.distance_from_center(position), self)
+
+    def recovery_point(self, position: GeoPoint) -> GeoPoint:
+        """A point comfortably inside the fence on the line back to center.
+
+        Used by the breach-recovery sequence to "guide the drone back
+        inside the geofence".
+        """
+        east, north, up = enu_between(self.center, position)
+        dist = math.sqrt(east * east + north * north + up * up)
+        if dist < 1e-6:
+            return self.center
+        # Pull in to 70% of the radius along the same ray.
+        scale = (0.7 * self.radius_m) / dist
+        from repro.flight.geo import offset_geopoint
+
+        target = offset_geopoint(self.center, east * scale, north * scale, up * scale)
+        alt = min(max(target.altitude_m, self.min_altitude_m + 1.0),
+                  self.max_altitude_m - 1.0)
+        return GeoPoint(target.latitude, target.longitude, alt)

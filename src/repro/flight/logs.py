@@ -1,0 +1,202 @@
+"""Flight logging and the Attitude Estimate Divergence analyzer.
+
+Section 6.2 validates hover stability with DroneKit's Log Analyzer: the
+AED check flags instability "if the drone's yaw, pitch, or roll diverges
+more than 5 degrees from the estimates for longer than 0.5 seconds".  The
+:class:`FlightLog` records estimated vs canonical (ground-truth) attitude
+every fast loop, and :func:`analyze_attitude_divergence` reimplements the
+analyzer over it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class LogEntry:
+    time_us: int
+    est_roll: float
+    est_pitch: float
+    est_yaw: float
+    true_roll: float
+    true_pitch: float
+    true_yaw: float
+    position_enu: Tuple[float, float, float]
+    mode: str
+
+
+@dataclass
+class AedResult:
+    """Outcome of the Attitude Estimate Divergence analysis."""
+
+    passed: bool
+    worst_divergence_deg: float
+    worst_axis: str
+    longest_excursion_s: float
+    entries_analyzed: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        verdict = "GOOD" if self.passed else "FAIL"
+        return (
+            f"AED {verdict}: worst {self.worst_divergence_deg:.2f} deg on "
+            f"{self.worst_axis}, longest excursion {self.longest_excursion_s:.2f}s "
+            f"over {self.entries_analyzed} samples"
+        )
+
+
+class FlightLog:
+    """Dataflash-style log: one entry per fast loop, plus GPS and IMU
+    channels for the glitch and vibration analyzers."""
+
+    def __init__(self, name: str = "flight"):
+        self.name = name
+        self.entries: List[LogEntry] = []
+        self.events: List[Tuple[int, str]] = []
+        #: (time_us, east_m, north_m) per GPS fix.
+        self.gps_fixes: List[Tuple[int, float, float]] = []
+        #: (time_us, accel_z) per IMU sample.
+        self.imu_samples: List[Tuple[int, float]] = []
+
+    def record_gps(self, time_us: int, east: float, north: float) -> None:
+        self.gps_fixes.append((time_us, east, north))
+
+    def record_imu(self, time_us: int, accel_z: float) -> None:
+        self.imu_samples.append((time_us, accel_z))
+
+    def record(self, time_us: int, estimate, truth, position_enu, mode: str) -> None:
+        self.entries.append(LogEntry(
+            time_us=time_us,
+            est_roll=estimate.roll, est_pitch=estimate.pitch, est_yaw=estimate.yaw,
+            true_roll=truth.roll, true_pitch=truth.pitch, true_yaw=truth.yaw,
+            position_enu=tuple(position_enu),
+            mode=mode,
+        ))
+
+    def event(self, time_us: int, text: str) -> None:
+        self.events.append((time_us, text))
+
+    def duration_s(self) -> float:
+        if len(self.entries) < 2:
+            return 0.0
+        return (self.entries[-1].time_us - self.entries[0].time_us) / 1e6
+
+
+def _angle_diff(a: float, b: float) -> float:
+    return abs((a - b + math.pi) % (2 * math.pi) - math.pi)
+
+
+@dataclass
+class GpsGlitchResult:
+    """Outcome of the GPS glitch analysis (LogAnalyzer's GPS check)."""
+
+    passed: bool
+    glitches: int
+    worst_jump_m: float    # largest fix-to-fix displacement
+    fixes_analyzed: int
+
+
+def analyze_gps_glitches(log: FlightLog,
+                         max_jump_m: float = 15.0) -> GpsGlitchResult:
+    """Flag teleporting fixes.
+
+    A quadcopter at 5 Hz fixes moves under ~2 m between fixes (plus a
+    couple meters of receiver noise); a fix-to-fix displacement beyond
+    ``max_jump_m`` is a receiver glitch, not motion.
+    """
+    glitches = 0
+    worst = 0.0
+    fixes = log.gps_fixes
+    for (t0, e0, n0), (t1, e1, n1) in zip(fixes, fixes[1:]):
+        jump = math.hypot(e1 - e0, n1 - n0)
+        worst = max(worst, jump)
+        if jump > max_jump_m:
+            glitches += 1
+    return GpsGlitchResult(
+        passed=glitches == 0,
+        glitches=glitches,
+        worst_jump_m=worst,
+        fixes_analyzed=len(fixes),
+    )
+
+
+@dataclass
+class VibrationResult:
+    """Outcome of the vibration analysis (LogAnalyzer's VCC/vibe check)."""
+
+    passed: bool
+    worst_stddev: float
+    windows_analyzed: int
+
+
+def analyze_vibration(log: FlightLog, threshold: float = 3.0,
+                      window: int = 200) -> VibrationResult:
+    """High-frequency accelerometer-z noise means props/motors are
+    shaking the IMU — clipping and estimation failures follow on real
+    hardware.  Maneuvering is low-frequency, so the metric is the
+    standard deviation of successive-sample *differences* (scaled by
+    1/sqrt(2) to estimate per-sample noise), windowed.
+    """
+    samples = [z for _, z in log.imu_samples]
+    worst = 0.0
+    windows = 0
+    for start in range(0, max(0, len(samples) - window), window):
+        chunk = samples[start:start + window]
+        diffs = [b - a for a, b in zip(chunk, chunk[1:])]
+        if not diffs:
+            continue
+        mean = sum(diffs) / len(diffs)
+        variance = sum((d - mean) ** 2 for d in diffs) / len(diffs)
+        worst = max(worst, math.sqrt(variance / 2.0))
+        windows += 1
+    return VibrationResult(
+        passed=worst <= threshold,
+        worst_stddev=worst,
+        windows_analyzed=windows,
+    )
+
+
+def analyze_attitude_divergence(
+    log: FlightLog,
+    threshold_deg: float = 5.0,
+    max_duration_s: float = 0.5,
+) -> AedResult:
+    """DroneKit Log Analyzer's AED check over a flight log.
+
+    Fails if any attitude axis diverges from truth by more than
+    ``threshold_deg`` for longer than ``max_duration_s`` continuously.
+    """
+    threshold = math.radians(threshold_deg)
+    worst = 0.0
+    worst_axis = "none"
+    longest_excursion = 0.0
+    excursion_start: Optional[int] = None
+    passed = True
+    for entry in log.entries:
+        divergences = {
+            "roll": _angle_diff(entry.est_roll, entry.true_roll),
+            "pitch": _angle_diff(entry.est_pitch, entry.true_pitch),
+            "yaw": _angle_diff(entry.est_yaw, entry.true_yaw),
+        }
+        axis = max(divergences, key=divergences.get)
+        value = divergences[axis]
+        if value > worst:
+            worst, worst_axis = value, axis
+        if value > threshold:
+            if excursion_start is None:
+                excursion_start = entry.time_us
+            excursion = (entry.time_us - excursion_start) / 1e6
+            longest_excursion = max(longest_excursion, excursion)
+            if excursion > max_duration_s:
+                passed = False
+        else:
+            excursion_start = None
+    return AedResult(
+        passed=passed,
+        worst_divergence_deg=math.degrees(worst),
+        worst_axis=worst_axis,
+        longest_excursion_s=longest_excursion,
+        entries_analyzed=len(log.entries),
+    )

@@ -1,0 +1,129 @@
+"""Software-in-the-loop (SITL) flight simulation.
+
+Couples an :class:`~repro.flight.autopilot.Autopilot` to
+:class:`~repro.flight.physics.QuadcopterPhysics` on the shared simulator
+clock, the role ArduPilot's SITL plays in Section 6.6.  An optional
+``jitter_provider`` injects extra per-tick delay — wire it to kernel
+wakeup-latency samples to couple scheduling behaviour into control timing
+(the Section 6.2 stability experiment).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.flight.autopilot import Autopilot, DirectSensors
+from repro.flight.geo import GeoPoint
+from repro.flight.logs import FlightLog
+from repro.flight.physics import QuadcopterParams, QuadcopterPhysics
+from repro.mavlink.enums import CopterMode, MavCommand, MavResult
+from repro.mavlink.messages import CommandAck, CommandLong, MavlinkMessage, SetPositionTarget
+from repro.sim import RngRegistry, Simulator
+
+
+class SitlDrone:
+    """A simulated vehicle: physics + sensors + autopilot, self-ticking."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: RngRegistry,
+        home: Optional[GeoPoint] = None,
+        rate_hz: float = 400.0,
+        jitter_provider: Optional[Callable[[], float]] = None,
+        params: Optional[QuadcopterParams] = None,
+        log: Optional[FlightLog] = None,
+        sensors_factory=None,
+    ):
+        """``sensors_factory``, if given, is called with the physics object
+        and must return a sensors frontend (e.g. the flight container's
+        HAL bridge); the default owns its devices directly."""
+        self.sim = sim
+        self.rate_hz = rate_hz
+        self.period_us = 1e6 / rate_hz
+        self.jitter_provider = jitter_provider
+        params = params or QuadcopterParams()
+        self.physics = QuadcopterPhysics(
+            params=params,
+            home=home or GeoPoint(43.6084298, -85.8110359, 0.0),
+            rng=rng.stream("physics.gusts"),
+        )
+        if sensors_factory is not None:
+            sensors = sensors_factory(self.physics)
+        else:
+            sensors = DirectSensors(self.physics, rng.stream("sensors"))
+        self.log = log
+        self.autopilot = Autopilot(
+            sensors,
+            home=self.physics.home,
+            hover_throttle=params.hover_throttle(),
+            log=log,
+            truth_provider=self.physics.snapshot,
+        )
+        self._running = False
+        self._last_tick_us: Optional[int] = None
+
+    # -- lifecycle ---------------------------------------------------------------
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._last_tick_us = self.sim.now
+        self.sim.call_soon(self._tick)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        now = self.sim.now
+        dt_s = max(1e-4, (now - self._last_tick_us) / 1e6) if self._last_tick_us is not None else 1.0 / self.rate_hz
+        if self._last_tick_us == now:
+            dt_s = 1.0 / self.rate_hz
+        self._last_tick_us = now
+        commands = self.autopilot.control_step(dt_s)
+        self.physics.step(dt_s, commands)
+        delay = self.period_us
+        if self.jitter_provider is not None:
+            delay += max(0.0, self.jitter_provider())
+        self.sim.after(max(1, int(round(delay))), self._tick)
+
+    # -- MAVLink entry point --------------------------------------------------------
+    def handle_mavlink(self, msg: MavlinkMessage) -> Optional[MavlinkMessage]:
+        """Process one inbound message; returns the ack (if any)."""
+        if isinstance(msg, CommandLong):
+            result = self.autopilot.handle_command(msg)
+            return CommandAck(command=msg.command, result=int(result))
+        if isinstance(msg, SetPositionTarget):
+            self.autopilot.handle_position_target(msg)
+            return None
+        return None
+
+    # -- scripting helpers (used by tests and the flight planner) --------------------
+    def arm(self) -> MavResult:
+        return self.autopilot.handle_command(
+            CommandLong(command=int(MavCommand.COMPONENT_ARM_DISARM), param1=1.0)
+        )
+
+    def takeoff(self, altitude_m: float) -> MavResult:
+        self.autopilot.set_mode(CopterMode.GUIDED)
+        return self.autopilot.handle_command(
+            CommandLong(command=int(MavCommand.NAV_TAKEOFF), param7=altitude_m)
+        )
+
+    def goto(self, point: GeoPoint) -> MavResult:
+        return self.autopilot.handle_command(CommandLong(
+            command=int(MavCommand.NAV_WAYPOINT),
+            param5=point.latitude, param6=point.longitude, param7=point.altitude_m,
+        ))
+
+    def run_until(self, predicate: Callable[[], bool], timeout_s: float = 120.0,
+                  poll_s: float = 0.25) -> bool:
+        """Advance the simulation until ``predicate()`` or timeout."""
+        deadline = self.sim.now + int(timeout_s * 1e6)
+        while self.sim.now < deadline:
+            self.sim.run(until=min(deadline, self.sim.now + int(poll_s * 1e6)))
+            if predicate():
+                return True
+        return predicate()

@@ -1,0 +1,31 @@
+"""Simulated Linux kernel.
+
+This package models the parts of Linux that AnDrone's evaluation depends
+on: multi-CPU scheduling with both fair-share (CFS-like) and real-time
+SCHED_FIFO policies, high-resolution timers, interrupt load, memory
+accounting with cgroup limits, namespaces, and — crucially for Figure 11 —
+an explicit model of *kernel preemptibility* distinguishing the PREEMPT and
+PREEMPT_RT configurations.
+
+Threads are Python generators yielding :mod:`repro.kernel.ops` operations
+(``cpu``, ``sleep``, ``io``, ...); the kernel executes them on simulated
+CPUs under its scheduler, so workload behaviour (contention, wakeup
+latency) emerges from the same mechanisms as on real hardware.
+"""
+
+from repro.kernel.config import KernelConfig, PreemptionMode
+from repro.kernel.kernel import Kernel
+from repro.kernel.thread import Thread, ThreadState, SchedPolicy
+from repro.kernel import ops
+from repro.kernel.memory import OutOfMemoryError
+
+__all__ = [
+    "Kernel",
+    "KernelConfig",
+    "PreemptionMode",
+    "Thread",
+    "ThreadState",
+    "SchedPolicy",
+    "ops",
+    "OutOfMemoryError",
+]

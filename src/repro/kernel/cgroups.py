@@ -1,0 +1,115 @@
+"""Control groups: per-container resource limits and accounting.
+
+Docker exposes these to AnDrone so it can "place restrictions on the
+resources each virtual drone can use" (Section 4.1).  The evaluation runs
+without resource controls ("Docker container resource controls were not
+used"), so the benchmark harness creates unlimited cgroups, but the
+mechanism is implemented and tested: CPU shares weight the scheduler, a
+CPU quota caps utilization, and a memory limit bounds allocations before
+they reach the global :class:`~repro.kernel.memory.MemoryAccounting`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+class CgroupLimitExceeded(RuntimeError):
+    """Raised when an allocation would exceed the cgroup's memory limit."""
+
+
+@dataclass
+class CgroupLimits:
+    """Static limits for one cgroup; ``None`` means unlimited."""
+
+    cpu_shares: int = 1024
+    cpu_quota_percent: Optional[float] = None
+    memory_limit_kb: Optional[int] = None
+
+
+#: CFS bandwidth-control period (Linux default: 100 ms).
+QUOTA_PERIOD_US = 100_000
+
+
+class Cgroup:
+    """One control group (one per container plus the host root)."""
+
+    def __init__(self, name: str, limits: Optional[CgroupLimits] = None):
+        self.name = name
+        self.limits = limits or CgroupLimits()
+        self.memory_used_kb = 0
+        self.cpu_time_us = 0.0
+        # CFS bandwidth control state: usage within the current period.
+        self._period_start_us = 0
+        self._period_usage_us = 0.0
+
+    def quota_us_per_period(self) -> Optional[float]:
+        if self.limits.cpu_quota_percent is None:
+            return None
+        return self.limits.cpu_quota_percent / 100.0 * QUOTA_PERIOD_US
+
+    def charge_quota(self, now_us: int, used_us: float) -> None:
+        self._roll_period(now_us)
+        self._period_usage_us += used_us
+
+    def throttled_until(self, now_us: int) -> Optional[int]:
+        """If the cgroup exhausted its quota, the time its next period
+        starts; None when runnable."""
+        quota = self.quota_us_per_period()
+        if quota is None:
+            return None
+        self._roll_period(now_us)
+        if self._period_usage_us < quota:
+            return None
+        return self._period_start_us + QUOTA_PERIOD_US
+
+    def _roll_period(self, now_us: int) -> None:
+        if now_us - self._period_start_us >= QUOTA_PERIOD_US:
+            periods = (now_us - self._period_start_us) // QUOTA_PERIOD_US
+            self._period_start_us += periods * QUOTA_PERIOD_US
+            self._period_usage_us = 0.0
+
+    def charge_memory(self, kb: int) -> None:
+        limit = self.limits.memory_limit_kb
+        if limit is not None and self.memory_used_kb + kb > limit:
+            raise CgroupLimitExceeded(
+                f"cgroup {self.name!r}: {self.memory_used_kb}+{kb} kB exceeds "
+                f"limit {limit} kB"
+            )
+        self.memory_used_kb += kb
+
+    def uncharge_memory(self, kb: int) -> None:
+        self.memory_used_kb = max(0, self.memory_used_kb - kb)
+
+    def charge_cpu(self, us: float) -> None:
+        self.cpu_time_us += us
+
+    def weight_multiplier(self) -> float:
+        """Scheduler weight factor relative to the default 1024 shares."""
+        return self.limits.cpu_shares / 1024.0
+
+
+class CgroupManager:
+    """Registry of cgroups, keyed by container name ('' is the host root)."""
+
+    def __init__(self) -> None:
+        self._groups: Dict[str, Cgroup] = {"": Cgroup("")}
+
+    def create(self, name: str, limits: Optional[CgroupLimits] = None) -> Cgroup:
+        if name in self._groups:
+            raise ValueError(f"cgroup {name!r} already exists")
+        group = Cgroup(name, limits)
+        self._groups[name] = group
+        return group
+
+    def get(self, name: str) -> Cgroup:
+        return self._groups.get(name) or self._groups[""]
+
+    def remove(self, name: str) -> None:
+        if name == "":
+            raise ValueError("cannot remove the root cgroup")
+        self._groups.pop(name, None)
+
+    def all(self) -> Dict[str, Cgroup]:
+        return dict(self._groups)

@@ -1,0 +1,52 @@
+"""Kernel configuration.
+
+The two preemption modes correspond to the kernels compared throughout the
+paper's evaluation: the Navio2 default configuration with ``CONFIG_PREEMPT``
+and AnDrone's default with the PREEMPT_RT patch set applied.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class PreemptionMode(enum.Enum):
+    """Kernel preemptibility level.
+
+    PREEMPT: the stock preemptible kernel — preemption is disallowed while
+    local interrupts are disabled, so heavy I/O and interrupt load opens
+    long non-preemptible windows (the paper measured up to ~18 ms).
+
+    PREEMPT_RT: the RT patch set — threaded interrupt handlers and sleeping
+    spinlocks shrink non-preemptible windows to the microsecond scale
+    (the paper measured at most ~400 us under stress).
+    """
+
+    PREEMPT = "preempt"
+    PREEMPT_RT = "preempt_rt"
+
+
+@dataclass
+class KernelConfig:
+    """Static configuration of a simulated kernel instance.
+
+    Defaults model the paper's prototype: a Raspberry Pi 3 Model B with a
+    4-core Cortex-A53 and 1 GB of RAM of which 880 MB is available to the
+    OS after peripheral I/O and GPU carve-outs (Section 6.3).
+    """
+
+    num_cpus: int = 4
+    cpu_freq_mhz: int = 1200
+    memory_kb: int = 880 * 1024
+    preemption: PreemptionMode = PreemptionMode.PREEMPT_RT
+    # CFS-like scheduling quantum for SCHED_NORMAL threads.
+    sched_quantum_us: int = 4_000
+    # Fixed cost charged to every syscall-flavoured operation.
+    syscall_cost_us: float = 1.0
+    # Base timer-interrupt dispatch overhead (hardware + irq entry).
+    timer_irq_overhead_us: float = 3.0
+    hostname: str = "androne"
+
+    def is_rt(self) -> bool:
+        return self.preemption is PreemptionMode.PREEMPT_RT

@@ -1,0 +1,512 @@
+"""The simulated kernel: scheduler, timers, I/O, and activity tracking.
+
+Threads are generator programs yielding :mod:`repro.kernel.ops` operations.
+The kernel multiplexes them over ``config.num_cpus`` simulated CPUs with a
+CFS-like fair scheduler for SCHED_NORMAL threads and strict priority
+preemptive scheduling for SCHED_FIFO threads.  Timer wakeups of RT threads
+pass through the :class:`~repro.kernel.preemption.PreemptionModel`, which
+is how the PREEMPT vs PREEMPT_RT latency difference (Figure 11) emerges.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.kernel import ops
+from repro.kernel.cgroups import CgroupManager
+from repro.kernel.config import KernelConfig
+from repro.kernel.memory import MemoryAccounting
+from repro.kernel.preemption import Activity, Ewma, PreemptionModel
+from repro.kernel.thread import SchedPolicy, Thread, ThreadState
+from repro.sim import RngRegistry, Simulator
+
+#: Cost of the context-switch stub charged when a thread is woken.
+_RESUME_COST_US = 0.5
+#: Sentinel: resume value is the measured wakeup latency.
+_WAKE_LATENCY = object()
+
+
+class _RateEwma:
+    """Exponentially-decayed rate/utilization estimator fed by impulses."""
+
+    def __init__(self, tau_us: float):
+        self.tau_us = float(tau_us)
+        self._value = 0.0
+        self._last_us = 0
+
+    def add(self, now_us: int, amount: float) -> None:
+        self._decay(now_us)
+        self._value += amount / self.tau_us
+
+    def read(self, now_us: int) -> float:
+        self._decay(now_us)
+        return self._value
+
+    def _decay(self, now_us: int) -> None:
+        dt = now_us - self._last_us
+        if dt > 0:
+            self._value *= math.exp(-dt / self.tau_us)
+            self._last_us = now_us
+
+
+class IoDevice:
+    """A single-server FIFO I/O device (e.g. the microSD card, mmc0)."""
+
+    def __init__(self, kernel: "Kernel", name: str):
+        self.kernel = kernel
+        self.name = name
+        self.queue: List[tuple] = []
+        self.busy = False
+        self.utilization = Ewma(tau_us=100_000.0)
+        self.completed = 0
+
+    def submit(self, thread: Thread, service_us: float) -> None:
+        self.queue.append((thread, service_us))
+        if not self.busy:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        if not self.queue:
+            self.busy = False
+            self.utilization.update(self.kernel.sim.now, 0.0)
+            return
+        self.busy = True
+        self.utilization.update(self.kernel.sim.now, 1.0)
+        thread, service_us = self.queue.pop(0)
+        self.kernel.sim.after(
+            max(1, int(round(service_us))), lambda: self._complete(thread)
+        )
+
+    def _complete(self, thread: Thread) -> None:
+        self.completed += 1
+        self.kernel.note_irq()
+        self.kernel._wake(thread, None)
+        self._start_next()
+
+
+class _CpuState:
+    """Per-CPU bookkeeping."""
+
+    def __init__(self, index: int):
+        self.index = index
+        self.thread: Optional[Thread] = None
+        self.completion = None        # scheduled sim Event for slice end
+        self.slice_work = 0.0         # work units in the current slice
+        self.slice_wall = 0.0         # wall-clock length of the slice
+        self.started_at = 0           # sim time the slice started
+
+
+class Kernel:
+    """A simulated kernel instance (one per physical drone SBC)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: RngRegistry,
+        config: Optional[KernelConfig] = None,
+        name: str = "host",
+    ):
+        self.sim = sim
+        self.name = name
+        self.config = config or KernelConfig()
+        self.rng = rng
+        self.preemption = PreemptionModel(self.config, rng.stream(f"{name}.preempt"))
+        self.memory = MemoryAccounting(self.config.memory_kb)
+        self.cgroups = CgroupManager()
+        self._tids = itertools.count(1)
+        self._arrival = itertools.count()
+        self.threads: Dict[int, Thread] = {}
+        self._cpus = [_CpuState(i) for i in range(self.config.num_cpus)]
+        # Run queues: RT is a heap keyed by (-priority, arrival); NORMAL is a
+        # heap keyed by (vruntime, arrival).  Entries are lazily invalidated.
+        self._rt_queue: List[tuple] = []
+        self._normal_queue: List[tuple] = []
+        self._queued: set = set()
+        self._wait_channels: Dict[Any, List[Thread]] = {}
+        self.io_devices: Dict[str, IoDevice] = {}
+        # Activity tracking for the preemption model and the power model.
+        self._cpu_util = Ewma(tau_us=100_000.0)
+        self._irq_rate = _RateEwma(tau_us=100_000.0)
+        self._syscall_util = _RateEwma(tau_us=100_000.0)
+        self._busy_integral_us = 0.0   # cumulative busy cpu-time for power
+        self._mem_bound_running = 0    # concurrent MemAccess slices
+        # Throughput penalty factors (see DESIGN.md calibration notes).
+        if self.config.is_rt():
+            self._cpu_penalty = 1.005
+            self._syscall_penalty = 1.03
+            self._io_penalty = 1.10
+            self._mem_bw_beta = 0.65
+        else:
+            self._cpu_penalty = 1.0
+            self._syscall_penalty = 1.0
+            self._io_penalty = 1.0
+            self._mem_bw_beta = 0.40
+        #: Per-container I/O overhead of the overlay filesystem.
+        self._container_io_overhead = 1.015
+        #: Per-container CPU overhead (namespaces, seccomp, cgroup hooks).
+        self._container_cpu_overhead = 1.012
+
+    # ------------------------------------------------------------------ spawn
+    def spawn(
+        self,
+        program,
+        name: str = "",
+        policy: SchedPolicy = SchedPolicy.NORMAL,
+        priority: int = 0,
+        nice: int = 0,
+        container: str = "",
+        uid: int = 0,
+    ) -> Thread:
+        """Create a thread from a generator program and make it runnable."""
+        thread = Thread(
+            next(self._tids),
+            program,
+            name=name,
+            policy=policy,
+            priority=priority,
+            nice=nice,
+            container=container,
+            uid=uid,
+        )
+        # New NORMAL threads start at the minimum queued vruntime so they
+        # neither starve nor monopolise.
+        thread.vruntime = self._min_vruntime()
+        self.threads[thread.tid] = thread
+        thread.state = ThreadState.READY
+        self.sim.call_soon(lambda: self._advance(thread, None))
+        return thread
+
+    def kill(self, thread: Thread) -> None:
+        """Terminate a thread immediately (used by the VDC to enforce
+        device-access revocation, Section 4.4)."""
+        if not thread.alive:
+            return
+        if thread.state is ThreadState.RUNNING and thread.cpu is not None:
+            cpu = self._cpus[thread.cpu]
+            if cpu.completion is not None:
+                cpu.completion.cancel()
+            self._account_partial(cpu)
+            cpu.thread = None
+            thread.cpu = None
+            self._update_cpu_util()
+            self._dispatch(cpu)
+        thread.state = ThreadState.DEAD
+        self._queued.discard(thread.tid)
+        self.notify(("thread-exit", thread.tid), None)
+
+    def device(self, name: str) -> IoDevice:
+        if name not in self.io_devices:
+            self.io_devices[name] = IoDevice(self, name)
+        return self.io_devices[name]
+
+    # --------------------------------------------------------------- activity
+    def note_irq(self, count: float = 1.0) -> None:
+        """Record interrupt activity (I/O completions, network RX, ...)."""
+        self._irq_rate.add(self.sim.now, count)
+
+    def activity(self) -> Activity:
+        """Snapshot of current system activity for the preemption model."""
+        now = self.sim.now
+        io = 0.0
+        for dev in self.io_devices.values():
+            io += dev.utilization.read(now)
+        # Normalize IRQ rate: ~6000 irq/s (saturated gigabit + disk) -> 1.0.
+        irq = self._irq_rate.read(now) * 1e6 / 6000.0
+        return Activity(
+            cpu_load=self._cpu_util.read(now),
+            io_load=min(1.0, io),
+            irq_load=min(1.0, irq),
+            syscall_load=min(1.0, self._syscall_util.read(now)),
+        )
+
+    def cpu_busy_integral_us(self) -> float:
+        """Cumulative busy CPU-time (all CPUs), for the power model."""
+        total = self._busy_integral_us
+        for cpu in self._cpus:
+            if cpu.thread is not None:
+                total += self.sim.now - cpu.started_at
+        return total
+
+    def runnable_count(self) -> int:
+        return len(self._queued) + sum(1 for c in self._cpus if c.thread)
+
+    # ---------------------------------------------------------------- advance
+    def _advance(self, thread: Thread, value: Any) -> None:
+        """Resume a thread's generator with ``value`` and act on its yield."""
+        if not thread.alive:
+            return
+        try:
+            op = thread.program.send(value)
+        except StopIteration as stop:
+            thread.state = ThreadState.DEAD
+            thread.exit_value = stop.value
+            self.notify(("thread-exit", thread.tid), stop.value)
+            return
+        thread._current_op = op
+        if isinstance(op, ops.Cpu):
+            thread._op_remaining = op.duration_us * self._cpu_penalty * (
+                self._container_cpu_overhead if thread.container else 1.0
+            )
+            self._make_runnable(thread)
+        elif isinstance(op, ops.Syscall):
+            cost = self.config.syscall_cost_us + op.duration_us
+            thread._op_remaining = cost * self._syscall_penalty
+            self._syscall_util.add(self.sim.now, cost)
+            self._make_runnable(thread)
+        elif isinstance(op, ops.MemAccess):
+            thread._op_remaining = op.duration_us
+            self._make_runnable(thread)
+        elif isinstance(op, ops.Sleep):
+            self._sleep_until(thread, self.sim.now + int(round(op.duration_us)))
+        elif isinstance(op, ops.SleepUntil):
+            self._sleep_until(thread, op.deadline_us)
+        elif isinstance(op, ops.Io):
+            thread.state = ThreadState.BLOCKED
+            service = op.service_us * self._io_penalty * (
+                self._container_io_overhead if thread.container else 1.0
+            )
+            self.device(op.device).submit(thread, service)
+        elif isinstance(op, ops.Wait):
+            thread.state = ThreadState.BLOCKED
+            self._wait_channels.setdefault(op.channel, []).append(thread)
+        elif isinstance(op, ops.Join):
+            if not op.thread.alive:
+                self.sim.call_soon(
+                    lambda: self._advance(thread, op.thread.exit_value))
+            else:
+                thread.state = ThreadState.BLOCKED
+                self._wait_channels.setdefault(
+                    ("thread-exit", op.thread.tid), []).append(thread)
+        elif isinstance(op, ops.Yield):
+            # Push vruntime to the back of the fair queue and requeue.
+            thread.vruntime = self._max_vruntime()
+            thread._op_remaining = 0.0
+            self.sim.call_soon(lambda: self._advance(thread, None))
+        elif isinstance(op, ops.Fork):
+            child = self.spawn(
+                op.program,
+                name=op.name or f"{thread.name}-child",
+                policy=op.policy or thread.policy,
+                priority=op.priority if op.priority is not None else thread.priority,
+                container=thread.container,
+                uid=thread.uid,
+            )
+            self.sim.call_soon(lambda: self._advance(thread, child))
+        else:
+            raise TypeError(f"thread {thread.name!r} yielded {op!r}")
+
+    # ----------------------------------------------------------------- timers
+    def _sleep_until(self, thread: Thread, deadline_us: int) -> None:
+        thread.state = ThreadState.SLEEPING
+        thread._requested_wake_us = max(deadline_us, self.sim.now)
+        fire_at = max(deadline_us, self.sim.now)
+        self.sim.at(fire_at, lambda: self._timer_fire(thread))
+
+    def _timer_fire(self, thread: Thread) -> None:
+        if not thread.alive:
+            return
+        delay = self.config.timer_irq_overhead_us
+        if thread.is_rt:
+            delay += self.preemption.sample_wakeup_latency(self.activity())
+        self.note_irq(0.2)  # timer interrupts are cheap but countable
+        self.sim.after(max(0, int(round(delay))), lambda: self._wake(thread, _WAKE_LATENCY))
+
+    def _wake(self, thread: Thread, value: Any) -> None:
+        """Make a blocked/sleeping thread runnable with a pending resume."""
+        if not thread.alive or thread.state in (ThreadState.READY, ThreadState.RUNNING):
+            return
+        thread._send_value = value
+        thread._current_op = "resume"
+        thread._op_remaining = _RESUME_COST_US
+        self._make_runnable(thread)
+
+    def notify(self, channel: Any, value: Any = None) -> int:
+        """Wake every thread blocked in ``ops.Wait(channel)``.
+
+        Returns the number of threads woken.
+        """
+        waiters = self._wait_channels.pop(channel, [])
+        for thread in waiters:
+            self._wake(thread, value)
+        return len(waiters)
+
+    # -------------------------------------------------------------- scheduler
+    def _min_vruntime(self) -> float:
+        candidates = [t.vruntime for t in self.threads.values()
+                      if t.alive and not t.is_rt and t.state in
+                      (ThreadState.READY, ThreadState.RUNNING)]
+        return min(candidates) if candidates else 0.0
+
+    def _max_vruntime(self) -> float:
+        candidates = [t.vruntime for t in self.threads.values()
+                      if t.alive and not t.is_rt and t.state in
+                      (ThreadState.READY, ThreadState.RUNNING)]
+        return max(candidates) if candidates else 0.0
+
+    def _make_runnable(self, thread: Thread) -> None:
+        thread.state = ThreadState.READY
+        self._enqueue(thread)
+        idle = next((c for c in self._cpus if c.thread is None), None)
+        if idle is not None:
+            self._dispatch(idle)
+            return
+        if thread.is_rt:
+            # Strict priority preemption: evict the weakest running thread
+            # if it is weaker than the waker.
+            victim_cpu = min(
+                self._cpus, key=lambda c: c.thread.effective_priority()
+            )
+            if victim_cpu.thread.effective_priority() < thread.effective_priority():
+                self._preempt(victim_cpu)
+
+    def _enqueue(self, thread: Thread) -> None:
+        if thread.tid in self._queued:
+            return
+        self._queued.add(thread.tid)
+        seq = next(self._arrival)
+        if thread.is_rt:
+            heapq.heappush(self._rt_queue, (-thread.priority, seq, thread))
+        else:
+            weight = thread.weight() * self.cgroups.get(thread.container).weight_multiplier()
+            heapq.heappush(
+                self._normal_queue, (thread.vruntime, seq, thread, weight)
+            )
+
+    def _pop_next(self) -> Optional[Thread]:
+        while self._rt_queue:
+            _, _, thread = heapq.heappop(self._rt_queue)
+            if thread.tid in self._queued and thread.state is ThreadState.READY:
+                self._queued.discard(thread.tid)
+                return thread
+        deferred = []
+        chosen = None
+        while self._normal_queue:
+            entry = heapq.heappop(self._normal_queue)
+            _, _, thread, _ = entry
+            if thread.tid not in self._queued or thread.state is not ThreadState.READY:
+                continue
+            # CFS bandwidth control: skip threads of throttled cgroups
+            # until their next quota period opens.
+            wake_at = self.cgroups.get(thread.container).throttled_until(self.sim.now)
+            if wake_at is not None:
+                deferred.append(entry)
+                self._arm_unthrottle(wake_at)
+                continue
+            self._queued.discard(thread.tid)
+            chosen = thread
+            break
+        for entry in deferred:
+            heapq.heappush(self._normal_queue, entry)
+        return chosen
+
+    def _arm_unthrottle(self, wake_at: int) -> None:
+        """Kick idle CPUs when a throttled cgroup's period rolls over."""
+        if getattr(self, "_unthrottle_armed_until", -1) >= wake_at:
+            return
+        self._unthrottle_armed_until = wake_at
+
+        def kick():
+            for cpu in self._cpus:
+                if cpu.thread is None:
+                    self._dispatch(cpu)
+
+        self.sim.at(max(wake_at, self.sim.now), kick)
+
+    def _dispatch(self, cpu: _CpuState) -> None:
+        if cpu.thread is not None:
+            return
+        thread = self._pop_next()
+        if thread is None:
+            self._update_cpu_util()
+            return
+        self._run_slice(cpu, thread)
+
+    def _run_slice(self, cpu: _CpuState, thread: Thread) -> None:
+        thread.state = ThreadState.RUNNING
+        thread.cpu = cpu.index
+        cpu.thread = thread
+        work = thread._op_remaining
+        if not thread.is_rt:
+            work = min(work, self.config.sched_quantum_us)
+        work = max(work, 0.05)
+        wall = work
+        if isinstance(thread._current_op, ops.MemAccess):
+            self._mem_bound_running += 1
+            m = self._mem_bound_running
+            wall = work * (1.0 + self._mem_bw_beta * (m - 1))
+        cpu.slice_work = work
+        cpu.slice_wall = wall
+        cpu.started_at = self.sim.now
+        cpu.completion = self.sim.after(
+            max(1, int(round(wall))), lambda: self._slice_done(cpu)
+        )
+        self._update_cpu_util()
+
+    def _account_partial(self, cpu: _CpuState) -> None:
+        """Charge a (possibly partial) slice to its thread on eviction."""
+        thread = cpu.thread
+        elapsed = self.sim.now - cpu.started_at
+        frac = min(1.0, elapsed / cpu.slice_wall) if cpu.slice_wall else 1.0
+        work_done = cpu.slice_work * frac
+        thread._op_remaining = max(0.0, thread._op_remaining - work_done)
+        thread.cpu_time_us += elapsed
+        self._busy_integral_us += elapsed
+        cgroup = self.cgroups.get(thread.container)
+        cgroup.charge_cpu(elapsed)
+        cgroup.charge_quota(self.sim.now, elapsed)
+        if not thread.is_rt:
+            weight = thread.weight() * self.cgroups.get(thread.container).weight_multiplier()
+            thread.vruntime += work_done * 1024.0 / max(weight, 1e-9)
+        if isinstance(thread._current_op, ops.MemAccess):
+            self._mem_bound_running = max(0, self._mem_bound_running - 1)
+
+    def _preempt(self, cpu: _CpuState) -> None:
+        thread = cpu.thread
+        if thread is None:
+            return
+        if cpu.completion is not None:
+            cpu.completion.cancel()
+        self._account_partial(cpu)
+        cpu.thread = None
+        thread.cpu = None
+        if thread._op_remaining <= 1e-9:
+            # The evicted slice had actually finished its op's work.
+            self.sim.call_soon(lambda: self._finish_op(thread))
+        else:
+            thread.state = ThreadState.READY
+            self._enqueue(thread)
+        self._dispatch(cpu)
+
+    def _slice_done(self, cpu: _CpuState) -> None:
+        thread = cpu.thread
+        if thread is None:
+            return
+        self._account_partial(cpu)
+        cpu.thread = None
+        cpu.completion = None
+        thread.cpu = None
+        if thread._op_remaining <= 1e-9:
+            self._finish_op(thread)
+        else:
+            # Quantum expired mid-op: go to the back of the fair queue.
+            thread.state = ThreadState.READY
+            self._enqueue(thread)
+        self._dispatch(cpu)
+
+    def _finish_op(self, thread: Thread) -> None:
+        if not thread.alive:
+            return
+        value = thread._send_value
+        thread._send_value = None
+        if value is _WAKE_LATENCY:
+            value = float(self.sim.now - (thread._requested_wake_us or self.sim.now))
+            thread._requested_wake_us = None
+        thread._current_op = None
+        self._advance(thread, value)
+
+    def _update_cpu_util(self) -> None:
+        busy = sum(1 for c in self._cpus if c.thread is not None)
+        self._cpu_util.update(self.sim.now, busy / len(self._cpus))

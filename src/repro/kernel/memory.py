@@ -1,0 +1,71 @@
+"""Memory accounting.
+
+Models the RAM budget of the drone SBC (880 MB usable on the prototype,
+Section 6.3).  Allocations are tagged by owner so per-container usage can
+be reported for Figure 12, and an allocation that does not fit raises
+:class:`OutOfMemoryError` *without* disturbing existing allocations — the
+paper notes that starting a fourth virtual drone fails but running virtual
+drones are unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class OutOfMemoryError(MemoryError):
+    """Raised when an allocation exceeds the remaining RAM budget."""
+
+    def __init__(self, owner: str, request_kb: int, free_kb: int):
+        super().__init__(
+            f"cannot allocate {request_kb} kB for {owner!r}: only {free_kb} kB free"
+        )
+        self.owner = owner
+        self.request_kb = request_kb
+        self.free_kb = free_kb
+
+
+class MemoryAccounting:
+    """Tracks RAM usage per owner against a fixed total."""
+
+    def __init__(self, total_kb: int):
+        if total_kb <= 0:
+            raise ValueError("total_kb must be positive")
+        self.total_kb = int(total_kb)
+        self._usage: Dict[str, int] = {}
+
+    @property
+    def used_kb(self) -> int:
+        return sum(self._usage.values())
+
+    @property
+    def free_kb(self) -> int:
+        return self.total_kb - self.used_kb
+
+    def usage_of(self, owner: str) -> int:
+        return self._usage.get(owner, 0)
+
+    def owners(self) -> Dict[str, int]:
+        """Snapshot of per-owner usage in kB."""
+        return dict(self._usage)
+
+    def allocate(self, owner: str, kb: int) -> None:
+        """Charge ``kb`` to ``owner``; raises OutOfMemoryError if it won't fit."""
+        if kb < 0:
+            raise ValueError("negative allocation")
+        if kb > self.free_kb:
+            raise OutOfMemoryError(owner, kb, self.free_kb)
+        self._usage[owner] = self._usage.get(owner, 0) + kb
+
+    def free(self, owner: str, kb: int = -1) -> None:
+        """Release ``kb`` from ``owner`` (all of it if ``kb`` is -1)."""
+        held = self._usage.get(owner, 0)
+        if kb == -1:
+            kb = held
+        if kb > held:
+            raise ValueError(f"{owner!r} frees {kb} kB but holds {held} kB")
+        remaining = held - kb
+        if remaining:
+            self._usage[owner] = remaining
+        else:
+            self._usage.pop(owner, None)

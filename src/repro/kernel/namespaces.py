@@ -1,0 +1,74 @@
+"""Kernel namespaces.
+
+AnDrone's container architecture relies on standard Linux namespaces for
+isolation plus the *device namespace* concept (Cells/AnDrone lineage) that
+the Binder driver uses to give each container its own Context Manager.
+This module models namespace identity; the Binder-specific behaviour lives
+in :mod:`repro.binder.driver`.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+class NamespaceKind(enum.Enum):
+    PID = "pid"
+    NET = "net"
+    MOUNT = "mnt"
+    UTS = "uts"
+    IPC = "ipc"
+    DEVICE = "device"   # the Cells-style device namespace
+
+
+_ns_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Namespace:
+    """An instance of one namespace kind."""
+
+    kind: NamespaceKind
+    ns_id: int
+    label: str = ""
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}:{self.ns_id}({self.label})"
+
+
+class NamespaceSet:
+    """The full set of namespaces a container (or the host) lives in."""
+
+    def __init__(self, label: str, parent: "NamespaceSet" = None, isolate=None):
+        """Create a namespace set.
+
+        Args:
+            label: human-readable owner name (container name or "host").
+            parent: namespaces to inherit from for kinds not isolated.
+            isolate: iterable of :class:`NamespaceKind` to create fresh
+                instances of.  Containers isolate everything by default.
+        """
+        self.label = label
+        if isolate is None:
+            isolate = list(NamespaceKind) if parent is not None else []
+        isolate = set(isolate)
+        self._spaces: Dict[NamespaceKind, Namespace] = {}
+        for kind in NamespaceKind:
+            if parent is not None and kind not in isolate:
+                self._spaces[kind] = parent.get(kind)
+            else:
+                self._spaces[kind] = Namespace(kind, next(_ns_ids), label)
+
+    def get(self, kind: NamespaceKind) -> Namespace:
+        return self._spaces[kind]
+
+    @property
+    def device_ns(self) -> Namespace:
+        """The device namespace — Binder's isolation unit in AnDrone."""
+        return self.get(NamespaceKind.DEVICE)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<NamespaceSet {self.label!r}>"

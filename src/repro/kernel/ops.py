@@ -1,0 +1,144 @@
+"""Operations thread programs may yield to the kernel.
+
+A thread is a generator; each ``yield`` hands the kernel one of these
+operation objects.  The kernel charges simulated time (and contention) for
+the operation and resumes the generator when it completes.  Most operations
+resume with ``None``; a few (noted below) send a value back.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+class Op:
+    """Base class for kernel operations."""
+
+    __slots__ = ()
+
+
+class Cpu(Op):
+    """Burn ``duration_us`` of CPU time (preemptible, resumable)."""
+
+    __slots__ = ("duration_us",)
+
+    def __init__(self, duration_us: float):
+        if duration_us < 0:
+            raise ValueError("negative cpu burst")
+        self.duration_us = float(duration_us)
+
+
+class Syscall(Op):
+    """Enter the kernel for ``duration_us``.
+
+    Under PREEMPT, time spent in a syscall contributes to the kernel
+    activity that opens non-preemptible windows; under PREEMPT_RT it mostly
+    does not.  Functionally it behaves like a CPU burst.
+    """
+
+    __slots__ = ("duration_us", "name")
+
+    def __init__(self, duration_us: float, name: str = ""):
+        if duration_us < 0:
+            raise ValueError("negative syscall time")
+        self.duration_us = float(duration_us)
+        self.name = name
+
+
+class Sleep(Op):
+    """Block on a timer for ``duration_us``.
+
+    Resumes with the measured wakeup latency in microseconds (actual wake
+    time minus requested wake time) — this is exactly what cyclictest
+    records.
+    """
+
+    __slots__ = ("duration_us",)
+
+    def __init__(self, duration_us: float):
+        if duration_us < 0:
+            raise ValueError("negative sleep")
+        self.duration_us = float(duration_us)
+
+
+class SleepUntil(Op):
+    """Block until absolute virtual time ``deadline_us`` (clock_nanosleep
+    with TIMER_ABSTIME).  Resumes with the measured wakeup latency."""
+
+    __slots__ = ("deadline_us",)
+
+    def __init__(self, deadline_us: int):
+        self.deadline_us = int(deadline_us)
+
+
+class Io(Op):
+    """Issue a blocking I/O request.
+
+    ``service_us`` is the device service time; the request also queues
+    behind other outstanding I/O on the same device (named by ``device``),
+    and its completion raises an interrupt that contributes to kernel
+    activity.
+    """
+
+    __slots__ = ("service_us", "device", "bytes")
+
+    def __init__(self, service_us: float, device: str = "mmc0", nbytes: int = 0):
+        if service_us < 0:
+            raise ValueError("negative io service time")
+        self.service_us = float(service_us)
+        self.device = device
+        self.bytes = int(nbytes)
+
+
+class MemAccess(Op):
+    """A memory-bandwidth-bound burst of ``duration_us`` (at full speed).
+
+    Unlike :class:`Cpu`, concurrent MemAccess bursts on different CPUs
+    contend for shared DRAM bandwidth, so they slow each other down even
+    when each has a CPU to itself.  Used by the PassMark memory test.
+    """
+
+    __slots__ = ("duration_us",)
+
+    def __init__(self, duration_us: float):
+        if duration_us < 0:
+            raise ValueError("negative memory burst")
+        self.duration_us = float(duration_us)
+
+
+class Wait(Op):
+    """Block until :meth:`repro.kernel.kernel.Kernel.notify` is called on
+    ``channel``.  Resumes with the value passed to notify."""
+
+    __slots__ = ("channel",)
+
+    def __init__(self, channel: Any):
+        self.channel = channel
+
+
+class Yield(Op):
+    """Voluntarily release the CPU (sched_yield)."""
+
+    __slots__ = ()
+
+
+class Join(Op):
+    """Block until ``thread`` exits.  Resumes with its exit value."""
+
+    __slots__ = ("thread",)
+
+    def __init__(self, thread):
+        self.thread = thread
+
+
+class Fork(Op):
+    """Spawn a child thread running ``program``; resumes with the child
+    :class:`~repro.kernel.thread.Thread`."""
+
+    __slots__ = ("program", "name", "policy", "priority")
+
+    def __init__(self, program, name: str = "", policy=None, priority: Optional[int] = None):
+        self.program = program
+        self.name = name
+        self.policy = policy
+        self.priority = priority

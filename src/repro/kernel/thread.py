@@ -1,0 +1,96 @@
+"""Thread (task) model.
+
+A thread is a generator program plus scheduling metadata.  The kernel owns
+all state transitions; this module only defines the data structures.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Generator, Optional
+
+
+class SchedPolicy(enum.Enum):
+    """Scheduling policy, mirroring Linux."""
+
+    NORMAL = "SCHED_NORMAL"
+    FIFO = "SCHED_FIFO"
+
+
+class ThreadState(enum.Enum):
+    NEW = "new"
+    READY = "ready"
+    RUNNING = "running"
+    SLEEPING = "sleeping"   # blocked on a timer
+    BLOCKED = "blocked"     # blocked on I/O or a wait channel
+    DEAD = "dead"
+
+
+class Thread:
+    """A simulated kernel task.
+
+    Attributes:
+        tid: unique task id.
+        program: the generator yielding :mod:`repro.kernel.ops` operations.
+        policy: SCHED_NORMAL or SCHED_FIFO.
+        priority: RT priority (1..99) for FIFO threads; higher wins.
+        nice: weight adjustment for NORMAL threads (-20..19, lower = more CPU).
+        container: name of the owning container ("" = host), used for
+            cgroup accounting and Binder container identification.
+        cpu_time_us: total CPU time consumed, for utilization accounting.
+    """
+
+    def __init__(
+        self,
+        tid: int,
+        program: Generator,
+        name: str = "",
+        policy: SchedPolicy = SchedPolicy.NORMAL,
+        priority: int = 0,
+        nice: int = 0,
+        container: str = "",
+        uid: int = 0,
+    ):
+        self.tid = tid
+        self.program = program
+        self.name = name or f"task-{tid}"
+        self.policy = policy
+        self.priority = priority
+        self.nice = nice
+        self.container = container
+        self.uid = uid
+        self.state = ThreadState.NEW
+        self.cpu: Optional[int] = None          # CPU currently running on
+        self.vruntime = 0.0                     # CFS virtual runtime
+        self.cpu_time_us = 0.0
+        self.exit_value: Any = None
+        # Remaining time of the operation currently being executed (for
+        # resumable CPU bursts that get preempted mid-way).
+        self._op_remaining = 0.0
+        self._current_op = None
+        # For Sleep/SleepUntil latency measurement.
+        self._requested_wake_us: Optional[int] = None
+        # Value to send into the generator on next resume.
+        self._send_value: Any = None
+
+    @property
+    def is_rt(self) -> bool:
+        return self.policy is SchedPolicy.FIFO
+
+    @property
+    def alive(self) -> bool:
+        return self.state is not ThreadState.DEAD
+
+    def effective_priority(self) -> int:
+        """Key used by the scheduler: RT threads sort above all NORMAL."""
+        return self.priority if self.is_rt else -1
+
+    def weight(self) -> float:
+        """CFS-style load weight derived from nice (1.25x per nice step)."""
+        return 1024.0 / (1.25 ** self.nice)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Thread {self.tid} {self.name!r} {self.policy.value}"
+            f" prio={self.priority} {self.state.value}>"
+        )

@@ -1,0 +1,46 @@
+"""MAVLink: the Micro Air Vehicle Link protocol.
+
+"Communication with the flight controller commonly takes place via the
+MAVLink protocol" (Section 4.3).  This package implements MAVLink v1 wire
+framing (magic byte, sequence numbers, X.25 CRC with per-message
+CRC_EXTRA), the message set AnDrone's evaluation exercises, and a
+connection abstraction that rides the simulated network.
+"""
+
+from repro.mavlink.enums import CopterMode, MavCommand, MavResult, MavState
+from repro.mavlink.messages import (
+    Attitude,
+    CommandAck,
+    CommandLong,
+    GlobalPositionInt,
+    Heartbeat,
+    ManualControl,
+    MissionItem,
+    SetPositionTarget,
+    Statustext,
+    SysStatus,
+    MESSAGE_REGISTRY,
+)
+from repro.mavlink.codec import MavlinkCodec, CodecError
+from repro.mavlink.connection import MavlinkConnection
+
+__all__ = [
+    "CopterMode",
+    "MavCommand",
+    "MavResult",
+    "MavState",
+    "Attitude",
+    "CommandAck",
+    "CommandLong",
+    "GlobalPositionInt",
+    "Heartbeat",
+    "ManualControl",
+    "MissionItem",
+    "SetPositionTarget",
+    "Statustext",
+    "SysStatus",
+    "MESSAGE_REGISTRY",
+    "MavlinkCodec",
+    "CodecError",
+    "MavlinkConnection",
+]

@@ -1,0 +1,56 @@
+"""MAVLink connections over the simulated network.
+
+A :class:`MavlinkConnection` binds a codec to a network endpoint pair:
+messages are encoded to real frames, shipped over the link (with its
+latency and loss), and decoded on arrival.  Handlers receive
+``(message, sysid, compid)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.mavlink.codec import CodecError, MavlinkCodec
+from repro.mavlink.messages import MavlinkMessage
+from repro.net.network import Channel, Network
+
+
+class MavlinkConnection:
+    """One side of a MAVLink link."""
+
+    def __init__(self, network: Network, local: str, remote: str, link=None,
+                 sysid: int = 1, compid: int = 1):
+        self.codec = MavlinkCodec(sysid, compid)
+        self._tx = network.connect(local, remote, link)
+        self.local = local
+        self.remote = remote
+        self._handlers: List[Callable[[MavlinkMessage, int, int], None]] = []
+        self.received: List[MavlinkMessage] = []
+        self.rx_count = 0
+        self.tx_count = 0
+        network.endpoint(local).on_receive = self._on_frame
+
+    def send(self, msg: MavlinkMessage) -> bool:
+        """Encode and transmit; returns False if the link dropped it."""
+        frame = self.codec.encode(msg)
+        self.tx_count += 1
+        return self._tx.send(frame, nbytes=len(frame))
+
+    def on_message(self, handler: Callable[[MavlinkMessage, int, int], None]) -> None:
+        self._handlers.append(handler)
+
+    def _on_frame(self, frame: bytes, source: str) -> None:
+        try:
+            msg, sysid, compid = self.codec.decode(frame)
+        except CodecError:
+            return  # corrupt frames are dropped silently, as on a real link
+        self.rx_count += 1
+        if self._handlers:
+            for handler in self._handlers:
+                handler(msg, sysid, compid)
+        else:
+            self.received.append(msg)
+
+    def drain(self) -> List[MavlinkMessage]:
+        messages, self.received = self.received, []
+        return messages

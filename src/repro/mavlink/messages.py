@@ -1,0 +1,236 @@
+"""MAVLink message definitions.
+
+Each message declares its real MAVLink v1 ``MSG_ID``, its ``CRC_EXTRA``
+seed byte (from the official XML definitions — receivers with a different
+message definition fail the checksum), and a ``FIELDS`` spec of
+``(name, struct_format)`` pairs in *wire order* (MAVLink v1 sorts fields
+by decreasing size; the orders below follow the real generated code).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields as dc_fields
+from typing import ClassVar, Dict, List, Tuple
+
+
+@dataclass
+class MavlinkMessage:
+    """Base class; subclasses are plain dataclasses with wire metadata."""
+
+    MSG_ID: ClassVar[int] = -1
+    CRC_EXTRA: ClassVar[int] = 0
+    FIELDS: ClassVar[Tuple[Tuple[str, str], ...]] = ()
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+@dataclass
+class Heartbeat(MavlinkMessage):
+    MSG_ID: ClassVar[int] = 0
+    CRC_EXTRA: ClassVar[int] = 50
+    FIELDS: ClassVar = (
+        ("custom_mode", "I"), ("type", "B"), ("autopilot", "B"),
+        ("base_mode", "B"), ("system_status", "B"), ("mavlink_version", "B"),
+    )
+    custom_mode: int = 0
+    type: int = 2            # MAV_TYPE_QUADROTOR
+    autopilot: int = 3       # MAV_AUTOPILOT_ARDUPILOTMEGA
+    base_mode: int = 0
+    system_status: int = 3   # MAV_STATE_STANDBY
+    mavlink_version: int = 3
+
+
+@dataclass
+class SysStatus(MavlinkMessage):
+    MSG_ID: ClassVar[int] = 1
+    CRC_EXTRA: ClassVar[int] = 124
+    FIELDS: ClassVar = (
+        ("onboard_control_sensors_present", "I"),
+        ("onboard_control_sensors_enabled", "I"),
+        ("onboard_control_sensors_health", "I"),
+        ("load", "H"), ("voltage_battery", "H"), ("current_battery", "h"),
+        ("drop_rate_comm", "H"), ("errors_comm", "H"),
+        ("errors_count1", "H"), ("errors_count2", "H"),
+        ("errors_count3", "H"), ("errors_count4", "H"),
+        ("battery_remaining", "b"),
+    )
+    onboard_control_sensors_present: int = 0
+    onboard_control_sensors_enabled: int = 0
+    onboard_control_sensors_health: int = 0
+    load: int = 0
+    voltage_battery: int = 11_100    # mV
+    current_battery: int = -1        # cA, -1 = unknown
+    drop_rate_comm: int = 0
+    errors_comm: int = 0
+    errors_count1: int = 0
+    errors_count2: int = 0
+    errors_count3: int = 0
+    errors_count4: int = 0
+    battery_remaining: int = 100     # percent
+
+
+@dataclass
+class GlobalPositionInt(MavlinkMessage):
+    MSG_ID: ClassVar[int] = 33
+    CRC_EXTRA: ClassVar[int] = 104
+    FIELDS: ClassVar = (
+        ("time_boot_ms", "I"), ("lat", "i"), ("lon", "i"),
+        ("alt", "i"), ("relative_alt", "i"),
+        ("vx", "h"), ("vy", "h"), ("vz", "h"), ("hdg", "H"),
+    )
+    time_boot_ms: int = 0
+    lat: int = 0             # degE7
+    lon: int = 0             # degE7
+    alt: int = 0             # mm AMSL
+    relative_alt: int = 0    # mm above home
+    vx: int = 0              # cm/s
+    vy: int = 0
+    vz: int = 0
+    hdg: int = 0             # cdeg
+
+
+@dataclass
+class Attitude(MavlinkMessage):
+    MSG_ID: ClassVar[int] = 30
+    CRC_EXTRA: ClassVar[int] = 39
+    FIELDS: ClassVar = (
+        ("time_boot_ms", "I"), ("roll", "f"), ("pitch", "f"), ("yaw", "f"),
+        ("rollspeed", "f"), ("pitchspeed", "f"), ("yawspeed", "f"),
+    )
+    time_boot_ms: int = 0
+    roll: float = 0.0
+    pitch: float = 0.0
+    yaw: float = 0.0
+    rollspeed: float = 0.0
+    pitchspeed: float = 0.0
+    yawspeed: float = 0.0
+
+
+@dataclass
+class CommandLong(MavlinkMessage):
+    MSG_ID: ClassVar[int] = 76
+    CRC_EXTRA: ClassVar[int] = 152
+    FIELDS: ClassVar = (
+        ("param1", "f"), ("param2", "f"), ("param3", "f"), ("param4", "f"),
+        ("param5", "f"), ("param6", "f"), ("param7", "f"),
+        ("command", "H"), ("target_system", "B"), ("target_component", "B"),
+        ("confirmation", "B"),
+    )
+    param1: float = 0.0
+    param2: float = 0.0
+    param3: float = 0.0
+    param4: float = 0.0
+    param5: float = 0.0      # usually latitude
+    param6: float = 0.0      # usually longitude
+    param7: float = 0.0      # usually altitude
+    command: int = 0
+    target_system: int = 1
+    target_component: int = 1
+    confirmation: int = 0
+
+
+@dataclass
+class CommandAck(MavlinkMessage):
+    MSG_ID: ClassVar[int] = 77
+    CRC_EXTRA: ClassVar[int] = 143
+    FIELDS: ClassVar = (("command", "H"), ("result", "B"))
+    command: int = 0
+    result: int = 0
+
+
+@dataclass
+class SetPositionTarget(MavlinkMessage):
+    """SET_POSITION_TARGET_GLOBAL_INT: guided-mode position/velocity."""
+
+    MSG_ID: ClassVar[int] = 86
+    CRC_EXTRA: ClassVar[int] = 5
+    FIELDS: ClassVar = (
+        ("time_boot_ms", "I"), ("lat_int", "i"), ("lon_int", "i"), ("alt", "f"),
+        ("vx", "f"), ("vy", "f"), ("vz", "f"),
+        ("afx", "f"), ("afy", "f"), ("afz", "f"),
+        ("yaw", "f"), ("yaw_rate", "f"),
+        ("type_mask", "H"), ("target_system", "B"), ("target_component", "B"),
+        ("coordinate_frame", "B"),
+    )
+    time_boot_ms: int = 0
+    lat_int: int = 0
+    lon_int: int = 0
+    alt: float = 0.0
+    vx: float = 0.0
+    vy: float = 0.0
+    vz: float = 0.0
+    afx: float = 0.0
+    afy: float = 0.0
+    afz: float = 0.0
+    yaw: float = 0.0
+    yaw_rate: float = 0.0
+    type_mask: int = 0
+    target_system: int = 1
+    target_component: int = 1
+    coordinate_frame: int = 6  # GLOBAL_RELATIVE_ALT_INT
+
+
+@dataclass
+class ManualControl(MavlinkMessage):
+    """Gamepad-style control (the Xbox 360 pad in Section 6.5)."""
+
+    MSG_ID: ClassVar[int] = 69
+    CRC_EXTRA: ClassVar[int] = 243
+    FIELDS: ClassVar = (
+        ("x", "h"), ("y", "h"), ("z", "h"), ("r", "h"),
+        ("buttons", "H"), ("target", "B"),
+    )
+    x: int = 0
+    y: int = 0
+    z: int = 500
+    r: int = 0
+    buttons: int = 0
+    target: int = 1
+
+
+@dataclass
+class MissionItem(MavlinkMessage):
+    MSG_ID: ClassVar[int] = 39
+    CRC_EXTRA: ClassVar[int] = 254
+    FIELDS: ClassVar = (
+        ("param1", "f"), ("param2", "f"), ("param3", "f"), ("param4", "f"),
+        ("x", "f"), ("y", "f"), ("z", "f"),
+        ("seq", "H"), ("command", "H"),
+        ("target_system", "B"), ("target_component", "B"),
+        ("frame", "B"), ("current", "B"), ("autocontinue", "B"),
+    )
+    param1: float = 0.0
+    param2: float = 0.0
+    param3: float = 0.0
+    param4: float = 0.0
+    x: float = 0.0
+    y: float = 0.0
+    z: float = 0.0
+    seq: int = 0
+    command: int = 16
+    target_system: int = 1
+    target_component: int = 1
+    frame: int = 3
+    current: int = 0
+    autocontinue: int = 1
+
+
+@dataclass
+class Statustext(MavlinkMessage):
+    MSG_ID: ClassVar[int] = 253
+    CRC_EXTRA: ClassVar[int] = 83
+    FIELDS: ClassVar = (("severity", "B"), ("text", "50s"))
+    severity: int = 6  # INFO
+    text: str = ""
+
+
+#: msg_id -> message class, for decoding.
+MESSAGE_REGISTRY: Dict[int, type] = {
+    cls.MSG_ID: cls
+    for cls in (
+        Heartbeat, SysStatus, Attitude, GlobalPositionInt, MissionItem,
+        ManualControl, CommandLong, CommandAck, SetPositionTarget, Statustext,
+    )
+}

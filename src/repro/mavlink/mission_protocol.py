@@ -1,0 +1,164 @@
+"""The MAVLink mission (waypoint) upload protocol.
+
+Real ground stations upload AUTO-mode missions with the
+MISSION_COUNT -> MISSION_REQUEST -> MISSION_ITEM -> MISSION_ACK
+handshake, with per-item retransmission on loss.  AnDrone's flight
+planner and advanced tenants both use it; implementing it end-to-end
+(rather than stuffing items into the autopilot directly) exercises the
+MAVLink stack under the lossy links of Section 6.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, ClassVar, List, Optional
+
+from repro.mavlink.codec import MavlinkCodec
+from repro.mavlink.connection import MavlinkConnection
+from repro.mavlink.messages import MESSAGE_REGISTRY, MavlinkMessage, MissionItem
+
+
+@dataclass
+class MissionCount(MavlinkMessage):
+    MSG_ID: ClassVar[int] = 44
+    CRC_EXTRA: ClassVar[int] = 221
+    FIELDS: ClassVar = (("count", "H"), ("target_system", "B"),
+                        ("target_component", "B"))
+    count: int = 0
+    target_system: int = 1
+    target_component: int = 1
+
+
+@dataclass
+class MissionRequest(MavlinkMessage):
+    MSG_ID: ClassVar[int] = 40
+    CRC_EXTRA: ClassVar[int] = 230
+    FIELDS: ClassVar = (("seq", "H"), ("target_system", "B"),
+                        ("target_component", "B"))
+    seq: int = 0
+    target_system: int = 1
+    target_component: int = 1
+
+
+@dataclass
+class MissionAck(MavlinkMessage):
+    MSG_ID: ClassVar[int] = 47
+    CRC_EXTRA: ClassVar[int] = 153
+    FIELDS: ClassVar = (("target_system", "B"), ("target_component", "B"),
+                        ("type", "B"))
+    target_system: int = 1
+    target_component: int = 1
+    type: int = 0   # MAV_MISSION_ACCEPTED
+
+
+MESSAGE_REGISTRY[MissionCount.MSG_ID] = MissionCount
+MESSAGE_REGISTRY[MissionRequest.MSG_ID] = MissionRequest
+MESSAGE_REGISTRY[MissionAck.MSG_ID] = MissionAck
+
+
+class MissionUploader:
+    """GCS side: answers MISSION_REQUESTs until the vehicle acks."""
+
+    def __init__(self, connection: MavlinkConnection, sim,
+                 items: List[MissionItem],
+                 on_complete: Optional[Callable[[bool], None]] = None,
+                 timeout_us: int = 3_000_000, max_retries: int = 5):
+        self.connection = connection
+        self.sim = sim
+        self.items = list(items)
+        self.on_complete = on_complete
+        self.timeout_us = timeout_us
+        self.max_retries = max_retries
+        self.retries = 0
+        self.done = False
+        self.accepted = False
+        connection.on_message(self._on_message)
+
+    def start(self) -> None:
+        self._send_count()
+
+    def _send_count(self) -> None:
+        self.connection.send(MissionCount(count=len(self.items)))
+        self._arm_timeout(expected_progress=self.retries)
+
+    def _arm_timeout(self, expected_progress) -> None:
+        def check():
+            if self.done:
+                return
+            self.retries += 1
+            if self.retries > self.max_retries:
+                self.done = True
+                if self.on_complete:
+                    self.on_complete(False)
+                return
+            self._send_count()   # restart; the receiver is idempotent
+
+        self.sim.after(self.timeout_us, check)
+
+    def _on_message(self, msg, sysid, compid) -> None:
+        if self.done:
+            return
+        if isinstance(msg, MissionRequest):
+            if 0 <= msg.seq < len(self.items):
+                item = self.items[msg.seq]
+                item.seq = msg.seq
+                self.connection.send(item)
+        elif isinstance(msg, MissionAck):
+            self.done = True
+            self.accepted = msg.type == 0
+            if self.on_complete:
+                self.on_complete(self.accepted)
+
+
+class MissionReceiver:
+    """Vehicle side: requests each item, then acks and installs."""
+
+    def __init__(self, connection: MavlinkConnection, sim, autopilot,
+                 timeout_us: int = 2_000_000, max_retries: int = 8):
+        self.connection = connection
+        self.sim = sim
+        self.autopilot = autopilot
+        self.timeout_us = timeout_us
+        self.max_retries = max_retries
+        self._expected: Optional[int] = None
+        self._items: List[MissionItem] = []
+        self._retries = 0
+        self.completed_missions = 0
+        connection.on_message(self._on_message)
+
+    def _on_message(self, msg, sysid, compid) -> None:
+        if isinstance(msg, MissionCount):
+            # (Re)start a transfer; idempotent on duplicate COUNTs.
+            self._expected = msg.count
+            self._items = []
+            self._retries = 0
+            self._request_next()
+        elif isinstance(msg, MissionItem) and self._expected is not None:
+            if msg.seq == len(self._items):
+                self._items.append(msg)
+            if len(self._items) >= self._expected:
+                self.autopilot.upload_mission(self._items)
+                self.completed_missions += 1
+                self._expected = None
+                self.connection.send(MissionAck(type=0))
+            else:
+                self._request_next()
+
+    def _request_next(self) -> None:
+        if self._expected is None:
+            return
+        seq = len(self._items)
+        self.connection.send(MissionRequest(seq=seq))
+        self._arm_retry(seq)
+
+    def _arm_retry(self, seq: int) -> None:
+        def check():
+            if self._expected is None or len(self._items) != seq:
+                return   # progressed; nothing to do
+            self._retries += 1
+            if self._retries > self.max_retries:
+                self._expected = None   # abort transfer
+                return
+            self._request_next()
+
+        self.sim.after(self.timeout_us, check)

@@ -1,0 +1,142 @@
+"""MavProxy: the multiplexer between clients and the flight controller.
+
+Holds the single real flight-controller connection (a
+:class:`~repro.flight.sitl.SitlDrone` or the flight container's onboard
+controller), a full-access **master** interface for the cloud flight
+planner and service provider, and a :class:`VirtualFlightController` per
+virtual drone.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.flight.geo import GeoPoint
+from repro.flight.geofence import Geofence
+from repro.mavlink.enums import CopterMode, MavCommand, MavResult
+from repro.mavlink.messages import (
+    CommandLong,
+    GlobalPositionInt,
+    Heartbeat,
+    ManualControl,
+    SetPositionTarget,
+)
+from repro.mavproxy.vfc import VirtualFlightController
+from repro.mavproxy.whitelist import RestrictionTemplate, TEMPLATES
+
+
+class MavProxy:
+    """The modified MAVProxy instance in the flight container."""
+
+    def __init__(self, sim, drone):
+        """``drone`` is anything with ``handle_mavlink`` and an
+        ``autopilot`` (SitlDrone, or the onboard flight controller)."""
+        self.sim = sim
+        self.drone = drone
+        self.vfcs: Dict[str, VirtualFlightController] = {}
+        self.master_commands = 0
+
+    @property
+    def home(self) -> GeoPoint:
+        return self.drone.autopilot.home
+
+    # -- client management -----------------------------------------------------------
+    def create_vfc(
+        self,
+        container: str,
+        template: RestrictionTemplate = None,
+        waypoint: Optional[GeoPoint] = None,
+        continuous_view: bool = False,
+    ) -> VirtualFlightController:
+        if container in self.vfcs:
+            raise ValueError(f"container {container!r} already has a VFC")
+        vfc = VirtualFlightController(
+            self, container,
+            template or TEMPLATES["guided-only"],
+            waypoint=waypoint,
+            continuous_view=continuous_view,
+        )
+        self.vfcs[container] = vfc
+        return vfc
+
+    def vfc_for(self, container: str) -> VirtualFlightController:
+        return self.vfcs[container]
+
+    # -- master (flight planner) interface: unrestricted -------------------------------
+    def master_command(self, cmd: CommandLong) -> MavResult:
+        self.master_commands += 1
+        ack = self.drone.handle_mavlink(cmd)
+        return MavResult(ack.result) if ack is not None else MavResult.FAILED
+
+    def master_position_target(self, msg: SetPositionTarget) -> None:
+        self.master_commands += 1
+        self.drone.handle_mavlink(msg)
+
+    def master_set_mode(self, mode: CopterMode) -> MavResult:
+        return self.drone.autopilot.set_mode(mode)
+
+    # -- flight-controller access used by VFCs -------------------------------------------
+    def fc_command(self, cmd: CommandLong) -> MavResult:
+        ack = self.drone.handle_mavlink(cmd)
+        return MavResult(ack.result) if ack is not None else MavResult.FAILED
+
+    def fc_position_target(self, msg: SetPositionTarget) -> None:
+        self.drone.handle_mavlink(msg)
+
+    def fc_manual_control(self, msg: ManualControl, vfc) -> None:
+        """Map gamepad sticks to guided velocity, the closest analog our
+        autopilot supports (full-rate manual modes need RC hardware)."""
+        autopilot = self.drone.autopilot
+        if autopilot.mode is not CopterMode.GUIDED:
+            autopilot.set_mode(CopterMode.GUIDED)
+        # MAVLink manual_control: x/y/z/r in [-1000, 1000], z throttle
+        # [0, 1000] with 500 = hover.
+        max_speed = 5.0
+        vn = msg.x / 1000.0 * max_speed
+        ve = msg.y / 1000.0 * max_speed
+        vu = (msg.z - 500) / 500.0 * 2.0
+        autopilot.velocity_target = (ve, vn, vu)
+        if msg.r:
+            autopilot.target_yaw = (autopilot.attitude_est.yaw
+                                    + msg.r / 1000.0 * 0.5)
+
+    def fc_heartbeat(self) -> Heartbeat:
+        return self.drone.autopilot.make_heartbeat()
+
+    def fc_global_position(self) -> GlobalPositionInt:
+        return self.drone.autopilot.make_global_position()
+
+    def fc_position(self) -> GeoPoint:
+        return self.drone.autopilot.position()
+
+    def fc_set_mode(self, mode: CopterMode) -> None:
+        self.drone.autopilot.set_mode(mode)
+
+    def fc_set_geofence(self, fence: Geofence, on_breach: Callable) -> None:
+        self.drone.autopilot.set_geofence(fence, enabled=True)
+        self.drone.autopilot.on_breach = on_breach
+
+    def fc_clear_geofence(self) -> None:
+        self.drone.autopilot.set_geofence(None, enabled=False)
+        self.drone.autopilot.on_breach = None
+
+    def fc_recover_to(self, point: GeoPoint, on_recovered: Callable,
+                      accept_m: float = 4.0) -> None:
+        """Guide the vehicle to ``point`` (geofence recovery), then call
+        back.  Temporarily takes the vehicle into GUIDED under proxy
+        control; tenant commands are declined meanwhile."""
+        autopilot = self.drone.autopilot
+        autopilot.set_mode(CopterMode.GUIDED)
+        autopilot.handle_command(CommandLong(
+            command=int(MavCommand.NAV_WAYPOINT),
+            param5=point.latitude, param6=point.longitude,
+            param7=point.altitude_m,
+        ))
+
+        def poll():
+            if autopilot.position().horizontal_distance_to(point) <= accept_m:
+                on_recovered()
+            else:
+                self.sim.after(250_000, poll)
+
+        self.sim.after(250_000, poll)

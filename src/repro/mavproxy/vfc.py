@@ -1,0 +1,244 @@
+"""The Virtual Flight Controller.
+
+Each virtual drone connects to its own VFC, which (Section 4.3):
+
+* before the waypoint, "presents a view of their drone as idle on the
+  ground at the waypoint ... and declines any commands";
+* "as the real drone approaches a waypoint, the virtual drone presented
+  automatically takes off to meet the physical drone's position";
+* while active, forwards commands subject to the restriction template and
+  the geofence;
+* if the tenant has continuous devices, shows the *actual* position
+  between waypoints (no discrepancy with device readings) but still
+  declines commands;
+* after the tenant finishes, "presents the drone as landing, where it
+  stays for the remainder of the flight";
+* on geofence breach runs: inform the virtual drone, disable commands,
+  guide the drone back inside, loiter, then return control.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, List, Optional
+
+from repro.flight.geo import GeoPoint
+from repro.flight.geofence import Geofence, GeofenceBreach
+from repro.mavlink.enums import (
+    CUSTOM_MODE_ENABLED,
+    SAFETY_ARMED,
+    CopterMode,
+    MavCommand,
+    MavResult,
+    MavState,
+)
+from repro.mavlink.messages import (
+    CommandAck,
+    CommandLong,
+    GlobalPositionInt,
+    Heartbeat,
+    ManualControl,
+    MavlinkMessage,
+    SetPositionTarget,
+    Statustext,
+)
+from repro.mavproxy.whitelist import RestrictionTemplate
+
+
+class VfcState(enum.Enum):
+    INACTIVE = "inactive"       # waypoint not yet reached: idle-on-ground view
+    APPROACHING = "approaching" # synthetic takeoff to meet the real drone
+    ACTIVE = "active"           # commands accepted (whitelisted, geofenced)
+    RECOVERING = "recovering"   # breach recovery in progress
+    FINISHED = "finished"       # landing/landed view for the rest of the flight
+
+
+class VirtualFlightController:
+    """One tenant's restricted, virtualized flight-controller connection."""
+
+    def __init__(
+        self,
+        proxy,
+        container: str,
+        template: RestrictionTemplate,
+        waypoint: Optional[GeoPoint] = None,
+        continuous_view: bool = False,
+    ):
+        self.proxy = proxy
+        self.container = container
+        self.template = template
+        self.waypoint = waypoint
+        #: tenant holds continuous devices: real position shown when inactive.
+        self.continuous_view = continuous_view
+        self.state = VfcState.INACTIVE
+        self.geofence: Optional[Geofence] = None
+        self.commands_accepted = 0
+        self.commands_denied = 0
+        #: messages queued for the tenant (statustexts, acks of virtual view).
+        self.outbox: List[MavlinkMessage] = []
+        self._virtual_alt_m = 0.0
+
+    # -- lifecycle driven by the proxy / flight planner -----------------------------
+    def activate(self, geofence: Geofence) -> None:
+        """Waypoint reached: give the tenant control within the fence."""
+        self.geofence = geofence
+        self.state = VfcState.ACTIVE
+        self.proxy.fc_set_geofence(geofence, on_breach=self._handle_breach)
+        self.outbox.append(Statustext(severity=6, text="waypoint active: control granted"))
+
+    def begin_approach(self) -> None:
+        if self.state is VfcState.INACTIVE:
+            self.state = VfcState.APPROACHING
+
+    def deactivate(self, next_waypoint: Optional[GeoPoint] = None) -> None:
+        """Intermediate waypoint done: back to the inactive view, anchored
+        at the tenant's next waypoint."""
+        if self.state in (VfcState.ACTIVE, VfcState.RECOVERING):
+            self.proxy.fc_clear_geofence()
+        self.geofence = None
+        if next_waypoint is not None:
+            self.waypoint = next_waypoint
+        self._virtual_alt_m = 0.0
+        self.state = VfcState.INACTIVE
+        self.outbox.append(Statustext(severity=6, text="waypoint complete: moving on"))
+
+    def finish(self) -> None:
+        """Tenant done (or forced done): back to the landing view."""
+        if self.state is VfcState.ACTIVE or self.state is VfcState.RECOVERING:
+            self.proxy.fc_clear_geofence()
+        self.state = VfcState.FINISHED
+        self.geofence = None
+        self.outbox.append(Statustext(severity=6, text="waypoint complete: control revoked"))
+
+    # -- the tenant-facing MAVLink entry point ------------------------------------------
+    def send(self, msg: MavlinkMessage) -> Optional[MavlinkMessage]:
+        """Handle one message from the tenant; returns the reply (if any)."""
+        if isinstance(msg, CommandLong):
+            result = self._filter_command(msg)
+            if result is None:
+                ack_result = self.proxy.fc_command(msg)
+                self.commands_accepted += 1
+                return CommandAck(command=msg.command, result=int(ack_result))
+            self.commands_denied += 1
+            return CommandAck(command=msg.command, result=int(result))
+        if isinstance(msg, SetPositionTarget):
+            denied = self._filter_position_target(msg)
+            if denied is None:
+                self.commands_accepted += 1
+                self.proxy.fc_position_target(msg)
+            else:
+                self.commands_denied += 1
+            return None
+        if isinstance(msg, ManualControl):
+            if self.state is VfcState.ACTIVE and self.template.allow_manual_control:
+                self.commands_accepted += 1
+                self.proxy.fc_manual_control(msg, self)
+            else:
+                self.commands_denied += 1
+            return None
+        return None
+
+    def _declines(self) -> bool:
+        return self.state is not VfcState.ACTIVE
+
+    def _filter_command(self, cmd: CommandLong) -> Optional[MavResult]:
+        """None = forward to the FC; a MavResult = decline with that code."""
+        if self._declines():
+            return MavResult.TEMPORARILY_REJECTED
+        if cmd.command == MavCommand.DO_SET_MODE:
+            if not self.template.permits_mode(int(cmd.param2)):
+                return MavResult.DENIED
+            return None
+        if cmd.command == MavCommand.COMPONENT_ARM_DISARM:
+            # Arming is implicit while active; tenants may not disarm the
+            # real vehicle mid-flight.
+            return MavResult.DENIED
+        # Guided-only tenants may not issue commands at all.
+        if not self.template.permits_command(cmd.command):
+            return MavResult.DENIED
+        if cmd.command == MavCommand.NAV_WAYPOINT and self.geofence is not None:
+            target = GeoPoint(cmd.param5, cmd.param6, cmd.param7)
+            if not self.geofence.contains(target):
+                self.outbox.append(Statustext(
+                    severity=4, text="waypoint outside geofence: denied"))
+                return MavResult.DENIED
+        return None
+
+    def _filter_position_target(self, msg: SetPositionTarget) -> Optional[MavResult]:
+        if self._declines():
+            return MavResult.TEMPORARILY_REJECTED
+        uses_velocity = bool(msg.type_mask & 0x0007) and not (msg.type_mask & 0x0038)
+        if uses_velocity and not self.template.allow_velocity_targets:
+            return MavResult.DENIED
+        if not uses_velocity and not self.template.allow_position_targets:
+            return MavResult.DENIED
+        if not uses_velocity and self.geofence is not None:
+            target = GeoPoint(msg.lat_int / 1e7, msg.lon_int / 1e7, msg.alt)
+            if not self.geofence.contains(target):
+                self.outbox.append(Statustext(
+                    severity=4, text="target outside geofence: denied"))
+                return MavResult.DENIED
+        return None
+
+    # -- the virtualized view ----------------------------------------------------------
+    def heartbeat(self) -> Heartbeat:
+        real = self.proxy.fc_heartbeat()
+        if self.state is VfcState.ACTIVE or self.state is VfcState.RECOVERING:
+            return real
+        if self.state is VfcState.APPROACHING:
+            return Heartbeat(custom_mode=int(CopterMode.GUIDED),
+                             base_mode=CUSTOM_MODE_ENABLED | SAFETY_ARMED,
+                             system_status=int(MavState.ACTIVE))
+        # Idle on the ground (INACTIVE) or landed (FINISHED).
+        return Heartbeat(custom_mode=int(CopterMode.STABILIZE),
+                         base_mode=CUSTOM_MODE_ENABLED,
+                         system_status=int(MavState.STANDBY))
+
+    def global_position(self) -> GlobalPositionInt:
+        real = self.proxy.fc_global_position()
+        if self.state in (VfcState.ACTIVE, VfcState.RECOVERING):
+            return real
+        if self.continuous_view:
+            # "To prevent a discrepancy between the view of the drone and
+            # device readings, the actual drone's position is given."
+            return real
+        anchor = self.waypoint or self.proxy.home
+        if self.state is VfcState.APPROACHING:
+            # Synthetic takeoff: climb the virtual drone toward the real
+            # altitude as the real vehicle closes in.
+            real_alt = real.relative_alt / 1000.0
+            self._virtual_alt_m = min(real_alt, self._virtual_alt_m + 1.5)
+            alt = self._virtual_alt_m
+        else:
+            alt = 0.0
+        return GlobalPositionInt(
+            time_boot_ms=real.time_boot_ms,
+            lat=int(round(anchor.latitude * 1e7)),
+            lon=int(round(anchor.longitude * 1e7)),
+            alt=int(round(alt * 1000)),
+            relative_alt=int(round(alt * 1000)),
+            vx=0, vy=0, vz=0, hdg=real.hdg,
+        )
+
+    def drain_outbox(self) -> List[MavlinkMessage]:
+        messages, self.outbox = self.outbox, []
+        return messages
+
+    # -- breach recovery -------------------------------------------------------------------
+    def _handle_breach(self, breach: GeofenceBreach) -> None:
+        """AnDrone's modified geofence action (Section 4.3)."""
+        # 1. Inform the virtual drone of the breach.
+        self.outbox.append(Statustext(severity=4, text=str(breach)))
+        # 2. Disable commands on the VFC connection.
+        self.state = VfcState.RECOVERING
+        # 3. Guide the drone back inside the geofence.
+        recovery = breach.fence.recovery_point(self.proxy.fc_position())
+        self.proxy.fc_recover_to(recovery, on_recovered=self._recovery_done)
+
+    def _recovery_done(self) -> None:
+        # 4. Switch to loiter to hold position, then return control.
+        self.proxy.fc_set_mode(CopterMode.LOITER)
+        if self.state is VfcState.RECOVERING:
+            self.state = VfcState.ACTIVE
+            self.outbox.append(Statustext(
+                severity=6, text="geofence recovery complete: control returned"))

@@ -1,0 +1,95 @@
+"""MAVLink command whitelists.
+
+"The extent of the restricted commands is configurable via a whitelist of
+MAVLink commands available as a number of preconfigured whitelist
+templates which are customizable by the service provider" (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import FrozenSet, Set
+
+from repro.mavlink.enums import CopterMode, MavCommand
+
+
+@dataclass(frozen=True)
+class RestrictionTemplate:
+    """What a VFC connection may do."""
+
+    name: str
+    allowed_commands: FrozenSet[MavCommand]
+    allowed_modes: FrozenSet[CopterMode]
+    allow_position_targets: bool = True
+    allow_velocity_targets: bool = False
+    allow_manual_control: bool = False
+
+    def permits_command(self, command: int) -> bool:
+        try:
+            return MavCommand(command) in self.allowed_commands
+        except ValueError:
+            return False
+
+    def permits_mode(self, mode: int) -> bool:
+        try:
+            return CopterMode(mode) in self.allowed_modes
+        except ValueError:
+            return False
+
+    def customized(self, **changes) -> "RestrictionTemplate":
+        """Service-provider customization: a modified copy."""
+        return replace(self, **changes)
+
+
+#: "The most restrictive template available will only allow the drone to
+#: operate in guided mode wherein only a desired GPS position may be
+#: given."
+GUIDED_ONLY = RestrictionTemplate(
+    name="guided-only",
+    allowed_commands=frozenset(),
+    allowed_modes=frozenset(),
+    allow_position_targets=True,
+    allow_velocity_targets=False,
+    allow_manual_control=False,
+)
+
+#: Standard autonomy: guided navigation plus camera/gimbal and speed
+#: control, but no mode free-for-all and no manual stick input.
+STANDARD = RestrictionTemplate(
+    name="standard",
+    allowed_commands=frozenset({
+        MavCommand.NAV_WAYPOINT,
+        MavCommand.NAV_TAKEOFF,
+        MavCommand.NAV_LOITER_UNLIM,
+        MavCommand.CONDITION_YAW,
+        MavCommand.DO_CHANGE_SPEED,
+        MavCommand.DO_DIGICAM_CONTROL,
+        MavCommand.DO_MOUNT_CONTROL,
+        MavCommand.REQUEST_MESSAGE,
+        MavCommand.SET_MESSAGE_INTERVAL,
+    }),
+    allowed_modes=frozenset({CopterMode.GUIDED, CopterMode.LOITER,
+                             CopterMode.BRAKE}),
+    allow_position_targets=True,
+    allow_velocity_targets=True,
+    allow_manual_control=False,
+)
+
+#: "The least restrictive template allows for full control of the drone so
+#: long as it remains within the geofence."
+FULL = RestrictionTemplate(
+    name="full",
+    allowed_commands=frozenset(
+        cmd for cmd in MavCommand
+        if cmd not in (MavCommand.DO_FENCE_ENABLE, MavCommand.DO_SET_HOME)
+    ),
+    allowed_modes=frozenset({
+        CopterMode.STABILIZE, CopterMode.ALT_HOLD, CopterMode.GUIDED,
+        CopterMode.LOITER, CopterMode.POSHOLD, CopterMode.BRAKE,
+    }),
+    allow_position_targets=True,
+    allow_velocity_targets=True,
+    allow_manual_control=True,
+)
+
+TEMPLATES = {t.name: t for t in (GUIDED_ONLY, STANDARD, FULL)}

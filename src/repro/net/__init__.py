@@ -1,0 +1,23 @@
+"""Network simulation.
+
+Models the links AnDrone's evaluation exercises: cellular LTE between the
+drone and cloud/users (Section 6.5), campus WiFi, wired Ethernet, and the
+hobby-grade RF remote-control link used as the comparison baseline.  Links
+have stochastic latency, rare loss, and optional bandwidth limits; message
+delivery rides the shared discrete-event clock.
+"""
+
+from repro.net.link import LinkModel, cellular_lte, wifi, wired_ethernet, rf_remote, loopback
+from repro.net.network import Network, Endpoint, Channel
+
+__all__ = [
+    "LinkModel",
+    "cellular_lte",
+    "wifi",
+    "wired_ethernet",
+    "rf_remote",
+    "loopback",
+    "Network",
+    "Endpoint",
+    "Channel",
+]

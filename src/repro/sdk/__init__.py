@@ -1,0 +1,16 @@
+"""The AnDrone SDK (paper Section 5).
+
+Apps use the SDK to learn about AnDrone-specific events (waypoint arrival
+and departure, allotment warnings, geofence breaches, continuous-device
+suspension) and to act on them (complete a waypoint, mark files for the
+user, find the virtual flight controller).  Advanced users without an app
+get the same functionality through :class:`~repro.sdk.cli.AndroneCli`.
+"""
+
+from repro.sdk.listener import Waypoint, WaypointListener
+from repro.sdk.androne_sdk import AndroneSdk
+from repro.sdk.cli import AndroneCli
+from repro.sdk.frontend import AppFrontendChannel, UserFrontendClient
+
+__all__ = ["Waypoint", "WaypointListener", "AndroneSdk", "AndroneCli",
+           "AppFrontendChannel", "UserFrontendClient"]

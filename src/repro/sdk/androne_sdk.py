@@ -1,0 +1,120 @@
+"""The AnDrone SDK implementation (paper Figure 7).
+
+One SDK instance exists per virtual drone container; apps in the
+container share it (as they would share the SDK's bound service).  The
+VDC holds the other end and invokes the ``notify_*`` methods; user code
+only ever sees the public snake_case equivalents of the paper's API:
+
+=============================  =======================================
+Paper (Java)                   Here
+=============================  =======================================
+registerWaypointListener(l)    register_waypoint_listener(l)
+waypointCompleted()            waypoint_completed()
+getFlightControllerIP()        get_flight_controller_ip()
+markFileForUser(path)          mark_file_for_user(path)
+getAllottedEnergyLeft()        get_allotted_energy_left()
+getAllottedTimeLeft()          get_allotted_time_left()
+=============================  =======================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.sdk.listener import Waypoint, WaypointListener
+
+
+class AndroneSdk:
+    """The per-container SDK endpoint."""
+
+    def __init__(self, container: str, vdc, flight_controller_ip: str,
+                 intent_bus=None):
+        self.container = container
+        self._vdc = vdc
+        self._fc_ip = flight_controller_ip
+        self._listeners: List[WaypointListener] = []
+        self.marked_files: List[str] = []
+        self.events: List[str] = []   # audit trail of delivered callbacks
+        #: when attached, every SDK event is also broadcast as an intent
+        #: on the container's bus (manifest-registered receivers).
+        self.intent_bus = intent_bus
+
+    # -- app-facing API --------------------------------------------------------------
+    def register_waypoint_listener(self, listener: WaypointListener) -> None:
+        self._listeners.append(listener)
+
+    def waypoint_completed(self) -> None:
+        """The app is done at the current waypoint; the VDC moves on."""
+        self._vdc.waypoint_completed(self.container)
+
+    def get_flight_controller_ip(self) -> str:
+        return self._fc_ip
+
+    def mark_file_for_user(self, path: str) -> None:
+        """Queue a container file for upload to cloud storage after the
+        flight."""
+        self.marked_files.append(path)
+
+    def get_allotted_energy_left(self) -> float:
+        return self._vdc.energy_left(self.container)
+
+    def get_allotted_time_left(self) -> float:
+        return self._vdc.time_left(self.container)
+
+    # -- VDC-facing notification entry points ---------------------------------------------
+    _EVENT_ACTIONS = {
+        "waypointActive": "androne.intent.action.WAYPOINT_ACTIVE",
+        "waypointInactive": "androne.intent.action.WAYPOINT_INACTIVE",
+        "lowEnergyWarning": "androne.intent.action.LOW_ENERGY",
+        "lowTimeWarning": "androne.intent.action.LOW_TIME",
+        "geofenceBreached": "androne.intent.action.GEOFENCE_BREACHED",
+        "suspendContinuousDevices": "androne.intent.action.SUSPEND_CONTINUOUS",
+        "resumeContinuousDevices": "androne.intent.action.RESUME_CONTINUOUS",
+    }
+
+    def _dispatch(self, event: str, call: Callable[[WaypointListener], None],
+                  extras: dict = None) -> None:
+        self.events.append(event)
+        for listener in self._listeners:
+            call(listener)
+        if self.intent_bus is not None:
+            from repro.android.intents import Intent
+
+            self.intent_bus.send_broadcast(Intent(
+                action=self._EVENT_ACTIONS[event],
+                extras=extras or {},
+                sender_package="androne.sdk",
+            ))
+
+    def notify_waypoint_active(self, waypoint: Waypoint) -> None:
+        self._dispatch("waypointActive",
+                       lambda l: l.waypoint_active(waypoint),
+                       extras={"index": waypoint.index,
+                               "latitude": waypoint.latitude,
+                               "longitude": waypoint.longitude})
+
+    def notify_waypoint_inactive(self, waypoint: Waypoint) -> None:
+        self._dispatch("waypointInactive",
+                       lambda l: l.waypoint_inactive(waypoint),
+                       extras={"index": waypoint.index})
+
+    def notify_low_energy(self, remaining_j: float) -> None:
+        self._dispatch("lowEnergyWarning",
+                       lambda l: l.low_energy_warning(remaining_j),
+                       extras={"remaining_j": remaining_j})
+
+    def notify_low_time(self, remaining_s: float) -> None:
+        self._dispatch("lowTimeWarning",
+                       lambda l: l.low_time_warning(remaining_s),
+                       extras={"remaining_s": remaining_s})
+
+    def notify_geofence_breached(self) -> None:
+        self._dispatch("geofenceBreached", lambda l: l.geofence_breached())
+
+    def notify_suspend_continuous(self) -> None:
+        self._dispatch("suspendContinuousDevices",
+                       lambda l: l.suspend_continuous_devices())
+
+    def notify_resume_continuous(self) -> None:
+        self._dispatch("resumeContinuousDevices",
+                       lambda l: l.resume_continuous_devices())

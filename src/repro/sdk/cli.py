@@ -1,0 +1,96 @@
+"""Command-line access to the SDK.
+
+"For advanced end users, who may not be using an app, AnDrone's SDK
+functionality is also made available to them via a command line utility"
+(Section 5).  The CLI parses shell-style commands against an
+:class:`~repro.sdk.androne_sdk.AndroneSdk` instance and returns text, the
+way the real utility would print to the tenant's remote console.
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import Callable, Dict, List
+
+from repro.sdk.androne_sdk import AndroneSdk
+from repro.sdk.listener import Waypoint, WaypointListener
+
+
+class _CliListener(WaypointListener):
+    """Buffers events so the CLI user can poll them with ``events``."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+
+    def waypoint_active(self, waypoint: Waypoint) -> None:
+        self.lines.append(
+            f"EVENT waypoint-active {waypoint.index} "
+            f"{waypoint.latitude:.7f},{waypoint.longitude:.7f}"
+        )
+
+    def waypoint_inactive(self, waypoint: Waypoint) -> None:
+        self.lines.append(f"EVENT waypoint-inactive {waypoint.index}")
+
+    def low_energy_warning(self, remaining_j: float) -> None:
+        self.lines.append(f"EVENT low-energy {remaining_j:.0f}J")
+
+    def low_time_warning(self, remaining_s: float) -> None:
+        self.lines.append(f"EVENT low-time {remaining_s:.0f}s")
+
+    def geofence_breached(self) -> None:
+        self.lines.append("EVENT geofence-breached")
+
+    def suspend_continuous_devices(self) -> None:
+        self.lines.append("EVENT suspend-continuous-devices")
+
+    def resume_continuous_devices(self) -> None:
+        self.lines.append("EVENT resume-continuous-devices")
+
+
+class AndroneCli:
+    """The ``androne`` command-line utility."""
+
+    def __init__(self, sdk: AndroneSdk):
+        self.sdk = sdk
+        self._listener = _CliListener()
+        sdk.register_waypoint_listener(self._listener)
+
+    def run(self, command_line: str) -> str:
+        """Execute one command; returns its output text."""
+        parts = shlex.split(command_line)
+        if not parts:
+            return "error: empty command"
+        command, args = parts[0], parts[1:]
+        handlers: Dict[str, Callable[[List[str]], str]] = {
+            "help": self._help,
+            "energy-left": lambda a: f"{self.sdk.get_allotted_energy_left():.0f} J",
+            "time-left": lambda a: f"{self.sdk.get_allotted_time_left():.0f} s",
+            "fc-ip": lambda a: self.sdk.get_flight_controller_ip(),
+            "waypoint-completed": self._waypoint_completed,
+            "mark-file": self._mark_file,
+            "events": self._events,
+        }
+        handler = handlers.get(command)
+        if handler is None:
+            return f"error: unknown command {command!r} (try 'help')"
+        return handler(args)
+
+    def _help(self, args: List[str]) -> str:
+        return (
+            "commands: energy-left | time-left | fc-ip | waypoint-completed"
+            " | mark-file <path> | events | help"
+        )
+
+    def _waypoint_completed(self, args: List[str]) -> str:
+        self.sdk.waypoint_completed()
+        return "ok"
+
+    def _mark_file(self, args: List[str]) -> str:
+        if len(args) != 1:
+            return "usage: mark-file <path>"
+        self.sdk.mark_file_for_user(args[0])
+        return f"marked {args[0]}"
+
+    def _events(self, args: List[str]) -> str:
+        lines, self._listener.lines = self._listener.lines, []
+        return "\n".join(lines) if lines else "(no events)"

@@ -1,0 +1,99 @@
+"""App front-ends.
+
+"The app may supply a front-end that the user can run on their smartphone
+or in a web browser to see additional status information or make
+additional input" (Section 2).  The drone side pushes status over the
+tenant's per-container VPN; the user side renders it and sends inputs
+back — e.g. an RC app forwarding the camera feed and receiving stick
+input, as in the paper's usage model.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.containers.vpn import VpnTunnel
+from repro.net.link import LinkModel, cellular_lte
+from repro.net.network import Network
+
+
+class AppFrontendChannel:
+    """The drone-side half, owned by an app."""
+
+    def __init__(self, network: Network, container: str, package: str,
+                 user_address: str, link: Optional[LinkModel] = None):
+        self.package = package
+        self.tunnel = VpnTunnel(
+            network, container,
+            local_address=f"10.99.0.3:{7000 + abs(hash(package)) % 1000}",
+            remote_address=user_address,
+            link=link or cellular_lte(),
+        )
+        self._input_handler: Optional[Callable[[Dict], None]] = None
+        self.statuses_pushed = 0
+        self._seq = 0
+        self.tunnel.on_local_receive(self._receive)
+
+    def push_status(self, status: Dict[str, Any]) -> None:
+        """Send a status update (position, progress, thumbnails...)."""
+        payload = json.dumps({"type": "status", "package": self.package,
+                              "seq": self._next_seq(), "data": status})
+        self.statuses_pushed += 1
+        self.tunnel.send_to_remote(payload, nbytes=len(payload))
+
+    def push_camera_frame(self, frame: Dict[str, Any]) -> None:
+        """Forward a (down-scaled) camera frame to the user's client."""
+        payload = json.dumps({"type": "frame", "package": self.package,
+                              "seq": self._next_seq(), "data": frame})
+        self.tunnel.send_to_remote(payload, nbytes=24_000)  # ~preview JPEG
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def on_input(self, handler: Callable[[Dict], None]) -> None:
+        self._input_handler = handler
+
+    def _receive(self, payload: str, source: str) -> None:
+        message = json.loads(payload)
+        if message.get("type") == "input" and self._input_handler is not None:
+            self._input_handler(message["data"])
+
+
+class UserFrontendClient:
+    """The smartphone/browser half."""
+
+    def __init__(self, channel: AppFrontendChannel):
+        # The user client shares the tunnel endpoint handed out when the
+        # portal provisioned access (same VPN keys).
+        self._channel = channel
+        self._status_entries: List = []
+        self._frame_entries: List = []
+        channel.tunnel.on_remote_receive(self._receive)
+
+    @property
+    def statuses(self) -> List[Dict]:
+        """Status updates in channel order (reordered by sequence)."""
+        return [data for _, data in sorted(self._status_entries)]
+
+    @property
+    def frames(self) -> List[Dict]:
+        return [data for _, data in sorted(self._frame_entries)]
+
+    def _receive(self, payload: str, source: str) -> None:
+        # Datagram channels can reorder; the client re-sorts on the
+        # channel's sequence numbers.
+        message = json.loads(payload)
+        entry = (message.get("seq", 0), message["data"])
+        if message["type"] == "status":
+            self._status_entries.append(entry)
+        elif message["type"] == "frame":
+            self._frame_entries.append(entry)
+
+    def send_input(self, data: Dict[str, Any]) -> None:
+        payload = json.dumps({"type": "input", "data": data})
+        self._channel.tunnel.send_to_local(payload, nbytes=len(payload))
+
+    def latest_status(self) -> Optional[Dict]:
+        return self.statuses[-1] if self.statuses else None

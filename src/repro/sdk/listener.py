@@ -1,0 +1,46 @@
+"""The WaypointListener callback class (paper Figure 8)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Waypoint:
+    """The waypoint handed to listener callbacks."""
+
+    index: int
+    latitude: float
+    longitude: float
+    altitude: float
+    max_radius: float
+
+
+class WaypointListener:
+    """Subclass (or instantiate and overwrite attributes) to receive
+    AnDrone events.  All callbacks default to no-ops, as in the SDK."""
+
+    def waypoint_active(self, waypoint: Waypoint) -> None:
+        """Arrived at a waypoint: flight control and waypoint devices are
+        now available."""
+
+    def waypoint_inactive(self, waypoint: Waypoint) -> None:
+        """Leaving the waypoint: flight control and waypoint devices are
+        about to be removed."""
+
+    def low_energy_warning(self, remaining_j: float) -> None:
+        """The energy allotment is running low."""
+
+    def low_time_warning(self, remaining_s: float) -> None:
+        """The time allotment is running low."""
+
+    def geofence_breached(self) -> None:
+        """The geofence was breached; control is suspended until a
+        subsequent waypoint_active() signals recovery."""
+
+    def suspend_continuous_devices(self) -> None:
+        """Another tenant's waypoint is being serviced: continuous device
+        access must be suspended."""
+
+    def resume_continuous_devices(self) -> None:
+        """The other tenant is done: continuous access is restored."""

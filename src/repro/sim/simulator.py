@@ -1,0 +1,140 @@
+"""The discrete-event simulator: a clock and an ordered event queue.
+
+An :class:`Event` is a callback scheduled at an absolute virtual time.
+Events at the same timestamp fire in the order they were scheduled, which
+keeps runs deterministic.  Components either schedule callbacks directly or
+run generator-based :class:`~repro.sim.process.Process` objects on top of
+the simulator.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulator (e.g. scheduling in the past)."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Events support cancellation: a cancelled event stays in the heap but is
+    skipped when popped.  This makes cancel O(1) and keeps the heap simple.
+    """
+
+    __slots__ = ("time", "seq", "fn", "cancelled")
+
+    def __init__(self, time: int, seq: int, fn: Callable[[], Any]):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event's callback from running."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time}us seq={self.seq}{state}>"
+
+
+class Simulator:
+    """Single-threaded discrete-event simulator with a microsecond clock."""
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._seq = 0
+        self._queue: List[Event] = []
+        self._running = False
+
+    @property
+    def now(self) -> int:
+        """Current virtual time in integer microseconds."""
+        return self._now
+
+    def at(self, time: int, fn: Callable[[], Any]) -> Event:
+        """Schedule ``fn`` to run at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time}us, clock is at {self._now}us"
+            )
+        event = Event(int(time), self._seq, fn)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def after(self, delay: int, fn: Callable[[], Any]) -> Event:
+        """Schedule ``fn`` to run ``delay`` microseconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}us")
+        return self.at(self._now + int(delay), fn)
+
+    def call_soon(self, fn: Callable[[], Any]) -> Event:
+        """Schedule ``fn`` at the current time, after already-queued events."""
+        return self.after(0, fn)
+
+    def peek(self) -> Optional[int]:
+        """Return the time of the next pending event, or ``None`` if idle."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        if not self._queue:
+            return None
+        return self._queue[0].time
+
+    def step(self) -> bool:
+        """Run the next event.  Returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.fn()
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Drain the event queue.
+
+        Args:
+            until: stop once the clock would pass this absolute time.  The
+                clock is advanced to ``until`` even if the queue empties
+                earlier, mirroring real time passing with nothing to do.
+            max_events: safety valve against runaway simulations.
+
+        Returns:
+            The number of events executed.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while True:
+                if max_events is not None and executed >= max_events:
+                    break
+                next_time = self.peek()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = int(until)
+        return executed
+
+    def run_for(self, duration: int, max_events: Optional[int] = None) -> int:
+        """Run the simulation for ``duration`` microseconds from now."""
+        return self.run(until=self._now + int(duration), max_events=max_events)
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)

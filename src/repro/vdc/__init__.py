@@ -1,0 +1,26 @@
+"""The Virtual Drone Controller (VDC) and virtual drone definitions.
+
+The VDC is "a daemon running natively on the host OS of the physical
+drone responsible for managing virtual drone containers" (Section 4.4):
+it creates containers from JSON definitions, manages device access (and
+*revocation* — beyond Android's grant-once model), enforces energy and
+time allotments, and saves virtual drones to the VDR for resumption.
+"""
+
+from repro.vdc.definition import (
+    VirtualDroneDefinition,
+    WaypointSpec,
+    DefinitionError,
+)
+from repro.vdc.device_access import DeviceAccessPolicy, TenantPhase
+from repro.vdc.controller import VirtualDroneController, VirtualDrone
+
+__all__ = [
+    "VirtualDroneDefinition",
+    "WaypointSpec",
+    "DefinitionError",
+    "DeviceAccessPolicy",
+    "TenantPhase",
+    "VirtualDroneController",
+    "VirtualDrone",
+]

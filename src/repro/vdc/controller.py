@@ -1,0 +1,364 @@
+"""The VDC daemon.
+
+Wires together everything on the drone: container runtime, Android
+environments, the device-access policy (installed as the device
+container's permission hook), per-tenant SDKs, VFCs, and the energy/time
+allotment enforcement.  The cloud flight planner drives it with
+``waypoint_reached`` / ``waypoint_left`` notifications; apps drive it
+through the SDK's ``waypoint_completed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.android.environment import AndroidEnvironment
+from repro.android.manifest import AndroidManifest, AnDroneManifest
+from repro.flight.geofence import Geofence
+from repro.mavproxy.whitelist import RestrictionTemplate, TEMPLATES
+from repro.sdk.androne_sdk import AndroneSdk
+from repro.sdk.listener import Waypoint
+from repro.vdc.definition import VirtualDroneDefinition
+from repro.vdc.device_access import DeviceAccessPolicy, TenantPhase
+
+#: Memory footprint of one Android Things virtual drone (Section 6.3).
+VDRONE_MEMORY_KB = 185 * 1024
+
+
+class VirtualDrone:
+    """Everything belonging to one tenant on this drone."""
+
+    def __init__(self, definition: VirtualDroneDefinition, container, env, sdk, vfc):
+        self.definition = definition
+        self.name = definition.name
+        self.container = container
+        self.env = env
+        self.sdk = sdk
+        self.vfc = vfc
+        #: Index of the waypoint currently being serviced, if any.  The
+        #: planner may visit a tenant's waypoints in any order (Section 4's
+        #: stated limitation), so visits are tracked as a set.
+        self.current_index: Optional[int] = None
+        self.completed: set = set()
+        self.active_time_s = 0.0
+        self._active_since_us: Optional[int] = None
+        self.energy_baseline_j = 0.0
+        self.finished = False
+        self.force_finished_reason: Optional[str] = None
+        self._warned_energy = False
+        self._warned_time = False
+
+    def next_unvisited(self) -> Optional[int]:
+        for index in range(len(self.definition.waypoints)):
+            if index not in self.completed:
+                return index
+        return None
+
+    def waypoint(self, index: int) -> Waypoint:
+        spec = self.definition.waypoints[index]
+        return Waypoint(index, spec.latitude, spec.longitude,
+                        spec.altitude, spec.max_radius)
+
+
+class VirtualDroneController:
+    """The host daemon managing virtual drones (Section 4.4)."""
+
+    def __init__(
+        self,
+        sim,
+        kernel,
+        runtime,
+        driver,
+        device_env: AndroidEnvironment,
+        proxy,
+        battery,
+        base_image_tag: str = "android-things",
+        vdr=None,
+        cloud_storage=None,
+        default_template: Optional[RestrictionTemplate] = None,
+    ):
+        self.sim = sim
+        self.kernel = kernel
+        self.runtime = runtime
+        self.driver = driver
+        self.device_env = device_env
+        self.proxy = proxy
+        self.battery = battery
+        self.base_image_tag = base_image_tag
+        self.vdr = vdr
+        self.cloud_storage = cloud_storage
+        self.default_template = default_template or TEMPLATES["standard"]
+        self.policy = DeviceAccessPolicy()
+        device_env.permission_hook = self.policy.allows
+        self.drones: Dict[str, VirtualDrone] = {}
+        self.active_tenant: Optional[str] = None
+        #: invoked with (tenant_name,) when a tenant finishes a waypoint
+        #: (voluntarily or forced) — the flight planner listens here.
+        self.on_waypoint_done: Optional[Callable[[str], None]] = None
+        self._enforcement_running = False
+        self.killed_processes: List[Tuple[str, int]] = []
+
+    # ------------------------------------------------------------ creation
+    def create_virtual_drone(
+        self,
+        definition: VirtualDroneDefinition,
+        app_manifests: Optional[Dict[str, Tuple[AndroidManifest, Optional[AnDroneManifest]]]] = None,
+        template: Optional[RestrictionTemplate] = None,
+        resume_diff=None,
+        completed_waypoints=None,
+    ) -> VirtualDrone:
+        """Create (or resume) a virtual drone from its definition."""
+        name = definition.name
+        if name in self.drones:
+            raise ValueError(f"virtual drone {name!r} already exists")
+        if resume_diff is not None:
+            container = self.runtime.import_container(
+                name, self.base_image_tag, resume_diff, VDRONE_MEMORY_KB)
+        else:
+            container = self.runtime.create(name, self.base_image_tag, VDRONE_MEMORY_KB)
+        container.start()
+        env = AndroidEnvironment(self.driver, name, container.namespaces.device_ns)
+        env.retry_am_forwarding()
+        self.device_env.service_manager.publish_shared_into(
+            container.namespaces.device_ns, self.driver)
+        env.system_server.start()
+        # Install the definition's apps.
+        for package in definition.apps:
+            manifests = (app_manifests or {}).get(package)
+            if manifests is None:
+                raise ValueError(f"no manifests supplied for app {package!r}")
+            android_manifest, androne_manifest = manifests
+            app = env.install_app(android_manifest, androne_manifest, container=container)
+            container.write_file(f"/data/app/{package}.apk", f"apk:{package}")
+            app.create()
+            app.resume()
+        sdk = AndroneSdk(name, self,
+                         flight_controller_ip=f"10.99.0.2:5760",
+                         intent_bus=env.intents)
+        vfc = self.proxy.create_vfc(
+            name,
+            template or self.default_template,
+            waypoint=definition.waypoints[0].geopoint(),
+            continuous_view=bool(definition.continuous_devices),
+        )
+        drone = VirtualDrone(definition, container, env, sdk, vfc)
+        drone.energy_baseline_j = self.battery.drawn_by(name)
+        if completed_waypoints:
+            # Resumed flight: skip waypoints already serviced; anchor the
+            # idle view at the next remaining one.
+            drone.completed = set(completed_waypoints)
+            remaining = drone.next_unvisited()
+            if remaining is not None:
+                vfc.waypoint = definition.waypoints[remaining].geopoint()
+        self.drones[name] = drone
+        self.policy.register(name, definition)
+        if not self._enforcement_running:
+            self._enforcement_running = True
+            self._enforcement_tick()
+        return drone
+
+    def get(self, name: str) -> VirtualDrone:
+        return self.drones[name]
+
+    # ------------------------------------------------------- waypoint events
+    def waypoint_reached(self, name: str, index: Optional[int] = None) -> None:
+        """Flight planner: the drone has arrived at one of ``name``'s
+        waypoints (``index``; defaults to the first unvisited one)."""
+        drone = self.drones[name]
+        if drone.finished:
+            return
+        if index is None:
+            index = drone.next_unvisited()
+        if index is None or index in drone.completed:
+            raise ValueError(f"{name}: waypoint {index} already completed")
+        drone.current_index = index
+        self.policy.enter_waypoint(name)
+        self.active_tenant = name
+        drone._active_since_us = self.sim.now
+        # Suspend continuous-device tenants (privacy, Section 2).
+        for other_name, other in self.drones.items():
+            if other_name != name and self.policy.phase_of(other_name) is TenantPhase.SUSPENDED:
+                if other.definition.continuous_devices:
+                    other.sdk.notify_suspend_continuous()
+        spec = drone.definition.waypoints[index]
+        if drone.definition.wants_flight_control:
+            fence = Geofence(center=spec.geopoint(), radius_m=spec.max_radius)
+            drone.vfc.activate(fence)
+        drone.sdk.notify_waypoint_active(drone.waypoint(index))
+
+    def waypoint_completed(self, name: str) -> None:
+        """SDK: the app reports it is done at the current waypoint."""
+        self._leave_waypoint(name, forced=False)
+
+    def force_finish(self, name: str, reason: str) -> None:
+        """Allotment exhausted or external interruption (weather, ...)."""
+        drone = self.drones[name]
+        drone.force_finished_reason = reason
+        if self.active_tenant == name:
+            self._leave_waypoint(name, forced=True)
+        else:
+            drone.finished = True
+            self.policy.finish(name)
+
+    def _leave_waypoint(self, name: str, forced: bool) -> None:
+        drone = self.drones[name]
+        index = drone.current_index
+        if index is None:
+            index = drone.next_unvisited() or 0
+        # Accumulate active time against the allotment.
+        if drone._active_since_us is not None:
+            drone.active_time_s += (self.sim.now - drone._active_since_us) / 1e6
+            drone._active_since_us = None
+        drone.sdk.notify_waypoint_inactive(drone.waypoint(index))
+        if not forced:
+            drone.completed.add(index)
+        # else: an interrupted waypoint stays incomplete — the task is
+        # re-attempted when the virtual drone resumes (Section 2).
+        drone.current_index = None
+        self.policy.leave_waypoint(name)
+        if forced:
+            self.policy.finish(name)
+        remaining = drone.next_unvisited()
+        finished = forced or remaining is None
+        if finished:
+            drone.finished = True
+            self.policy.finish(name)
+            drone.vfc.finish()
+        else:
+            drone.vfc.deactivate(drone.definition.waypoints[remaining].geopoint())
+        self._revoke_device_access(name)
+        if self.active_tenant == name:
+            self.active_tenant = None
+        # Resume suspended continuous tenants.
+        for other_name, other in self.drones.items():
+            if other_name != name and other.definition.continuous_devices \
+                    and self.policy.phase_of(other_name) is TenantPhase.BETWEEN:
+                other.sdk.notify_resume_continuous()
+        if self.on_waypoint_done is not None:
+            self.on_waypoint_done(name)
+
+    # ----------------------------------------------------------- revocation
+    def _revoke_device_access(self, name: str) -> None:
+        """Enforce revocation (Section 4.4): apps were asked to stop via
+        the SDK; any process still attached to a device service gets its
+        sessions dropped and is terminated."""
+        drone = self.drones[name]
+        for service in self.device_env.system_server.services.values():
+            lingering = service.clients_from(name)
+            # Only kill for devices the tenant no longer may use.
+            if lingering and not self.policy.allows(name, service.androne_device):
+                service.drop_container(name)
+                for uid in lingering:
+                    self.killed_processes.append((name, uid))
+                    for app in drone.env.apps.values():
+                        if app.uid == uid:
+                            app.destroy()
+
+    # ----------------------------------------------------------- allotments
+    def energy_used(self, name: str) -> float:
+        drone = self.drones[name]
+        return self.battery.drawn_by(name) - drone.energy_baseline_j
+
+    def energy_left(self, name: str) -> float:
+        drone = self.drones[name]
+        return max(0.0, drone.definition.energy_allotted_j - self.energy_used(name))
+
+    def time_used(self, name: str) -> float:
+        drone = self.drones[name]
+        used = drone.active_time_s
+        if drone._active_since_us is not None:
+            used += (self.sim.now - drone._active_since_us) / 1e6
+        return used
+
+    def time_left(self, name: str) -> float:
+        drone = self.drones[name]
+        return max(0.0, drone.definition.max_duration_s - self.time_used(name))
+
+    def _enforcement_tick(self) -> None:
+        for name, drone in list(self.drones.items()):
+            if drone.finished:
+                continue
+            energy_left = self.energy_left(name)
+            time_left = self.time_left(name)
+            allot = drone.definition
+            if not drone._warned_energy and energy_left < 0.25 * allot.energy_allotted_j:
+                drone._warned_energy = True
+                drone.sdk.notify_low_energy(energy_left)
+            if not drone._warned_time and time_left < 0.25 * allot.max_duration_s:
+                drone._warned_time = True
+                drone.sdk.notify_low_time(time_left)
+            if self.active_tenant == name and (energy_left <= 0.0 or time_left <= 0.0):
+                reason = "energy allotment exhausted" if energy_left <= 0.0 \
+                    else "time allotment exhausted"
+                self.force_finish(name, reason)
+        self.sim.after(1_000_000, self._enforcement_tick)
+
+    # ------------------------------------------------ checkpoint migration
+    def checkpoint_virtual_drone(self, name: str):
+        """Transparent (CRIU-style) checkpoint of a virtual drone — the
+        alternative migration path the paper cites (Section 4.4).  Unlike
+        the lifecycle path, apps are not asked to cooperate."""
+        from repro.containers.checkpoint import checkpoint_container
+
+        drone = self.drones[name]
+        return checkpoint_container(drone.container, drone.env,
+                                    self.base_image_tag)
+
+    def restore_virtual_drone(self, image, definition: VirtualDroneDefinition,
+                              template: Optional[RestrictionTemplate] = None) -> VirtualDrone:
+        """Restore a checkpointed virtual drone onto this drone."""
+        from repro.containers.checkpoint import restore_container
+
+        def env_factory(container):
+            env = AndroidEnvironment(self.driver, container.name,
+                                     container.namespaces.device_ns)
+            env.retry_am_forwarding()
+            self.device_env.service_manager.publish_shared_into(
+                container.namespaces.device_ns, self.driver)
+            env.system_server.start()
+            return env
+
+        container, env = restore_container(image, self.runtime, env_factory,
+                                           VDRONE_MEMORY_KB)
+        sdk = AndroneSdk(image.container_name, self,
+                         flight_controller_ip="10.99.0.2:5760")
+        vfc = self.proxy.create_vfc(
+            image.container_name,
+            template or self.default_template,
+            waypoint=definition.waypoints[0].geopoint(),
+            continuous_view=bool(definition.continuous_devices),
+        )
+        drone = VirtualDrone(definition, container, env, sdk, vfc)
+        drone.energy_baseline_j = self.battery.drawn_by(image.container_name)
+        self.drones[image.container_name] = drone
+        self.policy.register(image.container_name, definition)
+        return drone
+
+    # --------------------------------------------------------- flight end
+    def save_all_to_vdr(self) -> Dict[str, str]:
+        """End of flight: stop apps (saving instance state), commit each
+        container, store it in the VDR, and upload marked files.
+
+        Returns a map of tenant name to VDR entry id.
+        """
+        stored: Dict[str, str] = {}
+        for name, drone in self.drones.items():
+            for app in list(drone.env.apps.values()):
+                if app.state.value in ("resumed", "paused", "created"):
+                    app.stop()
+            base_id, diff = self.runtime.export(name, comment=f"flight-end:{name}")
+            if self.cloud_storage is not None:
+                for path in drone.sdk.marked_files:
+                    content = drone.container.read_file(path)
+                    if content is not None:
+                        self.cloud_storage.put(name, path, content)
+            if self.vdr is not None:
+                has_work_left = drone.next_unvisited() is not None
+                entry_id = self.vdr.store(
+                    name, drone.definition, self.base_image_tag, diff,
+                    resumable=has_work_left,
+                    completed_waypoints=frozenset(drone.completed),
+                )
+                stored[name] = entry_id
+        return stored

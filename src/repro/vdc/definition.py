@@ -1,0 +1,133 @@
+"""Virtual drone JSON definitions (paper Section 3, Figure 2).
+
+A virtual drone is fully defined by a JSON specification plus an Android
+Things container image.  The specification has seven components:
+waypoints, max-duration, energy-allotted, continuous-devices,
+waypoint-devices, apps, and app-args.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.flight.geo import GeoPoint
+
+#: Devices a definition may request (Section 3 / Table 1 vocabulary).
+KNOWN_DEVICES = (
+    "camera", "microphone", "speakers", "gps", "sensors", "flight-control",
+)
+
+
+class DefinitionError(ValueError):
+    """Invalid virtual drone specification."""
+
+
+@dataclass
+class WaypointSpec:
+    """One waypoint: coordinates plus the geofence max-radius."""
+
+    latitude: float
+    longitude: float
+    altitude: float
+    max_radius: float
+
+    def geopoint(self) -> GeoPoint:
+        return GeoPoint(self.latitude, self.longitude, self.altitude)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "latitude": self.latitude,
+            "longitude": self.longitude,
+            "altitude": self.altitude,
+            "max-radius": self.max_radius,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "WaypointSpec":
+        try:
+            spec = cls(
+                latitude=float(data["latitude"]),
+                longitude=float(data["longitude"]),
+                altitude=float(data["altitude"]),
+                max_radius=float(data["max-radius"]),
+            )
+        except KeyError as missing:
+            raise DefinitionError(f"waypoint missing field {missing}") from missing
+        if not -90 <= spec.latitude <= 90 or not -180 <= spec.longitude <= 180:
+            raise DefinitionError(f"waypoint coordinates out of range: {data}")
+        if spec.altitude < 0 or spec.altitude > 120:
+            raise DefinitionError(f"waypoint altitude {spec.altitude} outside 0-120 m")
+        if spec.max_radius <= 0:
+            raise DefinitionError("max-radius must be positive")
+        return spec
+
+
+@dataclass
+class VirtualDroneDefinition:
+    """The complete JSON spec of one virtual drone."""
+
+    name: str
+    waypoints: List[WaypointSpec]
+    max_duration_s: float
+    energy_allotted_j: float
+    continuous_devices: List[str] = field(default_factory=list)
+    waypoint_devices: List[str] = field(default_factory=list)
+    apps: List[str] = field(default_factory=list)
+    app_args: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.waypoints:
+            raise DefinitionError("a virtual drone needs at least one waypoint")
+        if self.max_duration_s <= 0:
+            raise DefinitionError("max-duration must be positive")
+        if self.energy_allotted_j <= 0:
+            raise DefinitionError("energy-allotted must be positive")
+        for device in self.continuous_devices + self.waypoint_devices:
+            if device not in KNOWN_DEVICES:
+                raise DefinitionError(f"unknown device {device!r}")
+        if "flight-control" in self.continuous_devices:
+            # "Flight control can only be specified as a waypoint device,
+            # not a continuous device" (Section 3).
+            raise DefinitionError("flight-control cannot be a continuous device")
+
+    @property
+    def wants_flight_control(self) -> bool:
+        return "flight-control" in self.waypoint_devices
+
+    def all_devices(self) -> List[str]:
+        return sorted(set(self.continuous_devices) | set(self.waypoint_devices))
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "name": self.name,
+            "waypoints": [w.to_json() for w in self.waypoints],
+            "max-duration": self.max_duration_s,
+            "energy-allotted": self.energy_allotted_j,
+            "continuous-devices": list(self.continuous_devices),
+            "waypoint-devices": list(self.waypoint_devices),
+            "apps": list(self.apps),
+            "app-args": self.app_args,
+        }, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str, name: str = "") -> "VirtualDroneDefinition":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise DefinitionError(f"bad JSON: {exc}") from exc
+        try:
+            waypoints = [WaypointSpec.from_json(w) for w in data["waypoints"]]
+            return cls(
+                name=data.get("name", name) or name or "virtual-drone",
+                waypoints=waypoints,
+                max_duration_s=float(data["max-duration"]),
+                energy_allotted_j=float(data["energy-allotted"]),
+                continuous_devices=list(data.get("continuous-devices", [])),
+                waypoint_devices=list(data.get("waypoint-devices", [])),
+                apps=list(data.get("apps", [])),
+                app_args=dict(data.get("app-args", {})),
+            )
+        except KeyError as missing:
+            raise DefinitionError(f"definition missing field {missing}") from missing

@@ -1,0 +1,116 @@
+"""Device access policy: who may touch which device, when.
+
+The rules from Sections 2–4:
+
+* **waypoint devices** are usable only while the tenant is active at one
+  of its own waypoints;
+* **continuous devices** are usable from the tenant's first waypoint
+  until it finishes its last one — *except* while another tenant's
+  waypoint is being serviced, when continuous access is suspended for
+  privacy ("user A's device access will be suspended by default until the
+  drone has finished at user B's waypoint");
+* waypoint devices take priority over continuous ones;
+* after a tenant finishes (or exhausts its allotment) it gets nothing.
+
+The policy object is the function behind the device container's
+``permission_hook`` and the VDC's flight-control checks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from repro.vdc.definition import VirtualDroneDefinition
+
+
+class TenantPhase(enum.Enum):
+    """Where a tenant is in its flight lifecycle."""
+
+    WAITING = "waiting"           # before its first waypoint
+    AT_WAYPOINT = "at_waypoint"   # active at one of its own waypoints
+    BETWEEN = "between"           # started, between its waypoints
+    SUSPENDED = "suspended"       # another tenant's waypoint is being serviced
+    FINISHED = "finished"         # done (or allotment exhausted)
+
+
+@dataclass
+class _TenantState:
+    definition: VirtualDroneDefinition
+    phase: TenantPhase = TenantPhase.WAITING
+    waypoints_completed: int = 0
+
+
+class DeviceAccessPolicy:
+    """Tracks all tenants' phases and answers allow/deny queries."""
+
+    def __init__(self) -> None:
+        self._tenants: Dict[str, _TenantState] = {}
+        self.queries = 0
+        self.denials = 0
+
+    # -- tenant lifecycle (driven by the VDC) ---------------------------------------
+    def register(self, container: str, definition: VirtualDroneDefinition) -> None:
+        self._tenants[container] = _TenantState(definition)
+
+    def unregister(self, container: str) -> None:
+        self._tenants.pop(container, None)
+
+    def phase_of(self, container: str) -> Optional[TenantPhase]:
+        state = self._tenants.get(container)
+        return state.phase if state else None
+
+    def enter_waypoint(self, container: str) -> None:
+        """``container``'s waypoint is being serviced: it becomes active;
+        every other started tenant with continuous devices is suspended."""
+        for name, state in self._tenants.items():
+            if name == container:
+                state.phase = TenantPhase.AT_WAYPOINT
+            elif state.phase in (TenantPhase.BETWEEN, TenantPhase.SUSPENDED):
+                state.phase = TenantPhase.SUSPENDED
+
+    def leave_waypoint(self, container: str) -> None:
+        """The drone moves on from ``container``'s waypoint."""
+        state = self._tenants[container]
+        state.waypoints_completed += 1
+        if state.waypoints_completed >= len(state.definition.waypoints):
+            state.phase = TenantPhase.FINISHED
+        else:
+            state.phase = TenantPhase.BETWEEN
+        # Resume everyone who was suspended for this waypoint.
+        for other in self._tenants.values():
+            if other.phase is TenantPhase.SUSPENDED:
+                other.phase = TenantPhase.BETWEEN
+
+    def finish(self, container: str) -> None:
+        """Force-finish (energy/time exhausted, weather, etc.)."""
+        if container in self._tenants:
+            self._tenants[container].phase = TenantPhase.FINISHED
+
+    # -- the query hook ---------------------------------------------------------------
+    def allows(self, container: str, device: str) -> bool:
+        """Is ``container`` currently allowed to use ``device``?
+
+        This is the device container's permission hook; it is consulted on
+        every service call, so revocation is immediate.
+        """
+        self.queries += 1
+        state = self._tenants.get(container)
+        if state is None:
+            # Not a managed tenant: the flight container and host pass.
+            return True
+        definition = state.definition
+        allowed = False
+        if state.phase is TenantPhase.AT_WAYPOINT:
+            allowed = (device in definition.waypoint_devices
+                       or device in definition.continuous_devices)
+        elif state.phase is TenantPhase.BETWEEN:
+            allowed = device in definition.continuous_devices
+        # WAITING, SUSPENDED, FINISHED: nothing.
+        if not allowed:
+            self.denials += 1
+        return allowed
+
+    def allows_flight_control(self, container: str) -> bool:
+        return self.allows(container, "flight-control")

@@ -1,0 +1,30 @@
+"""Workload analogs of the paper's benchmark tools.
+
+* :mod:`repro.workloads.passmark` — the Android PassMark PerformanceTest
+  CPU/disk/memory suite (Section 6.1);
+* :mod:`repro.workloads.cyclictest` — the rt-tests wakeup-latency
+  benchmark (Section 6.2, Figure 11);
+* :mod:`repro.workloads.stress` — Amos Waterland's ``stress`` load
+  generator (CPU/I/O/VM/disk workers);
+* :mod:`repro.workloads.iperf` — network throughput traffic generating
+  interrupt load.
+
+All of them run as thread programs on the simulated kernel, so they
+contend with each other — and with the flight stack — through the same
+scheduler the real tools would.
+"""
+
+from repro.workloads.passmark import PassMarkInstance, PassMarkScores
+from repro.workloads.cyclictest import CyclictestResult, run_cyclictest, start_cyclictest
+from repro.workloads.stress import StressWorkload
+from repro.workloads.iperf import IperfSession
+
+__all__ = [
+    "PassMarkInstance",
+    "PassMarkScores",
+    "CyclictestResult",
+    "run_cyclictest",
+    "start_cyclictest",
+    "StressWorkload",
+    "IperfSession",
+]

@@ -1,0 +1,100 @@
+"""The cyclictest analog (paper Section 6.2, Figure 11).
+
+"We ran the commonly used latency benchmark, cyclictest, and configured
+it to run in the flight container in the same way as AnDrone runs
+ArduPilot by locking all memory allocations and assigning its thread the
+highest real-time priority."
+
+The thread sleeps on an absolute timer each interval and records the
+wakeup latency the kernel reports — timer IRQ overhead plus the
+preemption model's non-preemptible residual plus scheduling, exactly the
+quantity the real tool measures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.kernel import Kernel, SchedPolicy, ops
+
+
+@dataclass
+class CyclictestResult:
+    """Latency samples plus the summary statistics the tool prints."""
+
+    latencies_us: List[float] = field(default_factory=list)
+    interval_us: int = 1_000
+    done: bool = False
+
+    @property
+    def count(self) -> int:
+        return len(self.latencies_us)
+
+    @property
+    def min_us(self) -> float:
+        return min(self.latencies_us) if self.latencies_us else 0.0
+
+    @property
+    def avg_us(self) -> float:
+        if not self.latencies_us:
+            return 0.0
+        return sum(self.latencies_us) / len(self.latencies_us)
+
+    @property
+    def max_us(self) -> float:
+        return max(self.latencies_us) if self.latencies_us else 0.0
+
+    def percentile(self, p: float) -> float:
+        if not self.latencies_us:
+            return 0.0
+        ordered = sorted(self.latencies_us)
+        k = min(len(ordered) - 1, int(round(p / 100.0 * (len(ordered) - 1))))
+        return ordered[k]
+
+    def histogram(self, bins_per_decade: int = 10, max_us: float = 100_000.0):
+        """Log-binned (latency, count) pairs, like Figure 11's axes."""
+        counts = {}
+        for latency in self.latencies_us:
+            latency = max(latency, 1.0)
+            bin_index = int(math.log10(latency) * bins_per_decade)
+            counts[bin_index] = counts.get(bin_index, 0) + 1
+        return sorted(
+            (10 ** (index / bins_per_decade), count)
+            for index, count in counts.items()
+        )
+
+    def misses(self, deadline_us: float) -> int:
+        """Samples exceeding a deadline (e.g. ArduPilot's 2500 us)."""
+        return sum(1 for lat in self.latencies_us if lat > deadline_us)
+
+
+def cyclictest_program(result: CyclictestResult, loops: int, interval_us: int):
+    """The measurement thread: clock_nanosleep(TIMER_ABSTIME) in a loop."""
+    for _ in range(loops):
+        latency = yield ops.Sleep(interval_us)
+        result.latencies_us.append(latency)
+    result.done = True
+
+
+def start_cyclictest(kernel: Kernel, loops: int = 10_000,
+                     interval_us: int = 1_000, priority: int = 99,
+                     spawner: Optional[Callable] = None) -> CyclictestResult:
+    """Launch cyclictest at SCHED_FIFO ``priority``; returns the (live)
+    result object — run the simulator to fill it."""
+    result = CyclictestResult(interval_us=interval_us)
+    spawn = spawner or (lambda program, name, **kw: kernel.spawn(program, name=name, **kw))
+    spawn(cyclictest_program(result, loops, interval_us), "cyclictest",
+          policy=SchedPolicy.FIFO, priority=priority)
+    return result
+
+
+def run_cyclictest(kernel: Kernel, loops: int = 10_000,
+                   interval_us: int = 1_000, priority: int = 99,
+                   spawner: Optional[Callable] = None) -> CyclictestResult:
+    """Convenience: launch and run the simulator until done."""
+    result = start_cyclictest(kernel, loops, interval_us, priority, spawner)
+    # Generous horizon: loops * interval plus slack for tail latencies.
+    kernel.sim.run(until=kernel.sim.now + int(loops * interval_us * 1.5) + 1_000_000)
+    return result

@@ -1,0 +1,77 @@
+"""The ``stress`` load generator analog.
+
+Section 6.2's worst-case scenario "strain[s] CPU, memory, I/O, and disk
+subsystems": the paper ran 4 CPU workers, 2 I/O workers, 2 memory
+workers, and 2 disk workers.  Each worker is a kernel thread looping
+forever until stopped.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.kernel import Kernel, ops
+
+
+class StressWorkload:
+    """stress --cpu N --io N --vm N --hdd N."""
+
+    def __init__(self, kernel: Kernel, cpu_workers: int = 4, io_workers: int = 2,
+                 vm_workers: int = 2, hdd_workers: int = 2,
+                 spawner: Optional[Callable] = None):
+        self.kernel = kernel
+        self.cpu_workers = cpu_workers
+        self.io_workers = io_workers
+        self.vm_workers = vm_workers
+        self.hdd_workers = hdd_workers
+        self._spawn = spawner or (
+            lambda program, name, **kw: kernel.spawn(program, name=name, **kw))
+        self._threads: List = []
+        self.running = False
+
+    # -- worker programs ----------------------------------------------------------
+    @staticmethod
+    def _cpu_loop():
+        while True:
+            yield ops.Cpu(2_000.0)   # sqrt() spinning
+
+    @staticmethod
+    def _io_loop():
+        # sync() storms: short syscall bursts + small I/O.
+        while True:
+            yield ops.Syscall(150.0, name="sync")
+            yield ops.Io(300.0, device="mmc0", nbytes=4096)
+
+    @staticmethod
+    def _vm_loop():
+        # malloc/memset churn: memory-bandwidth-bound.
+        while True:
+            yield ops.MemAccess(1_500.0)
+            yield ops.Cpu(100.0)
+
+    @staticmethod
+    def _hdd_loop():
+        # large sequential writes.
+        while True:
+            yield ops.Cpu(200.0)
+            yield ops.Io(1_200.0, device="mmc0", nbytes=1024 * 1024)
+
+    def start(self) -> None:
+        if self.running:
+            return
+        self.running = True
+        specs = (
+            [("cpu", self._cpu_loop)] * self.cpu_workers
+            + [("io", self._io_loop)] * self.io_workers
+            + [("vm", self._vm_loop)] * self.vm_workers
+            + [("hdd", self._hdd_loop)] * self.hdd_workers
+        )
+        for index, (kind, factory) in enumerate(specs):
+            self._threads.append(
+                self._spawn(factory(), f"stress-{kind}-{index}"))
+
+    def stop(self) -> None:
+        for thread in self._threads:
+            self.kernel.kill(thread)
+        self._threads.clear()
+        self.running = False

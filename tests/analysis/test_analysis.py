@@ -1,0 +1,80 @@
+"""Tests for statistics and report rendering."""
+
+import pytest
+
+from repro.analysis import (
+    render_histogram,
+    render_series,
+    render_table,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_known_values(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert s.count == 5
+        assert s.mean == 3.0
+        assert s.minimum == 1.0
+        assert s.maximum == 5.0
+        assert s.p50 == 3.0
+
+    def test_stddev_sample_based(self):
+        s = summarize([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert s.stddev == pytest.approx(2.138, abs=0.01)
+
+    def test_empty_list(self):
+        s = summarize([])
+        assert s.count == 0
+        assert s.mean == 0.0
+
+    def test_single_sample(self):
+        s = summarize([42.0])
+        assert s.p50 == s.p99 == s.maximum == 42.0
+        assert s.stddev == 0.0
+
+    def test_p99_near_max(self):
+        samples = list(range(1000))
+        s = summarize([float(x) for x in samples])
+        assert 985 <= s.p99 <= 999
+
+
+class TestRenderTable:
+    def test_alignment_and_headers(self):
+        out = render_table(["Name", "Value"], [("a", 1), ("long-name", 22)],
+                           title="T")
+        lines = out.split("\n")
+        assert lines[0] == "T"
+        assert "Name" in lines[1] and "Value" in lines[1]
+        assert len(lines) == 5
+        # All rows align to the same width.
+        assert len(lines[3]) >= len("long-name")
+
+    def test_float_formatting(self):
+        out = render_table(["x"], [(1234.5678,), (0.001234,), (0.0,)])
+        assert "1,235" in out
+        assert "0.00123" in out
+
+    def test_empty_rows(self):
+        out = render_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+
+class TestRenderSeries:
+    def test_points_listed(self):
+        out = render_series("cpu", [(1, 1.0), (2, 2.02), (3, 3.04)],
+                            "vdrones", "slowdown")
+        assert "series cpu" in out
+        assert out.count("\n") == 3
+
+
+class TestRenderHistogram:
+    def test_bars_scale_with_count(self):
+        out = render_histogram("lat", [(10.0, 5), (100.0, 500), (1000.0, 2)])
+        lines = out.split("\n")[1:]
+        bar_lengths = [line.count("#") for line in lines]
+        assert bar_lengths[1] == max(bar_lengths)
+        assert all(length >= 1 for length in bar_lengths)
+
+    def test_empty_histogram(self):
+        assert "(empty)" in render_histogram("x", [])

@@ -1,0 +1,291 @@
+"""Integration tests for the Android stack: device container services,
+cross-container calls, permission routing, and the app lifecycle."""
+
+import math
+
+import pytest
+
+from repro.android import AndroidEnvironment, AndroidManifest, Permission
+from repro.android.app import AppState, LifecycleError
+from repro.binder import BinderDriver
+from repro.devices import (
+    Barometer,
+    Camera,
+    DeviceBus,
+    DeviceBusyError,
+    DroneStateSnapshot,
+    GpsReceiver,
+    Imu,
+    Magnetometer,
+    Microphone,
+    Speaker,
+)
+from repro.kernel.namespaces import NamespaceSet
+from repro.sim import RngRegistry
+
+
+def flying_state():
+    return DroneStateSnapshot(
+        time_us=5_000_000, latitude=43.60, longitude=-85.81, altitude_m=20.0,
+        on_ground=False,
+    )
+
+
+def build_device_bus(rng=None):
+    bus = DeviceBus()
+    bus.register(Camera(state_provider=flying_state))
+    bus.register(GpsReceiver(state_provider=flying_state, rng=rng))
+    bus.register(Imu(state_provider=flying_state, rng=rng))
+    bus.register(Barometer(state_provider=flying_state, rng=rng))
+    bus.register(Magnetometer(state_provider=flying_state, rng=rng))
+    bus.register(Microphone())
+    bus.register(Speaker(name="speakers"))
+    return bus
+
+
+@pytest.fixture
+def stack():
+    """Device container + two virtual drones, like a two-tenant flight."""
+    driver = BinderDriver(device_container_name="device")
+    bus = build_device_bus(RngRegistry(11).stream("devices"))
+    dev_env = AndroidEnvironment(
+        driver, "device", NamespaceSet("device").device_ns, is_device_container=True
+    )
+    dev_env.system_server.start(bus)
+    vd1 = AndroidEnvironment(driver, "vd1", NamespaceSet("vd1").device_ns)
+    vd2 = AndroidEnvironment(driver, "vd2", NamespaceSet("vd2").device_ns)
+    for env in (vd1, vd2):
+        dev_env.service_manager.publish_shared_into(env.device_ns, driver)
+    return driver, bus, dev_env, vd1, vd2
+
+
+def install_camera_app(env, package="com.example.cam"):
+    manifest = AndroidManifest(package=package, permissions=[
+        Permission.CAMERA, Permission.ACCESS_FINE_LOCATION,
+        Permission.BODY_SENSORS, Permission.RECORD_AUDIO,
+    ])
+    return env.install_app(manifest)
+
+
+class TestDeviceContainerBoot:
+    def test_table1_services_started(self, stack):
+        _, _, dev_env, *_ = stack
+        assert sorted(dev_env.system_server.services) == [
+            "AudioFlinger", "CameraService",
+            "LocationManagerService", "SensorService",
+        ]
+
+    def test_services_hold_the_devices(self, stack):
+        _, bus, *_ = stack
+        assert bus.get("camera").held_by == "CameraService"
+        assert bus.get("gps").held_by == "LocationManagerService"
+        assert bus.get("imu").held_by == "SensorService"
+        assert bus.get("microphone").held_by == "AudioFlinger"
+
+    def test_vdrone_cannot_open_device_directly(self, stack):
+        _, bus, *_ = stack
+        with pytest.raises(DeviceBusyError):
+            bus.get("camera").open("vd1-rogue")
+
+    def test_vdrone_system_server_disables_device_services(self, stack):
+        _, _, _, vd1, _ = stack
+        vd1.system_server.start()
+        assert vd1.system_server.services == {}
+        assert "CameraService" in vd1.system_server.disabled_services
+
+    def test_shared_services_visible_in_vdrones(self, stack):
+        _, _, _, vd1, vd2 = stack
+        for env in (vd1, vd2):
+            for name in ("CameraService", "SensorService",
+                         "LocationManagerService", "AudioFlinger"):
+                assert env.service_manager.has_service(name)
+
+
+class TestCrossContainerServiceCalls:
+    def test_app_captures_photo_through_device_container(self, stack):
+        _, _, _, vd1, _ = stack
+        app = install_camera_app(vd1)
+        reply = app.call_service("CameraService", "capture")
+        assert reply["status"] == "ok"
+        assert reply["frame"]["latitude"] == pytest.approx(43.60)
+
+    def test_two_vdrones_share_camera(self, stack):
+        _, _, _, vd1, vd2 = stack
+        app1 = install_camera_app(vd1, "com.a")
+        app2 = install_camera_app(vd2, "com.b")
+        f1 = app1.call_service("CameraService", "capture")["frame"]
+        f2 = app2.call_service("CameraService", "capture")["frame"]
+        assert f1["seq"] != f2["seq"]
+
+    def test_sensor_readings_through_service(self, stack):
+        _, _, _, vd1, _ = stack
+        app = install_camera_app(vd1)
+        imu = app.call_service("SensorService", "read", {"sensor": "imu"})
+        assert imu["status"] == "ok"
+        assert imu["reading"]["accel"][2] == pytest.approx(9.8, abs=0.5)
+        baro = app.call_service("SensorService", "read", {"sensor": "barometer"})
+        assert baro["altitude_m"] == pytest.approx(20.0, abs=1.0)
+
+    def test_location_through_service(self, stack):
+        _, _, _, vd1, _ = stack
+        app = install_camera_app(vd1)
+        reply = app.call_service("LocationManagerService", "get_location")
+        assert reply["fix"]["latitude"] == pytest.approx(43.60, abs=0.01)
+
+    def test_audio_through_service(self, stack):
+        _, _, _, vd1, _ = stack
+        app = install_camera_app(vd1)
+        reply = app.call_service("AudioFlinger", "record", {"duration_s": 2.0})
+        assert reply["clip"]["duration_s"] == 2.0
+
+    def test_video_pipeline_exclusive_across_tenants(self, stack):
+        _, _, _, vd1, vd2 = stack
+        app1 = install_camera_app(vd1, "com.a")
+        app2 = install_camera_app(vd2, "com.b")
+        assert app1.call_service("CameraService", "start_video")["status"] == "ok"
+        assert app2.call_service("CameraService", "start_video").get("busy")
+        app1.call_service("CameraService", "stop_video")
+        assert app2.call_service("CameraService", "start_video")["status"] == "ok"
+
+
+class TestPermissionRouting:
+    def test_app_without_permission_denied(self, stack):
+        _, _, _, vd1, _ = stack
+        manifest = AndroidManifest(package="com.noperm", permissions=[])
+        app = vd1.install_app(manifest)
+        reply = app.call_service("CameraService", "capture")
+        assert reply.get("denied")
+
+    def test_check_routed_to_calling_containers_am(self, stack):
+        """The same uid-space in two containers must not be confused: the
+        device container asks the *calling* container's ActivityManager."""
+        _, _, dev_env, vd1, vd2 = stack
+        app1 = install_camera_app(vd1, "com.granted")
+        manifest = AndroidManifest(package="com.ungranted", permissions=[])
+        app2 = vd2.install_app(manifest)
+        assert app1.call_service("CameraService", "capture")["status"] == "ok"
+        assert app2.call_service("CameraService", "capture").get("denied")
+        # Both vdrone AMs were consulted (counted checks), not the device AM.
+        assert vd1.activity_manager.check_count >= 1
+        assert vd2.activity_manager.check_count >= 1
+
+    def test_vdc_policy_hook_denies_device(self, stack):
+        _, _, dev_env, vd1, _ = stack
+        app = install_camera_app(vd1)
+        dev_env.permission_hook = lambda container, device: device != "camera"
+        assert app.call_service("CameraService", "capture").get("denied")
+        assert app.call_service("SensorService", "read", {"sensor": "imu"})["status"] == "ok"
+
+    def test_policy_hook_sees_calling_container(self, stack):
+        _, _, dev_env, vd1, vd2 = stack
+        app1 = install_camera_app(vd1, "com.a")
+        app2 = install_camera_app(vd2, "com.b")
+        dev_env.permission_hook = lambda container, device: container == "vd1"
+        assert app1.call_service("CameraService", "capture")["status"] == "ok"
+        assert app2.call_service("CameraService", "capture").get("denied")
+
+    def test_denied_calls_counted(self, stack):
+        _, _, dev_env, vd1, _ = stack
+        app = install_camera_app(vd1)
+        dev_env.permission_hook = lambda c, d: False
+        app.call_service("CameraService", "capture")
+        camera_service = dev_env.system_server.get("CameraService")
+        assert camera_service.denied_calls == 1
+
+
+class TestClientTracking:
+    def test_service_tracks_clients_per_container(self, stack):
+        _, _, dev_env, vd1, vd2 = stack
+        app1 = install_camera_app(vd1, "com.a")
+        app2 = install_camera_app(vd2, "com.b")
+        app1.call_service("CameraService", "connect")
+        app2.call_service("CameraService", "connect")
+        camera_service = dev_env.system_server.get("CameraService")
+        assert camera_service.clients_from("vd1") == [app1.uid]
+        assert camera_service.clients_from("vd2") == [app2.uid]
+
+    def test_drop_container_detaches_sessions(self, stack):
+        _, _, dev_env, vd1, _ = stack
+        app = install_camera_app(vd1)
+        app.call_service("CameraService", "connect")
+        camera_service = dev_env.system_server.get("CameraService")
+        assert camera_service.drop_container("vd1") == 1
+        assert camera_service.clients_from("vd1") == []
+
+    def test_drop_container_stops_its_recording(self, stack):
+        _, bus, dev_env, vd1, _ = stack
+        app = install_camera_app(vd1)
+        app.call_service("CameraService", "start_video")
+        camera_service = dev_env.system_server.get("CameraService")
+        camera_service.drop_container("vd1")
+        assert not bus.get("camera").recording
+
+
+class TestAppLifecycle:
+    def test_lifecycle_sequence(self, stack):
+        _, _, _, vd1, _ = stack
+        app = install_camera_app(vd1)
+        app.create()
+        app.resume()
+        app.pause()
+        app.stop()
+        assert app.lifecycle_log == [
+            "onCreate", "onResume", "onPause", "onSaveInstanceState", "onStop",
+        ]
+
+    def test_illegal_transition_rejected(self, stack):
+        _, _, _, vd1, _ = stack
+        app = install_camera_app(vd1)
+        with pytest.raises(LifecycleError):
+            app.resume()  # never created
+
+    def test_save_restore_instance_state_via_container(self, stack):
+        from repro.containers.image import Image, Layer
+        from repro.containers.container import Container
+        from repro.kernel import Kernel, KernelConfig
+        from repro.kernel.cgroups import Cgroup
+        from repro.kernel.namespaces import NamespaceSet
+        from repro.sim import Simulator, RngRegistry
+
+        _, _, _, vd1, _ = stack
+        kernel = Kernel(Simulator(), RngRegistry(1), KernelConfig())
+        container = Container(kernel, "vd1", Image([Layer({})]), 1024,
+                              Cgroup("vd1"), NamespaceSet("host", isolate=[]))
+        manifest = AndroidManifest(package="com.stateful", permissions=[])
+        app = vd1.install_app(manifest, container=container)
+        progress = {"waypoint": 2, "photos": 17}
+        app.on_save_instance_state = lambda: progress
+        app.create()
+        app.resume()
+        app.stop()
+        # Simulate resuming on a later flight: new create reads saved state.
+        restored = {}
+        app.on_create = lambda saved: restored.update(saved or {})
+        app.create()
+        assert restored == progress
+
+    def test_saved_state_lands_in_writable_layer(self, stack):
+        from repro.containers.image import Image, Layer
+        from repro.containers.container import Container
+        from repro.kernel import Kernel, KernelConfig
+        from repro.kernel.cgroups import Cgroup
+        from repro.kernel.namespaces import NamespaceSet
+        from repro.sim import Simulator, RngRegistry
+
+        _, _, _, vd1, _ = stack
+        kernel = Kernel(Simulator(), RngRegistry(1), KernelConfig())
+        container = Container(kernel, "vd1", Image([Layer({})]), 1024,
+                              Cgroup("vd1"), NamespaceSet("host", isolate=[]))
+        manifest = AndroidManifest(package="com.stateful", permissions=[])
+        app = vd1.install_app(manifest, container=container)
+        app.on_save_instance_state = lambda: {"k": "v"}
+        app.create()
+        app.stop()
+        delta = container.commit()
+        assert any("saved_state.json" in path for path in delta.paths())
+
+    def test_duplicate_install_rejected(self, stack):
+        _, _, _, vd1, _ = stack
+        install_camera_app(vd1)
+        with pytest.raises(ValueError):
+            install_camera_app(vd1)

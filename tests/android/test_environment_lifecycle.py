@@ -1,0 +1,83 @@
+"""Tests for environment boot ordering, uninstall, and service teardown."""
+
+import pytest
+
+from repro.android import AndroidEnvironment, AndroidManifest, Permission
+from repro.binder import BinderDriver
+from repro.kernel.namespaces import NamespaceSet
+from tests.android.test_android_stack import build_device_bus
+from repro.sim import RngRegistry
+
+
+class TestBootOrdering:
+    def test_vdrone_before_device_container_recovers(self):
+        """A virtual drone booted before the device container cannot
+        forward its ActivityManager; retry_am_forwarding() fixes it once
+        the device container is up (the core assembly's path)."""
+        driver = BinderDriver(device_container_name="device")
+        vd1 = AndroidEnvironment(driver, "vd1",
+                                 NamespaceSet("vd1").device_ns)
+        assert vd1._pending_am_ref is not None
+        dev = AndroidEnvironment(driver, "device",
+                                 NamespaceSet("device").device_ns,
+                                 is_device_container=True)
+        assert vd1.retry_am_forwarding()
+        assert dev.service_manager.has_service("ActivityManager@vd1")
+
+    def test_retry_is_idempotent(self):
+        driver = BinderDriver(device_container_name="device")
+        AndroidEnvironment(driver, "device", NamespaceSet("device").device_ns,
+                           is_device_container=True)
+        vd1 = AndroidEnvironment(driver, "vd1", NamespaceSet("vd1").device_ns)
+        assert vd1.retry_am_forwarding()
+        assert vd1.retry_am_forwarding()   # no pending ref: still true
+
+
+class TestSystemServerTeardown:
+    def test_stop_releases_devices(self):
+        driver = BinderDriver(device_container_name="device")
+        bus = build_device_bus(RngRegistry(5).stream("d"))
+        dev = AndroidEnvironment(driver, "device",
+                                 NamespaceSet("device").device_ns,
+                                 is_device_container=True)
+        dev.system_server.start(bus)
+        assert bus.get("camera").held_by == "CameraService"
+        dev.system_server.stop()
+        assert bus.get("camera").held_by is None
+        assert bus.get("gps").held_by is None
+        # Devices can be re-acquired (e.g. device container restart).
+        bus.get("camera").open("fresh-owner")
+
+    def test_double_start_rejected(self):
+        driver = BinderDriver(device_container_name="device")
+        bus = build_device_bus(RngRegistry(5).stream("d"))
+        dev = AndroidEnvironment(driver, "device",
+                                 NamespaceSet("device").device_ns,
+                                 is_device_container=True)
+        dev.system_server.start(bus)
+        with pytest.raises(RuntimeError):
+            dev.system_server.start(bus)
+
+
+class TestUninstall:
+    def test_uninstall_revokes_and_destroys(self):
+        driver = BinderDriver(device_container_name="device")
+        dev = AndroidEnvironment(driver, "device",
+                                 NamespaceSet("device").device_ns,
+                                 is_device_container=True)
+        env = AndroidEnvironment(driver, "vd1", NamespaceSet("vd1").device_ns)
+        manifest = AndroidManifest("com.x", [Permission.CAMERA])
+        app = env.install_app(manifest)
+        uid = app.uid
+        assert env.activity_manager.check_permission(Permission.CAMERA, uid)
+        env.uninstall_app("com.x")
+        assert not env.activity_manager.check_permission(Permission.CAMERA, uid)
+        assert app.state.value == "destroyed"
+        assert "com.x" not in env.apps
+
+    def test_uninstall_unknown_is_noop(self):
+        driver = BinderDriver(device_container_name="device")
+        AndroidEnvironment(driver, "device", NamespaceSet("device").device_ns,
+                           is_device_container=True)
+        env = AndroidEnvironment(driver, "vd1", NamespaceSet("vd1").device_ns)
+        env.uninstall_app("ghost")   # must not raise

@@ -1,0 +1,89 @@
+"""Tests for the broadcast-intent bus and SDK intent delivery."""
+
+import pytest
+
+from repro.android.intents import (
+    ACTION_GEOFENCE_BREACHED,
+    ACTION_WAYPOINT_ACTIVE,
+    ACTION_WAYPOINT_INACTIVE,
+    BroadcastReceiver,
+    Intent,
+    IntentBus,
+)
+from tests.util import make_node, simple_definition, survey_manifests
+
+
+class TestIntentBus:
+    def test_broadcast_reaches_registered_receiver(self):
+        bus = IntentBus("vd1")
+        got = []
+        bus.register_receiver("my.ACTION", BroadcastReceiver(got.append))
+        delivered = bus.send_broadcast(Intent("my.ACTION", {"x": 1}))
+        assert delivered == 1
+        assert got[0].get_extra("x") == 1
+
+    def test_action_filtering(self):
+        bus = IntentBus("vd1")
+        got = []
+        bus.register_receiver("a.A", BroadcastReceiver(got.append))
+        bus.send_broadcast(Intent("b.B"))
+        assert got == []
+
+    def test_multiple_receivers_all_notified(self):
+        bus = IntentBus("vd1")
+        counts = []
+        for _ in range(3):
+            bus.register_receiver("a.A", BroadcastReceiver(
+                lambda i: counts.append(1)))
+        assert bus.send_broadcast(Intent("a.A")) == 3
+
+    def test_unregister_stops_delivery(self):
+        bus = IntentBus("vd1")
+        got = []
+        receiver = bus.register_receiver("a.A", BroadcastReceiver(got.append))
+        bus.unregister_receiver(receiver)
+        bus.send_broadcast(Intent("a.A"))
+        assert got == []
+
+    def test_receiver_history(self):
+        bus = IntentBus("vd1")
+        receiver = bus.register_receiver("a.A", BroadcastReceiver(lambda i: None))
+        bus.send_broadcast(Intent("a.A"))
+        bus.send_broadcast(Intent("a.A"))
+        assert len(receiver.received) == 2
+
+
+class TestSdkIntentDelivery:
+    def test_waypoint_events_broadcast_as_intents(self):
+        node = make_node(seed=151)
+        vdrone = node.start_virtual_drone(
+            simple_definition("vd1", apps=["com.example.survey"]),
+            app_manifests={"com.example.survey": survey_manifests()})
+        got = []
+        vdrone.env.intents.register_receiver(
+            ACTION_WAYPOINT_ACTIVE, BroadcastReceiver(got.append))
+        vdrone.env.intents.register_receiver(
+            ACTION_WAYPOINT_INACTIVE, BroadcastReceiver(got.append))
+        node.vdc.waypoint_reached("vd1")
+        node.vdc.waypoint_completed("vd1")
+        assert [i.action for i in got] == [ACTION_WAYPOINT_ACTIVE,
+                                           ACTION_WAYPOINT_INACTIVE]
+        assert got[0].get_extra("index") == 0
+        assert got[0].get_extra("latitude") == pytest.approx(
+            vdrone.definition.waypoints[0].latitude)
+
+    def test_intents_isolated_between_tenants(self):
+        node = make_node(seed=152)
+        manifests = {"com.example.survey": survey_manifests()}
+        vd1 = node.start_virtual_drone(
+            simple_definition("vd1", apps=["com.example.survey"]),
+            app_manifests=manifests)
+        vd2 = node.start_virtual_drone(
+            simple_definition("vd2", apps=["com.example.survey"]),
+            app_manifests=manifests)
+        spy = []
+        vd2.env.intents.register_receiver(
+            ACTION_WAYPOINT_ACTIVE, BroadcastReceiver(spy.append))
+        node.vdc.waypoint_reached("vd1")
+        # vd2's receiver hears nothing about vd1's waypoint.
+        assert spy == []

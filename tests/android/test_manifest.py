@@ -1,0 +1,86 @@
+"""Tests for Android and AnDrone manifests."""
+
+import pytest
+
+from repro.android import AndroidManifest, AnDroneManifest, ManifestError, Permission
+
+
+SURVEY_ANDROID_MANIFEST = """
+<manifest package="com.example.survey" versionName="2.1">
+  <uses-permission name="android.permission.CAMERA"/>
+  <uses-permission name="android.permission.ACCESS_FINE_LOCATION"/>
+  <uses-permission name="androne.permission.FLIGHT_CONTROL"/>
+</manifest>
+"""
+
+SURVEY_ANDRONE_MANIFEST = """
+<androne-manifest package="com.example.survey">
+  <uses-permission name="camera" type="waypoint"/>
+  <uses-permission name="gps" type="continuous"/>
+  <uses-permission name="flight-control" type="waypoint"/>
+  <argument name="survey-areas" type="geojson" required="true"/>
+  <argument name="overlap" type="float" required="false"/>
+</androne-manifest>
+"""
+
+
+class TestAndroidManifest:
+    def test_parse_package_and_permissions(self):
+        m = AndroidManifest.parse(SURVEY_ANDROID_MANIFEST)
+        assert m.package == "com.example.survey"
+        assert Permission.CAMERA in m.permissions
+        assert Permission.FLIGHT_CONTROL in m.permissions
+        assert m.version == "2.1"
+
+    def test_missing_package_rejected(self):
+        with pytest.raises(ManifestError):
+            AndroidManifest.parse("<manifest><uses-permission name='x'/></manifest>")
+
+    def test_unknown_permission_rejected(self):
+        with pytest.raises(ManifestError):
+            AndroidManifest.parse(
+                '<manifest package="a"><uses-permission name="made.up.PERM"/></manifest>'
+            )
+
+    def test_bad_xml_rejected(self):
+        with pytest.raises(ManifestError):
+            AndroidManifest.parse("<manifest package='a'")
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(ManifestError):
+            AndroidManifest.parse('<application package="a"/>')
+
+
+class TestAnDroneManifest:
+    def test_parse_devices_and_args(self):
+        m = AnDroneManifest.parse(SURVEY_ANDRONE_MANIFEST)
+        assert m.package == "com.example.survey"
+        assert m.waypoint_devices() == ["camera", "flight-control"]
+        assert m.continuous_devices() == ["gps"]
+        assert [a.name for a in m.arguments] == ["survey-areas", "overlap"]
+        assert m.arguments[1].required is False
+
+    def test_flight_control_cannot_be_continuous(self):
+        with pytest.raises(ManifestError):
+            AnDroneManifest.parse(
+                '<androne-manifest package="a">'
+                '<uses-permission name="flight-control" type="continuous"/>'
+                "</androne-manifest>"
+            )
+
+    def test_bad_access_type_rejected(self):
+        with pytest.raises(ManifestError):
+            AnDroneManifest.parse(
+                '<androne-manifest package="a">'
+                '<uses-permission name="camera" type="sometimes"/>'
+                "</androne-manifest>"
+            )
+
+    def test_validate_args_missing_required(self):
+        m = AnDroneManifest.parse(SURVEY_ANDRONE_MANIFEST)
+        with pytest.raises(ManifestError):
+            m.validate_args({"overlap": 0.6})
+
+    def test_validate_args_ok(self):
+        m = AnDroneManifest.parse(SURVEY_ANDRONE_MANIFEST)
+        m.validate_args({"survey-areas": [[1, 2]]})  # optional arg omitted

@@ -1,0 +1,144 @@
+"""Tests for cloud storage, the VDR, the app store, and billing."""
+
+import pytest
+
+from repro.cloud import (
+    AppStore,
+    BillingService,
+    BillingRates,
+    CloudStorage,
+    VirtualDroneRepository,
+)
+from repro.containers.image import Layer
+from tests.util import simple_definition
+
+
+class TestCloudStorage:
+    def test_put_get_roundtrip(self):
+        storage = CloudStorage()
+        storage.put("vd1", "/data/a.jpg", "bytes")
+        assert storage.get("vd1", "/data/a.jpg") == "bytes"
+
+    def test_tenant_isolation(self):
+        storage = CloudStorage()
+        storage.put("vd1", "/data/a.jpg", "bytes")
+        assert storage.get("vd2", "/data/a.jpg") is None
+        assert storage.list_files("vd2") == []
+
+    def test_usage_accounting(self):
+        storage = CloudStorage()
+        storage.put("vd1", "/a", "x" * 100)
+        storage.put("vd1", "/b", "x" * 50)
+        assert storage.usage_bytes("vd1") == 150
+
+    def test_links_are_stable_and_tenant_scoped(self):
+        storage = CloudStorage()
+        link1 = storage.put("vd1", "/a", "data")
+        assert link1 == storage.link_for("vd1", "/a")
+        assert storage.link_for("vd2", "/a") != link1
+
+
+class TestVdr:
+    def test_store_and_fetch(self):
+        vdr = VirtualDroneRepository()
+        definition = simple_definition()
+        entry_id = vdr.store("vd1", definition, "android-things",
+                             Layer({"/data/x": "1"}), resumable=True)
+        entry = vdr.fetch(entry_id)
+        assert entry.name == "vd1"
+        assert entry.resumable
+        assert entry.stored_bytes > 0
+
+    def test_latest_for_tracks_reflights(self):
+        vdr = VirtualDroneRepository()
+        definition = simple_definition()
+        vdr.store("vd1", definition, "base", Layer({"/a": "1"}), True)
+        second = vdr.store("vd1", definition, "base", Layer({"/a": "2"}), False)
+        assert vdr.latest_for("vd1").entry_id == second
+        assert vdr.fetch(second).flights == 2
+
+    def test_resumable_filter(self):
+        vdr = VirtualDroneRepository()
+        definition = simple_definition()
+        vdr.store("a", definition, "base", Layer({}), resumable=True)
+        vdr.store("b", definition, "base", Layer({}), resumable=False)
+        assert [e.name for e in vdr.resumable_entries()] == ["a"]
+
+    def test_delete(self):
+        vdr = VirtualDroneRepository()
+        entry_id = vdr.store("a", simple_definition(), "base", Layer({}), True)
+        vdr.delete(entry_id)
+        with pytest.raises(KeyError):
+            vdr.fetch(entry_id)
+        assert vdr.latest_for("a") is None
+
+    def test_unknown_entry(self):
+        with pytest.raises(KeyError):
+            VirtualDroneRepository().fetch("vdr-999")
+
+
+ANDROID_XML = ('<manifest package="com.x.app">'
+               '<uses-permission name="android.permission.CAMERA"/></manifest>')
+ANDRONE_XML = ('<androne-manifest package="com.x.app">'
+               '<uses-permission name="camera" type="waypoint"/>'
+               '<argument name="area" type="geojson"/></androne-manifest>')
+
+
+class TestAppStore:
+    def test_publish_and_get(self):
+        store = AppStore()
+        app = store.publish("Cam App", "takes photos", ANDROID_XML, ANDRONE_XML)
+        assert store.get("com.x.app") is app
+        assert [a.name for a in app.required_arguments()] == ["area"]
+
+    def test_package_mismatch_rejected(self):
+        from repro.android.manifest import ManifestError
+
+        bad_androne = ANDRONE_XML.replace("com.x.app", "com.other")
+        with pytest.raises(ManifestError):
+            AppStore().publish("x", "y", ANDROID_XML, bad_androne)
+
+    def test_search(self):
+        store = AppStore()
+        store.publish("Aerial Photos", "real estate photography",
+                      ANDROID_XML, ANDRONE_XML)
+        assert store.search("photo")
+        assert store.search("real estate")
+        assert not store.search("delivery")
+
+    def test_download_counts(self):
+        store = AppStore()
+        store.publish("A", "d", ANDROID_XML, ANDRONE_XML)
+        store.download("com.x.app")
+        store.download("com.x.app")
+        assert store.get("com.x.app").downloads == 2
+
+
+class TestBilling:
+    def test_max_charge_caps_energy(self):
+        billing = BillingService(BillingRates(currency_per_joule=0.001))
+        assert billing.max_charge_to_energy_j(45.0) == pytest.approx(45_000.0)
+
+    def test_flight_time_estimate_reasonable(self):
+        billing = BillingService()
+        # 45 kJ hovers an F450-class drone for a couple of minutes.
+        t = billing.estimate_flight_time_s(45_000.0)
+        assert 100 < t < 400
+
+    def test_invoice_total(self):
+        billing = BillingService(BillingRates(currency_per_joule=0.001))
+        invoice = billing.invoice("vd1", energy_used_j=10_000,
+                                  storage_bytes=1024 ** 3,
+                                  bandwidth_bytes=2 * 1024 ** 3)
+        energy_item = invoice.items[0]
+        assert energy_item.amount == pytest.approx(10.0)
+        assert invoice.total > 10.0
+
+    def test_negative_usage_rejected(self):
+        with pytest.raises(ValueError):
+            BillingService().invoice("vd1", energy_used_j=-1)
+
+    def test_charge_estimate_inverts_cap(self):
+        billing = BillingService()
+        energy = billing.max_charge_to_energy_j(30.0)
+        assert billing.estimate_charge(energy) == pytest.approx(30.0)

@@ -1,0 +1,139 @@
+"""Tests for the waypoint ordering/grouping planner extension
+(the paper's stated future work, implemented here)."""
+
+import random
+
+import pytest
+
+from repro.cloud.planner import (
+    DroneEnergyModel,
+    FlightPlanner,
+    OrderingConstraints,
+    Stop,
+    solve_vrp_constrained,
+)
+from repro.cloud.planner.ordering import repair_tour, validate_tour
+from repro.flight.geo import offset_geopoint
+from tests.util import HOME, simple_definition
+
+MODEL = DroneEnergyModel()
+
+
+def stop(tenant, index, east, north):
+    return Stop(f"{tenant}#{index}",
+                offset_geopoint(HOME, east=east, north=north, up=15.0),
+                service_energy_j=1_500.0, service_time_s=20.0)
+
+
+def mixed_stops():
+    return [
+        stop("a", 0, 100, 0), stop("a", 1, 300, 50), stop("a", 2, 500, 0),
+        stop("b", 0, 200, 200), stop("b", 1, 400, 250),
+        stop("c", 0, -150, 100),
+    ]
+
+
+class TestRepair:
+    def test_ordering_repair_sorts_tenant_slots(self):
+        tour = [stop("a", 2, 0, 0), stop("b", 0, 1, 1), stop("a", 0, 2, 2),
+                stop("a", 1, 3, 3)]
+        repaired = repair_tour(tour, OrderingConstraints.of(ordered=["a"]))
+        a_indices = [int(s.stop_id[-1]) for s in repaired
+                     if s.stop_id.startswith("a")]
+        assert a_indices == [0, 1, 2]
+        # b's slot is untouched.
+        assert repaired[1].stop_id == "b#0"
+
+    def test_grouping_repair_collapses_block(self):
+        tour = [stop("a", 0, 0, 0), stop("b", 0, 1, 1), stop("a", 1, 2, 2),
+                stop("b", 1, 3, 3), stop("a", 2, 4, 4)]
+        repaired = repair_tour(tour, OrderingConstraints.of(grouped=["a"]))
+        assert validate_tour(repaired, OrderingConstraints.of(grouped=["a"]))
+        tenants = [s.stop_id[0] for s in repaired]
+        # a's stops are contiguous.
+        first, last = tenants.index("a"), len(tenants) - 1 - tenants[::-1].index("a")
+        assert tenants[first:last + 1] == ["a"] * 3
+
+    def test_repair_preserves_multiset(self):
+        tour = mixed_stops()
+        random.Random(4).shuffle(tour)
+        repaired = repair_tour(tour, OrderingConstraints.of(
+            ordered=["a"], grouped=["b"]))
+        assert sorted(s.stop_id for s in repaired) == sorted(
+            s.stop_id for s in tour)
+
+    def test_repair_idempotent(self):
+        constraints = OrderingConstraints.of(ordered=["a"], grouped=["b"])
+        tour = repair_tour(mixed_stops(), constraints)
+        assert repair_tour(tour, constraints) == tour
+
+
+class TestValidate:
+    def test_accepts_ordered(self):
+        tour = [stop("a", 0, 0, 0), stop("b", 1, 1, 1), stop("a", 1, 2, 2)]
+        assert validate_tour(tour, OrderingConstraints.of(ordered=["a"]))
+
+    def test_rejects_misordered(self):
+        tour = [stop("a", 1, 0, 0), stop("a", 0, 1, 1)]
+        assert not validate_tour(tour, OrderingConstraints.of(ordered=["a"]))
+
+    def test_rejects_interleaved_group(self):
+        tour = [stop("a", 0, 0, 0), stop("b", 0, 1, 1), stop("a", 1, 2, 2)]
+        assert not validate_tour(tour, OrderingConstraints.of(grouped=["a"]))
+
+    def test_unconstrained_always_valid(self):
+        tour = mixed_stops()
+        random.Random(1).shuffle(tour)
+        assert validate_tour(tour, OrderingConstraints.of())
+
+
+class TestConstrainedSolver:
+    def test_solution_respects_ordering(self):
+        constraints = OrderingConstraints.of(ordered=["a", "b"])
+        routes = solve_vrp_constrained(
+            HOME, mixed_stops(), MODEL, MODEL.battery_capacity_j,
+            constraints, rng=random.Random(3), iterations=800)
+        tour = [s for r in routes for s in r.stops]
+        assert validate_tour(tour, constraints)
+        assert sorted(s.stop_id for s in tour) == sorted(
+            s.stop_id for s in mixed_stops())
+
+    def test_solution_respects_grouping(self):
+        constraints = OrderingConstraints.of(grouped=["a"])
+        routes = solve_vrp_constrained(
+            HOME, mixed_stops(), MODEL, MODEL.battery_capacity_j,
+            constraints, rng=random.Random(3), iterations=800)
+        # Grouping holds within the concatenated tour.
+        tour = [s for r in routes for s in r.stops]
+        assert validate_tour(tour, constraints)
+
+    def test_constraints_cost_no_better_than_free(self):
+        stops = mixed_stops()
+        free = solve_vrp_constrained(
+            HOME, stops, MODEL, MODEL.battery_capacity_j,
+            OrderingConstraints.of(), rng=random.Random(5), iterations=1500)
+        constrained = solve_vrp_constrained(
+            HOME, stops, MODEL, MODEL.battery_capacity_j,
+            OrderingConstraints.of(ordered=["a"], grouped=["b"]),
+            rng=random.Random(5), iterations=1500)
+        free_time = sum(r.duration_s for r in free)
+        constrained_time = sum(r.duration_s for r in constrained)
+        # Constraints can only shrink the solution space.
+        assert constrained_time >= free_time * 0.999
+
+
+class TestPlannerIntegration:
+    def test_flightplanner_accepts_constraints(self):
+        d1 = simple_definition("vd1", n_waypoints=3)
+        d2 = simple_definition("vd2", n_waypoints=2, east_offset=-80.0)
+        planner = FlightPlanner(HOME, MODEL, rng=random.Random(2))
+        constraints = OrderingConstraints.of(ordered=["vd1"], grouped=["vd1"])
+        plans = planner.plan([d1, d2], constraints=constraints)
+        visits = [(s.tenant, s.waypoint_index)
+                  for p in plans for s in p.stops if s.tenant == "vd1"]
+        assert [i for _, i in visits] == [0, 1, 2]
+
+    def test_default_remains_unconstrained(self):
+        d1 = simple_definition("vd1", n_waypoints=2)
+        planner = FlightPlanner(HOME, MODEL, rng=random.Random(2))
+        assert planner.plan([d1])  # no constraints arg: the paper's behaviour

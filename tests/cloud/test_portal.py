@@ -1,0 +1,118 @@
+"""Tests for the web portal ordering workflow (paper Section 2)."""
+
+import pytest
+
+from repro.cloud import AppStore, BillingService, WebPortal
+from repro.cloud.portal import (
+    DEFAULT_GEOFENCE_RADIUS_M,
+    MAX_GEOFENCE_RADIUS_M,
+    OrderState,
+    PortalError,
+)
+
+SURVEY_ANDROID = ('<manifest package="com.example.survey">'
+                  '<uses-permission name="android.permission.CAMERA"/>'
+                  '<uses-permission name="androne.permission.FLIGHT_CONTROL"/>'
+                  "</manifest>")
+SURVEY_ANDRONE = ('<androne-manifest package="com.example.survey">'
+                  '<uses-permission name="camera" type="waypoint"/>'
+                  '<uses-permission name="flight-control" type="waypoint"/>'
+                  '<uses-permission name="gps" type="continuous"/>'
+                  '<argument name="survey-areas" type="geojson" required="true"/>'
+                  "</androne-manifest>")
+
+WAYPOINTS = [{"latitude": 43.609, "longitude": -85.811, "altitude": 15}]
+
+
+@pytest.fixture
+def portal():
+    store = AppStore()
+    store.publish("Survey", "site surveys", SURVEY_ANDROID, SURVEY_ANDRONE)
+    return WebPortal(store, BillingService())
+
+
+class TestOrdering:
+    def test_order_produces_definition(self, portal):
+        order = portal.order_virtual_drone(
+            user="alice", waypoints=WAYPOINTS, apps=["com.example.survey"],
+            app_args={"com.example.survey": {"survey-areas": []}},
+            max_charge=25.0)
+        d = order.definition
+        assert d.waypoints[0].max_radius == DEFAULT_GEOFENCE_RADIUS_M
+        assert "camera" in d.waypoint_devices
+        assert "flight-control" in d.waypoint_devices
+        assert "gps" in d.continuous_devices
+        assert order.state is OrderState.SUBMITTED
+
+    def test_max_charge_converts_to_energy(self, portal):
+        order = portal.order_virtual_drone(
+            user="alice", waypoints=WAYPOINTS, max_charge=10.0)
+        billing = BillingService()
+        assert order.definition.energy_allotted_j == pytest.approx(
+            billing.max_charge_to_energy_j(10.0))
+
+    def test_flight_time_estimate_provided(self, portal):
+        order = portal.order_virtual_drone(
+            user="alice", waypoints=WAYPOINTS, max_charge=25.0)
+        assert order.estimated_flight_time_s > 0
+
+    def test_missing_required_app_arg_rejected(self, portal):
+        with pytest.raises(PortalError, match="survey-areas"):
+            portal.order_virtual_drone(
+                user="alice", waypoints=WAYPOINTS,
+                apps=["com.example.survey"], app_args={})
+
+    def test_unknown_drone_type_rejected(self, portal):
+        with pytest.raises(PortalError, match="drone type"):
+            portal.order_virtual_drone(
+                user="alice", waypoints=WAYPOINTS, drone_type="submarine")
+
+    def test_geofence_radius_capped(self, portal):
+        with pytest.raises(PortalError, match="geofence"):
+            portal.order_virtual_drone(
+                user="alice", waypoints=WAYPOINTS,
+                geofence_radius_m=MAX_GEOFENCE_RADIUS_M + 1)
+
+    def test_no_waypoints_rejected(self, portal):
+        with pytest.raises(PortalError):
+            portal.order_virtual_drone(user="alice", waypoints=[])
+
+    def test_advanced_extra_devices(self, portal):
+        order = portal.order_virtual_drone(
+            user="bob", waypoints=WAYPOINTS,
+            extra_devices={"microphone": "waypoint", "sensors": "continuous"})
+        assert "microphone" in order.definition.waypoint_devices
+        assert "sensors" in order.definition.continuous_devices
+
+    def test_bad_extra_device_rejected(self, portal):
+        with pytest.raises(PortalError):
+            portal.order_virtual_drone(
+                user="bob", waypoints=WAYPOINTS,
+                extra_devices={"tractor-beam": "waypoint"})
+
+
+class TestLifecycle:
+    def test_window_confirmation_notifies(self, portal):
+        order = portal.order_virtual_drone(user="alice", waypoints=WAYPOINTS)
+        portal.confirm_window(order.order_id, 120.0, 300.0)
+        assert order.state is OrderState.SCHEDULED
+        assert "operating window" in order.notifications[-1].text
+
+    def test_flight_started_provides_access_info(self, portal):
+        order = portal.order_virtual_drone(user="alice", waypoints=WAYPOINTS)
+        portal.flight_started(order.order_id, ip="203.0.113.9", port=5100)
+        assert order.state is OrderState.IN_FLIGHT
+        assert order.access_info["ip"] == "203.0.113.9"
+        assert any(n.channel == "sms" for n in order.notifications)
+
+    def test_completion_with_links(self, portal):
+        order = portal.order_virtual_drone(user="alice", waypoints=WAYPOINTS)
+        portal.flight_completed(order.order_id, ["https://x/y"], interrupted=False)
+        assert order.state is OrderState.COMPLETED
+        assert order.result_links == ["https://x/y"]
+
+    def test_interrupted_flight_state(self, portal):
+        order = portal.order_virtual_drone(user="alice", waypoints=WAYPOINTS)
+        portal.flight_completed(order.order_id, [], interrupted=True)
+        assert order.state is OrderState.INTERRUPTED
+        assert "resume" in order.notifications[-1].text

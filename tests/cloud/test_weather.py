@@ -1,0 +1,126 @@
+"""Tests for the weather service and weather-aborted missions."""
+
+import math
+
+import pytest
+
+from repro.cloud.planner import FlightPlanner
+from repro.cloud.weather import WeatherService
+from repro.core.mission import MissionRunner
+from repro.sdk.listener import WaypointListener
+from repro.sim import Simulator, RngRegistry
+from tests.util import HOME, make_node, simple_definition, survey_manifests
+
+
+def make_weather(base=2.0, seed=21, **kw):
+    sim = Simulator()
+    return sim, WeatherService(sim, RngRegistry(seed).stream("wx"),
+                               base_wind_ms=base, **kw)
+
+
+class TestWeatherService:
+    def test_wind_stays_bounded(self):
+        sim, weather = make_weather(base=5.0, max_wind_ms=15.0)
+        speeds = []
+        for _ in range(300):
+            sim.run(until=sim.now + 10_000_000)
+            speeds.append(weather.current().wind_speed_ms)
+        assert all(0.0 <= s <= 15.0 for s in speeds)
+
+    def test_wind_reverts_toward_base(self):
+        sim, weather = make_weather(base=3.0)
+        weather.set_storm(15.0)
+        sim.run(until=sim.now + 1_200_000_000)   # 20 minutes
+        assert weather.current().wind_speed_ms < 10.0
+
+    def test_gusts_exceed_sustained(self):
+        sim, weather = make_weather(base=6.0)
+        sample = weather.current()
+        assert sample.gust_ms >= sample.wind_speed_ms
+
+    def test_wind_enu_magnitude(self):
+        sim, weather = make_weather(base=4.0)
+        sample = weather.current()
+        east, north, up = sample.wind_enu()
+        assert math.hypot(east, north) == pytest.approx(sample.wind_speed_ms)
+        assert up == 0.0
+
+    def test_safe_to_launch_threshold(self):
+        sim, weather = make_weather(base=2.0)
+        weather.set_storm(12.0)
+        assert not weather.safe_to_launch(limit_ms=10.0)
+        weather.set_storm(3.0)
+        assert weather.safe_to_launch(limit_ms=10.0)
+
+    def test_abort_reason_mentions_wind(self):
+        sim, weather = make_weather()
+        weather.set_storm(14.0)
+        reason = weather.abort_reason(limit_ms=10.0)
+        assert reason is not None and "weather" in reason
+
+    def test_couple_to_physics_applies_wind(self):
+        from repro.flight.physics import QuadcopterPhysics
+
+        sim, weather = make_weather(base=5.0)
+        physics = QuadcopterPhysics()
+        weather.set_storm(8.0)
+        weather.couple_to_physics(physics)
+        sim.run(until=sim.now + 20_000_000)
+        assert math.hypot(physics.wind_enu[0], physics.wind_enu[1]) > 2.0
+        weather.stop()
+
+
+class TestWeatherAbortedMission:
+    def test_storm_aborts_and_tenants_resumable(self):
+        node = make_node(seed=161)
+        weather = WeatherService(node.sim, node.rng.stream("wx"),
+                                 base_wind_ms=2.0)
+        d1 = simple_definition("vd1", n_waypoints=2,
+                               apps=["com.example.survey"])
+        vdrone = node.start_virtual_drone(
+            d1, app_manifests={"com.example.survey": survey_manifests()})
+        serviced = []
+
+        class L(WaypointListener):
+            def waypoint_active(self, waypoint):
+                serviced.append(waypoint.index)
+                # After the first waypoint, the storm front arrives.
+                if len(serviced) == 1:
+                    weather.set_storm(16.0)
+                node.sim.after(1_000_000, vdrone.sdk.waypoint_completed)
+
+        vdrone.sdk.register_waypoint_listener(L())
+        node.boot()
+        plan = FlightPlanner(HOME).plan([d1])[0]
+        runner = MissionRunner(
+            node, plan,
+            abort_check=lambda: weather.abort_reason(limit_ms=10.0))
+        report = runner.execute()
+        assert serviced == [0]                 # second waypoint never flown
+        assert report.waypoints_serviced == 1
+        assert any("aborted" in e.text for e in report.events)
+        assert report.returned_home            # flew home through the storm
+        assert "weather" in vdrone.force_finished_reason
+        # The tenant is resumable with its remaining waypoint.
+        assert vdrone.next_unvisited() == 1
+
+    def test_calm_weather_never_aborts(self):
+        node = make_node(seed=162)
+        weather = WeatherService(node.sim, node.rng.stream("wx"),
+                                 base_wind_ms=1.5, volatility_ms=0.1)
+        d1 = simple_definition("vd1", apps=["com.example.survey"])
+        vdrone = node.start_virtual_drone(
+            d1, app_manifests={"com.example.survey": survey_manifests()})
+
+        class L(WaypointListener):
+            def waypoint_active(self, waypoint):
+                node.sim.after(1_000_000, vdrone.sdk.waypoint_completed)
+
+        vdrone.sdk.register_waypoint_listener(L())
+        node.boot()
+        plan = FlightPlanner(HOME).plan([d1])[0]
+        report = MissionRunner(
+            node, plan,
+            abort_check=lambda: weather.abort_reason(limit_ms=10.0)).execute()
+        assert report.waypoints_serviced == 1
+        assert not any("aborted" in e.text for e in report.events)

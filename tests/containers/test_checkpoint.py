@@ -1,0 +1,92 @@
+"""Tests for transparent checkpoint/restore vs lifecycle migration."""
+
+import json
+
+import pytest
+
+from repro.containers.checkpoint import checkpoint_container, restore_container
+from tests.util import make_node, simple_definition, survey_manifests
+
+
+def start_tenant(node, name="vd1"):
+    definition = simple_definition(name=name, apps=["com.example.survey"])
+    return definition, node.start_virtual_drone(
+        definition, app_manifests={"com.example.survey": survey_manifests()})
+
+
+class TestCheckpoint:
+    def test_checkpoint_captures_fs_and_processes(self):
+        node = make_node(seed=31)
+        definition, vdrone = start_tenant(node)
+        app = vdrone.env.apps["com.example.survey"]
+        app.memory["progress"] = {"leg": 3, "photos": 12}
+        app.write_file("partial.jpg", "bytes")
+        image = node.vdc.checkpoint_virtual_drone("vd1")
+        assert image.container_name == "vd1"
+        assert len(image.processes) == 1
+        assert image.processes[0].memory["progress"]["leg"] == 3
+        assert any("partial.jpg" in p for p in image.fs_diff.paths())
+
+    def test_checkpoint_is_deep_copy(self):
+        node = make_node(seed=31)
+        _, vdrone = start_tenant(node)
+        app = vdrone.env.apps["com.example.survey"]
+        app.memory["counter"] = [1]
+        image = node.vdc.checkpoint_virtual_drone("vd1")
+        app.memory["counter"].append(2)
+        assert image.processes[0].memory["counter"] == [1]
+
+    def test_restore_on_different_drone(self):
+        node1 = make_node(seed=31)
+        definition, vdrone = start_tenant(node1)
+        app = vdrone.env.apps["com.example.survey"]
+        app.memory["uncooperative_state"] = "precious"
+        image = node1.vdc.checkpoint_virtual_drone("vd1")
+
+        node2 = make_node(seed=32)
+        restored = node2.vdc.restore_virtual_drone(image, definition)
+        new_app = restored.env.apps["com.example.survey"]
+        assert new_app.memory["uncooperative_state"] == "precious"
+        assert new_app.state.value == "resumed"      # exactly where it was
+        assert "restoredFromCheckpoint" in new_app.lifecycle_log
+        # No lifecycle callbacks fired on restore.
+        assert "onCreate" not in new_app.lifecycle_log
+
+    def test_restored_tenant_fully_functional(self):
+        node1 = make_node(seed=31)
+        definition, _ = start_tenant(node1)
+        image = node1.vdc.checkpoint_virtual_drone("vd1")
+        node2 = make_node(seed=33)
+        restored = node2.vdc.restore_virtual_drone(image, definition)
+        node2.vdc.waypoint_reached("vd1")
+        app = restored.env.apps["com.example.survey"]
+        assert app.call_service("CameraService", "capture")["status"] == "ok"
+
+    def test_lifecycle_migration_loses_uncooperative_state(self):
+        """The trade the paper accepts: apps ignoring
+        onSaveInstanceState() lose their in-memory state on the
+        lifecycle path — but not on the checkpoint path."""
+        node = make_node(seed=31)
+        definition, vdrone = start_tenant(node)
+        app = vdrone.env.apps["com.example.survey"]
+        app.memory["ram_only"] = "will-be-lost"
+        # No on_save_instance_state handler installed: app is uncooperative.
+
+        # Path A: transparent checkpoint keeps everything.
+        image = node.vdc.checkpoint_virtual_drone("vd1")
+        assert image.processes[0].memory["ram_only"] == "will-be-lost"
+
+        # Path B: lifecycle stop writes an empty saved state.
+        app.stop()
+        saved = json.loads(app.read_file("saved_state.json"))
+        assert saved == {}
+
+    def test_checkpoint_size_exceeds_lifecycle_diff(self):
+        """The cost side of the trade: checkpoints carry process memory."""
+        node = make_node(seed=31)
+        definition, vdrone = start_tenant(node)
+        app = vdrone.env.apps["com.example.survey"]
+        app.memory["buffer"] = "x" * 10_000
+        image = node.vdc.checkpoint_virtual_drone("vd1")
+        lifecycle_diff = vdrone.container.commit()
+        assert image.size_bytes() > lifecycle_diff.size_bytes() + 9_000

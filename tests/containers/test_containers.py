@@ -1,0 +1,158 @@
+"""Tests for container lifecycle, resource integration, and export/import."""
+
+import pytest
+
+from repro.containers import Container, ContainerError, ContainerRuntime, ContainerState
+from repro.containers.image import Image, Layer
+from repro.kernel import Kernel, KernelConfig, OutOfMemoryError, ops
+from repro.kernel.cgroups import CgroupLimits
+from repro.sim import Simulator, RngRegistry
+
+
+@pytest.fixture
+def runtime():
+    sim = Simulator()
+    kernel = Kernel(sim, RngRegistry(1), KernelConfig(memory_kb=880 * 1024))
+    rt = ContainerRuntime(kernel)
+    rt.images.tag("android-things", Image([Layer({"/system": "base"})]))
+    return sim, kernel, rt
+
+
+class TestLifecycle:
+    def test_create_start_stop(self, runtime):
+        _, kernel, rt = runtime
+        c = rt.create("vd1", "android-things", memory_kb=185 * 1024)
+        assert c.state is ContainerState.CREATED
+        c.start()
+        assert c.state is ContainerState.RUNNING
+        assert kernel.memory.usage_of("vd1") == 185 * 1024
+        c.stop()
+        assert c.state is ContainerState.STOPPED
+        assert kernel.memory.usage_of("vd1") == 0
+
+    def test_duplicate_name_rejected(self, runtime):
+        _, _, rt = runtime
+        rt.create("vd1", "android-things", memory_kb=1024)
+        with pytest.raises(ContainerError):
+            rt.create("vd1", "android-things", memory_kb=1024)
+
+    def test_start_twice_rejected(self, runtime):
+        _, _, rt = runtime
+        c = rt.create("vd1", "android-things", memory_kb=1024)
+        c.start()
+        with pytest.raises(ContainerError):
+            c.start()
+
+    def test_fourth_vdrone_fails_oom_without_harming_others(self, runtime):
+        """Section 6.3: starting a 4th virtual drone fails for lack of memory
+        but does not interfere with those already running."""
+        _, kernel, rt = runtime
+        # Base system + device & flight containers ~250MB, 185MB per vdrone.
+        kernel.memory.allocate("host-base", 95 * 1024)
+        kernel.memory.allocate("dev+flight", 150 * 1024)
+        running = []
+        for i in range(1, 4):
+            c = rt.create(f"vd{i}", "android-things", memory_kb=185 * 1024)
+            c.start()
+            running.append(c)
+        fourth = rt.create("vd4", "android-things", memory_kb=185 * 1024)
+        with pytest.raises(OutOfMemoryError):
+            fourth.start()
+        assert all(c.state is ContainerState.RUNNING for c in running)
+        assert fourth.state is ContainerState.CREATED
+
+    def test_remove_running_container_stops_it(self, runtime):
+        _, kernel, rt = runtime
+        c = rt.create("vd1", "android-things", memory_kb=1024)
+        c.start()
+        rt.remove("vd1")
+        assert kernel.memory.usage_of("vd1") == 0
+        with pytest.raises(KeyError):
+            rt.get("vd1")
+
+    def test_cgroup_memory_limit_enforced(self, runtime):
+        _, _, rt = runtime
+        from repro.kernel.cgroups import CgroupLimitExceeded
+        c = rt.create("vd1", "android-things", memory_kb=2048,
+                      limits=CgroupLimits(memory_limit_kb=1024))
+        with pytest.raises(CgroupLimitExceeded):
+            c.start()
+
+
+class TestThreads:
+    def test_spawn_requires_running(self, runtime):
+        _, _, rt = runtime
+        c = rt.create("vd1", "android-things", memory_kb=1024)
+        with pytest.raises(ContainerError):
+            c.spawn(iter(()), "app")
+
+    def test_threads_tagged_with_container(self, runtime):
+        sim, _, rt = runtime
+        c = rt.create("vd1", "android-things", memory_kb=1024)
+        c.start()
+
+        def prog():
+            yield ops.Cpu(100)
+
+        thread = c.spawn(prog(), "app")
+        assert thread.container == "vd1"
+        sim.run()
+
+    def test_stop_kills_container_threads(self, runtime):
+        sim, _, rt = runtime
+        c = rt.create("vd1", "android-things", memory_kb=1024)
+        c.start()
+
+        def forever():
+            while True:
+                yield ops.Cpu(1000)
+
+        thread = c.spawn(forever(), "spinner")
+        sim.run_for(10_000)
+        c.stop()
+        assert not thread.alive
+
+
+class TestFilesystem:
+    def test_writes_land_in_writable_layer(self, runtime):
+        _, _, rt = runtime
+        c = rt.create("vd1", "android-things", memory_kb=1024)
+        c.write_file("/data/output.mp4", "video")
+        assert c.read_file("/data/output.mp4") == "video"
+        assert c.read_file("/system") == "base"  # image content intact
+
+    def test_delete_hides_image_file(self, runtime):
+        _, _, rt = runtime
+        c = rt.create("vd1", "android-things", memory_kb=1024)
+        c.delete_file("/system")
+        assert c.read_file("/system") is None
+
+    def test_commit_captures_only_delta(self, runtime):
+        _, _, rt = runtime
+        c = rt.create("vd1", "android-things", memory_kb=1024)
+        c.write_file("/data/state", "saved")
+        delta = c.commit("end of flight")
+        assert set(delta.paths()) == {"/data/state"}
+
+
+class TestExportImport:
+    def test_roundtrip_restores_files(self, runtime):
+        sim, kernel, rt = runtime
+        c = rt.create("vd1", "android-things", memory_kb=1024)
+        c.start()
+        c.write_file("/data/survey.json", "{...}")
+        c.stop()
+        base_id, diff = rt.export("vd1")
+        rt.remove("vd1")
+        restored = rt.import_container("vd1", "android-things", diff, memory_kb=1024)
+        assert restored.read_file("/data/survey.json") == "{...}"
+        assert restored.read_file("/system") == "base"
+
+    def test_export_is_small_relative_to_base(self, runtime):
+        _, _, rt = runtime
+        big_base = Image([Layer({f"/system/lib{i}": "x" * 1000 for i in range(50)})])
+        rt.images.tag("big-base", big_base)
+        c = rt.create("vd1", "big-base", memory_kb=1024)
+        c.write_file("/data/small", "tiny")
+        _, diff = rt.export("vd1")
+        assert diff.size_bytes() < big_base.size_bytes() / 100

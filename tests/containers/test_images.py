@@ -1,0 +1,110 @@
+"""Tests for layered images and the content-addressed store."""
+
+import pytest
+
+from repro.containers import Layer, Image, ImageStore, WHITEOUT
+from repro.containers.image import diff_layer
+
+
+def base_image():
+    return Image(
+        [Layer({"/system/build.prop": "android-things-1.0.3", "/bin/sh": "#!sh"},
+               comment="android-things-base")],
+        tag="android-things",
+    )
+
+
+class TestLayers:
+    def test_layer_id_is_content_addressed(self):
+        a = Layer({"/a": "1"})
+        b = Layer({"/a": "1"})
+        c = Layer({"/a": "2"})
+        assert a.layer_id == b.layer_id
+        assert a.layer_id != c.layer_id
+
+    def test_layer_size_excludes_whiteouts(self):
+        layer = Layer({"/a": "hello", "/b": WHITEOUT})
+        assert layer.size_bytes() == 5
+
+    def test_layer_files_returns_copy(self):
+        layer = Layer({"/a": "1"})
+        layer.files["/a"] = "tampered"
+        assert layer.get("/a") == "1"
+
+
+class TestImages:
+    def test_read_resolves_top_down(self):
+        img = base_image().extend(Layer({"/system/build.prop": "patched"}))
+        assert img.read("/system/build.prop") == "patched"
+        assert img.read("/bin/sh") == "#!sh"
+
+    def test_whiteout_hides_lower_layer(self):
+        img = base_image().extend(Layer({"/bin/sh": WHITEOUT}))
+        assert img.read("/bin/sh") is None
+        assert "/bin/sh" not in img.flatten()
+
+    def test_empty_image_rejected(self):
+        with pytest.raises(ValueError):
+            Image([])
+
+    def test_image_id_depends_on_layer_order(self):
+        l1, l2 = Layer({"/a": "1"}), Layer({"/b": "2"})
+        assert Image([l1, l2]).image_id != Image([l2, l1]).image_id
+
+    def test_flatten_merges_all_layers(self):
+        img = base_image().extend(Layer({"/data/app.apk": "bytes"}))
+        view = img.flatten()
+        assert set(view) == {"/system/build.prop", "/bin/sh", "/data/app.apk"}
+
+
+class TestDiffLayer:
+    def test_diff_contains_only_changes(self):
+        base = base_image()
+        view = base.flatten()
+        view["/data/new"] = "x"
+        view["/bin/sh"] = "#!modified"
+        delta = diff_layer(base, view)
+        assert set(delta.paths()) == {"/data/new", "/bin/sh"}
+
+    def test_diff_records_deletions_as_whiteouts(self):
+        base = base_image()
+        view = base.flatten()
+        del view["/bin/sh"]
+        delta = diff_layer(base, view)
+        assert delta.get("/bin/sh") == WHITEOUT
+
+    def test_no_changes_yields_empty_diff(self):
+        base = base_image()
+        delta = diff_layer(base, base.flatten())
+        assert list(delta.paths()) == []
+
+    def test_applying_diff_reconstructs_view(self):
+        base = base_image()
+        view = base.flatten()
+        view["/data/saved-state"] = "instance-state"
+        del view["/bin/sh"]
+        delta = diff_layer(base, view)
+        assert base.extend(delta).flatten() == view
+
+
+class TestImageStore:
+    def test_shared_base_layers_deduplicated(self):
+        store = ImageStore()
+        base = base_image()
+        # Three virtual drones from the same base, each with a small diff.
+        for i in range(3):
+            store.tag(f"vdrone-{i}", base.extend(Layer({f"/data/vd{i}": "cfg"})))
+        # Unique storage is far below the apparent (non-shared) total.
+        assert store.unique_bytes() < store.apparent_bytes()
+        base_size = base.size_bytes()
+        assert store.apparent_bytes() - store.unique_bytes() == 2 * base_size
+
+    def test_get_unknown_tag_raises(self):
+        with pytest.raises(KeyError):
+            ImageStore().get("nope")
+
+    def test_tags_listed_sorted(self):
+        store = ImageStore()
+        store.tag("b", base_image())
+        store.tag("a", base_image())
+        assert store.tags() == ["a", "b"]

@@ -1,0 +1,101 @@
+"""Tests for fleet dispatch by drone type and portal scheduling modes."""
+
+import pytest
+
+from repro.core import AnDroneSystem
+from repro.cloud.portal import OrderState, PortalError
+from repro.sdk.listener import WaypointListener
+
+ANDROID = ('<manifest package="com.cam">'
+           '<uses-permission name="android.permission.CAMERA"/>'
+           '<uses-permission name="androne.permission.FLIGHT_CONTROL"/>'
+           "</manifest>")
+ANDRONE = ('<androne-manifest package="com.cam">'
+           '<uses-permission name="camera" type="waypoint"/>'
+           '<uses-permission name="flight-control" type="waypoint"/>'
+           "</androne-manifest>")
+
+WAYPOINTS = [{"latitude": 43.6090, "longitude": -85.8107, "altitude": 15}]
+
+
+def build_system(seed=121):
+    system = AnDroneSystem(seed=seed)
+    system.app_store.publish("Cam", "camera app", ANDROID, ANDRONE)
+
+    def installer(app, sdk, vdrone):
+        class L(WaypointListener):
+            def waypoint_active(self, wp):
+                app.call_service("CameraService", "capture")
+                sdk.waypoint_completed()
+
+        sdk.register_waypoint_listener(L())
+
+    system.register_app_behavior("com.cam", installer)
+    return system
+
+
+class TestFleetDispatch:
+    def test_orders_grouped_by_drone_type(self):
+        system = build_system()
+        standard_order = system.portal.order_virtual_drone(
+            user="a", waypoints=WAYPOINTS, apps=["com.cam"],
+            drone_type="standard", max_charge=15.0, max_duration_s=60.0)
+        video_order = system.portal.order_virtual_drone(
+            user="b", waypoints=WAYPOINTS, apps=["com.cam"],
+            drone_type="video", max_charge=15.0, max_duration_s=60.0)
+        reports = system.dispatch_orders([standard_order, video_order])
+        assert set(reports) == {"standard", "video"}
+        assert all(r.returned_home for r in reports.values())
+        types = sorted(getattr(d, "drone_type") for d in system.fleet)
+        assert types == ["standard", "video"]
+
+    def test_video_order_served_by_video_hardware(self):
+        system = build_system(seed=122)
+        order = system.portal.order_virtual_drone(
+            user="b", waypoints=WAYPOINTS, apps=["com.cam"],
+            drone_type="video", max_charge=15.0, max_duration_s=60.0)
+        system.dispatch_orders([order])
+        node = system.fleet[0]
+        assert node.drone_type == "video"
+        assert node.bus.get("camera").width == 4056
+
+    def test_same_type_orders_share_one_drone(self):
+        system = build_system(seed=123)
+        orders = [
+            system.portal.order_virtual_drone(
+                user=f"u{i}", waypoints=[{
+                    "latitude": 43.6090 + i * 0.0004,
+                    "longitude": -85.8107, "altitude": 15}],
+                apps=["com.cam"], max_charge=8.0, max_duration_s=60.0)
+            for i in range(2)
+        ]
+        reports = system.dispatch_orders(orders)
+        assert len(system.fleet) == 1
+        assert reports["standard"].waypoints_serviced == 2
+
+
+class TestScheduleModes:
+    def test_flexible_window_needs_confirmation(self):
+        system = build_system(seed=124)
+        order = system.portal.order_virtual_drone(
+            user="a", waypoints=WAYPOINTS, schedule_mode="flexible")
+        system.portal.confirm_window(order.order_id, 60.0, 120.0)
+        assert order.state is OrderState.SCHEDULED
+        assert not order.window_confirmed
+        assert "please confirm" in order.notifications[-1].text
+        system.portal.user_confirms_window(order.order_id)
+        assert order.window_confirmed
+
+    def test_immediate_window_auto_confirmed_via_sms(self):
+        system = build_system(seed=125)
+        order = system.portal.order_virtual_drone(
+            user="a", waypoints=WAYPOINTS, schedule_mode="immediate")
+        system.portal.confirm_window(order.order_id, 60.0, 120.0)
+        assert order.window_confirmed
+        assert order.notifications[-1].channel == "sms"
+
+    def test_bad_schedule_mode_rejected(self):
+        system = build_system(seed=126)
+        with pytest.raises(PortalError):
+            system.portal.order_virtual_drone(
+                user="a", waypoints=WAYPOINTS, schedule_mode="whenever")

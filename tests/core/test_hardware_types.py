@@ -1,0 +1,129 @@
+"""Tests for drone-type profiles and cgroup resource controls."""
+
+import pytest
+
+from repro.core import AnDroneSystem
+from repro.core.hardware import DRONE_TYPE_PROFILES, profile_for_drone_type
+from repro.kernel import Kernel, KernelConfig, ops
+from repro.kernel.cgroups import CgroupLimits
+from repro.sim import Simulator, RngRegistry
+
+
+class TestDroneTypes:
+    def test_portal_types_all_have_profiles(self):
+        system = AnDroneSystem(seed=91)
+        for drone_type in system.portal.drone_types:
+            assert profile_for_drone_type(drone_type)
+
+    def test_video_type_carries_bigger_battery_and_camera(self):
+        standard = profile_for_drone_type("standard")
+        video = profile_for_drone_type("video")
+        assert video.battery_capacity_wh > standard.battery_capacity_wh
+        assert video.camera_width > standard.camera_width
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(KeyError):
+            profile_for_drone_type("submarine")
+
+    def test_fleet_node_uses_type_profile(self):
+        system = AnDroneSystem(seed=92)
+        node = system.add_drone(drone_type="video")
+        assert node.drone_type == "video"
+        assert node.battery.capacity_j == pytest.approx(88.8 * 3600)
+        assert node.bus.get("camera").width == 4056
+
+    def test_sensor_type_camera_downsized(self):
+        system = AnDroneSystem(seed=93)
+        node = system.add_drone(drone_type="sensor")
+        assert node.bus.get("camera").width == 1640
+
+
+class TestCgroupCpuShares:
+    def test_shares_bias_scheduling_between_containers(self):
+        """Docker resource controls (Section 4.1): a 4x-shares container
+        gets roughly 4x the CPU of a 1x one under contention."""
+        sim = Simulator()
+        kernel = Kernel(sim, RngRegistry(3), KernelConfig(num_cpus=1))
+        kernel.cgroups.create("gold", CgroupLimits(cpu_shares=4096))
+        kernel.cgroups.create("bronze", CgroupLimits(cpu_shares=1024))
+
+        def burner():
+            while True:
+                yield ops.Cpu(1_000)
+
+        gold = kernel.spawn(burner(), "g", container="gold")
+        bronze = kernel.spawn(burner(), "b", container="bronze")
+        sim.run_for(2_000_000)
+        ratio = gold.cpu_time_us / max(1.0, bronze.cpu_time_us)
+        assert 2.5 < ratio < 6.0
+
+    def test_equal_shares_equal_time(self):
+        sim = Simulator()
+        kernel = Kernel(sim, RngRegistry(3), KernelConfig(num_cpus=1))
+        kernel.cgroups.create("a", CgroupLimits(cpu_shares=1024))
+        kernel.cgroups.create("b", CgroupLimits(cpu_shares=1024))
+
+        def burner():
+            while True:
+                yield ops.Cpu(1_000)
+
+        ta = kernel.spawn(burner(), "a", container="a")
+        tb = kernel.spawn(burner(), "b", container="b")
+        sim.run_for(2_000_000)
+        assert ta.cpu_time_us == pytest.approx(tb.cpu_time_us, rel=0.25)
+
+
+class TestCgroupCpuQuota:
+    def test_quota_caps_utilization(self):
+        """Docker --cpus=0.25: a capped container gets ~25% of one CPU
+        regardless of demand."""
+        from repro.kernel import Kernel, KernelConfig, ops
+        from repro.kernel.cgroups import CgroupLimits
+        from repro.sim import Simulator, RngRegistry
+
+        sim = Simulator()
+        kernel = Kernel(sim, RngRegistry(3), KernelConfig(num_cpus=1))
+        kernel.cgroups.create("capped", CgroupLimits(cpu_quota_percent=25.0))
+
+        def burner():
+            while True:
+                yield ops.Cpu(1_000)
+
+        thread = kernel.spawn(burner(), "greedy", container="capped")
+        sim.run_for(2_000_000)
+        share = thread.cpu_time_us / 2_000_000
+        assert 0.15 < share < 0.35
+
+    def test_quota_frees_cpu_for_others(self):
+        from repro.kernel import Kernel, KernelConfig, ops
+        from repro.kernel.cgroups import CgroupLimits
+        from repro.sim import Simulator, RngRegistry
+
+        sim = Simulator()
+        kernel = Kernel(sim, RngRegistry(3), KernelConfig(num_cpus=1))
+        kernel.cgroups.create("capped", CgroupLimits(cpu_quota_percent=20.0))
+
+        def burner():
+            while True:
+                yield ops.Cpu(1_000)
+
+        capped = kernel.spawn(burner(), "capped-t", container="capped")
+        free = kernel.spawn(burner(), "free-t")
+        sim.run_for(2_000_000)
+        # The uncapped thread soaks up what the capped one cannot use.
+        assert free.cpu_time_us > 3 * capped.cpu_time_us
+
+    def test_unlimited_cgroup_never_throttled(self):
+        from repro.kernel import Kernel, KernelConfig, ops
+        from repro.sim import Simulator, RngRegistry
+
+        sim = Simulator()
+        kernel = Kernel(sim, RngRegistry(3), KernelConfig(num_cpus=1))
+
+        def burner():
+            while True:
+                yield ops.Cpu(1_000)
+
+        thread = kernel.spawn(burner(), "t")
+        sim.run_for(1_000_000)
+        assert thread.cpu_time_us > 900_000

@@ -1,0 +1,82 @@
+"""Tests for the camera gimbal and its CameraService integration."""
+
+import pytest
+
+from repro.devices import DeviceBusyError
+from repro.devices.gimbal import Gimbal
+from tests.util import make_node, simple_definition, survey_manifests
+
+
+class TestGimbalDevice:
+    def test_point_within_slew_limit(self):
+        gimbal = Gimbal()
+        with gimbal.open("svc") as handle:
+            orientation = gimbal.point(handle, pitch=-45.0)
+        assert orientation.pitch == -45.0
+
+    def test_large_moves_are_slew_limited(self):
+        gimbal = Gimbal()
+        with gimbal.open("svc") as handle:
+            first = gimbal.point(handle, pitch=-90.0)
+            assert first.pitch == -60.0     # one step of slew
+            second = gimbal.point(handle, pitch=-90.0)
+            assert second.pitch == -90.0
+
+    def test_angles_clamped_to_range(self):
+        gimbal = Gimbal()
+        with gimbal.open("svc") as handle:
+            orientation = gimbal.point(handle, pitch=45.0, roll=90.0)
+        assert orientation.pitch <= 30.0
+        assert orientation.roll <= 15.0
+
+    def test_nadir_reaches_straight_down(self):
+        gimbal = Gimbal()
+        with gimbal.open("svc") as handle:
+            gimbal.nadir(handle)
+            orientation = gimbal.nadir(handle)
+        assert orientation.pitch == -90.0
+
+    def test_single_client(self):
+        gimbal = Gimbal()
+        gimbal.open("camera-service")
+        with pytest.raises(DeviceBusyError):
+            gimbal.open("rogue")
+
+
+class TestGimbalThroughCameraService:
+    def test_tenant_points_gimbal_via_service(self):
+        node = make_node(seed=51)
+        vdrone = node.start_virtual_drone(
+            simple_definition("vd1", apps=["com.example.survey"]),
+            app_manifests={"com.example.survey": survey_manifests()})
+        node.vdc.waypoint_reached("vd1")
+        app = vdrone.env.apps["com.example.survey"]
+        reply = app.call_service("CameraService", "point_gimbal",
+                                 {"pitch": -30.0})
+        assert reply["status"] == "ok"
+        assert reply["pitch"] == -30.0
+
+    def test_gimbal_nadir_for_survey(self):
+        node = make_node(seed=51)
+        vdrone = node.start_virtual_drone(
+            simple_definition("vd1", apps=["com.example.survey"]),
+            app_manifests={"com.example.survey": survey_manifests()})
+        node.vdc.waypoint_reached("vd1")
+        app = vdrone.env.apps["com.example.survey"]
+        app.call_service("CameraService", "gimbal_nadir")
+        reply = app.call_service("CameraService", "gimbal_nadir")
+        assert reply["pitch"] == -90.0
+
+    def test_gimbal_denied_outside_waypoint(self):
+        node = make_node(seed=51)
+        vdrone = node.start_virtual_drone(
+            simple_definition("vd1", apps=["com.example.survey"]),
+            app_manifests={"com.example.survey": survey_manifests()})
+        app = vdrone.env.apps["com.example.survey"]
+        reply = app.call_service("CameraService", "point_gimbal",
+                                 {"pitch": -30.0})
+        assert reply.get("denied")
+
+    def test_gimbal_held_by_camera_service(self):
+        node = make_node(seed=51)
+        assert node.bus.get("gimbal").held_by == "CameraService"

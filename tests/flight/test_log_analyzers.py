@@ -1,0 +1,71 @@
+"""Tests for the GPS-glitch and vibration log analyzers."""
+
+import pytest
+
+from repro.flight import GeoPoint, SitlDrone
+from repro.flight.logs import (
+    FlightLog,
+    analyze_gps_glitches,
+    analyze_vibration,
+)
+from repro.sim import Simulator, RngRegistry
+from repro.sim.time import seconds
+
+HOME = GeoPoint(43.6084298, -85.8110359, 0.0)
+
+
+def flown_log(seed=7, hover_s=20):
+    log = FlightLog("hover")
+    sim = Simulator()
+    drone = SitlDrone(sim, RngRegistry(seed), home=HOME, rate_hz=100, log=log)
+    drone.start()
+    drone.arm()
+    drone.takeoff(10.0)
+    drone.run_until(lambda: drone.physics.position[2] > 9.0, timeout_s=40)
+    sim.run(until=sim.now + seconds(hover_s))
+    return log
+
+
+class TestGpsGlitchAnalyzer:
+    def test_healthy_flight_has_no_glitches(self):
+        log = flown_log()
+        result = analyze_gps_glitches(log)
+        assert result.fixes_analyzed > 50
+        assert result.passed, f"worst implied speed {result.worst_jump_m}"
+
+    def test_injected_glitch_detected(self):
+        log = flown_log()
+        # Corrupt one fix by a 300 m teleport.
+        t, e, n = log.gps_fixes[len(log.gps_fixes) // 2]
+        log.gps_fixes[len(log.gps_fixes) // 2] = (t, e + 300.0, n)
+        result = analyze_gps_glitches(log)
+        assert not result.passed
+        assert result.glitches >= 1   # jump out (and back) both flagged
+
+    def test_empty_log_passes(self):
+        result = analyze_gps_glitches(FlightLog())
+        assert result.passed
+        assert result.fixes_analyzed == 0
+
+
+class TestVibrationAnalyzer:
+    def test_healthy_flight_low_vibration(self):
+        log = flown_log()
+        result = analyze_vibration(log)
+        assert result.windows_analyzed > 5
+        assert result.passed, f"worst stddev {result.worst_stddev}"
+
+    def test_shaking_airframe_detected(self):
+        log = FlightLog("shaker")
+        import random
+
+        rng = random.Random(3)
+        for i in range(2_000):
+            # A damaged prop: 6 m/s^2 of accelerometer-z noise.
+            log.record_imu(i * 2_500, 9.81 + rng.gauss(0.0, 6.0))
+        result = analyze_vibration(log)
+        assert not result.passed
+        assert result.worst_stddev > 3.0
+
+    def test_empty_log_passes(self):
+        assert analyze_vibration(FlightLog()).passed

@@ -1,0 +1,206 @@
+"""End-to-end integration: the Section 6.6 multi-waypoint flight.
+
+Three virtual drones on one physical flight: an autonomous survey app, an
+interactive (remote-control) tenant, and a direct-access tenant using the
+CLI — with device grants and denials at waypoint boundaries, geofenced
+control, and the post-flight offload.
+"""
+
+import json
+
+import pytest
+
+from repro.core import AnDroneSystem
+from repro.mavlink import SetPositionTarget
+from repro.mavproxy.whitelist import FULL
+from repro.sdk import AndroneCli
+from repro.sdk.listener import WaypointListener
+
+SURVEY_ANDROID = ('<manifest package="com.example.survey">'
+                  '<uses-permission name="android.permission.CAMERA"/>'
+                  '<uses-permission name="android.permission.ACCESS_FINE_LOCATION"/>'
+                  '<uses-permission name="androne.permission.FLIGHT_CONTROL"/>'
+                  "</manifest>")
+SURVEY_ANDRONE = ('<androne-manifest package="com.example.survey">'
+                  '<uses-permission name="camera" type="waypoint"/>'
+                  '<uses-permission name="gps" type="waypoint"/>'
+                  '<uses-permission name="flight-control" type="waypoint"/>'
+                  '<argument name="survey-areas" type="geojson"/>'
+                  "</androne-manifest>")
+RC_ANDROID = ('<manifest package="com.example.rc">'
+              '<uses-permission name="android.permission.CAMERA"/>'
+              '<uses-permission name="androne.permission.FLIGHT_CONTROL"/>'
+              "</manifest>")
+RC_ANDRONE = ('<androne-manifest package="com.example.rc">'
+              '<uses-permission name="camera" type="waypoint"/>'
+              '<uses-permission name="flight-control" type="waypoint"/>'
+              "</androne-manifest>")
+
+
+@pytest.fixture(scope="module")
+def flight():
+    """Run the whole three-tenant flight once; tests inspect the result."""
+    system = AnDroneSystem(seed=11)
+    system.app_store.publish("Survey", "autonomous field survey",
+                             SURVEY_ANDROID, SURVEY_ANDRONE)
+    system.app_store.publish("RemoteControl", "fly it yourself from a phone",
+                             RC_ANDROID, RC_ANDRONE)
+
+    # --- Tenant 1: autonomous survey app (DroneKit-style back-and-forth).
+    survey_order = system.portal.order_virtual_drone(
+        user="farmer", waypoints=[
+            {"latitude": 43.6090, "longitude": -85.8105, "altitude": 15,
+             "max-radius": 40},
+        ],
+        apps=["com.example.survey"],
+        app_args={"com.example.survey": {"survey-areas": [[43.609, -85.8105]]}},
+        max_charge=30.0, max_duration_s=120.0)
+
+    survey_trace = {"photos": 0, "video": None, "denied_before": None}
+
+    def survey_installer(app, sdk, vdrone):
+        # Before the waypoint: camera must be denied.
+        survey_trace["denied_before"] = app.call_service(
+            "CameraService", "capture").get("denied", False)
+
+        class SurveyListener(WaypointListener):
+            def waypoint_active(self, wp):
+                app.call_service("CameraService", "start_video")
+                for _ in range(6):
+                    reply = app.call_service("CameraService", "capture")
+                    if reply.get("status") == "ok":
+                        survey_trace["photos"] += 1
+                segment = app.call_service("CameraService", "stop_video")
+                survey_trace["video"] = segment.get("segment")
+                app.write_file("survey.mp4", "h264" * 100)
+                sdk.mark_file_for_user(f"{app.data_dir}/survey.mp4")
+                sdk.waypoint_completed()
+
+        sdk.register_waypoint_listener(SurveyListener())
+
+    system.register_app_behavior("com.example.survey", survey_installer)
+
+    # --- Tenant 2: interactive remote-control app with a geofence breach.
+    rc_order = system.portal.order_virtual_drone(
+        user="pilot", waypoints=[
+            {"latitude": 43.6078, "longitude": -85.8120, "altitude": 15,
+             "max-radius": 25},
+        ],
+        apps=["com.example.rc"],
+        max_charge=30.0, max_duration_s=180.0)
+
+    rc_trace = {"breach_event": False, "recovered": False, "commands": 0}
+
+    def rc_installer(app, sdk, vdrone):
+        vfc = vdrone.vfc
+        vfc.template = FULL
+        node_sim = app.env.driver  # unused; keep handle simple
+
+        class RcListener(WaypointListener):
+            def __init__(self):
+                self.phase = 0
+
+            def waypoint_active(self, wp):
+                if self.phase == 0:
+                    self.phase = 1
+                    # Push outward to force a breach.
+                    vfc.send(SetPositionTarget(vx=0.0, vy=4.0, vz=0.0,
+                                               type_mask=0x0007))
+                    rc_trace["commands"] += 1
+                else:
+                    # Called again after breach recovery: done.
+                    rc_trace["recovered"] = True
+                    sdk.waypoint_completed()
+
+            def geofence_breached(self):
+                rc_trace["breach_event"] = True
+
+        listener = RcListener()
+        sdk.register_waypoint_listener(listener)
+        # Bridge VFC recovery back into the SDK (the VDC does this via the
+        # breach statustext in the full system; emulate the app's poll).
+        original_done = vfc._recovery_done
+
+        def recovery_done():
+            original_done()
+            listener.geofence_breached()
+            listener.waypoint_active(None)
+
+        vfc._recovery_done = recovery_done
+
+    system.register_app_behavior("com.example.rc", rc_installer)
+
+    # --- Tenant 3: direct access (no app), via the CLI.
+    direct_order = system.portal.order_virtual_drone(
+        user="poweruser", waypoints=[
+            {"latitude": 43.6095, "longitude": -85.8125, "altitude": 15,
+             "max-radius": 30},
+        ],
+        extra_devices={"camera": "waypoint", "flight-control": "waypoint"},
+        max_charge=20.0, max_duration_s=60.0)
+
+    report = system.fly_orders([survey_order, rc_order, direct_order])
+    return system, report, survey_order, rc_order, direct_order, survey_trace, rc_trace
+
+
+class TestSurveyTenant:
+    def test_camera_denied_before_waypoint(self, flight):
+        *_, survey_trace, _ = flight
+        assert survey_trace["denied_before"] is True
+
+    def test_photos_and_video_captured_at_waypoint(self, flight):
+        *_, survey_trace, _ = flight
+        assert survey_trace["photos"] == 6
+        assert survey_trace["video"]["frame_count"] >= 0
+
+    def test_files_uploaded_to_cloud(self, flight):
+        system, report, survey_order, *_ = flight
+        tenant = survey_order.definition.name
+        files = system.storage.list_files(tenant)
+        assert any("survey.mp4" in f for f in files)
+
+    def test_order_completed_with_links(self, flight):
+        _, _, survey_order, *_ = flight
+        assert survey_order.state.value == "completed"
+        assert survey_order.result_links
+
+
+class TestInteractiveTenant:
+    def test_breach_detected_and_recovered(self, flight):
+        *_, rc_trace = flight
+        assert rc_trace["breach_event"]
+        assert rc_trace["recovered"]
+
+    def test_flight_continued_after_breach(self, flight):
+        _, report, *_ = flight
+        assert report.returned_home
+
+
+class TestFlightOutcome:
+    def test_all_waypoints_serviced(self, flight):
+        _, report, *_ = flight
+        assert report.waypoints_serviced == 3
+
+    def test_all_tenants_completed_or_interrupted(self, flight):
+        _, report, *_ = flight
+        assert len(report.tenants_completed) + len(report.tenants_interrupted) == 3
+
+    def test_vdr_holds_all_tenants(self, flight):
+        system, report, *_ = flight
+        assert len(report.vdr_entries) == 3
+
+    def test_energy_attributed_to_tenants(self, flight):
+        _, report, *_ = flight
+        tenant_energy = {k: v for k, v in report.energy_by_account.items()
+                         if k != "platform"}
+        assert tenant_energy, "no tenant energy attribution"
+        assert report.energy_by_account["platform"] > 0
+
+    def test_invoices_computable(self, flight):
+        system, report, survey_order, *_ = flight
+        tenant = survey_order.definition.name
+        invoice = system.billing.invoice(
+            tenant,
+            energy_used_j=report.energy_by_account.get(tenant, 0.0),
+            storage_bytes=system.storage.usage_bytes(tenant))
+        assert invoice.total >= 0

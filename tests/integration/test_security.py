@@ -1,0 +1,182 @@
+"""Adversarial tests for the paper's security claims (Sections 4.2-4.4).
+
+"Untrusted third-party software may run in virtual drones without undue
+risk to the physical drone" — these tests play the untrusted tenant and
+verify each isolation boundary holds, plus demonstrate the one residual
+risk the paper concedes (a compromised shared GPS/SensorService can
+affect flight) and its stated mitigation (flight controller on separate
+hardware).
+"""
+
+import pytest
+
+from repro.binder import PermissionDeniedError
+from repro.devices import DeviceBusyError
+from repro.flight.autopilot import DirectSensors
+from repro.kernel import SchedPolicy, ops
+from repro.mavlink import CommandLong, MavCommand, MavResult, SetPositionTarget
+from repro.sim import RngRegistry
+from tests.util import make_node, simple_definition, survey_manifests
+
+
+@pytest.fixture
+def node():
+    return make_node(seed=111)
+
+
+def tenant(node, name="evil", **kw):
+    definition = simple_definition(name=name, apps=["com.example.survey"], **kw)
+    return node.start_virtual_drone(
+        definition, app_manifests={"com.example.survey": survey_manifests()})
+
+
+class TestBinderIsolation:
+    def test_tenant_cannot_reach_another_tenants_service(self, node):
+        victim = tenant(node, "victim")
+        attacker = tenant(node, "evil")
+        # Victim registers a private service in its own namespace.
+        proc = victim.env.binder_proc
+        victim.env.service_manager.register(
+            "PrivateData", proc.create_node(lambda t: {"secret": 42}, "priv"))
+        evil_app = attacker.env.apps["com.example.survey"]
+        with pytest.raises(LookupError):
+            evil_app.get_service("PrivateData")
+
+    def test_tenant_cannot_publish_to_all_namespaces(self, node):
+        attacker = tenant(node, "evil")
+        proc = attacker.env.binder_proc
+        fake = proc.create_node(lambda t: {"granted": True}, "fake-camera")
+        with pytest.raises(PermissionDeniedError):
+            proc.ioctl_publish_to_all_ns("CameraService", fake)
+
+    def test_tenant_cannot_forge_calling_container(self, node):
+        """The container id in transactions comes from the driver, not
+        userspace: an app cannot borrow another tenant's policy grants."""
+        attacker = tenant(node, "evil")
+        privileged = tenant(node, "vip")
+        node.vdc.waypoint_reached("vip")    # vip is at its waypoint
+        evil_app = attacker.env.apps["com.example.survey"]
+        # Whatever the attacker puts in the payload, the kernel-supplied
+        # calling_container is still "evil", so policy denies.
+        reply = evil_app.call_service("CameraService", "capture",
+                                      {"calling_container": "vip"})
+        assert reply.get("denied")
+
+    def test_forged_uid_does_not_grant_permissions(self, node):
+        attacker = tenant(node, "evil")
+        # An app process opened with an unprivileged uid cannot claim
+        # another uid: euid is bound at open() time by the kernel.
+        rogue = node.driver.open(9999, euid=12345, container="evil",
+                                 device_ns=attacker.container.namespaces.device_ns)
+        handle = rogue.transact(0, "get", {"name": "CameraService"})["service"]
+        node.vdc.waypoint_reached("evil")
+        reply = rogue.transact(handle, "capture", {"uid": 0})
+        assert reply.get("denied")   # uid 12345 has no CAMERA grant
+
+
+class TestDeviceIsolation:
+    def test_tenant_threads_cannot_open_devices(self, node):
+        tenant(node, "evil")
+        with pytest.raises(DeviceBusyError):
+            node.bus.get("camera").open("evil")
+        with pytest.raises(DeviceBusyError):
+            node.bus.get("gps").open("evil")
+
+    def test_suspended_tenant_sees_nothing_of_other_waypoint(self, node):
+        spy = tenant(node, "spy", n_waypoints=2, continuous_devices=["camera"])
+        victim = tenant(node, "victim")
+        node.vdc.waypoint_reached("spy", 0)
+        node.vdc.waypoint_completed("spy")
+        spy_app = spy.env.apps["com.example.survey"]
+        assert spy_app.call_service("CameraService", "capture")["status"] == "ok"
+        # Victim's waypoint: the spy's continuous camera goes dark.
+        node.vdc.waypoint_reached("victim")
+        assert spy_app.call_service("CameraService", "capture").get("denied")
+
+
+class TestFlightControlContainment:
+    def test_tenant_cannot_command_outside_its_window(self, node):
+        attacker = tenant(node, "evil")
+        ack = attacker.vfc.send(CommandLong(
+            command=int(MavCommand.NAV_TAKEOFF), param7=50.0))
+        assert ack.result == MavResult.TEMPORARILY_REJECTED
+        assert not node.sitl.autopilot.armed
+
+    def test_tenant_cannot_move_drone_to_arbitrary_location(self, node):
+        from repro.flight import Geofence
+        from repro.flight.geo import GeoPoint
+
+        attacker = tenant(node, "evil")
+        node.vdc.waypoint_reached("evil")
+        # Try to send the drone far outside the geofence (another city).
+        far = GeoPoint(40.7128, -74.0060, 15.0)
+        ack = attacker.vfc.send(CommandLong(
+            command=int(MavCommand.NAV_WAYPOINT),
+            param5=far.latitude, param6=far.longitude, param7=15.0))
+        assert ack.result == MavResult.DENIED
+
+    def test_tenant_cpu_abuse_cannot_starve_flight_loop(self):
+        """A tenant spinning all CPUs does not delay the RT fast loop
+        beyond its deadline (the scheduling claim behind Fig 11)."""
+        node = make_node(seed=112, run_flight_rt_thread=True)
+        evil = tenant(node, "evil")
+
+        def spin():
+            while True:
+                yield ops.Cpu(2_000)
+
+        for i in range(8):     # 2x oversubscription of all 4 CPUs
+            evil.container.spawn(spin(), f"spin{i}")
+        node.sim.run(until=node.sim.now + 2_000_000)
+        fast_loop = node._rt_flight_thread
+        # The fast loop got its ~72ms of CPU per second despite the abuse.
+        expected = 2.0 * 400 * 180e-6 * 1e6
+        assert fast_loop.cpu_time_us == pytest.approx(expected, rel=0.25)
+
+
+class TestSharedServiceRisk:
+    """The residual risk the paper concedes: 'if the flight controller is
+    running on shared hardware ... and the GPS or SensorService are
+    compromised, stability and control of the flight can be compromised'
+    — and the stated mitigation: separate hardware for the flight stack."""
+
+    def test_compromised_gps_service_corrupts_shared_hal(self):
+        node = make_node(seed=113, use_hal_sensors=True)
+        node.boot()
+        node.sitl.arm()
+        node.sitl.takeoff(10.0)
+        node.sitl.run_until(lambda: node.sitl.physics.position[2] > 9.0, 40)
+        # Compromise LocationManagerService: report positions 500m north.
+        service = node.device_env.system_server.get("LocationManagerService")
+        original = service.op_native_get_location
+
+        def poisoned(txn):
+            reply = original(txn)
+            reply["fix"]["latitude"] += 0.0045   # ~500 m
+            return reply
+
+        service.op_native_get_location = poisoned
+        node.sim.run(until=node.sim.now + 15_000_000)
+        # The autopilot's estimate is dragged away from truth: the attack
+        # surface is real, exactly as the paper warns.
+        est = node.sitl.autopilot.position_est.position
+        truth = node.sitl.physics.position
+        assert abs(est[1] - truth[1]) > 50.0
+
+    def test_mitigation_flight_stack_on_separate_hardware(self):
+        """With the flight controller on its own hardware (DirectSensors,
+        not the shared HAL), the same compromise is harmless."""
+        node = make_node(seed=114, use_hal_sensors=False)
+        node.boot()
+        node.sitl.arm()
+        node.sitl.takeoff(10.0)
+        node.sitl.run_until(lambda: node.sitl.physics.position[2] > 9.0, 40)
+        assert isinstance(node.sitl.autopilot.sensors, DirectSensors)
+        service = node.device_env.system_server.get("LocationManagerService")
+        original = service.op_native_get_location
+        service.op_native_get_location = lambda txn: {
+            **original(txn), "fix": {**original(txn)["fix"], "latitude": 0.0}}
+        node.sim.run(until=node.sim.now + 15_000_000)
+        est = node.sitl.autopilot.position_est.position
+        truth = node.sitl.physics.position
+        assert abs(est[1] - truth[1]) < 10.0   # estimator unaffected

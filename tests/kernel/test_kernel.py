@@ -1,0 +1,315 @@
+"""Tests for the simulated kernel: scheduling, timers, I/O, wakeups."""
+
+import pytest
+
+from repro.kernel import Kernel, KernelConfig, PreemptionMode, SchedPolicy, ops
+from repro.kernel.thread import ThreadState
+from repro.sim import Simulator, RngRegistry
+from repro.sim.time import seconds
+
+
+def make_kernel(num_cpus=4, preemption=PreemptionMode.PREEMPT_RT, **kw):
+    sim = Simulator()
+    config = KernelConfig(num_cpus=num_cpus, preemption=preemption, **kw)
+    return sim, Kernel(sim, RngRegistry(42), config)
+
+
+def cpu_burner(total_us, chunk_us=1000):
+    """Program burning `total_us` of CPU in chunks."""
+    def prog():
+        remaining = total_us
+        while remaining > 0:
+            burst = min(chunk_us, remaining)
+            yield ops.Cpu(burst)
+            remaining -= burst
+    return prog()
+
+
+class TestBasicExecution:
+    def test_single_thread_runs_to_completion(self):
+        sim, kernel = make_kernel()
+        thread = kernel.spawn(cpu_burner(10_000), "burner")
+        sim.run()
+        assert thread.state is ThreadState.DEAD
+        assert thread.cpu_time_us == pytest.approx(10_000, rel=0.05)
+
+    def test_thread_exit_value_recorded(self):
+        sim, kernel = make_kernel()
+
+        def prog():
+            yield ops.Cpu(10)
+            return "result"
+
+        thread = kernel.spawn(prog(), "p")
+        sim.run()
+        assert thread.exit_value == "result"
+
+    def test_parallel_threads_use_multiple_cpus(self):
+        sim, kernel = make_kernel(num_cpus=4)
+        threads = [kernel.spawn(cpu_burner(100_000), f"t{i}") for i in range(4)]
+        sim.run()
+        # 4 threads on 4 CPUs: finish in ~100ms wall, not 400ms.
+        assert sim.now < 130_000
+        assert all(t.state is ThreadState.DEAD for t in threads)
+
+    def test_oversubscribed_cpus_share_fairly(self):
+        sim, kernel = make_kernel(num_cpus=1)
+        t1 = kernel.spawn(cpu_burner(50_000), "t1")
+        t2 = kernel.spawn(cpu_burner(50_000), "t2")
+        sim.run_for(60_000)
+        # Both should have made roughly equal progress on one CPU.
+        assert t1.cpu_time_us == pytest.approx(t2.cpu_time_us, rel=0.25)
+
+    def test_nice_weighting_biases_cpu_share(self):
+        sim, kernel = make_kernel(num_cpus=1)
+        favored = kernel.spawn(cpu_burner(500_000), "fav", nice=-10)
+        starved = kernel.spawn(cpu_burner(500_000), "starve", nice=10)
+        sim.run_for(200_000)
+        assert favored.cpu_time_us > 3 * starved.cpu_time_us
+
+    def test_fork_spawns_child_in_same_container(self):
+        sim, kernel = make_kernel()
+        children = []
+
+        def parent():
+            child = yield ops.Fork(cpu_burner(100), name="kid")
+            children.append(child)
+            yield ops.Cpu(10)
+
+        kernel.spawn(parent(), "parent", container="vd1")
+        sim.run()
+        assert children[0].container == "vd1"
+        assert children[0].state is ThreadState.DEAD
+
+
+class TestSleepAndTimers:
+    def test_sleep_duration_approximate(self):
+        sim, kernel = make_kernel()
+        wake_times = []
+
+        def prog():
+            yield ops.Sleep(5_000)
+            wake_times.append(sim.now)
+
+        kernel.spawn(prog(), "sleeper")
+        sim.run()
+        assert 5_000 <= wake_times[0] < 5_300
+
+    def test_sleep_returns_wakeup_latency(self):
+        sim, kernel = make_kernel()
+        latencies = []
+
+        def prog():
+            for _ in range(10):
+                latency = yield ops.Sleep(1_000)
+                latencies.append(latency)
+
+        kernel.spawn(prog(), "cyclic", policy=SchedPolicy.FIFO, priority=99)
+        sim.run()
+        assert len(latencies) == 10
+        assert all(lat >= 0 for lat in latencies)
+        # RT kernel, idle system: all wakeups should be well under 1ms.
+        assert max(latencies) < 1_000
+
+    def test_rt_thread_preempts_normal(self):
+        sim, kernel = make_kernel(num_cpus=1)
+        wake_times = []
+        kernel.spawn(cpu_burner(1_000_000, chunk_us=100_000), "hog")
+
+        def rt_prog():
+            yield ops.Sleep(10_000)
+            wake_times.append(sim.now)
+
+        kernel.spawn(rt_prog(), "rt", policy=SchedPolicy.FIFO, priority=99)
+        sim.run_for(200_000)
+        # Despite the hog having a 100ms CPU chunk, RT wakes within ~1ms.
+        assert wake_times and wake_times[0] < 12_000
+
+    def test_normal_thread_waits_behind_long_slice(self):
+        sim, kernel = make_kernel(num_cpus=1, sched_quantum_us=4_000)
+        wake_run = []
+        kernel.spawn(cpu_burner(1_000_000), "hog")
+
+        def prog():
+            yield ops.Sleep(1_000)
+            yield ops.Cpu(10)
+            wake_run.append(sim.now)
+
+        kernel.spawn(prog(), "waker")
+        sim.run_for(50_000)
+        # Non-RT waker runs only after the hog's quantum expires.
+        assert wake_run and wake_run[0] > 1_000
+
+
+class TestIo:
+    def test_io_blocks_for_service_time(self):
+        sim, kernel = make_kernel()
+        done = []
+
+        def prog():
+            yield ops.Io(2_000, device="mmc0")
+            done.append(sim.now)
+
+        kernel.spawn(prog(), "io")
+        sim.run()
+        assert done and done[0] >= 2_000
+
+    def test_io_queues_fifo_single_server(self):
+        sim, kernel = make_kernel()
+        done = []
+
+        def prog(tag):
+            yield ops.Io(1_000, device="mmc0")
+            done.append((tag, sim.now))
+
+        for tag in range(3):
+            kernel.spawn(prog(tag), f"io{tag}")
+        sim.run()
+        times = [t for _, t in sorted(done)]
+        # Three serialized 1ms requests finish ~1ms apart.
+        assert times[2] >= 3_000
+
+    def test_io_completion_counts(self):
+        sim, kernel = make_kernel()
+
+        def prog():
+            for _ in range(5):
+                yield ops.Io(100, device="mmc0")
+
+        kernel.spawn(prog(), "io")
+        sim.run()
+        assert kernel.device("mmc0").completed == 5
+
+    def test_container_io_overhead_applied(self):
+        sim1, k1 = make_kernel()
+        sim2, k2 = make_kernel()
+        end = {}
+
+        def prog(key, simref):
+            yield ops.Io(10_000)
+            end[key] = simref.now
+
+        k1.spawn(prog("host", sim1), "h")
+        k2.spawn(prog("container", sim2), "c", container="vd1")
+        sim1.run()
+        sim2.run()
+        assert end["container"] > end["host"]
+
+
+class TestWaitNotify:
+    def test_notify_wakes_waiter_with_value(self):
+        sim, kernel = make_kernel()
+        got = []
+
+        def waiter():
+            value = yield ops.Wait("chan")
+            got.append(value)
+
+        kernel.spawn(waiter(), "w")
+        sim.after(1_000, lambda: kernel.notify("chan", "ping"))
+        sim.run()
+        assert got == ["ping"]
+
+    def test_notify_returns_waiter_count(self):
+        sim, kernel = make_kernel()
+
+        def waiter():
+            yield ops.Wait("chan")
+
+        for i in range(3):
+            kernel.spawn(waiter(), f"w{i}")
+        counts = []
+        sim.after(1_000, lambda: counts.append(kernel.notify("chan")))
+        sim.run()
+        assert counts == [3]
+
+    def test_notify_empty_channel_is_noop(self):
+        sim, kernel = make_kernel()
+        assert kernel.notify("nobody") == 0
+
+
+class TestKill:
+    def test_kill_running_thread(self):
+        sim, kernel = make_kernel(num_cpus=1)
+        thread = kernel.spawn(cpu_burner(1_000_000), "victim")
+        sim.run_for(10_000)
+        kernel.kill(thread)
+        assert thread.state is ThreadState.DEAD
+        sim.run_for(10_000)  # must not crash
+
+    def test_kill_frees_cpu_for_others(self):
+        sim, kernel = make_kernel(num_cpus=1)
+        victim = kernel.spawn(cpu_burner(10_000_000, chunk_us=1_000_000), "victim")
+        other = kernel.spawn(cpu_burner(5_000), "other")
+        sim.run_for(1_000)
+        kernel.kill(victim)
+        sim.run_for(50_000)
+        assert other.state is ThreadState.DEAD
+
+    def test_kill_sleeping_thread_timer_ignored(self):
+        sim, kernel = make_kernel()
+
+        def prog():
+            yield ops.Sleep(5_000)
+
+        thread = kernel.spawn(prog(), "sleeper")
+        sim.run_for(1_000)
+        kernel.kill(thread)
+        sim.run()  # pending timer fires harmlessly
+        assert thread.state is ThreadState.DEAD
+
+
+class TestActivityTracking:
+    def test_idle_kernel_low_activity(self):
+        sim, kernel = make_kernel()
+        sim.run(until=seconds(1))
+        act = kernel.activity()
+        assert act.cpu_load < 0.05
+        assert act.io_load < 0.05
+
+    def test_busy_kernel_high_cpu_load(self):
+        sim, kernel = make_kernel(num_cpus=2)
+        for i in range(4):
+            kernel.spawn(cpu_burner(10_000_000), f"t{i}")
+        sim.run_for(seconds(1))
+        assert kernel.activity().cpu_load > 0.8
+
+    def test_cpu_busy_integral_grows(self):
+        sim, kernel = make_kernel()
+        kernel.spawn(cpu_burner(100_000), "t")
+        sim.run_for(200_000)
+        assert kernel.cpu_busy_integral_us() == pytest.approx(100_000, rel=0.1)
+
+    def test_irq_rate_feeds_activity(self):
+        from repro.kernel.interrupts import IrqSource
+
+        sim, kernel = make_kernel()
+        IrqSource(kernel, "nic", rate_hz=6000).start()
+        sim.run(until=seconds(1))
+        assert kernel.activity().irq_load > 0.4
+
+
+class TestMemAccessContention:
+    def test_concurrent_mem_bursts_slow_down(self):
+        def mem_prog(total_us):
+            def prog():
+                remaining = total_us
+                while remaining > 0:
+                    yield ops.MemAccess(min(1_000, remaining))
+                    remaining -= 1_000
+            return prog()
+
+        # One thread alone.
+        sim1, k1 = make_kernel()
+        t = k1.spawn(mem_prog(100_000), "solo")
+        sim1.run()
+        solo_time = sim1.now
+
+        # Three threads on distinct CPUs contending for DRAM bandwidth.
+        sim3, k3 = make_kernel()
+        for i in range(3):
+            k3.spawn(mem_prog(100_000), f"m{i}")
+        sim3.run()
+        assert sim3.now > 1.5 * solo_time
+        # But far less than 3x (they had their own CPUs).
+        assert sim3.now < 3.0 * solo_time

@@ -1,0 +1,204 @@
+"""Edge-case tests for scheduling, timers, joins, and activity."""
+
+import pytest
+
+from repro.kernel import Kernel, KernelConfig, PreemptionMode, SchedPolicy, ops
+from repro.kernel.thread import ThreadState
+from repro.sim import Simulator, RngRegistry
+
+
+def make_kernel(**kw):
+    sim = Simulator()
+    return sim, Kernel(sim, RngRegistry(13), KernelConfig(**kw))
+
+
+class TestFifoSemantics:
+    def test_equal_priority_fifo_does_not_preempt(self):
+        """SCHED_FIFO: an equal-priority waker queues; it does not evict
+        the running thread."""
+        sim, kernel = make_kernel(num_cpus=1)
+        run_order = []
+
+        def long_runner():
+            yield ops.Cpu(50_000)
+            run_order.append("first")
+
+        def late_waker():
+            yield ops.Sleep(1_000)
+            yield ops.Cpu(10)
+            run_order.append("second")
+
+        kernel.spawn(long_runner(), "first", policy=SchedPolicy.FIFO, priority=50)
+        kernel.spawn(late_waker(), "second", policy=SchedPolicy.FIFO, priority=50)
+        sim.run_for(100_000)
+        assert run_order == ["first", "second"]
+
+    def test_higher_priority_preempts_lower_rt(self):
+        sim, kernel = make_kernel(num_cpus=1)
+        timeline = []
+
+        def low():
+            yield ops.Cpu(50_000)
+            timeline.append(("low-done", sim.now))
+
+        def high():
+            yield ops.Sleep(5_000)
+            yield ops.Cpu(1_000)
+            timeline.append(("high-done", sim.now))
+
+        kernel.spawn(low(), "low", policy=SchedPolicy.FIFO, priority=10)
+        kernel.spawn(high(), "high", policy=SchedPolicy.FIFO, priority=90)
+        sim.run_for(100_000)
+        assert timeline[0][0] == "high-done"
+        assert timeline[0][1] < 10_000
+
+    def test_rt_starves_normal_on_one_cpu(self):
+        sim, kernel = make_kernel(num_cpus=1)
+
+        def spinner():
+            while True:
+                yield ops.Cpu(1_000)
+
+        rt = kernel.spawn(spinner(), "rt", policy=SchedPolicy.FIFO, priority=50)
+        normal = kernel.spawn(spinner(), "normal")
+        sim.run_for(500_000)
+        assert normal.cpu_time_us < 0.02 * rt.cpu_time_us
+
+
+class TestTimers:
+    def test_sleep_until_absolute(self):
+        sim, kernel = make_kernel()
+        woke = []
+
+        def prog():
+            yield ops.SleepUntil(250_000)
+            woke.append(sim.now)
+
+        kernel.spawn(prog(), "abs")
+        sim.run()
+        assert 250_000 <= woke[0] < 252_000
+
+    def test_sleep_until_past_deadline_fires_immediately(self):
+        sim, kernel = make_kernel()
+        sim.after(100_000, lambda: None)
+        sim.run()
+        woke = []
+
+        def prog():
+            yield ops.SleepUntil(1_000)   # already in the past
+            woke.append(sim.now)
+
+        kernel.spawn(prog(), "late")
+        sim.run()
+        assert woke and woke[0] - 100_000 < 2_000
+
+    def test_many_concurrent_sleepers(self):
+        sim, kernel = make_kernel()
+        woke = []
+
+        def sleeper(delay):
+            yield ops.Sleep(delay)
+            woke.append(delay)
+
+        for delay in (5_000, 1_000, 3_000, 2_000, 4_000):
+            kernel.spawn(sleeper(delay), f"s{delay}")
+        sim.run()
+        assert woke == [1_000, 2_000, 3_000, 4_000, 5_000]
+
+
+class TestJoin:
+    def test_join_returns_exit_value(self):
+        sim, kernel = make_kernel()
+        got = []
+
+        def child():
+            yield ops.Cpu(1_000)
+            return "child-result"
+
+        def parent():
+            kid = yield ops.Fork(child(), name="kid")
+            value = yield ops.Join(kid)
+            got.append(value)
+
+        kernel.spawn(parent(), "parent")
+        sim.run()
+        assert got == ["child-result"]
+
+    def test_join_on_dead_thread_immediate(self):
+        sim, kernel = make_kernel()
+        got = []
+
+        def child():
+            yield ops.Cpu(10)
+            return 7
+
+        def parent(kid):
+            yield ops.Sleep(50_000)      # child long dead by now
+            value = yield ops.Join(kid)
+            got.append(value)
+
+        kid = kernel.spawn(child(), "kid")
+        kernel.spawn(parent(kid), "parent")
+        sim.run()
+        assert got == [7]
+
+    def test_join_on_killed_thread(self):
+        sim, kernel = make_kernel()
+        got = []
+
+        def child():
+            while True:
+                yield ops.Cpu(1_000)
+
+        def parent(kid):
+            value = yield ops.Join(kid)
+            got.append(value)
+
+        kid = kernel.spawn(child(), "kid")
+        kernel.spawn(parent(kid), "parent")
+        sim.run_for(10_000)
+        kernel.kill(kid)
+        sim.run_for(10_000)
+        assert got == [None]
+
+
+class TestActivityDetail:
+    def test_syscall_load_tracked(self):
+        sim, kernel = make_kernel()
+
+        def syscaller():
+            while True:
+                yield ops.Syscall(500.0, name="write")
+                yield ops.Cpu(100.0)
+
+        kernel.spawn(syscaller(), "sys")
+        sim.run_for(1_000_000)
+        assert kernel.activity().syscall_load > 0.2
+
+    def test_mem_bw_penalty_higher_on_rt(self):
+        def mem_prog():
+            for _ in range(200):
+                yield ops.MemAccess(1_000)
+
+        def run(mode):
+            sim, kernel = make_kernel(preemption=mode)
+            for i in range(3):
+                kernel.spawn(mem_prog(), f"m{i}")
+            sim.run()
+            return sim.now
+
+        preempt = run(PreemptionMode.PREEMPT)
+        rt = run(PreemptionMode.PREEMPT_RT)
+        assert rt > preempt * 1.1
+
+    def test_runnable_count(self):
+        sim, kernel = make_kernel(num_cpus=2)
+
+        def spinner():
+            while True:
+                yield ops.Cpu(1_000)
+
+        for i in range(5):
+            kernel.spawn(spinner(), f"t{i}")
+        sim.run_for(10_000)
+        assert kernel.runnable_count() == 5

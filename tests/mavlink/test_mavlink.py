@@ -1,0 +1,142 @@
+"""Tests for MAVLink framing, CRC, and connections."""
+
+import pytest
+
+from repro.mavlink import (
+    Attitude,
+    CommandAck,
+    CommandLong,
+    CopterMode,
+    GlobalPositionInt,
+    Heartbeat,
+    MavCommand,
+    MavlinkCodec,
+    MavlinkConnection,
+    MavResult,
+    SetPositionTarget,
+    Statustext,
+    CodecError,
+    MESSAGE_REGISTRY,
+)
+from repro.mavlink.codec import STX, x25_crc
+from repro.net import Network, loopback, cellular_lte
+from repro.sim import Simulator, RngRegistry
+
+
+class TestCrc:
+    def test_x25_known_vector(self):
+        # CRC-16/MCRF4XX check value for "123456789" (MAVLink's variant,
+        # i.e. X.25 without the final inversion) is 0x6F91.
+        assert x25_crc(b"123456789") == 0x6F91
+
+    def test_empty_is_initial_value(self):
+        assert x25_crc(b"") == 0xFFFF
+
+
+class TestCodec:
+    def test_roundtrip_every_registered_message(self):
+        codec = MavlinkCodec()
+        for cls in MESSAGE_REGISTRY.values():
+            msg = cls()
+            decoded, sysid, compid = codec.decode(codec.encode(msg))
+            assert decoded == msg
+            assert (sysid, compid) == (1, 1)
+
+    def test_roundtrip_with_values(self):
+        codec = MavlinkCodec(sysid=42, compid=7)
+        msg = CommandLong(command=int(MavCommand.NAV_TAKEOFF), param7=15.0)
+        decoded, sysid, _ = codec.decode(codec.encode(msg))
+        assert decoded.command == MavCommand.NAV_TAKEOFF
+        assert decoded.param7 == pytest.approx(15.0)
+        assert sysid == 42
+
+    def test_frame_structure(self):
+        codec = MavlinkCodec()
+        frame = codec.encode(Heartbeat())
+        assert frame[0] == STX
+        assert frame[1] == 9            # heartbeat payload is 9 bytes
+        assert frame[5] == 0            # msgid 0
+        assert len(frame) == 6 + 9 + 2
+
+    def test_sequence_increments_and_wraps(self):
+        codec = MavlinkCodec()
+        seqs = [codec.encode(Heartbeat())[2] for _ in range(300)]
+        assert seqs[:3] == [0, 1, 2]
+        assert seqs[256] == 0
+
+    def test_corrupt_payload_fails_crc(self):
+        codec = MavlinkCodec()
+        frame = bytearray(codec.encode(Attitude(roll=0.5)))
+        frame[8] ^= 0xFF
+        with pytest.raises(CodecError, match="checksum"):
+            codec.decode(bytes(frame))
+
+    def test_wrong_crc_extra_rejected(self):
+        """A peer with different message definitions must be rejected."""
+        codec = MavlinkCodec()
+        frame = bytearray(codec.encode(Heartbeat()))
+        # Recompute the CRC without CRC_EXTRA to fake a mismatched dialect.
+        import struct
+        body = bytes(frame[1:-2])
+        struct.pack_into("<H", frame, len(frame) - 2, x25_crc(body))
+        with pytest.raises(CodecError, match="checksum"):
+            codec.decode(bytes(frame))
+
+    def test_truncated_frame_rejected(self):
+        codec = MavlinkCodec()
+        with pytest.raises(CodecError):
+            codec.decode(codec.encode(Heartbeat())[:5])
+
+    def test_unknown_msgid_rejected(self):
+        codec = MavlinkCodec()
+        frame = bytearray(codec.encode(Heartbeat()))
+        frame[5] = 200  # not in registry
+        with pytest.raises(CodecError, match="unknown"):
+            codec.decode(bytes(frame))
+
+    def test_statustext_string_roundtrip(self):
+        codec = MavlinkCodec()
+        msg = Statustext(severity=4, text="geofence breach")
+        decoded, *_ = codec.decode(codec.encode(msg))
+        assert decoded.text == "geofence breach"
+
+    def test_statustext_truncated_to_50_chars(self):
+        codec = MavlinkCodec()
+        msg = Statustext(text="x" * 80)
+        decoded, *_ = codec.decode(codec.encode(msg))
+        assert decoded.text == "x" * 50
+
+
+class TestConnection:
+    def test_send_receive_over_loopback(self):
+        sim = Simulator()
+        net = Network(sim, RngRegistry(2))
+        gcs = MavlinkConnection(net, "gcs:14550", "fc:5760", loopback(), sysid=255)
+        fc = MavlinkConnection(net, "fc:5760", "gcs:14550", loopback(), sysid=1)
+        gcs.send(CommandLong(command=int(MavCommand.NAV_TAKEOFF)))
+        sim.run()
+        messages = fc.drain()
+        assert len(messages) == 1
+        assert messages[0].command == MavCommand.NAV_TAKEOFF
+
+    def test_handler_invoked_with_sysid(self):
+        sim = Simulator()
+        net = Network(sim, RngRegistry(2))
+        got = []
+        fc = MavlinkConnection(net, "fc:5760", "gcs:14550", loopback())
+        fc.on_message(lambda msg, sysid, compid: got.append((msg.name, sysid)))
+        gcs = MavlinkConnection(net, "gcs:14550", "fc:5760", loopback(), sysid=255)
+        gcs.send(Heartbeat())
+        sim.run()
+        assert got == [("Heartbeat", 255)]
+
+    def test_cellular_latency_applies(self):
+        sim = Simulator()
+        net = Network(sim, RngRegistry(2))
+        fc = MavlinkConnection(net, "fc:5760", "gcs:14550", cellular_lte())
+        gcs = MavlinkConnection(net, "gcs:14550", "fc:5760", cellular_lte())
+        arrival = []
+        fc.on_message(lambda m, s, c: arrival.append(sim.now))
+        gcs.send(Heartbeat())
+        sim.run()
+        assert arrival and 45_000 <= arrival[0] <= 360_000

@@ -1,0 +1,148 @@
+"""Tests for the MAVLink mission upload protocol."""
+
+import pytest
+
+from repro.flight import GeoPoint, SitlDrone, offset_geopoint
+from repro.mavlink import CopterMode, MavCommand, MissionItem, MavlinkConnection
+from repro.mavlink.mission_protocol import (
+    MissionAck,
+    MissionCount,
+    MissionReceiver,
+    MissionRequest,
+    MissionUploader,
+)
+from repro.mavlink.codec import MavlinkCodec
+from repro.net import Network, cellular_lte, loopback, wired_ethernet
+from repro.sim import Simulator, RngRegistry
+
+HOME = GeoPoint(43.6084298, -85.8110359, 0.0)
+
+
+def make_links(link_model):
+    sim = Simulator()
+    net = Network(sim, RngRegistry(41))
+    drone = SitlDrone(sim, RngRegistry(42), home=HOME, rate_hz=100)
+    gcs_conn = MavlinkConnection(net, "gcs:14550", "fc:5760", link_model,
+                                 sysid=255)
+    fc_conn = MavlinkConnection(net, "fc:5760", "gcs:14550", link_model,
+                                sysid=1)
+    receiver = MissionReceiver(fc_conn, sim, drone.autopilot)
+    return sim, drone, gcs_conn, receiver
+
+
+def survey_mission(n=4):
+    items = [MissionItem(command=int(MavCommand.NAV_TAKEOFF), z=15.0)]
+    for i in range(n):
+        point = offset_geopoint(HOME, east=30.0 * (i + 1), north=10.0 * i,
+                                up=15.0)
+        items.append(MissionItem(command=int(MavCommand.NAV_WAYPOINT),
+                                 x=point.latitude, y=point.longitude, z=15.0))
+    items.append(MissionItem(command=int(MavCommand.NAV_RETURN_TO_LAUNCH)))
+    return items
+
+
+class TestProtocolMessages:
+    def test_new_messages_roundtrip(self):
+        codec = MavlinkCodec()
+        for msg in (MissionCount(count=7), MissionRequest(seq=3),
+                    MissionAck(type=0)):
+            decoded, *_ = codec.decode(codec.encode(msg))
+            assert decoded == msg
+
+
+class TestUpload:
+    def test_upload_over_clean_link(self):
+        sim, drone, gcs_conn, receiver = make_links(loopback())
+        items = survey_mission()
+        outcome = []
+        uploader = MissionUploader(gcs_conn, sim, items,
+                                   on_complete=outcome.append)
+        uploader.start()
+        sim.run(until=5_000_000)
+        assert outcome == [True]
+        assert receiver.completed_missions == 1
+        assert len(drone.autopilot.mission) == len(items)
+
+    def test_upload_over_cellular(self):
+        sim, drone, gcs_conn, receiver = make_links(cellular_lte())
+        items = survey_mission(6)
+        outcome = []
+        MissionUploader(gcs_conn, sim, items,
+                        on_complete=outcome.append).start()
+        sim.run(until=60_000_000)
+        assert outcome == [True]
+        assert [m.seq for m in drone.autopilot.mission] == list(range(len(items)))
+
+    def test_upload_survives_item_loss(self):
+        lossy = loopback()
+        lossy.loss_prob = 0.15     # drop 15% of frames
+        sim, drone, gcs_conn, receiver = make_links(lossy)
+        items = survey_mission(5)
+        outcome = []
+        MissionUploader(gcs_conn, sim, items, timeout_us=8_000_000,
+                        on_complete=outcome.append).start()
+        sim.run(until=120_000_000)
+        assert outcome == [True], "retransmission must recover from loss"
+        assert len(drone.autopilot.mission) == len(items)
+
+    def test_upload_gives_up_on_dead_link(self):
+        dead = loopback()
+        dead.loss_prob = 1.0
+        sim, drone, gcs_conn, receiver = make_links(dead)
+        outcome = []
+        MissionUploader(gcs_conn, sim, survey_mission(2), timeout_us=500_000,
+                        max_retries=3, on_complete=outcome.append).start()
+        sim.run(until=30_000_000)
+        assert outcome == [False]
+        assert drone.autopilot.mission == []
+
+    def test_uploaded_mission_flies_in_auto(self):
+        sim, drone, gcs_conn, receiver = make_links(wired_ethernet())
+        drone.start()
+        items = survey_mission(2)
+        MissionUploader(gcs_conn, sim, items).start()
+        sim.run(until=sim.now + 5_000_000)
+        assert drone.autopilot.mission
+        drone.autopilot.set_mode(CopterMode.AUTO)
+        drone.arm()
+        flew = drone.run_until(
+            lambda: drone.physics.position[2] > 10.0, timeout_s=60)
+        assert flew, "AUTO mission should take off"
+
+
+class TestBinderDeathNotification:
+    """linkToDeath support added alongside the protocol work."""
+
+    def test_recipient_fires_on_process_close(self):
+        from repro.binder import BinderDriver, ServiceManager
+        from repro.kernel.namespaces import NamespaceSet
+
+        driver = BinderDriver()
+        ns = NamespaceSet("vd1")
+        proc = driver.open(1, 1000, "vd1", ns.device_ns)
+        manager = ServiceManager(proc)
+        service_proc = driver.open(2, 1000, "vd1", ns.device_ns)
+        ref = service_proc.create_node(lambda t: "ok", "svc")
+        manager.register("Svc", ref)
+        deaths = []
+        handle = manager.lookup_handle("Svc")
+        proc.link_to_death(handle, lambda node: deaths.append(node.label))
+        service_proc.close()
+        assert deaths == ["svc"]
+        # The ServiceManager pruned the dead registration.
+        assert not manager.has_service("Svc")
+
+    def test_linking_to_dead_node_fires_immediately(self):
+        from repro.binder import BinderDriver
+        from repro.kernel.namespaces import NamespaceSet
+
+        driver = BinderDriver()
+        ns = NamespaceSet("vd1")
+        proc = driver.open(1, 1000, "vd1", ns.device_ns)
+        peer = driver.open(2, 1000, "vd1", ns.device_ns)
+        ref = peer.create_node(lambda t: None, "ephemeral")
+        handle = proc._install_ref(ref.node)
+        peer.close()
+        deaths = []
+        proc.link_to_death(handle, lambda node: deaths.append(1))
+        assert deaths == [1]

@@ -1,0 +1,278 @@
+"""Tests for MAVProxy: VFC virtualized views, whitelists, breach recovery."""
+
+import math
+
+import pytest
+
+from repro.flight import GeoPoint, Geofence, SitlDrone, offset_geopoint
+from repro.mavlink import (
+    CommandLong,
+    CopterMode,
+    ManualControl,
+    MavCommand,
+    MavResult,
+    SetPositionTarget,
+)
+from repro.mavproxy import MavProxy, TEMPLATES, VfcState
+from repro.mavproxy.whitelist import FULL, GUIDED_ONLY, STANDARD
+from repro.sim import Simulator, RngRegistry
+from repro.sim.time import seconds
+
+HOME = GeoPoint(43.6084298, -85.8110359, 0.0)
+WAYPOINT = offset_geopoint(HOME, east=80.0, north=40.0, up=15.0)
+
+
+@pytest.fixture
+def proxy_setup():
+    sim = Simulator()
+    drone = SitlDrone(sim, RngRegistry(21), home=HOME, rate_hz=100)
+    drone.start()
+    proxy = MavProxy(sim, drone)
+    return sim, drone, proxy
+
+
+def fly_to_waypoint(sim, drone, waypoint=WAYPOINT):
+    """Planner-side: take off and fly the real drone to the waypoint."""
+    drone.arm()
+    drone.takeoff(waypoint.altitude_m)
+    drone.run_until(lambda: drone.physics.position[2] > waypoint.altitude_m - 1.5,
+                    timeout_s=60)
+    drone.goto(waypoint)
+    drone.run_until(
+        lambda: drone.physics.geoposition().horizontal_distance_to(waypoint) < 3.0,
+        timeout_s=120,
+    )
+
+
+def guided_target(point, type_mask=0):
+    return SetPositionTarget(
+        lat_int=int(point.latitude * 1e7), lon_int=int(point.longitude * 1e7),
+        alt=point.altitude_m, type_mask=type_mask,
+    )
+
+
+class TestTemplates:
+    def test_guided_only_permits_nothing_but_position(self):
+        assert not GUIDED_ONLY.permits_command(int(MavCommand.NAV_WAYPOINT))
+        assert GUIDED_ONLY.allow_position_targets
+        assert not GUIDED_ONLY.allow_velocity_targets
+        assert not GUIDED_ONLY.allow_manual_control
+
+    def test_full_blocks_fence_tampering(self):
+        assert not FULL.permits_command(int(MavCommand.DO_FENCE_ENABLE))
+        assert not FULL.permits_command(int(MavCommand.DO_SET_HOME))
+        assert FULL.allow_manual_control
+
+    def test_customized_copy(self):
+        custom = STANDARD.customized(allow_velocity_targets=False)
+        assert STANDARD.allow_velocity_targets
+        assert not custom.allow_velocity_targets
+        assert custom.name == STANDARD.name
+
+    def test_registry_contains_three(self):
+        assert set(TEMPLATES) == {"guided-only", "standard", "full"}
+
+
+class TestVirtualView:
+    def test_inactive_vfc_shows_idle_at_waypoint(self, proxy_setup):
+        sim, drone, proxy = proxy_setup
+        vfc = proxy.create_vfc("vd1", STANDARD, waypoint=WAYPOINT)
+        fly_to_waypoint(sim, drone, offset_geopoint(HOME, east=10, north=0, up=15))
+        pos = vfc.global_position()
+        # Virtual view: on the ground at the tenant's waypoint...
+        assert pos.lat == pytest.approx(int(WAYPOINT.latitude * 1e7), abs=100)
+        assert pos.relative_alt == 0
+        # ...while the real drone is elsewhere, airborne.
+        real = proxy.fc_global_position()
+        assert real.relative_alt > 10_000
+
+    def test_inactive_vfc_declines_commands(self, proxy_setup):
+        sim, drone, proxy = proxy_setup
+        vfc = proxy.create_vfc("vd1", STANDARD, waypoint=WAYPOINT)
+        ack = vfc.send(CommandLong(command=int(MavCommand.NAV_TAKEOFF), param7=5.0))
+        assert ack.result == MavResult.TEMPORARILY_REJECTED
+        assert vfc.commands_denied == 1
+
+    def test_inactive_heartbeat_disarmed_standby(self, proxy_setup):
+        sim, drone, proxy = proxy_setup
+        vfc = proxy.create_vfc("vd1", STANDARD, waypoint=WAYPOINT)
+        drone.arm()
+        hb = vfc.heartbeat()
+        assert not hb.base_mode & 128       # tenant sees disarmed
+        assert proxy.fc_heartbeat().base_mode & 128
+
+    def test_continuous_view_shows_real_position_but_declines(self, proxy_setup):
+        sim, drone, proxy = proxy_setup
+        vfc = proxy.create_vfc("vd1", STANDARD, waypoint=WAYPOINT,
+                               continuous_view=True)
+        fly_to_waypoint(sim, drone, offset_geopoint(HOME, east=10, north=0, up=15))
+        pos = vfc.global_position()
+        assert pos.relative_alt > 10_000    # real altitude visible
+        ack = vfc.send(CommandLong(command=int(MavCommand.NAV_WAYPOINT)))
+        assert ack.result == MavResult.TEMPORARILY_REJECTED
+
+    def test_approaching_vfc_takes_off_virtually(self, proxy_setup):
+        sim, drone, proxy = proxy_setup
+        vfc = proxy.create_vfc("vd1", STANDARD, waypoint=WAYPOINT)
+        fly_to_waypoint(sim, drone, WAYPOINT)
+        vfc.begin_approach()
+        assert vfc.state is VfcState.APPROACHING
+        alts = []
+        for _ in range(15):
+            alts.append(vfc.global_position().relative_alt)
+            sim.run(until=sim.now + seconds(0.5))
+        assert alts[0] < alts[-1]           # climbing to meet the vehicle
+        assert alts[-1] == pytest.approx(15_000, abs=3_000)
+
+    def test_finished_vfc_shows_ground_and_declines(self, proxy_setup):
+        sim, drone, proxy = proxy_setup
+        vfc = proxy.create_vfc("vd1", STANDARD, waypoint=WAYPOINT)
+        fly_to_waypoint(sim, drone, WAYPOINT)
+        vfc.activate(Geofence(center=WAYPOINT, radius_m=30.0))
+        vfc.finish()
+        assert vfc.state is VfcState.FINISHED
+        assert vfc.global_position().relative_alt == 0
+        ack = vfc.send(CommandLong(command=int(MavCommand.NAV_WAYPOINT)))
+        assert ack.result == MavResult.TEMPORARILY_REJECTED
+
+
+class TestActiveControl:
+    def activate(self, proxy_setup, template=STANDARD, radius=40.0):
+        sim, drone, proxy = proxy_setup
+        vfc = proxy.create_vfc("vd1", template, waypoint=WAYPOINT)
+        fly_to_waypoint(sim, drone, WAYPOINT)
+        vfc.activate(Geofence(center=WAYPOINT, radius_m=radius))
+        return sim, drone, proxy, vfc
+
+    def test_active_vfc_forwards_whitelisted_commands(self, proxy_setup):
+        sim, drone, proxy, vfc = self.activate(proxy_setup)
+        inside = offset_geopoint(WAYPOINT, east=10.0, north=0.0)
+        ack = vfc.send(CommandLong(
+            command=int(MavCommand.NAV_WAYPOINT),
+            param5=inside.latitude, param6=inside.longitude, param7=15.0))
+        assert ack.result == MavResult.ACCEPTED
+        moved = drone.run_until(
+            lambda: drone.physics.geoposition().horizontal_distance_to(inside) < 3.0,
+            timeout_s=60)
+        assert moved
+
+    def test_non_whitelisted_command_denied(self, proxy_setup):
+        sim, drone, proxy, vfc = self.activate(proxy_setup)
+        ack = vfc.send(CommandLong(command=int(MavCommand.NAV_RETURN_TO_LAUNCH)))
+        assert ack.result == MavResult.DENIED
+
+    def test_guided_only_tenant_can_still_set_position(self, proxy_setup):
+        sim, drone, proxy, vfc = self.activate(proxy_setup, template=GUIDED_ONLY)
+        inside = offset_geopoint(WAYPOINT, east=-10.0, north=5.0, up=15.0)
+        vfc.send(guided_target(inside))
+        assert vfc.commands_accepted == 1
+        moved = drone.run_until(
+            lambda: drone.physics.geoposition().horizontal_distance_to(inside) < 3.0,
+            timeout_s=60)
+        assert moved
+
+    def test_waypoint_outside_geofence_denied(self, proxy_setup):
+        sim, drone, proxy, vfc = self.activate(proxy_setup, radius=25.0)
+        outside = offset_geopoint(WAYPOINT, east=100.0, north=0.0, up=15.0)
+        ack = vfc.send(CommandLong(
+            command=int(MavCommand.NAV_WAYPOINT),
+            param5=outside.latitude, param6=outside.longitude, param7=15.0))
+        assert ack.result == MavResult.DENIED
+        texts = [m.text for m in vfc.drain_outbox() if hasattr(m, "text")]
+        assert any("geofence" in t for t in texts)
+
+    def test_tenant_cannot_disarm(self, proxy_setup):
+        sim, drone, proxy, vfc = self.activate(proxy_setup, template=FULL)
+        ack = vfc.send(CommandLong(
+            command=int(MavCommand.COMPONENT_ARM_DISARM), param1=0.0))
+        assert ack.result == MavResult.DENIED
+        assert drone.autopilot.armed
+
+    def test_mode_restriction(self, proxy_setup):
+        sim, drone, proxy, vfc = self.activate(proxy_setup, template=STANDARD)
+        ack = vfc.send(CommandLong(
+            command=int(MavCommand.DO_SET_MODE), param2=float(int(CopterMode.STABILIZE))))
+        assert ack.result == MavResult.DENIED
+        ack = vfc.send(CommandLong(
+            command=int(MavCommand.DO_SET_MODE), param2=float(int(CopterMode.LOITER))))
+        assert ack.result == MavResult.ACCEPTED
+
+    def test_manual_control_only_with_full_template(self, proxy_setup):
+        sim, drone, proxy, vfc = self.activate(proxy_setup, template=FULL)
+        vfc.send(ManualControl(x=500, y=0, z=500))
+        assert vfc.commands_accepted == 1
+        assert drone.autopilot.velocity_target is not None
+
+    def test_manual_control_denied_on_standard(self, proxy_setup):
+        sim, drone, proxy, vfc = self.activate(proxy_setup, template=STANDARD)
+        vfc.send(ManualControl(x=500, y=0, z=500))
+        assert vfc.commands_denied == 1
+
+    def test_velocity_targets_denied_on_guided_only(self, proxy_setup):
+        sim, drone, proxy, vfc = self.activate(proxy_setup, template=GUIDED_ONLY)
+        msg = SetPositionTarget(vx=2.0, vy=0.0, vz=0.0, type_mask=0x0007)
+        vfc.send(msg)
+        assert vfc.commands_denied == 1
+
+
+class TestBreachRecovery:
+    def test_full_breach_sequence(self, proxy_setup):
+        """The Section 4.3 sequence: inform, disable, guide back, loiter,
+        return control — no failsafe landing, flight continues."""
+        sim, drone, proxy = proxy_setup
+        vfc = proxy.create_vfc("vd1", FULL, waypoint=WAYPOINT)
+        fly_to_waypoint(sim, drone, WAYPOINT)
+        fence = Geofence(center=WAYPOINT, radius_m=25.0)
+        vfc.activate(fence)
+        # Tenant pushes the drone out with velocity control.
+        vfc.send(SetPositionTarget(vx=0.0, vy=4.0, vz=0.0, type_mask=0x0007))
+        breached = drone.run_until(lambda: vfc.state is VfcState.RECOVERING,
+                                   timeout_s=90)
+        assert breached, "no breach detected"
+        # Commands are declined during recovery.
+        ack = vfc.send(CommandLong(command=int(MavCommand.NAV_WAYPOINT),
+                                   param5=WAYPOINT.latitude,
+                                   param6=WAYPOINT.longitude, param7=15.0))
+        assert ack.result == MavResult.TEMPORARILY_REJECTED
+        # Recovery completes: back inside, loitering, control returned.
+        recovered = drone.run_until(lambda: vfc.state is VfcState.ACTIVE,
+                                    timeout_s=120)
+        assert recovered, "recovery did not complete"
+        assert fence.contains(drone.physics.geoposition())
+        assert drone.autopilot.mode is CopterMode.LOITER
+        assert drone.autopilot.armed           # never failsafe-landed
+        texts = [m.text for m in vfc.drain_outbox() if hasattr(m, "text")]
+        assert any("breach" in t for t in texts)
+        assert any("control returned" in t for t in texts)
+
+    def test_tenant_regains_control_after_recovery(self, proxy_setup):
+        sim, drone, proxy = proxy_setup
+        vfc = proxy.create_vfc("vd1", FULL, waypoint=WAYPOINT)
+        fly_to_waypoint(sim, drone, WAYPOINT)
+        vfc.activate(Geofence(center=WAYPOINT, radius_m=25.0))
+        vfc.send(SetPositionTarget(vx=0.0, vy=4.0, vz=0.0, type_mask=0x0007))
+        drone.run_until(lambda: vfc.state is VfcState.RECOVERING, timeout_s=90)
+        drone.run_until(lambda: vfc.state is VfcState.ACTIVE, timeout_s=120)
+        inside = offset_geopoint(WAYPOINT, east=5.0, north=5.0, up=15.0)
+        ack = vfc.send(CommandLong(
+            command=int(MavCommand.DO_SET_MODE), param2=float(int(CopterMode.GUIDED))))
+        assert ack.result == MavResult.ACCEPTED
+        ack = vfc.send(CommandLong(
+            command=int(MavCommand.NAV_WAYPOINT),
+            param5=inside.latitude, param6=inside.longitude, param7=15.0))
+        assert ack.result == MavResult.ACCEPTED
+
+
+class TestMasterAccess:
+    def test_master_is_unrestricted(self, proxy_setup):
+        sim, drone, proxy = proxy_setup
+        result = proxy.master_command(CommandLong(
+            command=int(MavCommand.COMPONENT_ARM_DISARM), param1=1.0))
+        assert result == MavResult.ACCEPTED
+        assert drone.autopilot.armed
+
+    def test_duplicate_vfc_rejected(self, proxy_setup):
+        _, _, proxy = proxy_setup
+        proxy.create_vfc("vd1", STANDARD)
+        with pytest.raises(ValueError):
+            proxy.create_vfc("vd1", STANDARD)

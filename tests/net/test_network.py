@@ -1,0 +1,163 @@
+"""Tests for link models, channels, and VPN tunnels."""
+
+import statistics
+
+import pytest
+
+from repro.net import (
+    Network,
+    cellular_lte,
+    loopback,
+    rf_remote,
+    wired_ethernet,
+)
+from repro.containers.vpn import VpnTunnel
+from repro.sim import Simulator, RngRegistry
+
+
+@pytest.fixture
+def net():
+    sim = Simulator()
+    return sim, Network(sim, RngRegistry(9))
+
+
+class TestChannels:
+    def test_message_delivered_after_latency(self, net):
+        sim, network = net
+        chan = network.connect("a", "b", loopback())
+        chan.send("hello")
+        assert network.endpoint("b").inbox == []
+        sim.run()
+        assert network.endpoint("b").drain() == [("hello", "a")]
+
+    def test_on_receive_callback(self, net):
+        sim, network = net
+        got = []
+        network.endpoint("b").on_receive = lambda p, src: got.append((p, src))
+        network.connect("a", "b").send("ping")
+        sim.run()
+        assert got == [("ping", "a")]
+
+    def test_duplex_channels(self, net):
+        sim, network = net
+        ab, ba = network.duplex("a", "b", loopback())
+        ab.send("to-b")
+        ba.send("to-a")
+        sim.run()
+        assert network.endpoint("b").drain() == [("to-b", "a")]
+        assert network.endpoint("a").drain() == [("to-a", "b")]
+
+    def test_loss_counted(self, net):
+        sim, network = net
+        lossy = cellular_lte()
+        lossy.loss_prob = 0.5
+        chan = network.connect("a", "b", lossy)
+        for _ in range(200):
+            chan.send("x")
+        sim.run()
+        assert 40 < chan.lost < 160
+        assert chan.delivered == 200 - chan.lost
+
+    def test_lookup_unknown_raises(self, net):
+        _, network = net
+        from repro.net.network import NetworkError
+        with pytest.raises(NetworkError):
+            network.lookup("nowhere")
+
+
+class TestLinkModels:
+    def test_cellular_statistics_match_paper(self):
+        """Section 6.5: avg 70ms, stddev 7.2ms, max 356ms one-way."""
+        rng = RngRegistry(3).stream("lte")
+        link = cellular_lte()
+        samples = [link.sample_latency_us(rng) for _ in range(150_000)]
+        avg_ms = statistics.mean(samples) / 1000
+        sd_ms = statistics.stdev(samples) / 1000
+        max_ms = max(samples) / 1000
+        assert 60 < avg_ms < 80
+        assert 5 < sd_ms < 12
+        assert 150 < max_ms <= 356
+
+    def test_rf_remote_range_matches_hobby_controllers(self):
+        """Paper cites 8-85ms RF remote latency."""
+        rng = RngRegistry(3).stream("rf")
+        link = rf_remote()
+        samples = [link.sample_latency_us(rng) for _ in range(10_000)]
+        assert min(samples) >= 8_000
+        assert max(samples) <= 85_000
+
+    def test_wired_is_fast(self):
+        rng = RngRegistry(3).stream("wire")
+        assert wired_ethernet().sample_latency_us(rng) < 3_000
+
+    def test_bandwidth_adds_transfer_time(self):
+        link = wired_ethernet()
+        assert link.transfer_time_us(110_000_000) == pytest.approx(1e6, rel=0.01)
+        assert link.transfer_time_us(0) == 0
+
+
+class TestVpn:
+    def test_tunnel_roundtrip(self, net):
+        sim, network = net
+        tunnel = VpnTunnel(network, "vd1", "10.0.0.2:5900", "portal:443", loopback())
+        got = []
+        tunnel.on_remote_receive(lambda p, src: got.append(p))
+        tunnel.send_to_remote({"telemetry": 1})
+        sim.run()
+        assert got == [{"telemetry": 1}]
+
+    def test_non_tunnel_traffic_rejected(self, net):
+        sim, network = net
+        tunnel = VpnTunnel(network, "vd1", "10.0.0.2:5900", "portal:443", loopback())
+        tunnel.on_local_receive(lambda p, src: None)
+        # An attacker sends a raw (non-enveloped) message to the endpoint.
+        network.connect("evil", "10.0.0.2:5900", loopback()).send("raw-injection")
+        with pytest.raises(PermissionError):
+            sim.run()
+        assert tunnel.rejected == 1
+
+    def test_cross_tunnel_traffic_rejected(self, net):
+        sim, network = net
+        t1 = VpnTunnel(network, "vd1", "10.0.0.2:5900", "user1:1", loopback())
+        t2 = VpnTunnel(network, "vd2", "10.0.0.3:5900", "user2:1", loopback())
+        t1.on_local_receive(lambda p, src: None)
+        # Envelope sealed for tunnel 2 arrives at tunnel 1's endpoint.
+        network.connect("user2:1", "10.0.0.2:5900", loopback()).send(
+            t2._seal("stolen")
+        )
+        with pytest.raises(PermissionError):
+            sim.run()
+
+
+class TestBandwidthQueuing:
+    def test_large_transfers_serialize(self, net):
+        """Back-to-back megabyte sends on a bandwidth-limited link arrive
+        spaced by their transfer time, not all at once."""
+        sim, network = net
+        link = wired_ethernet()      # 110 MB/s -> ~9.1ms per MB
+        chan = network.connect("a", "b", link)
+        arrivals = []
+        network.endpoint("b").on_receive = lambda p, s: arrivals.append(sim.now)
+        for i in range(3):
+            chan.send(f"blob{i}", nbytes=1_000_000)
+        sim.run()
+        assert len(arrivals) == 3
+        spacing = arrivals[1] - arrivals[0]
+        assert spacing == pytest.approx(9_090, rel=0.3)
+
+    def test_small_messages_unqueued(self, net):
+        sim, network = net
+        chan = network.connect("a", "b", loopback())
+        t0 = sim.now
+        for _ in range(10):
+            chan.send("ping", nbytes=32)
+        sim.run()
+        # Loopback has no bandwidth model: all delivered within latency.
+        assert sim.now - t0 < 2_000
+
+    def test_bytes_accounted(self, net):
+        _, network = net
+        chan = network.connect("a", "b", loopback())
+        chan.send("x", nbytes=500)
+        chan.send("y", nbytes=1500)
+        assert chan.bytes_sent == 2000

@@ -1,0 +1,220 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.stats import summarize
+from repro.containers.image import Image, Layer, WHITEOUT, diff_layer
+from repro.flight.geo import GeoPoint, enu_between, offset_geopoint
+from repro.flight.geofence import Geofence
+from repro.kernel.memory import MemoryAccounting, OutOfMemoryError
+from repro.mavlink.codec import CodecError, MavlinkCodec, x25_crc
+from repro.mavlink.messages import Attitude, CommandLong, GlobalPositionInt, Statustext
+
+
+# ---------------------------------------------------------------- geodesy
+
+coords = st.tuples(
+    st.floats(min_value=-70, max_value=70),     # latitude (avoid poles)
+    st.floats(min_value=-179, max_value=179),
+    st.floats(min_value=0, max_value=120),
+)
+offsets = st.floats(min_value=-2000, max_value=2000)
+
+
+class TestGeoProperties:
+    @given(coords, offsets, offsets, st.floats(min_value=-50, max_value=50))
+    def test_offset_enu_roundtrip(self, origin, east, north, up):
+        origin = GeoPoint(*origin)
+        target = offset_geopoint(origin, east, north, up)
+        e2, n2, u2 = enu_between(origin, target)
+        assert e2 == pytest.approx(east, abs=0.01)
+        assert n2 == pytest.approx(north, abs=0.01)
+        assert u2 == pytest.approx(up, abs=1e-6)
+
+    @given(coords, offsets, offsets)
+    def test_distance_symmetric_at_flight_scale(self, a, east, north):
+        # Equirectangular geometry is only valid at local (flight) scale,
+        # where distance must be symmetric to high accuracy.
+        pa = GeoPoint(*a)
+        pb = offset_geopoint(pa, east, north)
+        d_ab = pa.horizontal_distance_to(pb)
+        d_ba = pb.horizontal_distance_to(pa)
+        if d_ab > 1.0:
+            assert d_ba == pytest.approx(d_ab, rel=0.01)
+
+    @given(coords)
+    def test_distance_to_self_zero(self, a):
+        point = GeoPoint(*a)
+        assert point.distance_to(point) == 0.0
+
+
+class TestGeofenceProperties:
+    @given(coords, st.floats(min_value=5, max_value=500),
+           offsets, offsets, st.floats(min_value=-200, max_value=200))
+    def test_recovery_point_always_inside(self, center, radius, east, north, up):
+        center = GeoPoint(center[0], center[1], max(10.0, center[2]))
+        fence = Geofence(center=center, radius_m=radius,
+                         min_altitude_m=0.0, max_altitude_m=500.0)
+        position = offset_geopoint(center, east, north, up)
+        recovery = fence.recovery_point(position)
+        assert fence.contains(recovery)
+
+    @given(coords, st.floats(min_value=5, max_value=500))
+    def test_center_always_contained(self, center, radius):
+        center = GeoPoint(center[0], center[1], 50.0)
+        fence = Geofence(center=center, radius_m=radius,
+                         min_altitude_m=0, max_altitude_m=120)
+        assert fence.contains(center)
+
+
+# ---------------------------------------------------------------- images
+
+paths = st.text(alphabet="abcdefgh/", min_size=1, max_size=12).map(lambda s: "/" + s)
+contents = st.text(max_size=20)
+filesystems = st.dictionaries(paths, contents, max_size=10)
+
+
+class TestImageProperties:
+    @given(filesystems, filesystems)
+    def test_diff_then_apply_reconstructs(self, base_files, target_files):
+        base = Image([Layer(base_files)]) if base_files else Image([Layer({"/": ""})])
+        delta = diff_layer(base, target_files)
+        assert base.extend(delta).flatten() == target_files
+
+    @given(filesystems)
+    def test_diff_against_self_is_empty(self, files):
+        base = Image([Layer(files)]) if files else Image([Layer({"/": ""})])
+        delta = diff_layer(base, base.flatten())
+        assert delta.size_bytes() == 0
+
+    @given(filesystems, filesystems)
+    def test_layer_id_deterministic(self, a, b):
+        assert (Layer(a).layer_id == Layer(b).layer_id) == (a == b)
+
+    @given(st.lists(filesystems, min_size=1, max_size=4))
+    def test_flatten_matches_sequential_reads(self, layer_files):
+        image = Image([Layer(files) for files in layer_files])
+        view = image.flatten()
+        for path in set().union(*[set(f) for f in layer_files]):
+            assert image.read(path) == view.get(path)
+
+
+# ---------------------------------------------------------------- MAVLink codec
+
+class TestCodecProperties:
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=32),
+           st.floats(allow_nan=False, allow_infinity=False, width=32),
+           st.floats(allow_nan=False, allow_infinity=False, width=32))
+    def test_attitude_roundtrip(self, roll, pitch, yaw):
+        codec = MavlinkCodec()
+        msg = Attitude(roll=roll, pitch=pitch, yaw=yaw)
+        decoded, *_ = codec.decode(codec.encode(msg))
+        assert decoded.roll == pytest.approx(roll, rel=1e-6, abs=1e-30)
+
+    @given(st.integers(min_value=-2**31, max_value=2**31 - 1),
+           st.integers(min_value=-2**31, max_value=2**31 - 1))
+    def test_position_roundtrip_exact(self, lat, lon):
+        codec = MavlinkCodec()
+        msg = GlobalPositionInt(lat=lat, lon=lon)
+        decoded, *_ = codec.decode(codec.encode(msg))
+        assert (decoded.lat, decoded.lon) == (lat, lon)
+
+    @given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+                   max_size=50))
+    def test_statustext_roundtrip(self, text):
+        codec = MavlinkCodec()
+        decoded, *_ = codec.decode(codec.encode(Statustext(text=text)))
+        assert decoded.text == text
+
+    @given(st.binary(min_size=8, max_size=64),
+           st.integers(min_value=0, max_value=63))
+    @settings(max_examples=60)
+    def test_single_bitflip_never_decodes_silently(self, seed_bytes, flip_at):
+        """Any corruption must raise, never return a wrong message."""
+        codec = MavlinkCodec()
+        frame = bytearray(codec.encode(CommandLong(command=400, param1=1.0)))
+        index = flip_at % len(frame)
+        frame[index] ^= 0x01
+        if bytes(frame) == codec.encode(CommandLong(command=400, param1=1.0)):
+            return
+        try:
+            decoded, *_ = MavlinkCodec().decode(bytes(frame))
+        except CodecError:
+            return
+        # A decode that succeeded must have hit the (astronomically rare
+        # for 1-bit flips) CRC collision — with CRC-16 and single-bit
+        # flips this cannot happen.
+        assert False, f"bit flip at {index} decoded as {decoded}"
+
+    @given(st.binary(max_size=80))
+    @settings(max_examples=100)
+    def test_garbage_never_crashes(self, blob):
+        codec = MavlinkCodec()
+        try:
+            codec.decode(blob)
+        except CodecError:
+            pass
+
+
+# ---------------------------------------------------------------- memory accounting
+
+class TestMemoryProperties:
+    @given(st.lists(st.tuples(st.sampled_from("abcd"),
+                              st.integers(min_value=1, max_value=400_000)),
+                    max_size=20))
+    def test_usage_never_exceeds_total(self, allocations):
+        memory = MemoryAccounting(880 * 1024)
+        for owner, kb in allocations:
+            try:
+                memory.allocate(owner, kb)
+            except OutOfMemoryError:
+                pass
+        assert 0 <= memory.used_kb <= memory.total_kb
+        assert memory.free_kb == memory.total_kb - memory.used_kb
+
+    @given(st.lists(st.integers(min_value=1, max_value=100_000), max_size=15))
+    def test_alloc_free_is_identity(self, sizes):
+        memory = MemoryAccounting(10 ** 9)
+        for i, kb in enumerate(sizes):
+            memory.allocate(f"o{i}", kb)
+        for i, kb in enumerate(sizes):
+            memory.free(f"o{i}", kb)
+        assert memory.used_kb == 0
+
+
+# ---------------------------------------------------------------- stats
+
+class TestStatsProperties:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1,
+                    max_size=200))
+    def test_summary_ordering(self, samples):
+        s = summarize(samples)
+        assert s.minimum <= s.p50 <= s.p99 <= s.maximum
+        # Mean may differ from the bounds by float rounding (1 ulp).
+        slack = max(1e-300, abs(s.minimum) * 1e-12, abs(s.maximum) * 1e-12)
+        assert s.minimum - slack <= s.mean <= s.maximum + slack
+        assert s.count == len(samples)
+
+    @given(st.floats(min_value=-1e6, max_value=1e6),
+           st.integers(min_value=1, max_value=50))
+    def test_constant_samples(self, value, n):
+        s = summarize([value] * n)
+        assert s.stddev == pytest.approx(0.0, abs=max(1e-9, abs(value) * 1e-9))
+        assert s.mean == pytest.approx(value, rel=1e-12, abs=1e-300)
+
+
+# ---------------------------------------------------------------- CRC
+
+class TestCrcProperties:
+    @given(st.binary(max_size=100), st.binary(min_size=1, max_size=10))
+    def test_extension_changes_crc(self, prefix, suffix):
+        # Appending non-empty data almost always changes the CRC; verify
+        # the incremental property: crc(a+b) == x25_crc(b, crc(a)).
+        assert x25_crc(prefix + suffix) == x25_crc(suffix, x25_crc(prefix))
+
+    @given(st.binary(max_size=100))
+    def test_crc_in_16_bits(self, data):
+        assert 0 <= x25_crc(data) <= 0xFFFF

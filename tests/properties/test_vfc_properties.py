@@ -1,0 +1,168 @@
+"""Property-based tests of the VFC's safety invariants.
+
+Whatever a tenant throws at its virtual flight controller, certain things
+must never happen: disarming the vehicle, accepting a target outside the
+geofence, or executing anything while the VFC is not active.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.flight.geo import GeoPoint, offset_geopoint
+from repro.flight.geofence import Geofence
+from repro.kernel.config import KernelConfig, PreemptionMode
+from repro.kernel.preemption import Activity, PreemptionModel
+from repro.mavlink.enums import CopterMode, MavCommand, MavResult
+from repro.mavlink.messages import CommandLong, ManualControl, SetPositionTarget
+from repro.mavproxy.vfc import VfcState, VirtualFlightController
+from repro.mavproxy.whitelist import TEMPLATES
+from repro.sim import RngRegistry
+
+HOME = GeoPoint(43.6084298, -85.8110359, 0.0)
+WAYPOINT = offset_geopoint(HOME, east=50.0, north=0.0, up=15.0)
+FENCE = Geofence(center=WAYPOINT, radius_m=30.0)
+
+
+class RecordingProxy:
+    """A fake MavProxy that records what reaches the flight controller."""
+
+    def __init__(self):
+        self.commands = []
+        self.position_targets = []
+        self.manual = []
+        self.home = HOME
+
+    def fc_command(self, cmd):
+        self.commands.append(cmd)
+        return MavResult.ACCEPTED
+
+    def fc_position_target(self, msg):
+        self.position_targets.append(msg)
+
+    def fc_manual_control(self, msg, vfc):
+        self.manual.append(msg)
+
+    def fc_set_geofence(self, fence, on_breach):
+        pass
+
+    def fc_clear_geofence(self):
+        pass
+
+    def fc_heartbeat(self):
+        from repro.mavlink.messages import Heartbeat
+
+        return Heartbeat()
+
+    def fc_global_position(self):
+        from repro.mavlink.messages import GlobalPositionInt
+
+        return GlobalPositionInt()
+
+
+def make_vfc(template="full", active=True):
+    proxy = RecordingProxy()
+    vfc = VirtualFlightController(proxy, "tenant", TEMPLATES[template],
+                                  waypoint=WAYPOINT)
+    if active:
+        vfc.activate(FENCE)
+    return proxy, vfc
+
+
+command_values = st.sampled_from([int(c) for c in MavCommand] + [9999, 0, 42])
+params = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)
+template_names = st.sampled_from(["guided-only", "standard", "full"])
+
+
+class TestVfcInvariants:
+    @given(template_names, command_values, params, params)
+    @settings(max_examples=150)
+    def test_disarm_never_reaches_fc(self, template, command, p1, p2):
+        proxy, vfc = make_vfc(template)
+        vfc.send(CommandLong(command=int(MavCommand.COMPONENT_ARM_DISARM),
+                             param1=0.0, param2=p2))
+        vfc.send(CommandLong(command=command, param1=p1, param2=p2))
+        assert all(c.command != MavCommand.COMPONENT_ARM_DISARM
+                   for c in proxy.commands)
+
+    @given(template_names, command_values, params, params, params)
+    @settings(max_examples=150)
+    def test_inactive_vfc_forwards_nothing(self, template, command, p1, p5, p6):
+        proxy, vfc = make_vfc(template, active=False)
+        vfc.send(CommandLong(command=command, param1=p1, param5=p5, param6=p6))
+        vfc.send(SetPositionTarget(lat_int=int(p5 * 1e5), lon_int=int(p6 * 1e5)))
+        vfc.send(ManualControl(x=100))
+        assert proxy.commands == []
+        assert proxy.position_targets == []
+        assert proxy.manual == []
+
+    @given(st.floats(min_value=-2000, max_value=2000),
+           st.floats(min_value=-2000, max_value=2000),
+           st.floats(min_value=0, max_value=120))
+    @settings(max_examples=200)
+    def test_forwarded_waypoints_always_inside_fence(self, east, north, alt):
+        proxy, vfc = make_vfc("full")
+        target = offset_geopoint(WAYPOINT, east=east, north=north)
+        vfc.send(CommandLong(command=int(MavCommand.NAV_WAYPOINT),
+                             param5=target.latitude, param6=target.longitude,
+                             param7=alt))
+        for forwarded in proxy.commands:
+            if forwarded.command == MavCommand.NAV_WAYPOINT:
+                point = GeoPoint(forwarded.param5, forwarded.param6,
+                                 forwarded.param7)
+                assert FENCE.contains(point)
+
+    @given(st.floats(min_value=-2000, max_value=2000),
+           st.floats(min_value=-2000, max_value=2000),
+           st.floats(min_value=0, max_value=120))
+    @settings(max_examples=200)
+    def test_forwarded_position_targets_always_inside_fence(self, east, north, alt):
+        proxy, vfc = make_vfc("guided-only")
+        target = offset_geopoint(WAYPOINT, east=east, north=north)
+        vfc.send(SetPositionTarget(
+            lat_int=int(round(target.latitude * 1e7)),
+            lon_int=int(round(target.longitude * 1e7)),
+            alt=alt))
+        for forwarded in proxy.position_targets:
+            point = GeoPoint(forwarded.lat_int / 1e7, forwarded.lon_int / 1e7,
+                             forwarded.alt)
+            assert FENCE.contains(point)
+
+    @given(command_values, params)
+    @settings(max_examples=150)
+    def test_guided_only_forwards_no_commands_at_all(self, command, p1):
+        proxy, vfc = make_vfc("guided-only")
+        vfc.send(CommandLong(command=command, param1=p1))
+        assert proxy.commands == []
+
+    @given(template_names, st.lists(command_values, max_size=12))
+    @settings(max_examples=80)
+    def test_counters_account_every_message(self, template, commands):
+        proxy, vfc = make_vfc(template)
+        for command in commands:
+            vfc.send(CommandLong(command=command))
+        assert vfc.commands_accepted + vfc.commands_denied == len(commands)
+
+
+class TestPreemptionModelProperties:
+    @given(st.floats(min_value=0, max_value=1), st.floats(min_value=0, max_value=1),
+           st.floats(min_value=0, max_value=1), st.floats(min_value=0, max_value=1))
+    @settings(max_examples=60)
+    def test_latencies_positive_and_rt_bounded(self, cpu, io, irq, sys_load):
+        activity = Activity(cpu, io, irq, sys_load)
+        rt = PreemptionModel(KernelConfig(preemption=PreemptionMode.PREEMPT_RT),
+                             RngRegistry(1).stream("rt"))
+        for _ in range(50):
+            latency = rt.sample_wakeup_latency(activity)
+            assert 0 < latency < 2_500   # always meets ArduPilot's deadline
+
+    @given(st.floats(min_value=0, max_value=1))
+    @settings(max_examples=30)
+    def test_mean_latency_monotone_in_io_load(self, io_load):
+        """More I/O load never *reduces* expected PREEMPT latency."""
+        model = PreemptionModel(KernelConfig(preemption=PreemptionMode.PREEMPT),
+                                RngRegistry(2).stream("p"))
+        low = model._body_mean(Activity(0.5, 0.0, 0.5, 0.2))
+        high = model._body_mean(Activity(0.5, io_load, 0.5, 0.2))
+        assert high >= low - 1e-9

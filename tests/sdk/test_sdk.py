@@ -1,0 +1,151 @@
+"""Tests for the AnDrone SDK and its command-line utility."""
+
+import pytest
+
+from repro.sdk import AndroneCli, AndroneSdk, Waypoint, WaypointListener
+
+
+class FakeVdc:
+    """Just enough VDC for SDK unit tests."""
+
+    def __init__(self):
+        self.completed = []
+        self._energy = 1234.0
+        self._time = 56.0
+
+    def waypoint_completed(self, container):
+        self.completed.append(container)
+
+    def energy_left(self, container):
+        return self._energy
+
+    def time_left(self, container):
+        return self._time
+
+
+@pytest.fixture
+def sdk():
+    return AndroneSdk("vd1", FakeVdc(), flight_controller_ip="10.99.0.2:5760")
+
+
+WAYPOINT = Waypoint(0, 43.6, -85.8, 15.0, 30.0)
+
+
+class TestSdkMethods:
+    def test_waypoint_completed_reaches_vdc(self, sdk):
+        sdk.waypoint_completed()
+        assert sdk._vdc.completed == ["vd1"]
+
+    def test_flight_controller_ip(self, sdk):
+        assert sdk.get_flight_controller_ip() == "10.99.0.2:5760"
+
+    def test_allotment_queries(self, sdk):
+        assert sdk.get_allotted_energy_left() == 1234.0
+        assert sdk.get_allotted_time_left() == 56.0
+
+    def test_mark_file(self, sdk):
+        sdk.mark_file_for_user("/data/data/com.a/out.mp4")
+        assert sdk.marked_files == ["/data/data/com.a/out.mp4"]
+
+
+class TestListeners:
+    def test_all_callbacks_dispatch(self, sdk):
+        calls = []
+
+        class L(WaypointListener):
+            def waypoint_active(self, wp):
+                calls.append(("active", wp.index))
+
+            def waypoint_inactive(self, wp):
+                calls.append(("inactive", wp.index))
+
+            def low_energy_warning(self, remaining):
+                calls.append(("energy", remaining))
+
+            def low_time_warning(self, remaining):
+                calls.append(("time", remaining))
+
+            def geofence_breached(self):
+                calls.append(("breach",))
+
+            def suspend_continuous_devices(self):
+                calls.append(("suspend",))
+
+            def resume_continuous_devices(self):
+                calls.append(("resume",))
+
+        sdk.register_waypoint_listener(L())
+        sdk.notify_waypoint_active(WAYPOINT)
+        sdk.notify_waypoint_inactive(WAYPOINT)
+        sdk.notify_low_energy(100.0)
+        sdk.notify_low_time(10.0)
+        sdk.notify_geofence_breached()
+        sdk.notify_suspend_continuous()
+        sdk.notify_resume_continuous()
+        assert calls == [
+            ("active", 0), ("inactive", 0), ("energy", 100.0), ("time", 10.0),
+            ("breach",), ("suspend",), ("resume",),
+        ]
+
+    def test_multiple_listeners_all_notified(self, sdk):
+        hits = []
+
+        class L(WaypointListener):
+            def geofence_breached(self):
+                hits.append(1)
+
+        sdk.register_waypoint_listener(L())
+        sdk.register_waypoint_listener(L())
+        sdk.notify_geofence_breached()
+        assert len(hits) == 2
+
+    def test_default_listener_is_noop(self, sdk):
+        sdk.register_waypoint_listener(WaypointListener())
+        sdk.notify_waypoint_active(WAYPOINT)   # must not raise
+
+    def test_event_audit_trail(self, sdk):
+        sdk.notify_waypoint_active(WAYPOINT)
+        sdk.notify_low_energy(5.0)
+        assert sdk.events == ["waypointActive", "lowEnergyWarning"]
+
+
+class TestCli:
+    def test_energy_and_time(self, sdk):
+        cli = AndroneCli(sdk)
+        assert cli.run("energy-left") == "1234 J"
+        assert cli.run("time-left") == "56 s"
+
+    def test_fc_ip(self, sdk):
+        assert AndroneCli(sdk).run("fc-ip") == "10.99.0.2:5760"
+
+    def test_waypoint_completed(self, sdk):
+        cli = AndroneCli(sdk)
+        assert cli.run("waypoint-completed") == "ok"
+        assert sdk._vdc.completed == ["vd1"]
+
+    def test_mark_file(self, sdk):
+        cli = AndroneCli(sdk)
+        assert "marked" in cli.run("mark-file /data/out.bin")
+        assert sdk.marked_files == ["/data/out.bin"]
+
+    def test_mark_file_usage(self, sdk):
+        assert "usage" in AndroneCli(sdk).run("mark-file")
+
+    def test_events_buffering(self, sdk):
+        cli = AndroneCli(sdk)
+        assert cli.run("events") == "(no events)"
+        sdk.notify_waypoint_active(WAYPOINT)
+        sdk.notify_geofence_breached()
+        out = cli.run("events")
+        assert "waypoint-active 0" in out
+        assert "geofence-breached" in out
+        assert cli.run("events") == "(no events)"  # drained
+
+    def test_unknown_command(self, sdk):
+        assert "unknown command" in AndroneCli(sdk).run("frobnicate")
+
+    def test_help(self, sdk):
+        assert "energy-left" in AndroneCli(sdk).run("help")
+
+    def test_empty_command(self, sdk):
+        assert "error" in AndroneCli(sdk).run("")

@@ -1,0 +1,238 @@
+"""Tests for the discrete-event core."""
+
+import pytest
+
+from repro.sim import Simulator, Process, Timeout, Signal, WaitSignal, RngRegistry
+from repro.sim.simulator import SimulationError
+from repro.sim.time import millis, seconds, to_seconds
+
+
+class TestClockAndEvents:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.after(30, lambda: fired.append("c"))
+        sim.after(10, lambda: fired.append("a"))
+        sim.after(20, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_events_fire_in_schedule_order(self):
+        sim = Simulator()
+        fired = []
+        for tag in "abcde":
+            sim.after(5, lambda t=tag: fired.append(t))
+        sim.run()
+        assert fired == list("abcde")
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.after(123, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [123]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.after(100, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.at(50, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().after(-1, lambda: None)
+
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.after(10, lambda: fired.append(1))
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_run_until_advances_clock_past_empty_queue(self):
+        sim = Simulator()
+        sim.run(until=1000)
+        assert sim.now == 1000
+
+    def test_run_until_does_not_run_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.after(500, lambda: fired.append(1))
+        sim.after(1500, lambda: fired.append(2))
+        sim.run(until=1000)
+        assert fired == [1]
+        assert sim.now == 1000
+
+    def test_events_scheduled_during_run_execute(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            sim.after(10, lambda: fired.append("second"))
+
+        sim.after(5, first)
+        sim.run()
+        assert fired == ["second"]
+        assert sim.now == 15
+
+    def test_pending_counts_live_events(self):
+        sim = Simulator()
+        e1 = sim.after(10, lambda: None)
+        sim.after(20, lambda: None)
+        e1.cancel()
+        assert sim.pending() == 1
+
+    def test_max_events_limits_execution(self):
+        sim = Simulator()
+        count = []
+        for _ in range(10):
+            sim.after(1, lambda: count.append(1))
+        sim.run(max_events=3)
+        assert len(count) == 3
+
+
+class TestProcesses:
+    def test_process_timeouts_advance_clock(self):
+        sim = Simulator()
+        trace = []
+
+        def prog():
+            trace.append(sim.now)
+            yield Timeout(100)
+            trace.append(sim.now)
+            yield Timeout(50)
+            trace.append(sim.now)
+
+        Process(sim, prog(), "p")
+        sim.run()
+        assert trace == [0, 100, 150]
+
+    def test_process_result(self):
+        sim = Simulator()
+
+        def prog():
+            yield Timeout(1)
+            return 42
+
+        proc = Process(sim, prog(), "p")
+        sim.run()
+        assert proc.done
+        assert proc.result == 42
+
+    def test_signal_wakes_waiting_process_with_value(self):
+        sim = Simulator()
+        sig = Signal(sim, "data")
+        got = []
+
+        def waiter():
+            value = yield WaitSignal(sig)
+            got.append((sim.now, value))
+
+        Process(sim, waiter(), "w")
+        sim.after(75, lambda: sig.fire("hello"))
+        sim.run()
+        assert got == [(75, "hello")]
+
+    def test_signal_wakes_all_current_waiters(self):
+        sim = Simulator()
+        sig = Signal(sim)
+        woken = []
+
+        def waiter(tag):
+            yield WaitSignal(sig)
+            woken.append(tag)
+
+        for tag in range(3):
+            Process(sim, waiter(tag), f"w{tag}")
+        sim.after(10, sig.fire)
+        sim.run()
+        assert sorted(woken) == [0, 1, 2]
+
+    def test_signal_does_not_wake_future_waiters(self):
+        sim = Simulator()
+        sig = Signal(sim)
+        woken = []
+
+        def late_waiter():
+            yield Timeout(20)
+            yield WaitSignal(sig)
+            woken.append("late")
+
+        Process(sim, late_waiter(), "late")
+        sim.after(10, sig.fire)
+        sim.run()
+        assert woken == []
+
+    def test_process_finished_signal_fires(self):
+        sim = Simulator()
+
+        def short():
+            yield Timeout(5)
+            return "done"
+
+        def watcher(proc):
+            value = yield WaitSignal(proc.finished)
+            results.append(value)
+
+        results = []
+        proc = Process(sim, short(), "s")
+        Process(sim, watcher(proc), "w")
+        sim.run()
+        assert results == ["done"]
+
+    def test_process_exception_propagates(self):
+        sim = Simulator()
+
+        def bad():
+            yield Timeout(1)
+            raise ValueError("boom")
+
+        Process(sim, bad(), "bad")
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_yielding_garbage_raises(self):
+        sim = Simulator()
+
+        def bad():
+            yield "not a wait"
+
+        Process(sim, bad(), "bad")
+        with pytest.raises(TypeError):
+            sim.run()
+
+
+class TestRng:
+    def test_streams_are_deterministic(self):
+        a = RngRegistry(7).stream("x").random()
+        b = RngRegistry(7).stream("x").random()
+        assert a == b
+
+    def test_streams_are_independent_by_name(self):
+        reg = RngRegistry(7)
+        assert reg.stream("x").random() != reg.stream("y").random()
+
+    def test_same_stream_instance_returned(self):
+        reg = RngRegistry(1)
+        assert reg.stream("a") is reg.stream("a")
+
+    def test_fork_differs_from_parent(self):
+        reg = RngRegistry(3)
+        child = reg.fork("drone-1")
+        assert child.seed != reg.seed
+        assert child.stream("x").random() != reg.stream("x").random()
+
+    def test_different_seeds_differ(self):
+        assert RngRegistry(1).stream("x").random() != RngRegistry(2).stream("x").random()
+
+
+class TestTimeHelpers:
+    def test_conversions(self):
+        assert millis(1.5) == 1500
+        assert seconds(2) == 2_000_000
+        assert to_seconds(2_000_000) == 2.0

@@ -1,0 +1,51 @@
+"""Shared test helpers: canned manifests, definitions, and drone nodes."""
+
+from __future__ import annotations
+
+from repro.android.manifest import AndroidManifest, AnDroneManifest
+from repro.android.permissions import Permission
+from repro.core.drone_node import DroneNode
+from repro.flight.geo import GeoPoint, offset_geopoint
+from repro.vdc.definition import VirtualDroneDefinition, WaypointSpec
+
+HOME = GeoPoint(43.6084298, -85.8110359, 0.0)
+
+
+def survey_manifests(package="com.example.survey"):
+    android = AndroidManifest(package=package, permissions=[
+        Permission.CAMERA, Permission.ACCESS_FINE_LOCATION,
+        Permission.BODY_SENSORS, Permission.RECORD_AUDIO,
+        Permission.FLIGHT_CONTROL,
+    ])
+    androne = AnDroneManifest.parse(
+        f'<androne-manifest package="{package}">'
+        '<uses-permission name="camera" type="waypoint"/>'
+        '<uses-permission name="flight-control" type="waypoint"/>'
+        "</androne-manifest>"
+    )
+    return android, androne
+
+
+def simple_definition(name="vd1", n_waypoints=1, apps=None,
+                      waypoint_devices=None, continuous_devices=None,
+                      energy_j=45_000.0, duration_s=600.0, east_offset=30.0):
+    waypoints = []
+    for i in range(n_waypoints):
+        point = offset_geopoint(HOME, east=east_offset + i * 40.0,
+                                north=20.0 * i, up=15.0)
+        waypoints.append(WaypointSpec(point.latitude, point.longitude,
+                                      15.0, 30.0))
+    return VirtualDroneDefinition(
+        name=name,
+        waypoints=waypoints,
+        max_duration_s=duration_s,
+        energy_allotted_j=energy_j,
+        waypoint_devices=waypoint_devices if waypoint_devices is not None
+        else ["camera", "flight-control"],
+        continuous_devices=continuous_devices or [],
+        apps=apps or [],
+    )
+
+
+def make_node(seed=5, **kw) -> DroneNode:
+    return DroneNode(seed=seed, home=HOME, sitl_rate_hz=100.0, **kw)

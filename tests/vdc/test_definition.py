@@ -1,0 +1,109 @@
+"""Tests for virtual drone JSON definitions (paper Figure 2)."""
+
+import json
+
+import pytest
+
+from repro.vdc import DefinitionError, VirtualDroneDefinition, WaypointSpec
+
+
+# The paper's Figure 2 example (construction site surveys), completed.
+FIGURE2_JSON = """
+{
+  "waypoints": [
+    { "latitude": 43.6084298, "longitude": -85.8110359,
+      "altitude": 15, "max-radius": 30 },
+    { "latitude": 43.6076409, "longitude": -85.8154457,
+      "altitude": 15, "max-radius": 20 }
+  ],
+  "max-duration": 600,
+  "energy-allotted": 45000,
+  "continuous-devices": [],
+  "waypoint-devices": ["camera", "flight-control"],
+  "apps": ["com.example.survey"],
+  "app-args": {
+    "com.example.survey": {
+      "survey-areas": {
+        "43.6084298,-85.8110359": [
+          [43.6087619, -85.8104110], [43.6087968, -85.8109877],
+          [43.6084570, -85.8110225], [43.6084240, -85.8104646]
+        ]
+      }
+    }
+  }
+}
+"""
+
+
+class TestFigure2Roundtrip:
+    def test_parse_figure2(self):
+        d = VirtualDroneDefinition.from_json(FIGURE2_JSON, name="survey-vd")
+        assert len(d.waypoints) == 2
+        assert d.waypoints[0].max_radius == 30
+        assert d.waypoints[1].max_radius == 20
+        assert d.max_duration_s == 600
+        assert d.energy_allotted_j == 45000
+        assert d.waypoint_devices == ["camera", "flight-control"]
+        assert d.apps == ["com.example.survey"]
+        assert d.wants_flight_control
+
+    def test_roundtrip_preserves_content(self):
+        d1 = VirtualDroneDefinition.from_json(FIGURE2_JSON, name="vd")
+        d2 = VirtualDroneDefinition.from_json(d1.to_json())
+        assert d2.waypoints == d1.waypoints
+        assert d2.app_args == d1.app_args
+        assert d2.energy_allotted_j == d1.energy_allotted_j
+
+
+def make_definition(**overrides):
+    defaults = dict(
+        name="vd",
+        waypoints=[WaypointSpec(43.6, -85.8, 15.0, 30.0)],
+        max_duration_s=600.0,
+        energy_allotted_j=45_000.0,
+    )
+    defaults.update(overrides)
+    return VirtualDroneDefinition(**defaults)
+
+
+class TestValidation:
+    def test_needs_waypoints(self):
+        with pytest.raises(DefinitionError):
+            make_definition(waypoints=[])
+
+    def test_positive_duration_and_energy(self):
+        with pytest.raises(DefinitionError):
+            make_definition(max_duration_s=0)
+        with pytest.raises(DefinitionError):
+            make_definition(energy_allotted_j=-5)
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(DefinitionError):
+            make_definition(waypoint_devices=["x-ray"])
+
+    def test_flight_control_not_continuous(self):
+        with pytest.raises(DefinitionError):
+            make_definition(continuous_devices=["flight-control"])
+
+    def test_waypoint_altitude_bounds(self):
+        with pytest.raises(DefinitionError):
+            WaypointSpec.from_json(
+                {"latitude": 0, "longitude": 0, "altitude": 500, "max-radius": 10})
+
+    def test_waypoint_coordinates_bounds(self):
+        with pytest.raises(DefinitionError):
+            WaypointSpec.from_json(
+                {"latitude": 91, "longitude": 0, "altitude": 10, "max-radius": 10})
+
+    def test_missing_field(self):
+        with pytest.raises(DefinitionError):
+            VirtualDroneDefinition.from_json('{"waypoints": []}')
+
+    def test_bad_json(self):
+        with pytest.raises(DefinitionError):
+            VirtualDroneDefinition.from_json("{nope")
+
+    def test_all_devices_union(self):
+        d = make_definition(waypoint_devices=["camera"],
+                            continuous_devices=["gps"])
+        assert d.all_devices() == ["camera", "gps"]

@@ -1,0 +1,111 @@
+"""Tests for the device-access policy state machine."""
+
+import pytest
+
+from repro.vdc import DeviceAccessPolicy, TenantPhase
+from repro.vdc.definition import VirtualDroneDefinition, WaypointSpec
+
+
+def definition(name, n_waypoints=2, waypoint_devices=None, continuous_devices=None):
+    return VirtualDroneDefinition(
+        name=name,
+        waypoints=[WaypointSpec(43.6 + i * 0.001, -85.8, 15.0, 30.0)
+                   for i in range(n_waypoints)],
+        max_duration_s=600.0,
+        energy_allotted_j=45_000.0,
+        waypoint_devices=waypoint_devices or ["camera", "flight-control"],
+        continuous_devices=continuous_devices or [],
+    )
+
+
+@pytest.fixture
+def policy():
+    p = DeviceAccessPolicy()
+    p.register("vd1", definition("vd1", continuous_devices=["gps"]))
+    p.register("vd2", definition("vd2"))
+    return p
+
+
+class TestPhases:
+    def test_initial_phase_waiting(self, policy):
+        assert policy.phase_of("vd1") is TenantPhase.WAITING
+
+    def test_enter_waypoint_activates(self, policy):
+        policy.enter_waypoint("vd1")
+        assert policy.phase_of("vd1") is TenantPhase.AT_WAYPOINT
+
+    def test_leave_intermediate_goes_between(self, policy):
+        policy.enter_waypoint("vd1")
+        policy.leave_waypoint("vd1")
+        assert policy.phase_of("vd1") is TenantPhase.BETWEEN
+
+    def test_leave_last_finishes(self, policy):
+        for _ in range(2):
+            policy.enter_waypoint("vd1")
+            policy.leave_waypoint("vd1")
+        assert policy.phase_of("vd1") is TenantPhase.FINISHED
+
+    def test_other_started_tenant_suspended(self, policy):
+        policy.enter_waypoint("vd1")
+        policy.leave_waypoint("vd1")          # vd1 now BETWEEN
+        policy.enter_waypoint("vd2")
+        assert policy.phase_of("vd1") is TenantPhase.SUSPENDED
+
+    def test_waiting_tenant_not_suspended(self, policy):
+        policy.enter_waypoint("vd2")
+        assert policy.phase_of("vd1") is TenantPhase.WAITING
+
+    def test_suspended_resumes_after_other_leaves(self, policy):
+        policy.enter_waypoint("vd1")
+        policy.leave_waypoint("vd1")
+        policy.enter_waypoint("vd2")
+        policy.leave_waypoint("vd2")
+        assert policy.phase_of("vd1") is TenantPhase.BETWEEN
+
+
+class TestAccessRules:
+    def test_waiting_tenant_gets_nothing(self, policy):
+        assert not policy.allows("vd1", "camera")
+        assert not policy.allows("vd1", "gps")
+
+    def test_waypoint_device_only_at_waypoint(self, policy):
+        policy.enter_waypoint("vd1")
+        assert policy.allows("vd1", "camera")
+        policy.leave_waypoint("vd1")
+        assert not policy.allows("vd1", "camera")
+
+    def test_continuous_device_between_waypoints(self, policy):
+        policy.enter_waypoint("vd1")
+        policy.leave_waypoint("vd1")
+        assert policy.allows("vd1", "gps")      # continuous
+        assert not policy.allows("vd1", "camera")
+
+    def test_continuous_access_suspended_at_other_tenants_waypoint(self, policy):
+        """Paper Section 2: privacy between tenants."""
+        policy.enter_waypoint("vd1")
+        policy.leave_waypoint("vd1")
+        assert policy.allows("vd1", "gps")
+        policy.enter_waypoint("vd2")
+        assert not policy.allows("vd1", "gps")
+        policy.leave_waypoint("vd2")
+        assert policy.allows("vd1", "gps")
+
+    def test_finished_tenant_gets_nothing(self, policy):
+        policy.finish("vd1")
+        assert not policy.allows("vd1", "gps")
+        assert not policy.allows("vd1", "camera")
+
+    def test_unmanaged_container_passes(self, policy):
+        # The flight container and host are not tenants.
+        assert policy.allows("flight", "gps")
+
+    def test_flight_control_helper(self, policy):
+        policy.enter_waypoint("vd1")
+        assert policy.allows_flight_control("vd1")
+        policy.leave_waypoint("vd1")
+        assert not policy.allows_flight_control("vd1")
+
+    def test_denials_counted(self, policy):
+        policy.allows("vd1", "camera")
+        assert policy.denials == 1
+        assert policy.queries == 1

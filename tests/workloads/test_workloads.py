@@ -1,0 +1,172 @@
+"""Tests for the workload analogs."""
+
+import pytest
+
+from repro.kernel import Kernel, KernelConfig, PreemptionMode
+from repro.sim import Simulator, RngRegistry
+from repro.workloads import (
+    IperfSession,
+    StressWorkload,
+    run_cyclictest,
+    start_cyclictest,
+)
+from repro.workloads.passmark import PassMarkInstance, normalized_slowdown
+
+
+def make_kernel(mode=PreemptionMode.PREEMPT_RT):
+    sim = Simulator()
+    return sim, Kernel(sim, RngRegistry(3), KernelConfig(preemption=mode))
+
+
+def run_passmark_instances(n, mode, seconds=200):
+    sim, kernel = make_kernel(mode)
+    instances = []
+    for i in range(n):
+        spawner = (lambda prog, name, ci=i, **kw:
+                   kernel.spawn(prog, name=name, container=f"vd{ci}", **kw))
+        instance = PassMarkInstance(kernel, spawner, label=f"pm{i}")
+        instance.start()
+        instances.append(instance)
+    sim.run(until=sim.now + seconds * 1_000_000, max_events=3_000_000)
+    assert all(inst.scores.done for inst in instances)
+    return instances
+
+
+class TestPassMark:
+    def test_single_instance_completes_with_scores(self):
+        (instance,) = run_passmark_instances(1, PreemptionMode.PREEMPT)
+        assert instance.scores.cpu > 0
+        assert instance.scores.disk > 0
+        assert instance.scores.memory > 0
+
+    def test_cpu_degrades_linearly_with_instances(self):
+        """Figure 10: CPU slowdown ~n for n instances on a full machine."""
+        solo = run_passmark_instances(1, PreemptionMode.PREEMPT)[0].scores
+        three = run_passmark_instances(3, PreemptionMode.PREEMPT)[0].scores
+        slowdown = normalized_slowdown(solo, three)
+        assert 2.5 < slowdown["cpu"] < 3.6
+
+    def test_disk_degrades_sublinearly(self):
+        """Figure 10: disk ~2x (not 3x) at three instances."""
+        solo = run_passmark_instances(1, PreemptionMode.PREEMPT)[0].scores
+        three = run_passmark_instances(3, PreemptionMode.PREEMPT)[0].scores
+        slowdown = normalized_slowdown(solo, three)
+        assert 1.6 < slowdown["disk"] < 2.7
+
+    def test_memory_degrades_sublinearly(self):
+        solo = run_passmark_instances(1, PreemptionMode.PREEMPT)[0].scores
+        three = run_passmark_instances(3, PreemptionMode.PREEMPT)[0].scores
+        slowdown = normalized_slowdown(solo, three)
+        assert 1.4 < slowdown["memory"] < 2.3
+
+    def test_rt_kernel_somewhat_worse_at_three_instances(self):
+        """Figure 10: PREEMPT_RT trails PREEMPT under load."""
+        p = run_passmark_instances(3, PreemptionMode.PREEMPT)[0].scores
+        rt = run_passmark_instances(3, PreemptionMode.PREEMPT_RT)[0].scores
+        assert rt.memory < p.memory
+        assert rt.disk < p.disk
+
+    def test_loop_forever_counts_runs(self):
+        sim, kernel = make_kernel()
+        instance = PassMarkInstance(kernel, loop_forever=True)
+        instance.start()
+        sim.run(until=40_000_000, max_events=2_000_000)
+        assert instance.runs_completed >= 1
+
+
+class TestCyclictest:
+    def test_collects_requested_samples(self):
+        sim, kernel = make_kernel()
+        result = run_cyclictest(kernel, loops=500, interval_us=1000)
+        assert result.done
+        assert result.count == 500
+
+    def test_rt_idle_latencies_bounded(self):
+        sim, kernel = make_kernel(PreemptionMode.PREEMPT_RT)
+        result = run_cyclictest(kernel, loops=3000)
+        assert result.max_us < 600
+        assert result.avg_us < 50
+
+    def test_preempt_has_larger_tail_than_rt(self):
+        _, k_p = make_kernel(PreemptionMode.PREEMPT)
+        _, k_rt = make_kernel(PreemptionMode.PREEMPT_RT)
+        r_p = run_cyclictest(k_p, loops=8000)
+        r_rt = run_cyclictest(k_rt, loops=8000)
+        assert r_p.max_us > 3 * r_rt.max_us
+
+    def test_statistics_helpers(self):
+        sim, kernel = make_kernel()
+        result = run_cyclictest(kernel, loops=2000)
+        assert result.min_us <= result.avg_us <= result.max_us
+        assert result.percentile(50) <= result.percentile(99)
+        assert result.misses(result.max_us + 1) == 0
+        hist = result.histogram()
+        assert sum(count for _, count in hist) == result.count
+
+    def test_start_without_run_is_live(self):
+        sim, kernel = make_kernel()
+        result = start_cyclictest(kernel, loops=100)
+        assert not result.done
+        sim.run(until=2_000_000)
+        assert result.done
+
+
+class TestStress:
+    def test_start_creates_all_workers(self):
+        sim, kernel = make_kernel()
+        stress = StressWorkload(kernel, cpu_workers=4, io_workers=2,
+                                vm_workers=2, hdd_workers=2)
+        stress.start()
+        assert len(stress._threads) == 10
+        sim.run_for(2_000_000)
+        assert kernel.activity().cpu_load > 0.8
+
+    def test_generates_io_load(self):
+        sim, kernel = make_kernel()
+        StressWorkload(kernel).start()
+        sim.run_for(3_000_000)
+        assert kernel.activity().io_load > 0.5
+
+    def test_stop_kills_workers(self):
+        sim, kernel = make_kernel()
+        stress = StressWorkload(kernel)
+        stress.start()
+        sim.run_for(1_000_000)
+        stress.stop()
+        busy_at_stop = kernel.cpu_busy_integral_us()
+        sim.run_for(2_000_000)
+        # No meaningful CPU burned after stop.
+        assert kernel.cpu_busy_integral_us() - busy_at_stop < 100_000
+
+    def test_idempotent_start(self):
+        sim, kernel = make_kernel()
+        stress = StressWorkload(kernel)
+        stress.start()
+        stress.start()
+        assert len(stress._threads) == 10
+
+
+class TestIperf:
+    def test_generates_interrupt_load(self):
+        sim, kernel = make_kernel()
+        IperfSession(kernel).start()
+        sim.run_for(2_000_000)
+        assert kernel.activity().irq_load > 0.5
+
+    def test_throughput_accounted(self):
+        sim, kernel = make_kernel()
+        session = IperfSession(kernel, throughput_mbps=940.0)
+        session.start()
+        sim.run_for(5_000_000)
+        measured = session.measured_throughput_mbps(5.0)
+        assert 600 < measured < 1100
+
+    def test_stop_ends_traffic(self):
+        sim, kernel = make_kernel()
+        session = IperfSession(kernel)
+        session.start()
+        sim.run_for(1_000_000)
+        session.stop()
+        sent = session.bytes_sent
+        sim.run_for(1_000_000)
+        assert session.bytes_sent == sent
