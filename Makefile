@@ -2,7 +2,9 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples results clean
+.PHONY: install test bench examples results trace clean
+
+TRACE_FILE ?= trace.jsonl
 
 install:
 	$(PYTHON) setup.py develop
@@ -19,6 +21,12 @@ examples:
 results: ## regenerate the paper tables/figures into benchmarks/results/
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
+trace: ## fly the quickstart with telemetry on, then smoke-check the trace
+	PYTHONPATH=src ANDRONE_TRACE=$(TRACE_FILE) $(PYTHON) examples/quickstart.py
+	PYTHONPATH=src $(PYTHON) -m repro.obs.check $(TRACE_FILE) \
+		--require binder. --require mavproxy. --require vdc. \
+		--require container.
+
 clean:
-	rm -rf .pytest_cache benchmarks/results .benchmarks
+	rm -rf .pytest_cache benchmarks/results .benchmarks trace.jsonl
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -55,12 +55,19 @@ def run_figure10():
     return rows, results
 
 
-def test_fig10_runtime_overhead(benchmark, record_result):
+def test_fig10_runtime_overhead(benchmark, record_result, metrics_registry,
+                                export_metrics):
     rows, results = benchmark.pedantic(run_figure10, rounds=1, iterations=1)
     record_result("fig10", render_table(
         ["Config", "CPU", "Disk", "Memory"], rows,
         title="Figure 10: normalized PassMark slowdown (lower is better); "
               "paper: 1VD <=1.015, 3VD cpu~3, disk 2.0/2.2, mem 1.8/2.3"))
+    # Machine-readable trajectory: one gauge per (config, metric).
+    for (n, tag), slowdown in results.items():
+        for metric, value in slowdown.items():
+            metrics_registry.gauge("fig10.slowdown", config=f"{n}VD{tag}",
+                                   metric=metric).set(round(value, 4))
+    export_metrics("fig10", metrics_registry)
 
     one_vd = results[(1, "")]
     assert one_vd["cpu"] < 1.05, "single vdrone CPU overhead must be tiny"

@@ -58,8 +58,18 @@ def run_figure11():
     return results
 
 
-def test_fig11_realtime_latency(benchmark, record_result):
+def test_fig11_realtime_latency(benchmark, record_result, metrics_registry,
+                                export_metrics):
     results = benchmark.pedantic(run_figure11, rounds=1, iterations=1)
+    # Machine-readable trajectory: wakeup latency stats per scenario.
+    for name, result in results.items():
+        metrics_registry.gauge("fig11.latency_us", scenario=name,
+                               stat="avg").set(round(result.avg_us, 2))
+        metrics_registry.gauge("fig11.latency_us", scenario=name,
+                               stat="max").set(round(result.max_us, 2))
+        metrics_registry.counter("fig11.deadline_misses", scenario=name).inc(
+            result.misses(ARDUPILOT_DEADLINE_US))
+    export_metrics("fig11", metrics_registry)
     rows = [
         (name, result.count, round(result.avg_us, 1), round(result.max_us, 1),
          result.misses(ARDUPILOT_DEADLINE_US))

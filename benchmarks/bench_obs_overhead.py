@@ -1,0 +1,96 @@
+"""Telemetry overhead: the obs layer must be cheap enough to leave on.
+
+Two measurements:
+
+1. **Per-op cost** of the module-level helpers with telemetry disabled
+   (the null-recorder path every instrumented call site takes by default)
+   and enabled — nanoseconds per ``counter().inc()``.
+2. **Whole-workload overhead** on the Figure 10 PassMark workload (the
+   repo's canonical CPU-bound run): wall-clock with telemetry enabled vs
+   disabled, best-of-N to squeeze out scheduler noise.  The acceptance
+   bar is <5% — the null recorder should be indistinguishable, and the
+   enabled registry only pays on the instrumented (non-inner-loop) paths.
+"""
+
+import pathlib
+import sys
+import time
+
+import repro.obs as obs
+from repro.analysis import render_table
+from repro.kernel import PreemptionMode
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+from bench_fig10_runtime_overhead import run_instances  # noqa: E402
+
+OPS = 200_000
+ROUNDS = 7
+MAX_OVERHEAD = 1.05
+
+
+def _time_ops(n: int) -> float:
+    """ns per obs.counter(...).inc() in the current telemetry mode."""
+    start = time.perf_counter_ns()
+    for _ in range(n):
+        obs.counter("bench.ops", path="hot").inc()
+    return (time.perf_counter_ns() - start) / n
+
+
+def _time_workload() -> float:
+    """Best-of-ROUNDS wall-clock seconds for the fig10 workload."""
+    best = float("inf")
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        run_instances(1, PreemptionMode.PREEMPT)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_overhead():
+    obs.reset()
+    ns_disabled = _time_ops(OPS)
+    workload_disabled = _time_workload()
+    obs.enable()
+    try:
+        ns_enabled = _time_ops(OPS)
+        workload_enabled = _time_workload()
+    finally:
+        obs.reset()
+    return {
+        "ns_disabled": ns_disabled,
+        "ns_enabled": ns_enabled,
+        "workload_disabled_s": workload_disabled,
+        "workload_enabled_s": workload_enabled,
+        "overhead": workload_enabled / workload_disabled,
+    }
+
+
+def test_obs_overhead(benchmark, record_result, metrics_registry,
+                      export_metrics):
+    results = benchmark.pedantic(run_overhead, rounds=1, iterations=1)
+    overhead_pct = (results["overhead"] - 1.0) * 100.0
+    record_result("obs_overhead", render_table(
+        ["Measurement", "Disabled", "Enabled"],
+        [("counter inc (ns/op)", round(results["ns_disabled"], 1),
+          round(results["ns_enabled"], 1)),
+         ("fig10 workload (s, best of %d)" % ROUNDS,
+          round(results["workload_disabled_s"], 4),
+          round(results["workload_enabled_s"], 4)),
+         ("workload overhead", "1.000x",
+          f"{results['overhead']:.3f}x ({overhead_pct:+.1f}%)")],
+        title="Telemetry overhead: null recorder vs live registry "
+              "(acceptance: <5% on the fig10 workload)"))
+    metrics_registry.gauge("obs.overhead_ratio").set(
+        round(results["overhead"], 4))
+    metrics_registry.gauge("obs.counter_ns", mode="disabled").set(
+        round(results["ns_disabled"], 2))
+    metrics_registry.gauge("obs.counter_ns", mode="enabled").set(
+        round(results["ns_enabled"], 2))
+    export_metrics("obs_overhead", metrics_registry)
+
+    # The disabled path must stay sub-microsecond — it is what every
+    # instrumented hot path pays when nobody asked for telemetry.
+    assert results["ns_disabled"] < 1_000
+    assert results["overhead"] < MAX_OVERHEAD, (
+        f"telemetry overhead {overhead_pct:+.1f}% exceeds "
+        f"{(MAX_OVERHEAD - 1) * 100:.0f}%")

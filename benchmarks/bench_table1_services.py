@@ -30,11 +30,20 @@ def boot_and_enumerate():
     return node, rows
 
 
-def test_table1_device_container_services(benchmark, record_result):
+def test_table1_device_container_services(benchmark, record_result,
+                                          metrics_registry, export_metrics):
     node, rows = benchmark.pedantic(boot_and_enumerate, rounds=1, iterations=1)
     record_result("table1", render_table(
         ["Service", "Device(s)", "Published to vdrones"], rows,
         title="Table 1: device container services"))
+    # Machine-readable trajectory: devices held + publication per service.
+    for name, held, published in rows:
+        devices = [d for d in held.split(", ") if d]
+        metrics_registry.gauge("table1.devices_held",
+                               service=name).set(len(devices))
+        metrics_registry.event("table1.service", service=name,
+                               devices=devices, published=published == "yes")
+    export_metrics("table1", metrics_registry)
     services = {name: held.split(", ") for name, held, _ in rows}
     assert set(services) == set(PAPER_TABLE1)
     for name, devices in PAPER_TABLE1.items():

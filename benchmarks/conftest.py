@@ -24,3 +24,33 @@ def record_result():
         print(f"\n{text}\n[written to {path}]")
 
     return write
+
+
+@pytest.fixture
+def metrics_registry():
+    """A private telemetry registry for the benchmark's measurements.
+
+    Benchmarks pour their headline numbers into it (gauges/counters/
+    histograms from the obs layer) and it is exported to
+    ``results/<experiment_id>.jsonl`` via :func:`export_metrics`, giving
+    future PRs a machine-readable perf trajectory alongside the tables.
+    """
+    from repro.obs import TelemetryRegistry
+
+    return TelemetryRegistry()
+
+
+@pytest.fixture
+def export_metrics():
+    """Returns a writer: export_metrics(experiment_id, registry) -> path."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(experiment_id: str, registry) -> pathlib.Path:
+        from repro.obs import write_jsonl
+
+        path = RESULTS_DIR / f"{experiment_id}.jsonl"
+        n = write_jsonl(registry, str(path))
+        print(f"[{n} metric records written to {path}]")
+        return path
+
+    return write

@@ -14,6 +14,9 @@ The minimal end-to-end AnDrone flow (paper Figure 4):
    virtual drone is saved to the VDR, and the user is emailed links.
 """
 
+import os
+
+import repro.obs as obs
 from repro.core import AnDroneSystem
 from repro.sdk.listener import WaypointListener
 
@@ -101,6 +104,15 @@ def main() -> None:
     print(f"invoice for {tenant}: ${invoice.total:.2f} "
           f"({energy:.0f} J of flight energy)")
     print(f"last portal notification: {order.notifications[-1].text}")
+
+    # 6. Telemetry: with ANDRONE_TRACE=<path> set, the whole flight was
+    # traced on the sim clock — dump the JSON-lines trace and a summary
+    # (see "Tracing a flight" in the README).
+    trace_path = os.environ.get(obs.TRACE_ENV)
+    if trace_path:
+        written = obs.export_jsonl(trace_path)
+        print(f"\n{obs.render_report()}")
+        print(f"\ntelemetry: {written} records -> {trace_path}")
 
 
 if __name__ == "__main__":

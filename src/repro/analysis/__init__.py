@@ -2,7 +2,9 @@
 harness (every benchmark prints the same rows/series the paper reports)."""
 
 from repro.analysis.stats import Summary, summarize
-from repro.analysis.reporting import render_table, render_series, render_histogram
+from repro.analysis.reporting import (render_table, render_series,
+                                      render_histogram,
+                                      render_metrics_report)
 
 __all__ = ["Summary", "summarize", "render_table", "render_series",
-           "render_histogram"]
+           "render_histogram", "render_metrics_report"]

@@ -1,9 +1,10 @@
 """Plain-text tables and series, matching how EXPERIMENTS.md records
-paper-vs-measured results."""
+paper-vs-measured results.  Also renders the telemetry report the obs
+layer's exporter produces (:func:`render_metrics_report`)."""
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 
 def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
@@ -48,6 +49,61 @@ def render_histogram(name: str, bins: Sequence[Tuple[float, int]],
                                / math.log10(max_count + 1)))
         lines.append(f"  {value:>10.1f}  {count:>9d}  {bar}")
     return "\n".join(lines)
+
+
+def _labels(labels: Dict[str, str]) -> str:
+    return ", ".join(f"{k}={v}" for k, v in sorted(labels.items()))
+
+
+def render_metrics_report(snapshot: Sequence[dict],
+                          closed_spans: Sequence[Tuple[str, int]] = (),
+                          n_trace_records: Optional[int] = None) -> str:
+    """The human-readable telemetry summary.
+
+    ``snapshot`` is ``TelemetryRegistry.snapshot()`` output (one dict per
+    instrument); ``closed_spans`` is the tracer's (name, duration_us)
+    list.  Grouped into one table per instrument kind plus a span-duration
+    summary, so a flight's telemetry reads like the paper's tables.
+    """
+    sections: List[str] = []
+    counters = [r for r in snapshot if r["kind"] == "counter"]
+    gauges = [r for r in snapshot if r["kind"] == "gauge"]
+    histograms = [r for r in snapshot if r["kind"] == "histogram"]
+    if counters:
+        sections.append(render_table(
+            ["Counter", "Labels", "Value"],
+            [(r["name"], _labels(r["labels"]), r["value"]) for r in counters],
+            title="counters"))
+    if gauges:
+        sections.append(render_table(
+            ["Gauge", "Labels", "Value"],
+            [(r["name"], _labels(r["labels"]), r["value"]) for r in gauges],
+            title="gauges"))
+    if histograms:
+        sections.append(render_table(
+            ["Histogram", "Labels", "Unit", "Count", "p50", "p95", "p99", "Max"],
+            [(r["name"], _labels(r["labels"]), r.get("unit", ""), r["count"],
+              r["p50"], r["p95"], r["p99"], r["max"]) for r in histograms],
+            title="histograms"))
+    if closed_spans:
+        by_name: Dict[str, List[int]] = {}
+        for name, duration in closed_spans:
+            by_name.setdefault(name, []).append(duration)
+        rows = []
+        for name in sorted(by_name):
+            durations = sorted(by_name[name])
+            n = len(durations)
+            rows.append((name, n, durations[0], durations[n // 2],
+                         durations[-1]))
+        sections.append(render_table(
+            ["Span", "Count", "Min (us)", "Median (us)", "Max (us)"], rows,
+            title="span durations (sim time)"))
+    if not sections:
+        sections.append("(no telemetry recorded)")
+    header = "telemetry report"
+    if n_trace_records is not None:
+        header += f" — {n_trace_records} trace records"
+    return header + "\n\n" + "\n\n".join(sections)
 
 
 def _fmt(value: object) -> str:

@@ -16,8 +16,10 @@ Access control happens per call, in two stages (Sections 4.2 and 4.4):
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Optional, Set, Tuple
 
+import repro.obs as obs
 from repro.android.permissions import Permission
 from repro.binder.objects import Transaction
 
@@ -60,9 +62,24 @@ class SystemService:
             self.check_access(txn)
         except ServiceAccessDenied as denied:
             self.denied_calls += 1
+            obs.counter("android.service.calls", service=self.name,
+                        code=txn.code, outcome="denied").inc()
             return {"error": str(denied), "denied": True}
         self.served_calls += 1
-        return method(txn)
+        obs.counter("android.service.calls", service=self.name,
+                    code=txn.code, outcome="served").inc()
+        if not obs.enabled():
+            return method(txn)
+        # Call latency is wall-clock (the handler runs synchronously, so
+        # no sim time passes); the one deliberately nondeterministic
+        # metric — see docs/METRICS.md.
+        start_ns = time.perf_counter_ns()
+        try:
+            return method(txn)
+        finally:
+            obs.histogram("android.service.call_us", unit="us-wall",
+                          service=self.name).observe(
+                (time.perf_counter_ns() - start_ns) / 1000.0)
 
     # -- access control -------------------------------------------------------------
     def check_access(self, txn: Transaction) -> None:

@@ -13,6 +13,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Dict, Optional
 
+import repro.obs as obs
 from repro.binder.objects import BinderNode, Transaction
 from repro.kernel.namespaces import Namespace
 
@@ -116,7 +117,13 @@ class BinderProcess:
         """
         node = self._resolve(handle)
         if node.dead:
+            obs.counter("binder.dead_node_errors",
+                        service=node.label or "anonymous").inc()
             raise DeadNodeError(f"node {node.label!r} is dead")
+        obs.counter("binder.transactions",
+                    service=node.label or "anonymous",
+                    ns=self.device_ns.label or str(self.device_ns.ns_id),
+                    container=self.container or "host").inc()
         delivered: Dict[str, Any] = {}
         for key, value in (data or {}).items():
             if isinstance(value, NodeRef):
@@ -222,6 +229,8 @@ class BinderDriver:
     # -- AnDrone ioctls ----------------------------------------------------------
     def _publish_to_all_ns(self, caller: BinderProcess, name: str, node: BinderNode) -> int:
         if caller.container != self.device_container_name:
+            obs.counter("binder.publish_denied", ioctl="publish_to_all_ns",
+                        container=caller.container or "host").inc()
             raise PermissionDeniedError(
                 f"PUBLISH_TO_ALL_NS denied for container {caller.container!r}"
             )
@@ -240,6 +249,8 @@ class BinderDriver:
                 calling_container=caller.container,
             ))
             published += 1
+        obs.event("binder.publish", ioctl="publish_to_all_ns", name=name,
+                  namespaces=published)
         return published
 
     def _publish_to_dev_con(self, caller: BinderProcess, name: str, node: BinderNode) -> str:
@@ -257,6 +268,8 @@ class BinderDriver:
             calling_euid=caller.euid,
             calling_container=caller.container,
         ))
+        obs.event("binder.publish", ioctl="publish_to_dev_con",
+                  name=scoped_name, container=caller.container)
         return scoped_name
 
     def publish_to_namespace(self, ns: Namespace, name: str, node: BinderNode,
@@ -279,4 +292,6 @@ class BinderDriver:
             calling_euid=caller.euid,
             calling_container=caller.container,
         ))
+        obs.event("binder.publish", ioctl="publish_to_namespace", name=name,
+                  ns=ns.label or str(ns.ns_id))
         return True

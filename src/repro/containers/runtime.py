@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+import repro.obs as obs
 from repro.containers.container import Container, ContainerError, ContainerState
 from repro.containers.image import Image, ImageStore, Layer
 from repro.kernel.cgroups import CgroupLimits
@@ -40,6 +41,9 @@ class ContainerRuntime:
             self.kernel, name, image, memory_kb, cgroup, self.host_namespaces
         )
         self._containers[name] = container
+        obs.event("container.lifecycle", action="created", name=name,
+                  image=image_tag, memory_kb=memory_kb)
+        obs.gauge("container.count").set(len(self._containers))
         return container
 
     def get(self, name: str) -> Container:
@@ -60,6 +64,8 @@ class ContainerRuntime:
         container.state = ContainerState.REMOVED
         self.kernel.cgroups.remove(name)
         del self._containers[name]
+        obs.event("container.lifecycle", action="removed", name=name)
+        obs.gauge("container.count").set(len(self._containers))
 
     # ------------------------------------------------------------ export/import
     def export(self, name: str, comment: str = "") -> Tuple[str, Layer]:
@@ -69,7 +75,10 @@ class ContainerRuntime:
         fetch) the base image — the minimal-storage property of Section 3.
         """
         container = self.get(name)
-        return container.image.image_id, container.commit(comment)
+        base_id, diff = container.image.image_id, container.commit(comment)
+        obs.event("container.lifecycle", action="exported", name=name,
+                  base=base_id, diff_files=len(diff.files))
+        return base_id, diff
 
     def import_container(
         self,
@@ -91,4 +100,7 @@ class ContainerRuntime:
             self.kernel, name, restored_image, memory_kb, cgroup, self.host_namespaces
         )
         self._containers[name] = container
+        obs.event("container.lifecycle", action="imported", name=name,
+                  base=base_tag, memory_kb=memory_kb)
+        obs.gauge("container.count").set(len(self._containers))
         return container

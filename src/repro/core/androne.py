@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
+import repro.obs as obs
 from repro.android.manifest import AndroidManifest, AnDroneManifest
 from repro.cloud.app_store import AppStore
 from repro.cloud.billing import BillingService
@@ -26,6 +27,9 @@ class AnDroneSystem:
     def __init__(self, sim: Optional[Simulator] = None, seed: int = 0,
                  home: GeoPoint = DEFAULT_HOME, fleet_size: int = 1):
         self.sim = sim or Simulator()
+        # ANDRONE_TRACE=<path> switches telemetry on for the whole stack,
+        # timestamped from this system's sim clock (see docs/METRICS.md).
+        obs.auto_enable(self.sim)
         self.rng = RngRegistry(seed)
         self.home = home
         self.app_store = AppStore()

@@ -15,6 +15,7 @@ import itertools
 import math
 from typing import Any, Callable, Dict, List, Optional
 
+import repro.obs as obs
 from repro.kernel import ops
 from repro.kernel.cgroups import CgroupManager
 from repro.kernel.config import KernelConfig
@@ -176,6 +177,8 @@ class Kernel:
         thread.vruntime = self._min_vruntime()
         self.threads[thread.tid] = thread
         thread.state = ThreadState.READY
+        obs.counter("kernel.spawns", container=container or "host",
+                    policy=policy.name).inc()
         self.sim.call_soon(lambda: self._advance(thread, None))
         return thread
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
+import repro.obs as obs
 from repro.flight.geo import GeoPoint
 from repro.flight.geofence import Geofence
 from repro.mavlink.enums import CopterMode, MavCommand, MavResult
@@ -57,6 +58,9 @@ class MavProxy:
             continuous_view=continuous_view,
         )
         self.vfcs[container] = vfc
+        obs.event("mavproxy.vfc_created", vfc=container,
+                  template=vfc.template.name,
+                  continuous_view=continuous_view)
         return vfc
 
     def vfc_for(self, container: str) -> VirtualFlightController:
@@ -65,11 +69,14 @@ class MavProxy:
     # -- master (flight planner) interface: unrestricted -------------------------------
     def master_command(self, cmd: CommandLong) -> MavResult:
         self.master_commands += 1
+        obs.counter("mavproxy.commands", source="master", kind="command").inc()
         ack = self.drone.handle_mavlink(cmd)
         return MavResult(ack.result) if ack is not None else MavResult.FAILED
 
     def master_position_target(self, msg: SetPositionTarget) -> None:
         self.master_commands += 1
+        obs.counter("mavproxy.commands", source="master",
+                    kind="position_target").inc()
         self.drone.handle_mavlink(msg)
 
     def master_set_mode(self, mode: CopterMode) -> MavResult:

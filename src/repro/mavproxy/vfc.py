@@ -20,8 +20,9 @@ Each virtual drone connects to its own VFC, which (Section 4.3):
 from __future__ import annotations
 
 import enum
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
+import repro.obs as obs
 from repro.flight.geo import GeoPoint
 from repro.flight.geofence import Geofence, GeofenceBreach
 from repro.mavlink.enums import (
@@ -78,17 +79,35 @@ class VirtualFlightController:
         self.outbox: List[MavlinkMessage] = []
         self._virtual_alt_m = 0.0
 
+    # -- telemetry ---------------------------------------------------------------
+    def _set_state(self, state: "VfcState", **attrs) -> None:
+        previous = self.state
+        self.state = state
+        if previous is not state:
+            obs.event("vfc.state", vfc=self.container, state=state.value,
+                      previous=previous.value, **attrs)
+
+    def _accept(self, kind: str) -> None:
+        self.commands_accepted += 1
+        obs.counter("mavproxy.commands", source=self.container,
+                    kind=kind).inc()
+
+    def _deny(self, kind: str, reason: str) -> None:
+        self.commands_denied += 1
+        obs.counter("mavproxy.denials", source=self.container, kind=kind,
+                    reason=reason).inc()
+
     # -- lifecycle driven by the proxy / flight planner -----------------------------
     def activate(self, geofence: Geofence) -> None:
         """Waypoint reached: give the tenant control within the fence."""
         self.geofence = geofence
-        self.state = VfcState.ACTIVE
+        self._set_state(VfcState.ACTIVE, template=self.template.name)
         self.proxy.fc_set_geofence(geofence, on_breach=self._handle_breach)
         self.outbox.append(Statustext(severity=6, text="waypoint active: control granted"))
 
     def begin_approach(self) -> None:
         if self.state is VfcState.INACTIVE:
-            self.state = VfcState.APPROACHING
+            self._set_state(VfcState.APPROACHING)
 
     def deactivate(self, next_waypoint: Optional[GeoPoint] = None) -> None:
         """Intermediate waypoint done: back to the inactive view, anchored
@@ -99,14 +118,16 @@ class VirtualFlightController:
         if next_waypoint is not None:
             self.waypoint = next_waypoint
         self._virtual_alt_m = 0.0
-        self.state = VfcState.INACTIVE
+        self._set_state(VfcState.INACTIVE)
         self.outbox.append(Statustext(severity=6, text="waypoint complete: moving on"))
 
     def finish(self) -> None:
         """Tenant done (or forced done): back to the landing view."""
         if self.state is VfcState.ACTIVE or self.state is VfcState.RECOVERING:
             self.proxy.fc_clear_geofence()
-        self.state = VfcState.FINISHED
+        self._set_state(VfcState.FINISHED,
+                        accepted=self.commands_accepted,
+                        denied=self.commands_denied)
         self.geofence = None
         self.outbox.append(Statustext(severity=6, text="waypoint complete: control revoked"))
 
@@ -114,71 +135,74 @@ class VirtualFlightController:
     def send(self, msg: MavlinkMessage) -> Optional[MavlinkMessage]:
         """Handle one message from the tenant; returns the reply (if any)."""
         if isinstance(msg, CommandLong):
-            result = self._filter_command(msg)
+            result, reason = self._filter_command(msg)
             if result is None:
                 ack_result = self.proxy.fc_command(msg)
-                self.commands_accepted += 1
+                self._accept("command")
                 return CommandAck(command=msg.command, result=int(ack_result))
-            self.commands_denied += 1
+            self._deny("command", reason)
             return CommandAck(command=msg.command, result=int(result))
         if isinstance(msg, SetPositionTarget):
-            denied = self._filter_position_target(msg)
+            denied, reason = self._filter_position_target(msg)
             if denied is None:
-                self.commands_accepted += 1
+                self._accept("position_target")
                 self.proxy.fc_position_target(msg)
             else:
-                self.commands_denied += 1
+                self._deny("position_target", reason)
             return None
         if isinstance(msg, ManualControl):
             if self.state is VfcState.ACTIVE and self.template.allow_manual_control:
-                self.commands_accepted += 1
+                self._accept("manual_control")
                 self.proxy.fc_manual_control(msg, self)
             else:
-                self.commands_denied += 1
+                reason = ("whitelist" if self.state is VfcState.ACTIVE
+                          else "inactive")
+                self._deny("manual_control", reason)
             return None
         return None
 
     def _declines(self) -> bool:
         return self.state is not VfcState.ACTIVE
 
-    def _filter_command(self, cmd: CommandLong) -> Optional[MavResult]:
-        """None = forward to the FC; a MavResult = decline with that code."""
+    def _filter_command(self, cmd: CommandLong) -> Tuple[Optional[MavResult], str]:
+        """(None, "") = forward to the FC; a MavResult = decline with that
+        code, tagged with the denial reason the telemetry counters use."""
         if self._declines():
-            return MavResult.TEMPORARILY_REJECTED
+            return MavResult.TEMPORARILY_REJECTED, "inactive"
         if cmd.command == MavCommand.DO_SET_MODE:
             if not self.template.permits_mode(int(cmd.param2)):
-                return MavResult.DENIED
-            return None
+                return MavResult.DENIED, "mode"
+            return None, ""
         if cmd.command == MavCommand.COMPONENT_ARM_DISARM:
             # Arming is implicit while active; tenants may not disarm the
             # real vehicle mid-flight.
-            return MavResult.DENIED
+            return MavResult.DENIED, "arming"
         # Guided-only tenants may not issue commands at all.
         if not self.template.permits_command(cmd.command):
-            return MavResult.DENIED
+            return MavResult.DENIED, "whitelist"
         if cmd.command == MavCommand.NAV_WAYPOINT and self.geofence is not None:
             target = GeoPoint(cmd.param5, cmd.param6, cmd.param7)
             if not self.geofence.contains(target):
                 self.outbox.append(Statustext(
                     severity=4, text="waypoint outside geofence: denied"))
-                return MavResult.DENIED
-        return None
+                return MavResult.DENIED, "geofence"
+        return None, ""
 
-    def _filter_position_target(self, msg: SetPositionTarget) -> Optional[MavResult]:
+    def _filter_position_target(self, msg: SetPositionTarget) -> Tuple[Optional[MavResult], str]:
         if self._declines():
-            return MavResult.TEMPORARILY_REJECTED
+            return MavResult.TEMPORARILY_REJECTED, "inactive"
         uses_velocity = bool(msg.type_mask & 0x0007) and not (msg.type_mask & 0x0038)
         if uses_velocity and not self.template.allow_velocity_targets:
-            return MavResult.DENIED
+            return MavResult.DENIED, "whitelist"
         if not uses_velocity and not self.template.allow_position_targets:
-            return MavResult.DENIED
+            return MavResult.DENIED, "whitelist"
         if not uses_velocity and self.geofence is not None:
             target = GeoPoint(msg.lat_int / 1e7, msg.lon_int / 1e7, msg.alt)
             if not self.geofence.contains(target):
                 self.outbox.append(Statustext(
                     severity=4, text="target outside geofence: denied"))
-                return MavResult.DENIED
-        return None
+                return MavResult.DENIED, "geofence"
+        return None, ""
 
     # -- the virtualized view ----------------------------------------------------------
     def heartbeat(self) -> Heartbeat:
@@ -229,8 +253,9 @@ class VirtualFlightController:
         """AnDrone's modified geofence action (Section 4.3)."""
         # 1. Inform the virtual drone of the breach.
         self.outbox.append(Statustext(severity=4, text=str(breach)))
+        obs.counter("mavproxy.geofence_breaches", source=self.container).inc()
         # 2. Disable commands on the VFC connection.
-        self.state = VfcState.RECOVERING
+        self._set_state(VfcState.RECOVERING, breach=str(breach))
         # 3. Guide the drone back inside the geofence.
         recovery = breach.fence.recovery_point(self.proxy.fc_position())
         self.proxy.fc_recover_to(recovery, on_recovered=self._recovery_done)
@@ -239,6 +264,6 @@ class VirtualFlightController:
         # 4. Switch to loiter to hold position, then return control.
         self.proxy.fc_set_mode(CopterMode.LOITER)
         if self.state is VfcState.RECOVERING:
-            self.state = VfcState.ACTIVE
+            self._set_state(VfcState.ACTIVE, recovered=True)
             self.outbox.append(Statustext(
                 severity=6, text="geofence recovery complete: control returned"))

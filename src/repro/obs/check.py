@@ -1,0 +1,49 @@
+"""CI smoke check for JSON-lines traces: ``python -m repro.obs.check FILE``.
+
+Exits 0 iff the file is non-empty, every line is a valid JSON object, and
+trace timestamps are monotonically non-decreasing.  ``--require`` flags
+assert that at least one record's name starts with the given prefix, so
+``make trace`` can insist the binder/mavproxy/VDC hot paths all showed up.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.obs.export import parse_jsonl, validate_records
+
+
+def check_trace(path: str, require: List[str]) -> str:
+    """Validate; returns a one-line summary, raises ValueError on failure."""
+    records = parse_jsonl(path)
+    validate_records(records)
+    names = {str(r.get("name", "")) for r in records}
+    for prefix in require:
+        if not any(name.startswith(prefix) for name in names):
+            raise ValueError(f"no record named {prefix}*")
+    kinds = {}
+    for record in records:
+        kinds[record["kind"]] = kinds.get(record["kind"], 0) + 1
+    breakdown = ", ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
+    return f"{path}: {len(records)} records ok ({breakdown})"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="JSON-lines trace file to validate")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="PREFIX",
+                        help="fail unless some record name starts with PREFIX")
+    args = parser.parse_args(argv)
+    try:
+        print(check_trace(args.trace, args.require))
+    except (OSError, ValueError) as exc:
+        print(f"trace check failed: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,140 @@
+"""The telemetry registry: one home for instruments and the tracer.
+
+A registry is bound to a clock — normally ``sim.now`` of the one
+:class:`~repro.sim.simulator.Simulator` driving the process — and hands
+out create-or-get instruments keyed by name + labels.  The
+:class:`NullRegistry` twin implements the same surface with shared no-op
+instruments; the module-level API in :mod:`repro.obs` swaps between the
+two so "telemetry off" costs one method call and no allocation on hot
+paths.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Union
+
+from repro.obs.metrics import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    Counter,
+    Gauge,
+    Histogram,
+    InstrumentKey,
+    labels_key,
+)
+from repro.obs.tracer import NULL_SPAN, Span, Tracer
+
+
+def _zero_clock() -> int:
+    return 0
+
+
+class TelemetryRegistry:
+    """Instruments plus a tracer, all on one (virtual) clock."""
+
+    enabled = True
+
+    def __init__(self, clock: Optional[Callable[[], int]] = None):
+        self._clock: Callable[[], int] = clock or _zero_clock
+        self._instruments: Dict[InstrumentKey, object] = {}
+        self.tracer = Tracer(self._now)
+
+    # -- clock -----------------------------------------------------------------
+    def bind_clock(self, source: Union[Callable[[], int], object]) -> None:
+        """Bind the timestamp source: a callable, or anything with a
+        ``now`` property (a :class:`~repro.sim.simulator.Simulator`)."""
+        if callable(source):
+            self._clock = source
+        else:
+            self._clock = lambda: source.now
+
+    def _now(self) -> int:
+        return int(self._clock())
+
+    @property
+    def now(self) -> int:
+        return self._now()
+
+    # -- instruments ------------------------------------------------------------
+    def _get(self, cls, name: str, labels: Dict[str, object], **kw):
+        key = labels_key(name, labels)
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = cls(name, dict(key[1]), **kw)
+            self._instruments[key] = instrument
+        return instrument
+
+    def counter(self, name: str, /, **labels: object) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, /, **labels: object) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, /, unit: str = "", **labels: object) -> Histogram:
+        return self._get(Histogram, name, labels, unit=unit)
+
+    def instruments(self) -> Iterator[object]:
+        """All instruments, sorted by (name, labels) for stable exports."""
+        for key in sorted(self._instruments):
+            yield self._instruments[key]
+
+    # -- tracing ---------------------------------------------------------------
+    def event(self, name: str, /, **attrs: object):
+        return self.tracer.event(name, **attrs)
+
+    def span(self, name: str, /, **attrs: object) -> Span:
+        return self.tracer.span(name, **attrs)
+
+    # -- lifecycle ---------------------------------------------------------------
+    def reset(self) -> None:
+        """Drop all instruments and buffered trace records (tests)."""
+        self._instruments = {}
+        self.tracer.reset()
+
+    def snapshot(self) -> List[dict]:
+        """Point-in-time state of every instrument (plain dicts)."""
+        rows = []
+        for instrument in self.instruments():
+            row = {"kind": instrument.kind, "name": instrument.name,
+                   "labels": instrument.labels}
+            row.update(instrument.snapshot())
+            rows.append(row)
+        return rows
+
+
+class NullRegistry:
+    """Telemetry disabled: same surface, shared no-op instruments."""
+
+    enabled = False
+    now = 0
+
+    def bind_clock(self, source) -> None:
+        pass
+
+    def counter(self, name: str, /, **labels: object):
+        return NULL_COUNTER
+
+    def gauge(self, name: str, /, **labels: object):
+        return NULL_GAUGE
+
+    def histogram(self, name: str, /, unit: str = "", **labels: object):
+        return NULL_HISTOGRAM
+
+    def event(self, name: str, /, **attrs: object):
+        return None
+
+    def span(self, name: str, /, **attrs: object):
+        return NULL_SPAN
+
+    def instruments(self):
+        return iter(())
+
+    def reset(self) -> None:
+        pass
+
+    def snapshot(self) -> List[dict]:
+        return []
+
+
+NULL_REGISTRY = NullRegistry()

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+import repro.obs as obs
 from repro.android.environment import AndroidEnvironment
 from repro.android.manifest import AndroidManifest, AnDroneManifest
 from repro.flight.geofence import Geofence
@@ -48,6 +49,9 @@ class VirtualDrone:
         self.force_finished_reason: Optional[str] = None
         self._warned_energy = False
         self._warned_time = False
+        #: open telemetry spans (tenant lifetime / current waypoint).
+        self._tenant_span = None
+        self._waypoint_span = None
 
     def next_unvisited(self) -> Optional[int]:
         for index in range(len(self.definition.waypoints)):
@@ -153,6 +157,12 @@ class VirtualDroneController:
                 vfc.waypoint = definition.waypoints[remaining].geopoint()
         self.drones[name] = drone
         self.policy.register(name, definition)
+        drone._tenant_span = obs.span("vdc.tenant", tenant=name)
+        obs.event("vdc.tenant_created", tenant=name,
+                  apps=len(definition.apps),
+                  waypoints=len(definition.waypoints),
+                  resumed=resume_diff is not None)
+        obs.gauge("vdc.tenants").set(len(self.drones))
         if not self._enforcement_running:
             self._enforcement_running = True
             self._enforcement_tick()
@@ -176,6 +186,8 @@ class VirtualDroneController:
         self.policy.enter_waypoint(name)
         self.active_tenant = name
         drone._active_since_us = self.sim.now
+        drone._waypoint_span = obs.span("vdc.waypoint", tenant=name,
+                                        index=index)
         # Suspend continuous-device tenants (privacy, Section 2).
         for other_name, other in self.drones.items():
             if other_name != name and self.policy.phase_of(other_name) is TenantPhase.SUSPENDED:
@@ -195,11 +207,13 @@ class VirtualDroneController:
         """Allotment exhausted or external interruption (weather, ...)."""
         drone = self.drones[name]
         drone.force_finished_reason = reason
+        obs.event("vdc.force_finish", tenant=name, reason=reason)
         if self.active_tenant == name:
             self._leave_waypoint(name, forced=True)
         else:
             drone.finished = True
             self.policy.finish(name)
+            self._close_tenant_span(drone)
 
     def _leave_waypoint(self, name: str, forced: bool) -> None:
         drone = self.drones[name]
@@ -219,12 +233,20 @@ class VirtualDroneController:
         self.policy.leave_waypoint(name)
         if forced:
             self.policy.finish(name)
+        if drone._waypoint_span is not None:
+            drone._waypoint_span.end(forced=forced)
+            drone._waypoint_span = None
+        obs.event("vdc.waypoint_done", tenant=name, index=index,
+                  forced=forced)
+        obs.gauge("vdc.active_time_s", tenant=name).set(drone.active_time_s)
+        obs.gauge("vdc.energy_used_j", tenant=name).set(self.energy_used(name))
         remaining = drone.next_unvisited()
         finished = forced or remaining is None
         if finished:
             drone.finished = True
             self.policy.finish(name)
             drone.vfc.finish()
+            self._close_tenant_span(drone)
         else:
             drone.vfc.deactivate(drone.definition.waypoints[remaining].geopoint())
         self._revoke_device_access(name)
@@ -237,6 +259,13 @@ class VirtualDroneController:
                 other.sdk.notify_resume_continuous()
         if self.on_waypoint_done is not None:
             self.on_waypoint_done(name)
+
+    def _close_tenant_span(self, drone: VirtualDrone) -> None:
+        if drone._tenant_span is not None:
+            drone._tenant_span.end(
+                waypoints_completed=len(drone.completed),
+                forced_reason=drone.force_finished_reason or "")
+            drone._tenant_span = None
 
     # ----------------------------------------------------------- revocation
     def _revoke_device_access(self, name: str) -> None:
@@ -251,6 +280,8 @@ class VirtualDroneController:
                 service.drop_container(name)
                 for uid in lingering:
                     self.killed_processes.append((name, uid))
+                    obs.event("vdc.process_killed", tenant=name, uid=uid,
+                              service=service.name)
                     for app in drone.env.apps.values():
                         if app.uid == uid:
                             app.destroy()
@@ -284,9 +315,13 @@ class VirtualDroneController:
             allot = drone.definition
             if not drone._warned_energy and energy_left < 0.25 * allot.energy_allotted_j:
                 drone._warned_energy = True
+                obs.event("vdc.allotment_warning", tenant=name, kind="energy",
+                          left=round(energy_left, 3))
                 drone.sdk.notify_low_energy(energy_left)
             if not drone._warned_time and time_left < 0.25 * allot.max_duration_s:
                 drone._warned_time = True
+                obs.event("vdc.allotment_warning", tenant=name, kind="time",
+                          left=round(time_left, 3))
                 drone.sdk.notify_low_time(time_left)
             if self.active_tenant == name and (energy_left <= 0.0 or time_left <= 0.0):
                 reason = "energy allotment exhausted" if energy_left <= 0.0 \
@@ -333,6 +368,10 @@ class VirtualDroneController:
         drone.energy_baseline_j = self.battery.drawn_by(image.container_name)
         self.drones[image.container_name] = drone
         self.policy.register(image.container_name, definition)
+        drone._tenant_span = obs.span("vdc.tenant",
+                                      tenant=image.container_name)
+        obs.event("vdc.tenant_restored", tenant=image.container_name)
+        obs.gauge("vdc.tenants").set(len(self.drones))
         return drone
 
     # --------------------------------------------------------- flight end
@@ -361,4 +400,6 @@ class VirtualDroneController:
                     completed_waypoints=frozenset(drone.completed),
                 )
                 stored[name] = entry_id
+                obs.event("vdc.saved_to_vdr", tenant=name, entry=entry_id,
+                          resumable=has_work_left)
         return stored

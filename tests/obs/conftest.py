@@ -1,0 +1,12 @@
+"""Telemetry tests share one process-wide registry: isolate every test."""
+
+import pytest
+
+import repro.obs as obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.reset()
+    yield
+    obs.reset()

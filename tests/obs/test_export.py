@@ -1,0 +1,157 @@
+"""Exporter round-trip: emit -> JSON-lines -> parse -> validate."""
+
+import io
+import json
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.check import check_trace, main as check_main
+from repro.obs.export import (parse_jsonl, trace_records, validate_records,
+                              write_jsonl)
+from repro.sim import Simulator
+
+
+def populate(sim=None):
+    """Record a small but representative mix of telemetry."""
+    registry = obs.enable(sim or Simulator())
+    registry.event("boot", node="drone0")
+    with registry.span("vdc.tenant", tenant="vd1"):
+        registry.counter("binder.transactions", service="SensorService").inc(3)
+        registry.histogram("lat", unit="us").observe(12.5)
+        registry.gauge("vdc.tenants").set(1)
+    return registry
+
+
+class TestRoundTrip:
+    def test_emit_write_parse_validate(self, tmp_path):
+        registry = populate()
+        path = tmp_path / "trace.jsonl"
+        n = write_jsonl(registry, str(path))
+        records = parse_jsonl(str(path))
+        assert len(records) == n
+        validate_records(records)  # must not raise
+        kinds = {r["kind"] for r in records}
+        assert kinds == {"event", "span_begin", "span_end",
+                         "counter", "gauge", "histogram"}
+
+    def test_round_trip_preserves_payload(self, tmp_path):
+        registry = populate()
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(registry, str(path))
+        assert parse_jsonl(str(path)) == trace_records(registry)
+
+    def test_file_like_targets(self):
+        registry = populate()
+        buffer = io.StringIO()
+        n = write_jsonl(registry, buffer)
+        buffer.seek(0)
+        records = parse_jsonl(buffer)
+        assert len(records) == n
+        validate_records(records)
+
+    def test_snapshot_stamped_with_export_clock(self):
+        sim = Simulator()
+        registry = populate(sim)
+        sim.run_for(9_000)
+        metric_rows = [r for r in trace_records(registry)
+                       if r["kind"] == "counter"]
+        assert metric_rows and all(r["t"] == 9_000 for r in metric_rows)
+
+    def test_without_snapshot_only_trace_kinds(self):
+        registry = populate()
+        records = trace_records(registry, include_snapshot=False)
+        assert records
+        assert all(r["kind"] in ("event", "span_begin", "span_end")
+                   for r in records)
+
+    def test_module_level_export(self, tmp_path):
+        populate()
+        path = tmp_path / "trace.jsonl"
+        n = obs.export_jsonl(str(path))
+        assert n > 0
+        validate_records(parse_jsonl(str(path)))
+
+
+class TestValidationFailures:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            validate_records([])
+
+    def test_bad_json_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"t": 1, "kind": "event", "name": "ok"}\nnot json\n')
+        with pytest.raises(ValueError, match="line 2"):
+            parse_jsonl(str(path))
+
+    def test_non_object_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('[1, 2, 3]\n')
+        with pytest.raises(ValueError, match="not an object"):
+            parse_jsonl(str(path))
+
+    def test_missing_timestamp(self):
+        with pytest.raises(ValueError, match="bad timestamp"):
+            validate_records([{"kind": "event", "name": "x"}])
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown kind"):
+            validate_records([{"t": 0, "kind": "mystery", "name": "x"}])
+
+    def test_missing_name(self):
+        with pytest.raises(ValueError, match="missing name"):
+            validate_records([{"t": 0, "kind": "event"}])
+
+    def test_timestamp_regression(self):
+        records = [{"t": 10, "kind": "event", "name": "a"},
+                   {"t": 5, "kind": "event", "name": "b"}]
+        with pytest.raises(ValueError, match="regresses"):
+            validate_records(records)
+
+    def test_metric_rows_exempt_from_monotonicity(self):
+        # The snapshot is stamped at export time and sorted by name, so
+        # metric rows may interleave arbitrarily with earlier trace times.
+        records = [{"t": 10, "kind": "event", "name": "a"},
+                   {"t": 10, "kind": "counter", "name": "z", "value": 1},
+                   {"t": 10, "kind": "event", "name": "b"}]
+        validate_records(records)
+
+    def test_span_end_needs_duration(self):
+        with pytest.raises(ValueError, match="dur_us"):
+            validate_records([{"t": 0, "kind": "span_end", "name": "s"}])
+
+
+class TestCheckTool:
+    def test_check_trace_summary(self, tmp_path):
+        registry = populate()
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(registry, str(path))
+        summary = check_trace(str(path), require=["binder.", "vdc."])
+        assert "records ok" in summary
+
+    def test_check_trace_missing_prefix(self, tmp_path):
+        registry = populate()
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(registry, str(path))
+        with pytest.raises(ValueError, match="mavproxy."):
+            check_trace(str(path), require=["mavproxy."])
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        registry = populate()
+        good = tmp_path / "good.jsonl"
+        write_jsonl(registry, str(good))
+        assert check_main([str(good), "--require", "binder."]) == 0
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text(json.dumps({"t": -1, "kind": "event", "name": "x"})
+                       + "\n")
+        assert check_main([str(bad)]) == 1
+        capsys.readouterr()
+
+
+class TestReport:
+    def test_report_mentions_instruments_and_spans(self):
+        populate()
+        report = obs.render_report()
+        assert "binder.transactions" in report
+        assert "vdc.tenant" in report
+        assert "telemetry report" in report

@@ -1,0 +1,130 @@
+"""End-to-end: fly a virtual drone with telemetry on and check the trace
+captures the binder, MAVLink-proxy, VDC and container hot paths."""
+
+import pytest
+
+import repro.obs as obs
+from repro.cloud.planner import FlightPlanner
+from repro.core.mission import MissionRunner
+from repro.obs.export import trace_records, validate_records
+from repro.sdk.listener import WaypointListener
+from tests.util import HOME, make_node, simple_definition, survey_manifests
+
+
+def fly(n_waypoints=2, seed=11, enable=True):
+    """Run one single-tenant mission; returns the telemetry registry."""
+    node = make_node(seed=seed)
+    registry = obs.enable(node.sim) if enable else obs.get_registry()
+    definition = simple_definition("vd1", n_waypoints=n_waypoints,
+                                   apps=["com.example.survey"])
+    vdrone = node.start_virtual_drone(
+        definition,
+        app_manifests={"com.example.survey": survey_manifests()})
+    sim = node.sim
+
+    class AutoComplete(WaypointListener):
+        def waypoint_active(self, waypoint):
+            sim.after(2_000_000, vdrone.sdk.waypoint_completed)
+
+    vdrone.sdk.register_waypoint_listener(AutoComplete())
+    node.boot()
+    plan = FlightPlanner(HOME).plan([definition])[0]
+    MissionRunner(node, plan).execute()
+    return registry
+
+
+@pytest.fixture(scope="module")
+def flown_registry():
+    # One mission feeds every assertion below (module-scoped: the flight
+    # is the expensive part).  The module-level obs state is restored by
+    # the autouse reset fixture around each test that *uses* this.
+    registry = fly(n_waypoints=2)
+    records = [dict(r) for r in registry.tracer.records]
+    snapshot = registry.snapshot()
+    instruments = list(registry.instruments())
+    now = registry.now
+    obs.reset()
+    return {"registry": registry, "records": records, "snapshot": snapshot,
+            "instruments": instruments, "now": now}
+
+
+def names(records, kind=None):
+    return {r["name"] for r in records
+            if kind is None or r["kind"] == kind}
+
+
+class TestFlightTrace:
+    def test_binder_metrics_and_events(self, flown_registry):
+        counters = {tuple(sorted(c.labels.items())): c.value
+                    for c in flown_registry["instruments"]
+                    if c.name == "binder.transactions"}
+        assert counters, "no binder.transactions counters recorded"
+        # The flight loop reads sensors constantly; transactions must be
+        # plentiful, not incidental.
+        assert sum(counters.values()) > 100
+        assert "binder.publish" in names(flown_registry["records"], "event")
+
+    def test_mavproxy_records(self, flown_registry):
+        events = names(flown_registry["records"], "event")
+        assert "mavproxy.vfc_created" in events
+        assert "vfc.state" in events
+        commands = [c for c in flown_registry["instruments"]
+                    if c.name == "mavproxy.commands"]
+        assert commands and sum(c.value for c in commands) > 0
+
+    def test_vdc_tenant_lifecycle_spans(self, flown_registry):
+        records = flown_registry["records"]
+        tenant_ends = [r for r in records
+                       if r["kind"] == "span_end" and r["name"] == "vdc.tenant"]
+        assert len(tenant_ends) == 1
+        assert tenant_ends[0]["attrs"]["tenant"] == "vd1"
+        assert tenant_ends[0]["dur_us"] > 0
+        waypoint_ends = [r for r in records
+                         if r["kind"] == "span_end"
+                         and r["name"] == "vdc.waypoint"]
+        assert len(waypoint_ends) == 2
+        assert sorted(r["attrs"]["index"] for r in waypoint_ends) == [0, 1]
+
+    def test_container_lifecycle_events(self, flown_registry):
+        actions = {r["attrs"]["action"] for r in flown_registry["records"]
+                   if r["name"] == "container.lifecycle"}
+        assert "created" in actions
+
+    def test_trace_is_monotone_and_valid(self, flown_registry):
+        records = list(flown_registry["records"])
+        for row in flown_registry["snapshot"]:
+            record = {"t": flown_registry["now"]}
+            record.update(row)
+            records.append(record)
+        validate_records(records)
+        trace_ts = [r["t"] for r in records
+                    if r["kind"] in ("event", "span_begin", "span_end")]
+        assert trace_ts == sorted(trace_ts)
+        # Timestamps are virtual microseconds from the one sim clock.
+        assert trace_ts[-1] <= flown_registry["now"]
+
+    def test_device_service_latency_histogram(self, flown_registry):
+        hists = [h for h in flown_registry["instruments"]
+                 if h.name == "android.service.call_us"]
+        assert hists, "no device-service latency histograms"
+        assert all(h.count > 0 for h in hists)
+        assert all(h.snapshot()["unit"] == "us-wall" for h in hists)
+
+
+class TestDisabledAndDeterministic:
+    def test_disabled_flight_records_nothing(self):
+        fly(n_waypoints=1, enable=False)
+        registry = obs.get_registry()
+        assert registry.tracer.records == []
+        assert registry.snapshot() == []
+
+    def test_same_seed_same_trace(self):
+        def run_once():
+            registry = fly(n_waypoints=1, seed=13)
+            records = [dict(r) for r in registry.tracer.records]
+            obs.reset()
+            return records
+
+        first = run_once()
+        second = run_once()
+        assert first and first == second

@@ -1,0 +1,41 @@
+"""CI smoke check: the quickstart under ``ANDRONE_TRACE`` writes a valid,
+non-empty JSON-lines trace covering the instrumented subsystems.
+
+This is the in-suite twin of ``make trace``.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+from repro.obs.check import check_trace
+from repro.obs.export import parse_jsonl, validate_records
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+REQUIRED_PREFIXES = ["binder.", "mavproxy.", "vdc.", "container."]
+
+
+def test_quickstart_trace(tmp_path):
+    trace = tmp_path / "trace.jsonl"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get(
+        "PYTHONPATH", "")
+    env["ANDRONE_TRACE"] = str(trace)
+    result = subprocess.run(
+        [sys.executable, str(REPO / "examples" / "quickstart.py")],
+        capture_output=True, text=True, timeout=600, cwd=str(REPO), env=env)
+    assert result.returncode == 0, (
+        f"quickstart failed:\n{result.stdout[-2000:]}\n"
+        f"{result.stderr[-2000:]}")
+    assert "telemetry report" in result.stdout
+
+    records = parse_jsonl(str(trace))
+    validate_records(records)
+    summary = check_trace(str(trace), require=REQUIRED_PREFIXES)
+    assert "records ok" in summary
+    # Trace-kind timestamps are virtual microseconds, non-decreasing.
+    trace_ts = [r["t"] for r in records
+                if r["kind"] in ("event", "span_begin", "span_end")]
+    assert trace_ts == sorted(trace_ts)
+    assert trace_ts, "trace contains no events or spans"

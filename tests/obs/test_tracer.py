@@ -1,0 +1,130 @@
+"""Spans and events on the virtual clock: pairing, ordering, determinism."""
+
+import repro.obs as obs
+from repro.obs.tracer import Tracer
+from repro.sim import Simulator
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0
+
+    def __call__(self):
+        return self.t
+
+
+class TestTracer:
+    def test_event_carries_clock_and_attrs(self):
+        clock = FakeClock()
+        tracer = Tracer(clock)
+        clock.t = 42
+        record = tracer.event("boot", phase="init")
+        assert record == {"t": 42, "kind": "event", "name": "boot",
+                          "attrs": {"phase": "init"}}
+
+    def test_event_attr_named_name_does_not_collide(self):
+        tracer = Tracer(FakeClock())
+        record = tracer.event("binder.publish", name="CameraService")
+        assert record["name"] == "binder.publish"
+        assert record["attrs"]["name"] == "CameraService"
+
+    def test_span_emits_begin_end_pair(self):
+        clock = FakeClock()
+        tracer = Tracer(clock)
+        clock.t = 100
+        span = tracer.span("vdc.tenant", tenant="vd1")
+        clock.t = 350
+        duration = span.end(waypoints=3)
+        assert duration == 250
+        begin, end = tracer.records
+        assert begin["kind"] == "span_begin" and begin["t"] == 100
+        assert end["kind"] == "span_end" and end["t"] == 350
+        assert end["dur_us"] == 250
+        assert begin["id"] == end["id"]
+        # end() attrs ride on the span_end record only.
+        assert end["attrs"] == {"tenant": "vd1", "waypoints": 3}
+        assert tracer.closed_spans == [("vdc.tenant", 250)]
+
+    def test_span_end_is_idempotent(self):
+        clock = FakeClock()
+        tracer = Tracer(clock)
+        span = tracer.span("s")
+        clock.t = 10
+        assert span.end() == 10
+        clock.t = 20
+        assert span.end() == 0
+        assert len(tracer.records) == 2
+
+    def test_span_context_manager_closes(self):
+        clock = FakeClock()
+        tracer = Tracer(clock)
+        with tracer.span("work") as span:
+            clock.t = 5
+        assert span.closed
+        assert tracer.records[-1]["dur_us"] == 5
+
+    def test_annotate_before_end(self):
+        tracer = Tracer(FakeClock())
+        span = tracer.span("s")
+        span.annotate(result="ok")
+        span.end()
+        assert tracer.records[-1]["attrs"] == {"result": "ok"}
+
+    def test_long_open_span_keeps_buffer_sorted(self):
+        # A span that stays open across other records must not produce a
+        # timestamp regression in file order — that is why spans are a
+        # begin/end pair rather than a single record at close time.
+        clock = FakeClock()
+        tracer = Tracer(clock)
+        outer = tracer.span("outer")
+        clock.t = 10
+        tracer.event("mid")
+        clock.t = 20
+        inner = tracer.span("inner")
+        clock.t = 30
+        inner.end()
+        clock.t = 40
+        outer.end()
+        timestamps = [r["t"] for r in tracer.records]
+        assert timestamps == sorted(timestamps)
+
+    def test_span_ids_unique_and_sequential(self):
+        tracer = Tracer(FakeClock())
+        ids = [tracer.span(f"s{i}").span_id for i in range(3)]
+        assert ids == [1, 2, 3]
+
+
+class TestDeterminism:
+    @staticmethod
+    def _simulated_flight():
+        """A sim-driven scenario: waypoint spans with events in between."""
+        sim = Simulator()
+        registry = obs.enable(sim)
+
+        def waypoint(index):
+            span = registry.span("wp", index=index)
+            sim.after(1_000, lambda: registry.event("tick", index=index))
+            sim.after(2_500, lambda: span.end(reached=True))
+
+        for i in range(3):
+            sim.at(i * 10_000, lambda i=i: waypoint(i))
+        sim.run()
+        records = [dict(r) for r in registry.tracer.records]
+        obs.reset()
+        return records
+
+    def test_same_scenario_twice_is_byte_identical(self):
+        first = self._simulated_flight()
+        second = self._simulated_flight()
+        assert first == second
+        # And the timestamps come from the virtual clock, not wall time.
+        assert [r["t"] for r in first] == [
+            0, 1_000, 2_500, 10_000, 11_000, 12_500, 20_000, 21_000, 22_500]
+
+    def test_registry_rebinds_clock(self):
+        sim = Simulator()
+        registry = obs.enable(sim)
+        sim.after(500, lambda: registry.event("later"))
+        sim.run()
+        assert registry.tracer.records[0]["t"] == 500
+        assert registry.now == 500
