@@ -2,14 +2,16 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples results trace clean
+.PHONY: install test bench examples results trace chaos clean
 
 TRACE_FILE ?= trace.jsonl
+CHAOS_TRACE ?= chaos-trace.jsonl
+CHAOS_SEED ?= 42
 
 install:
 	$(PYTHON) setup.py develop
 
-test:
+test: chaos
 	$(PYTHON) -m pytest tests/
 
 bench:
@@ -21,6 +23,13 @@ examples:
 results: ## regenerate the paper tables/figures into benchmarks/results/
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
+chaos: ## fly the seeded chaos mission with telemetry on, then check the trace
+	PYTHONPATH=src ANDRONE_TRACE=$(CHAOS_TRACE) CHAOS_SEED=$(CHAOS_SEED) \
+		$(PYTHON) examples/chaos_flight.py
+	PYTHONPATH=src $(PYTHON) -m repro.obs.check $(CHAOS_TRACE) \
+		--require fault. --require vdc. --require vfc. \
+		--require container.
+
 trace: ## fly the quickstart with telemetry on, then smoke-check the trace
 	PYTHONPATH=src ANDRONE_TRACE=$(TRACE_FILE) $(PYTHON) examples/quickstart.py
 	PYTHONPATH=src $(PYTHON) -m repro.obs.check $(TRACE_FILE) \
@@ -28,5 +37,5 @@ trace: ## fly the quickstart with telemetry on, then smoke-check the trace
 		--require container.
 
 clean:
-	rm -rf .pytest_cache benchmarks/results .benchmarks trace.jsonl
+	rm -rf .pytest_cache benchmarks/results .benchmarks trace.jsonl chaos-trace.jsonl
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,113 @@
+"""Chaos recovery: mission-completion rate and recovery latency under faults.
+
+Flies the full chaos gauntlet (``examples/chaos_flight.py`` — every fault
+kind the injector knows, against one two-waypoint survey) across several
+seeds and reports:
+
+1. **Mission-completion rate** — the fraction of seeded runs whose tenant
+   still finishes every waypoint and delivers its photos.  The acceptance
+   bar is 100%: each fault has a paired resilience mechanism, so a lost
+   mission means one of them regressed.
+2. **Recovery latency** — crash-to-restart time for the container
+   supervision path (the ``fault.recovery_us`` histogram emitted by the
+   VDC), plus the radio-hold window the VFC rode out on link loss.
+
+The runs are deterministic per seed, so any movement in these numbers
+between PRs is a real behaviour change, not noise.
+"""
+
+import pathlib
+import sys
+
+import repro.obs as obs
+from repro.analysis import render_table
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "examples"))
+from chaos_flight import run_chaos_mission  # noqa: E402
+
+SEEDS = (42, 7, 13, 101, 2024)
+#: Supervision must restart a crashed container within this many
+#: heartbeats' worth of virtual time (interval 0.5 s, miss threshold 2,
+#: plus the restore itself).
+MAX_RECOVERY_S = 3.0
+
+
+def _recovery_samples():
+    """Drain ``fault.recovery_us`` samples from the live obs registry."""
+    samples = []
+    for inst in obs.get_registry().instruments():
+        if inst.kind == "histogram" and inst.name == "fault.recovery_us":
+            samples.extend(inst.samples)
+    return samples
+
+
+def run_seed(seed: int) -> dict:
+    """One chaos mission with telemetry on; returns summary + recoveries."""
+    obs.reset()
+    obs.enable()
+    try:
+        summary = run_chaos_mission(seed=seed, verbose=False)
+        summary["recovery_us"] = _recovery_samples()
+    finally:
+        obs.reset()
+    return summary
+
+
+def run_sweep():
+    return [run_seed(seed) for seed in SEEDS]
+
+
+def test_chaos_recovery(benchmark, record_result, metrics_registry,
+                        export_metrics):
+    runs = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    completed = sum(1 for r in runs if r["completed"])
+    rate = completed / len(runs)
+    recoveries = [us for r in runs for us in r["recovery_us"]]
+    mean_recovery_ms = (sum(recoveries) / len(recoveries) / 1e3
+                        if recoveries else 0.0)
+
+    rows = []
+    for r in runs:
+        rec_ms = ", ".join(f"{us / 1e3:.0f}" for us in r["recovery_us"])
+        rows.append((r["seed"],
+                     "yes" if r["completed"] else "NO",
+                     f"{r['faults_injected']}/{r['faults_planned']}",
+                     r["container_restarts"],
+                     rec_ms or "-",
+                     r["vfc_holds"],
+                     round(r["duration_s"], 1)))
+    rows.append(("all", f"{rate:.0%}", "", sum(r["container_restarts"]
+                                               for r in runs),
+                 f"mean {mean_recovery_ms:.0f}", sum(r["vfc_holds"]
+                                                     for r in runs), ""))
+    record_result("chaos_recovery", render_table(
+        ["Seed", "Completed", "Faults", "Restarts", "Recovery (ms)",
+         "VFC holds", "Flight (s)"],
+        rows,
+        title="Chaos gauntlet across seeds: completion rate and "
+              "crash-to-restart latency (acceptance: 100% complete, "
+              f"recovery < {MAX_RECOVERY_S:.0f} s)"))
+
+    metrics_registry.gauge("chaos.completion_rate").set(rate)
+    metrics_registry.gauge("chaos.seeds").set(len(runs))
+    recovery = metrics_registry.histogram("chaos.recovery_us", unit="us")
+    for us in recoveries:
+        recovery.observe(us)
+    metrics_registry.gauge("chaos.container_restarts").set(
+        sum(r["container_restarts"] for r in runs))
+    export_metrics("chaos_recovery", metrics_registry)
+
+    assert rate == 1.0, f"only {completed}/{len(runs)} chaos missions completed"
+    for r in runs:
+        assert r["faults_injected"] == r["faults_planned"], (
+            f"seed {r['seed']}: {r['faults_injected']} of "
+            f"{r['faults_planned']} faults fired")
+        assert r["container_restarts"] >= 1, (
+            f"seed {r['seed']}: crash was never recovered")
+        assert r["vfc_holds"] >= 1, (
+            f"seed {r['seed']}: link loss never put the VFC on hold")
+    assert recoveries, "no fault.recovery_us samples recorded"
+    for us in recoveries:
+        assert 0 < us <= MAX_RECOVERY_S * 1e6, (
+            f"recovery took {us / 1e6:.2f} s (cap {MAX_RECOVERY_S} s)")

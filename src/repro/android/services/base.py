@@ -17,15 +17,23 @@ Access control happens per call, in two stages (Sections 4.2 and 4.4):
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional, Set, Tuple
+from typing import Callable, Dict, Optional, Set, Tuple
 
 import repro.obs as obs
 from repro.android.permissions import Permission
+from repro.binder.driver import TransientBinderError
 from repro.binder.objects import Transaction
+from repro.faults.policies import RetriesExhausted, RetryPolicy, retry_call
 
 
 class ServiceAccessDenied(PermissionError):
     """A service call failed its permission or policy check."""
+
+
+#: Backoff for the cross-container permission lookup (a binder round trip
+#: that can fail transiently under injected binder faults).  Delays are
+#: accounted, not slept — see repro.faults.policies.
+PERMISSION_RETRY = RetryPolicy(max_attempts=3, base_us=5_000, cap_us=100_000)
 
 
 class SystemService:
@@ -45,6 +53,11 @@ class SystemService:
         self._clients: Set[Tuple[str, int]] = set()
         self.denied_calls = 0
         self.served_calls = 0
+        #: fault injection: when set, called as ``hook(txn)`` before the
+        #: access check; a returned message fails the call with a
+        #: ``transient`` error reply (see repro.faults).  None in
+        #: production.
+        self.fault_hook: Optional[Callable[[Transaction], Optional[str]]] = None
 
     # -- lifecycle ------------------------------------------------------------
     def start(self, device_bus) -> None:
@@ -58,6 +71,12 @@ class SystemService:
         method = getattr(self, f"op_{txn.code}", None)
         if method is None:
             return {"error": f"{self.name}: unknown code {txn.code!r}"}
+        if self.fault_hook is not None:
+            failure = self.fault_hook(txn)
+            if failure is not None:
+                obs.counter("android.service.calls", service=self.name,
+                            code=txn.code, outcome="fault").inc()
+                return {"error": failure, "transient": True}
         try:
             self.check_access(txn)
         except ServiceAccessDenied as denied:
@@ -114,10 +133,19 @@ class SystemService:
         if not self.env.service_manager.has_service(scoped):
             return False
         handle = self.env.service_manager.lookup_handle(scoped)
-        reply = self.env.binder_proc.transact(handle, "checkPermission", {
-            "permission": str(self.required_permission),
-            "uid": txn.calling_euid,
-        })
+        try:
+            reply = retry_call(
+                lambda: self.env.binder_proc.transact(handle, "checkPermission", {
+                    "permission": str(self.required_permission),
+                    "uid": txn.calling_euid,
+                }),
+                PERMISSION_RETRY,
+                retry_on=(TransientBinderError,),
+                label=f"{self.name}.checkPermission",
+            )
+        except RetriesExhausted:
+            # Fail closed: an unreachable ActivityManager grants nothing.
+            return False
         return bool(reply.get("granted"))
 
     # -- client/session tracking (used by VDC revocation) -----------------------------

@@ -34,6 +34,13 @@ class DeadNodeError(BinderError):
     """Transaction on a node whose owner has exited."""
 
 
+class TransientBinderError(BinderError):
+    """A transaction failed transiently (injected fault, kernel pressure).
+
+    Callers are expected to retry — see
+    :func:`repro.faults.policies.retry_call`."""
+
+
 class NodeRef:
     """A binder object embedded in a payload (strong reference).
 
@@ -120,6 +127,10 @@ class BinderProcess:
             obs.counter("binder.dead_node_errors",
                         service=node.label or "anonymous").inc()
             raise DeadNodeError(f"node {node.label!r} is dead")
+        if self.driver.fault_hook is not None:
+            failure = self.driver.fault_hook(self, node, code)
+            if failure is not None:
+                raise failure
         obs.counter("binder.transactions",
                     service=node.label or "anonymous",
                     ns=self.device_ns.label or str(self.device_ns.ns_id),
@@ -200,6 +211,11 @@ class BinderDriver:
         self.device_container_name = device_container_name
         #: namespace of the device container, learned at SET_CONTEXT_MGR time.
         self._device_ns: Optional[Namespace] = None
+        #: fault injection: when set, called as ``hook(proc, node, code)``
+        #: before each transaction; returning an exception fails the call
+        #: (see repro.faults).  None in production — a single is-None check
+        #: is the entire disabled-path cost.
+        self.fault_hook: Optional[Callable] = None
 
     def open(self, pid: int, euid: int, container: str, device_ns: Namespace) -> BinderProcess:
         proc = BinderProcess(self, pid, euid, container, device_ns)

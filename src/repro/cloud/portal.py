@@ -26,7 +26,6 @@ from repro.vdc.definition import (
     WaypointSpec,
 )
 
-_order_ids = itertools.count(1)
 
 
 class PortalError(ValueError):
@@ -86,6 +85,10 @@ class WebPortal:
             "sensor": "quadcopter with environmental sensor payload",
         }
         self.orders: Dict[int, Order] = {}
+        # Per-portal, not module-global: two AnDroneSystems in the same
+        # process must hand out the same tenant names for the same order
+        # sequence, or seeded runs stop replaying bit-for-bit.
+        self._order_ids = itertools.count(1)
 
     # -- ordering (basic service) ----------------------------------------------------
     def order_virtual_drone(
@@ -151,7 +154,7 @@ class WebPortal:
         energy_j = self.billing.max_charge_to_energy_j(max_charge)
         try:
             definition = VirtualDroneDefinition(
-                name=f"{user}-order{next(_order_ids)}",
+                name=f"{user}-order{next(self._order_ids)}",
                 waypoints=specs,
                 max_duration_s=max_duration_s,
                 energy_allotted_j=energy_j,

@@ -16,9 +16,6 @@ from typing import Dict, List, Optional
 from repro.containers.image import Layer
 from repro.vdc.definition import VirtualDroneDefinition
 
-_entry_ids = itertools.count(1)
-
-
 @dataclass
 class VdrEntry:
     entry_id: str
@@ -44,11 +41,14 @@ class VirtualDroneRepository:
         self._entries: Dict[str, VdrEntry] = {}
         #: latest entry per tenant name, for resume lookups.
         self._latest: Dict[str, str] = {}
+        # Per-repository, not module-global: seeded runs in one process
+        # must mint the same entry ids to replay bit-for-bit.
+        self._entry_ids = itertools.count(1)
 
     def store(self, name: str, definition: VirtualDroneDefinition,
               base_image_tag: str, diff: Layer, resumable: bool,
               completed_waypoints=frozenset()) -> str:
-        entry_id = f"vdr-{next(_entry_ids)}"
+        entry_id = f"vdr-{next(self._entry_ids)}"
         previous = self._latest.get(name)
         flights = self._entries[previous].flights + 1 if previous else 1
         self._entries[entry_id] = VdrEntry(

@@ -27,6 +27,26 @@ from repro.containers.image import Layer
 _checkpoint_ids = itertools.count(1)
 
 
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be taken or restored."""
+
+
+class CheckpointMissingError(CheckpointError, KeyError):
+    """No checkpoint exists for the requested container/tenant.
+
+    Subclasses ``KeyError`` for compatibility with callers that caught
+    the bare lookup error this used to surface as.
+    """
+
+    def __init__(self, name: str):
+        message = f"no checkpoint for container {name!r}"
+        CheckpointError.__init__(self, message)
+        self.container_name = name
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0]
+
+
 @dataclass
 class ProcessImage:
     """One checkpointed app process."""
@@ -58,11 +78,15 @@ class CheckpointImage:
                 + sum(p.memory_bytes() for p in self.processes))
 
 
-def checkpoint_container(container, env, base_image_tag: str) -> CheckpointImage:
+def checkpoint_container(container, env, base_image_tag: str,
+                         checkpoint_id: Optional[str] = None) -> CheckpointImage:
     """Freeze a running virtual drone into a checkpoint image.
 
     No app callbacks fire: memory and lifecycle state are captured as-is
-    (the "transparent" property of Zap/CRIU).
+    (the "transparent" property of Zap/CRIU).  Callers that need
+    deterministic replay (the VDC supervision loop) pass their own
+    run-scoped ``checkpoint_id``; the default draws from a process-wide
+    sequence.
     """
     processes = []
     for package, app in env.apps.items():
@@ -76,7 +100,7 @@ def checkpoint_container(container, env, base_image_tag: str) -> CheckpointImage
             androne_manifest=app.androne_manifest,
         ))
     return CheckpointImage(
-        checkpoint_id=f"ckpt-{next(_checkpoint_ids)}",
+        checkpoint_id=checkpoint_id or f"ckpt-{next(_checkpoint_ids)}",
         container_name=container.name,
         base_image_tag=base_image_tag,
         fs_diff=container.commit(comment=f"checkpoint:{container.name}"),

@@ -147,6 +147,9 @@ class AnDroneSystem:
             for package, app in vdrone.env.apps.items():
                 installer = self.app_behaviors.get(package)
                 if installer is not None:
+                    # Remembered so a supervision restart can rewire the
+                    # restored app instances (vdc.restart_virtual_drone).
+                    vdrone.installers[package] = installer
                     installer(app, vdrone.sdk, vdrone)
         node.boot()
         # Execute every planned flight, swapping a fresh pack in between.

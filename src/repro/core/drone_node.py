@@ -12,8 +12,11 @@ from __future__ import annotations
 import math
 from typing import Dict, Optional, Tuple
 
+import repro.obs as obs
 from repro.android.environment import AndroidEnvironment
 from repro.binder import BinderDriver
+from repro.binder.driver import TransientBinderError
+from repro.faults.policies import RetriesExhausted, RetryPolicy, retry_call
 from repro.containers.image import Image, Layer
 from repro.containers.runtime import ContainerRuntime
 from repro.core.hardware import HardwareProfile
@@ -46,12 +49,21 @@ class HalSensors:
     create.
     """
 
+    #: Backoff for transient binder/service failures on the sensor path.
+    #: The flight loop cannot block, so delays are accounted, not slept
+    #: (see repro.faults.policies); after the budget the bridge degrades
+    #: to the last good sample rather than crashing the estimator.
+    RETRY = RetryPolicy(max_attempts=3, base_us=2_000, cap_us=50_000)
+
     def __init__(self, driver: BinderDriver, device_env: AndroidEnvironment):
         # The bridge opens Binder inside the device container's namespace.
         self._proc = driver.open(2, euid=0, container="flight",
                                  device_ns=device_env.device_ns)
         self._handles: Dict[str, int] = {}
+        #: last good reply per sensor, the hold-last-sample fallback.
+        self._last: Dict[str, dict] = {}
         self.calls = 0
+        self.held_samples = 0
 
     def _service(self, name: str) -> int:
         if name not in self._handles:
@@ -61,13 +73,39 @@ class HalSensors:
             self._handles[name] = reply["service"]
         return self._handles[name]
 
+    class _TransientReply(RuntimeError):
+        """A reply marked ``transient`` — retryable, unlike a denial."""
+
+    def _transact_sensor(self, sensor: str, fn) -> dict:
+        """Run one sensor transaction with retry + hold-last degradation."""
+        def attempt():
+            reply = fn()
+            if reply.get("status") == "ok":
+                return reply
+            if reply.get("transient"):
+                raise HalSensors._TransientReply(str(reply))
+            raise RuntimeError(f"HAL bridge: {sensor} read failed: {reply}")
+
+        try:
+            reply = retry_call(
+                attempt, self.RETRY,
+                retry_on=(HalSensors._TransientReply, TransientBinderError),
+                label=f"hal.{sensor}")
+        except RetriesExhausted:
+            held = self._last.get(sensor)
+            if held is None:
+                raise RuntimeError(
+                    f"HAL bridge: {sensor} unavailable and no sample held")
+            self.held_samples += 1
+            obs.counter("fault.sensor_holds", sensor=sensor).inc()
+            return held
+        self._last[sensor] = reply
+        return reply
+
     def _read(self, sensor: str) -> dict:
         self.calls += 1
-        reply = self._proc.transact(self._service("SensorService"), "read",
-                                    {"sensor": sensor})
-        if reply.get("status") != "ok":
-            raise RuntimeError(f"HAL bridge: sensor read failed: {reply}")
-        return reply
+        return self._transact_sensor(sensor, lambda: self._proc.transact(
+            self._service("SensorService"), "read", {"sensor": sensor}))
 
     def read_imu(self) -> ImuReading:
         data = self._read("imu")["reading"]
@@ -82,10 +120,8 @@ class HalSensors:
 
     def read_gps(self) -> GpsFix:
         self.calls += 1
-        reply = self._proc.transact(
-            self._service("LocationManagerService"), "native_get_location", {})
-        if reply.get("status") != "ok":
-            raise RuntimeError(f"HAL bridge: GPS read failed: {reply}")
+        reply = self._transact_sensor("gps", lambda: self._proc.transact(
+            self._service("LocationManagerService"), "native_get_location", {}))
         return GpsFix(**reply["fix"])
 
 

@@ -1,0 +1,39 @@
+"""Deterministic fault injection & resilience for the onboard stack.
+
+Three pieces (full reference in ``docs/FAULTS.md``):
+
+* :mod:`repro.faults.spec` — the fault vocabulary (:class:`FaultKind`),
+  schedules (:class:`FaultSpec` / :class:`FaultPlan`) and their JSON
+  config schema, with typed :class:`FaultConfigError` validation;
+* :mod:`repro.faults.policies` — retry-with-exponential-backoff
+  (:class:`RetryPolicy`, :func:`retry_call`) used by the binder/HAL and
+  device-service call sites;
+* :mod:`repro.faults.injector` — the seeded :class:`FaultInjector` that
+  schedules faults on the discrete-event clock and applies them by
+  reversible mutation, so chaos runs replay bit-for-bit and fault-free
+  runs are byte-identical to an uninstrumented build.
+
+Typical chaos run::
+
+    plan = FaultPlan(seed=7).add(FaultKind.CONTAINER_CRASH, "vd1", at_s=30)
+    injector = FaultInjector(system.sim, plan).attach_node(node).start()
+    node.vdc.enable_supervision()
+    ...  # fly the mission
+    assert injector.log  # deterministic inject/clear record
+"""
+
+from repro.faults.injector import SENSOR_SERVICES, FaultInjector
+from repro.faults.policies import RetriesExhausted, RetryPolicy, retry_call
+from repro.faults.spec import (
+    FaultConfigError,
+    FaultError,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+)
+
+__all__ = [
+    "FaultConfigError", "FaultError", "FaultInjector", "FaultKind",
+    "FaultPlan", "FaultSpec", "RetriesExhausted", "RetryPolicy",
+    "SENSOR_SERVICES", "retry_call",
+]

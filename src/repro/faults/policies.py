@@ -1,0 +1,101 @@
+"""Resilience policies: retry with exponential backoff.
+
+:class:`RetryPolicy` is the schedule math (base, multiplier, cap, optional
+jitter); :func:`retry_call` applies it to a synchronous callable.
+
+Backoff delays are *accounted, not slept*: binder and device-service calls
+are synchronous within a single simulator event, so a retrying caller
+cannot suspend mid-call.  Instead the computed delay for every retry is
+recorded (``fault.retry_backoff_us`` histogram) and the retries execute
+immediately.  Components that *can* wait — the VDC supervision loop, link
+recovery — use real simulator delays.  Determinism: without an ``rng``
+the schedule is a pure function of the attempt number; with one, jitter
+draws from a named seeded stream (see :mod:`repro.sim.rng`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple, Type
+
+import repro.obs as obs
+
+
+class RetriesExhausted(RuntimeError):
+    """A retried call failed on every attempt; ``last`` is the final error."""
+
+    def __init__(self, label: str, attempts: int, last: BaseException):
+        super().__init__(
+            f"{label or 'call'} failed after {attempts} attempt(s): {last}")
+        self.label = label
+        self.attempts = attempts
+        self.last = last
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff: ``base * multiplier^(n-1)`` capped at ``cap``.
+
+    ``jitter`` adds up to that fraction of the computed delay, drawn
+    uniformly from the supplied rng (full determinism when the rng comes
+    from a seeded :class:`~repro.sim.rng.RngRegistry` stream).
+    """
+
+    max_attempts: int = 4
+    base_us: int = 10_000
+    cap_us: int = 1_000_000
+    multiplier: float = 2.0
+    jitter: float = 0.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_us < 0 or self.cap_us < 0:
+            raise ValueError("backoff delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not (0.0 <= self.jitter <= 1.0):
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def backoff_us(self, attempt: int, rng=None) -> int:
+        """Delay before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        delay = min(float(self.cap_us),
+                    self.base_us * self.multiplier ** (attempt - 1))
+        if self.jitter and rng is not None:
+            delay += delay * self.jitter * rng.random()
+        return int(round(delay))
+
+    def schedule_us(self, rng=None) -> List[int]:
+        """The full backoff schedule: one delay per retry (attempts - 1)."""
+        return [self.backoff_us(n, rng) for n in range(1, self.max_attempts)]
+
+
+def retry_call(
+    fn: Callable,
+    policy: RetryPolicy,
+    *,
+    retry_on: Tuple[Type[BaseException], ...] = (RuntimeError,),
+    rng=None,
+    label: str = "",
+):
+    """Call ``fn()`` under ``policy``, retrying on ``retry_on`` exceptions.
+
+    Raises :class:`RetriesExhausted` (chaining the last error) once the
+    attempt budget is spent.  Non-matching exceptions propagate
+    immediately.  The success path adds no work beyond the loop check.
+    """
+    attempt = 1
+    while True:
+        try:
+            return fn()
+        except retry_on as exc:
+            if attempt >= policy.max_attempts:
+                obs.counter("fault.retries_exhausted", call=label or "call").inc()
+                raise RetriesExhausted(label, attempt, exc) from exc
+            backoff = policy.backoff_us(attempt, rng)
+            obs.counter("fault.retries", call=label or "call").inc()
+            obs.histogram("fault.retry_backoff_us", unit="us",
+                          call=label or "call").observe(backoff)
+            attempt += 1

@@ -1,0 +1,188 @@
+"""Fault schedules: what breaks, where, when, and for how long.
+
+A :class:`FaultPlan` is a seed plus an ordered list of :class:`FaultSpec`
+entries.  The plan is pure data — it can be built in code, parsed from a
+dict/JSON (the schema below), round-tripped, and replayed: the same plan
+and seed always produce the same injected faults at the same virtual
+times (see :mod:`repro.faults.injector`).
+
+Schema (``FaultPlan.from_dict``)::
+
+    {
+      "seed": 7,
+      "faults": [
+        {"kind": "link-loss",       "target": "vd1",           "at_s": 12.0, "duration_s": 4.0},
+        {"kind": "link-latency",    "target": "vd1",           "at_s": 20.0, "duration_s": 5.0,
+         "params": {"factor": 8.0}},
+        {"kind": "binder-failure",  "target": "",              "at_s": 30.0, "duration_s": 1.0,
+         "params": {"rate": 0.5}},
+        {"kind": "service-error",   "target": "CameraService", "at_s": 35.0, "duration_s": 2.0},
+        {"kind": "sensor-dropout",  "target": "imu",           "at_s": 40.0, "duration_s": 0.5},
+        {"kind": "container-crash", "target": "vd1",           "at_s": 50.0},
+        {"kind": "vdc-restart",     "target": "",              "at_s": 60.0,
+         "params": {"downtime_s": 0.5}}
+      ]
+    }
+
+Every fault kind, its targets and its parameters are documented in
+``docs/FAULTS.md``.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class FaultError(RuntimeError):
+    """Base class for fault-injection failures."""
+
+
+class FaultConfigError(FaultError):
+    """A fault plan or spec is malformed."""
+
+
+class FaultKind(enum.Enum):
+    """Every fault the injector knows how to apply."""
+
+    LINK_LOSS = "link-loss"             # radio/MAVLink link drops everything
+    LINK_LATENCY = "link-latency"       # latency spike on a link
+    BINDER_FAILURE = "binder-failure"   # binder transactions fail transiently
+    SERVICE_ERROR = "service-error"     # a device service errors its calls
+    SENSOR_DROPOUT = "sensor-dropout"   # one sensor stops producing readings
+    CONTAINER_CRASH = "container-crash" # a tenant container dies abruptly
+    VDC_RESTART = "vdc-restart"         # the VDC daemon restarts
+
+    @classmethod
+    def parse(cls, value: str) -> "FaultKind":
+        for kind in cls:
+            if kind.value == value:
+                return kind
+        known = ", ".join(k.value for k in cls)
+        raise FaultConfigError(f"unknown fault kind {value!r} (known: {known})")
+
+
+#: Kinds that are instantaneous — a ``duration_s`` makes no sense for them.
+_INSTANT_KINDS = (FaultKind.CONTAINER_CRASH, FaultKind.VDC_RESTART)
+
+_SPEC_KEYS = {"kind", "target", "at_s", "duration_s", "params"}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault."""
+
+    kind: FaultKind
+    #: What the fault hits: a link/tenant name for link faults and crashes,
+    #: a service name for service errors, a sensor name for dropouts.
+    #: Binder failures and VDC restarts are drone-wide ("" target).
+    target: str = ""
+    #: Injection time, in virtual seconds from simulation start.
+    at_s: float = 0.0
+    #: How long the fault stays active; 0 for instantaneous kinds.
+    duration_s: float = 0.0
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        if self.at_s < 0:
+            raise FaultConfigError(f"{self.kind.value}: negative at_s {self.at_s}")
+        if self.duration_s < 0:
+            raise FaultConfigError(
+                f"{self.kind.value}: negative duration_s {self.duration_s}")
+        if self.kind in _INSTANT_KINDS and self.duration_s:
+            raise FaultConfigError(
+                f"{self.kind.value} is instantaneous; duration_s must be 0")
+        if self.kind not in _INSTANT_KINDS \
+                and self.kind is not FaultKind.BINDER_FAILURE \
+                and not self.target:
+            raise FaultConfigError(f"{self.kind.value}: target is required")
+        rate = self.params.get("rate")
+        if rate is not None and not (0.0 < float(rate) <= 1.0):
+            raise FaultConfigError(f"{self.kind.value}: rate must be in (0, 1]")
+
+    def to_dict(self) -> dict:
+        out: dict = {"kind": self.kind.value, "target": self.target,
+                     "at_s": self.at_s}
+        if self.duration_s:
+            out["duration_s"] = self.duration_s
+        if self.params:
+            out["params"] = dict(self.params)
+        return out
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "FaultSpec":
+        if not isinstance(raw, dict):
+            raise FaultConfigError(f"fault spec must be an object, got {raw!r}")
+        unknown = set(raw) - _SPEC_KEYS
+        if unknown:
+            raise FaultConfigError(
+                f"unknown fault spec keys: {sorted(unknown)}")
+        if "kind" not in raw:
+            raise FaultConfigError(f"fault spec missing 'kind': {raw!r}")
+        spec = cls(
+            kind=FaultKind.parse(str(raw["kind"])),
+            target=str(raw.get("target", "")),
+            at_s=float(raw.get("at_s", 0.0)),
+            duration_s=float(raw.get("duration_s", 0.0)),
+            params=dict(raw.get("params") or {}),
+        )
+        spec.validate()
+        return spec
+
+
+@dataclass
+class FaultPlan:
+    """A seed plus the ordered fault schedule for one chaos run."""
+
+    seed: int = 0
+    faults: List[FaultSpec] = field(default_factory=list)
+
+    def validate(self) -> None:
+        for spec in self.faults:
+            spec.validate()
+
+    def add(self, kind: FaultKind, target: str = "", at_s: float = 0.0,
+            duration_s: float = 0.0, params: Optional[dict] = None,
+            **extra) -> "FaultPlan":
+        """Builder convenience; returns self for chaining.
+
+        Fault parameters may be passed as a dict (``params={"rate": .5}``)
+        or as keyword arguments (``rate=.5``); both merge into the spec.
+        """
+        merged = dict(params or {})
+        merged.update(extra)
+        spec = FaultSpec(kind=kind, target=target, at_s=at_s,
+                         duration_s=duration_s, params=merged)
+        spec.validate()
+        self.faults.append(spec)
+        return self
+
+    def to_dict(self) -> dict:
+        return {"seed": self.seed,
+                "faults": [spec.to_dict() for spec in self.faults]}
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "FaultPlan":
+        if not isinstance(raw, dict):
+            raise FaultConfigError(f"fault plan must be an object, got {raw!r}")
+        unknown = set(raw) - {"seed", "faults"}
+        if unknown:
+            raise FaultConfigError(f"unknown fault plan keys: {sorted(unknown)}")
+        faults_raw = raw.get("faults", [])
+        if not isinstance(faults_raw, list):
+            raise FaultConfigError("'faults' must be a list")
+        return cls(seed=int(raw.get("seed", 0)),
+                   faults=[FaultSpec.from_dict(f) for f in faults_raw])
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultConfigError(f"invalid fault plan JSON: {exc}") from exc
+        return cls.from_dict(raw)

@@ -10,8 +10,10 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Tuple
 
+import repro.obs as obs
 from repro.mavlink.codec import CodecError, MavlinkCodec
 from repro.mavlink.messages import MavlinkMessage
+from repro.net.link import LinkModel
 from repro.net.network import Channel, Network
 
 
@@ -28,13 +30,26 @@ class MavlinkConnection:
         self.received: List[MavlinkMessage] = []
         self.rx_count = 0
         self.tx_count = 0
+        self.dropped = 0
         network.endpoint(local).on_receive = self._on_frame
+
+    @property
+    def link(self) -> LinkModel:
+        """The link model this side transmits over — the object a
+        :class:`~repro.faults.injector.FaultInjector` binds to inject
+        loss and latency faults on this connection."""
+        return self._tx.link
 
     def send(self, msg: MavlinkMessage) -> bool:
         """Encode and transmit; returns False if the link dropped it."""
         frame = self.codec.encode(msg)
         self.tx_count += 1
-        return self._tx.send(frame, nbytes=len(frame))
+        sent = self._tx.send(frame, nbytes=len(frame))
+        if not sent:
+            self.dropped += 1
+            obs.counter("mavlink.dropped", local=self.local,
+                        remote=self.remote).inc()
+        return sent
 
     def on_message(self, handler: Callable[[MavlinkMessage, int, int], None]) -> None:
         self._handlers.append(handler)

@@ -51,7 +51,12 @@ class VfcState(enum.Enum):
     APPROACHING = "approaching" # synthetic takeoff to meet the real drone
     ACTIVE = "active"           # commands accepted (whitelisted, geofenced)
     RECOVERING = "recovering"   # breach recovery in progress
+    HOLDING = "holding"         # link lost mid-waypoint: loiter until restored
     FINISHED = "finished"       # landing/landed view for the rest of the flight
+
+
+#: States in which the tenant sees (and the proxy manages) the real vehicle.
+_LIVE_STATES = (VfcState.ACTIVE, VfcState.RECOVERING, VfcState.HOLDING)
 
 
 class VirtualFlightController:
@@ -75,6 +80,8 @@ class VirtualFlightController:
         self.geofence: Optional[Geofence] = None
         self.commands_accepted = 0
         self.commands_denied = 0
+        #: times the VFC entered HOLDING because the tenant link dropped.
+        self.link_holds = 0
         #: messages queued for the tenant (statustexts, acks of virtual view).
         self.outbox: List[MavlinkMessage] = []
         self._virtual_alt_m = 0.0
@@ -112,7 +119,7 @@ class VirtualFlightController:
     def deactivate(self, next_waypoint: Optional[GeoPoint] = None) -> None:
         """Intermediate waypoint done: back to the inactive view, anchored
         at the tenant's next waypoint."""
-        if self.state in (VfcState.ACTIVE, VfcState.RECOVERING):
+        if self.state in _LIVE_STATES:
             self.proxy.fc_clear_geofence()
         self.geofence = None
         if next_waypoint is not None:
@@ -123,13 +130,37 @@ class VirtualFlightController:
 
     def finish(self) -> None:
         """Tenant done (or forced done): back to the landing view."""
-        if self.state is VfcState.ACTIVE or self.state is VfcState.RECOVERING:
+        if self.state in _LIVE_STATES:
             self.proxy.fc_clear_geofence()
         self._set_state(VfcState.FINISHED,
                         accepted=self.commands_accepted,
                         denied=self.commands_denied)
         self.geofence = None
         self.outbox.append(Statustext(severity=6, text="waypoint complete: control revoked"))
+
+    # -- link-loss degradation (repro.faults) ------------------------------------------
+    def link_down(self) -> None:
+        """Radio link to the tenant lost.  If the tenant is mid-waypoint
+        the vehicle must not keep executing half-delivered intents: hold
+        position (loiter) and decline commands until the link returns."""
+        obs.counter("fault.link_losses", vfc=self.container).inc()
+        if self.state is VfcState.ACTIVE:
+            self.link_holds += 1
+            self._set_state(VfcState.HOLDING, reason="link-loss")
+            self.proxy.fc_set_mode(CopterMode.LOITER)
+            self.outbox.append(Statustext(
+                severity=4, text="link lost: holding position"))
+        # In every other state the idle/landing view already declines
+        # commands; nothing to degrade.
+
+    def link_up(self) -> None:
+        """Link restored: hand control back and resume the mission leg."""
+        if self.state is VfcState.HOLDING:
+            self.proxy.fc_set_mode(CopterMode.GUIDED)
+            self._set_state(VfcState.ACTIVE, resumed=True)
+            obs.event("fault.link_recovered", vfc=self.container)
+            self.outbox.append(Statustext(
+                severity=6, text="link restored: control returned"))
 
     # -- the tenant-facing MAVLink entry point ------------------------------------------
     def send(self, msg: MavlinkMessage) -> Optional[MavlinkMessage]:
@@ -164,11 +195,14 @@ class VirtualFlightController:
     def _declines(self) -> bool:
         return self.state is not VfcState.ACTIVE
 
+    def _decline_reason(self) -> str:
+        return "link-lost" if self.state is VfcState.HOLDING else "inactive"
+
     def _filter_command(self, cmd: CommandLong) -> Tuple[Optional[MavResult], str]:
         """(None, "") = forward to the FC; a MavResult = decline with that
         code, tagged with the denial reason the telemetry counters use."""
         if self._declines():
-            return MavResult.TEMPORARILY_REJECTED, "inactive"
+            return MavResult.TEMPORARILY_REJECTED, self._decline_reason()
         if cmd.command == MavCommand.DO_SET_MODE:
             if not self.template.permits_mode(int(cmd.param2)):
                 return MavResult.DENIED, "mode"
@@ -190,7 +224,7 @@ class VirtualFlightController:
 
     def _filter_position_target(self, msg: SetPositionTarget) -> Tuple[Optional[MavResult], str]:
         if self._declines():
-            return MavResult.TEMPORARILY_REJECTED, "inactive"
+            return MavResult.TEMPORARILY_REJECTED, self._decline_reason()
         uses_velocity = bool(msg.type_mask & 0x0007) and not (msg.type_mask & 0x0038)
         if uses_velocity and not self.template.allow_velocity_targets:
             return MavResult.DENIED, "whitelist"
@@ -207,7 +241,7 @@ class VirtualFlightController:
     # -- the virtualized view ----------------------------------------------------------
     def heartbeat(self) -> Heartbeat:
         real = self.proxy.fc_heartbeat()
-        if self.state is VfcState.ACTIVE or self.state is VfcState.RECOVERING:
+        if self.state in _LIVE_STATES:
             return real
         if self.state is VfcState.APPROACHING:
             return Heartbeat(custom_mode=int(CopterMode.GUIDED),
@@ -220,7 +254,7 @@ class VirtualFlightController:
 
     def global_position(self) -> GlobalPositionInt:
         real = self.proxy.fc_global_position()
-        if self.state in (VfcState.ACTIVE, VfcState.RECOVERING):
+        if self.state in _LIVE_STATES:
             return real
         if self.continuous_view:
             # "To prevent a discrepancy between the view of the drone and

@@ -43,6 +43,12 @@ class AndroneSdk:
     def register_waypoint_listener(self, listener: WaypointListener) -> None:
         self._listeners.append(listener)
 
+    def clear_listeners(self) -> None:
+        """Detach every listener — the VDC calls this when the container
+        restarts, since the registered listeners belong to app instances
+        that died with it."""
+        self._listeners.clear()
+
     def waypoint_completed(self) -> None:
         """The app is done at the current waypoint; the VDC moves on."""
         self._vdc.waypoint_completed(self.container)

@@ -16,6 +16,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 import repro.obs as obs
 from repro.android.environment import AndroidEnvironment
 from repro.android.manifest import AndroidManifest, AnDroneManifest
+from repro.containers.container import ContainerState
 from repro.flight.geofence import Geofence
 from repro.mavproxy.whitelist import RestrictionTemplate, TEMPLATES
 from repro.sdk.androne_sdk import AndroneSdk
@@ -25,6 +26,21 @@ from repro.vdc.device_access import DeviceAccessPolicy, TenantPhase
 
 #: Memory footprint of one Android Things virtual drone (Section 6.3).
 VDRONE_MEMORY_KB = 185 * 1024
+
+
+class UnknownTenantError(KeyError):
+    """A VDC operation named a tenant that does not exist.
+
+    Subclasses ``KeyError`` so callers that caught the bare lookup error
+    this used to surface as keep working.
+    """
+
+    def __init__(self, name: str):
+        super().__init__(f"no virtual drone named {name!r}")
+        self.tenant = name
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0]
 
 
 class VirtualDrone:
@@ -42,6 +58,9 @@ class VirtualDrone:
         #: stated limitation), so visits are tracked as a set.
         self.current_index: Optional[int] = None
         self.completed: set = set()
+        #: package -> behaviour installer; re-run after a supervision
+        #: restart to wire the restored apps back to the SDK.
+        self.installers: Dict[str, Callable] = {}
         self.active_time_s = 0.0
         self._active_since_us: Optional[int] = None
         self.energy_baseline_j = 0.0
@@ -101,7 +120,21 @@ class VirtualDroneController:
         #: (voluntarily or forced) — the flight planner listens here.
         self.on_waypoint_done: Optional[Callable[[str], None]] = None
         self._enforcement_running = False
+        self._enforcement_event = None
         self.killed_processes: List[Tuple[str, int]] = []
+        # --- container supervision (heartbeat + checkpoint/restart) ---
+        self.supervision_enabled = False
+        self.heartbeat_interval_us = 500_000
+        self.miss_threshold = 2
+        self.max_restarts = 3
+        #: latest checkpoint per tenant, refreshed at waypoint boundaries.
+        self.checkpoints: Dict[str, object] = {}
+        self._checkpoint_seq: Dict[str, int] = {}
+        self.restart_counts: Dict[str, int] = {}
+        self._missed_beats: Dict[str, int] = {}
+        self._crashed_at_us: Dict[str, int] = {}
+        self._supervision_event = None
+        self._restarting = False
 
     # ------------------------------------------------------------ creation
     def create_virtual_drone(
@@ -163,19 +196,27 @@ class VirtualDroneController:
                   waypoints=len(definition.waypoints),
                   resumed=resume_diff is not None)
         obs.gauge("vdc.tenants").set(len(self.drones))
-        if not self._enforcement_running:
+        if self.supervision_enabled:
+            self.checkpoints[name] = self.checkpoint_virtual_drone(name)
+        if not self._enforcement_running and not self._restarting:
             self._enforcement_running = True
             self._enforcement_tick()
         return drone
 
     def get(self, name: str) -> VirtualDrone:
-        return self.drones[name]
+        return self._drone(name)
+
+    def _drone(self, name: str) -> VirtualDrone:
+        try:
+            return self.drones[name]
+        except KeyError:
+            raise UnknownTenantError(name) from None
 
     # ------------------------------------------------------- waypoint events
     def waypoint_reached(self, name: str, index: Optional[int] = None) -> None:
         """Flight planner: the drone has arrived at one of ``name``'s
         waypoints (``index``; defaults to the first unvisited one)."""
-        drone = self.drones[name]
+        drone = self._drone(name)
         if drone.finished:
             return
         if index is None:
@@ -201,11 +242,18 @@ class VirtualDroneController:
 
     def waypoint_completed(self, name: str) -> None:
         """SDK: the app reports it is done at the current waypoint."""
+        drone = self._drone(name)
+        if drone.finished or drone.current_index is None:
+            # Late or duplicate completion — e.g. from an app instance
+            # that died with its container and whose pre-crash callbacks
+            # still fire after the restored instance already completed.
+            obs.counter("vdc.duplicate_completions", tenant=name).inc()
+            return
         self._leave_waypoint(name, forced=False)
 
     def force_finish(self, name: str, reason: str) -> None:
         """Allotment exhausted or external interruption (weather, ...)."""
-        drone = self.drones[name]
+        drone = self._drone(name)
         drone.force_finished_reason = reason
         obs.event("vdc.force_finish", tenant=name, reason=reason)
         if self.active_tenant == name:
@@ -216,7 +264,7 @@ class VirtualDroneController:
             self._close_tenant_span(drone)
 
     def _leave_waypoint(self, name: str, forced: bool) -> None:
-        drone = self.drones[name]
+        drone = self._drone(name)
         index = drone.current_index
         if index is None:
             index = drone.next_unvisited() or 0
@@ -249,6 +297,11 @@ class VirtualDroneController:
             self._close_tenant_span(drone)
         else:
             drone.vfc.deactivate(drone.definition.waypoints[remaining].geopoint())
+        if (self.supervision_enabled and not finished
+                and drone.container.state is ContainerState.RUNNING):
+            # Refresh the restart point at the waypoint boundary, so a
+            # later crash resumes from here instead of replaying work.
+            self.checkpoints[name] = self.checkpoint_virtual_drone(name)
         self._revoke_device_access(name)
         if self.active_tenant == name:
             self.active_tenant = None
@@ -272,7 +325,7 @@ class VirtualDroneController:
         """Enforce revocation (Section 4.4): apps were asked to stop via
         the SDK; any process still attached to a device service gets its
         sessions dropped and is terminated."""
-        drone = self.drones[name]
+        drone = self._drone(name)
         for service in self.device_env.system_server.services.values():
             lingering = service.clients_from(name)
             # Only kill for devices the tenant no longer may use.
@@ -288,22 +341,22 @@ class VirtualDroneController:
 
     # ----------------------------------------------------------- allotments
     def energy_used(self, name: str) -> float:
-        drone = self.drones[name]
+        drone = self._drone(name)
         return self.battery.drawn_by(name) - drone.energy_baseline_j
 
     def energy_left(self, name: str) -> float:
-        drone = self.drones[name]
+        drone = self._drone(name)
         return max(0.0, drone.definition.energy_allotted_j - self.energy_used(name))
 
     def time_used(self, name: str) -> float:
-        drone = self.drones[name]
+        drone = self._drone(name)
         used = drone.active_time_s
         if drone._active_since_us is not None:
             used += (self.sim.now - drone._active_since_us) / 1e6
         return used
 
     def time_left(self, name: str) -> float:
-        drone = self.drones[name]
+        drone = self._drone(name)
         return max(0.0, drone.definition.max_duration_s - self.time_used(name))
 
     def _enforcement_tick(self) -> None:
@@ -327,7 +380,156 @@ class VirtualDroneController:
                 reason = "energy allotment exhausted" if energy_left <= 0.0 \
                     else "time allotment exhausted"
                 self.force_finish(name, reason)
-        self.sim.after(1_000_000, self._enforcement_tick)
+        self._enforcement_event = self.sim.after(1_000_000, self._enforcement_tick)
+
+    # ------------------------------------------------ supervision/recovery
+    def enable_supervision(self, heartbeat_interval_s: float = 0.5,
+                           miss_threshold: int = 2,
+                           max_restarts: int = 3) -> None:
+        """Start heartbeat supervision of tenant containers.
+
+        Every ``heartbeat_interval_s`` the VDC checks each unfinished
+        tenant's container; after ``miss_threshold`` consecutive missed
+        beats the container is restarted from its latest checkpoint.  A
+        tenant restarted more than ``max_restarts`` times is force-
+        finished as a crash loop.  Off by default: an unsupervised VDC
+        behaves exactly as before this layer existed.
+        """
+        self.supervision_enabled = True
+        self.heartbeat_interval_us = int(heartbeat_interval_s * 1e6)
+        self.miss_threshold = miss_threshold
+        self.max_restarts = max_restarts
+        for name, drone in self.drones.items():
+            if not drone.finished and name not in self.checkpoints:
+                self.checkpoints[name] = self.checkpoint_virtual_drone(name)
+        if self._supervision_event is None and not self._restarting:
+            self._supervision_event = self.sim.after(
+                self.heartbeat_interval_us, self._supervision_tick)
+
+    def _supervision_tick(self) -> None:
+        for name, drone in list(self.drones.items()):
+            if drone.finished:
+                continue
+            if drone.container.state is ContainerState.RUNNING:
+                self._missed_beats[name] = 0
+                continue
+            misses = self._missed_beats.get(name, 0) + 1
+            self._missed_beats[name] = misses
+            obs.event("vdc.heartbeat_missed", tenant=name, misses=misses)
+            if misses < self.miss_threshold:
+                continue
+            self._missed_beats[name] = 0
+            restarts = self.restart_counts.get(name, 0)
+            if restarts >= self.max_restarts:
+                self.force_finish(name, "container crash loop")
+                continue
+            self.restart_counts[name] = restarts + 1
+            self.restart_virtual_drone(name)
+        self._supervision_event = self.sim.after(
+            self.heartbeat_interval_us, self._supervision_tick)
+
+    def crash_container(self, name: str) -> None:
+        """Fault injection: kill a tenant's container where it stands.
+
+        Models a container runtime crash: every process dies, so the
+        container's Binder fds close (firing death notifications in the
+        device container) and the container stops.  Recovery is the
+        supervision loop's job.
+        """
+        drone = self._drone(name)
+        if drone.container.state is not ContainerState.RUNNING:
+            return
+        self._crashed_at_us[name] = self.sim.now
+        obs.event("fault.container_crashed", tenant=name)
+        obs.counter("fault.container_crashes", tenant=name).inc()
+        for app in drone.env.apps.values():
+            app.binder.close()
+        drone.env.binder_proc.close()
+        drone.container.stop()
+
+    def restart_virtual_drone(self, name: str) -> VirtualDrone:
+        """Restart a crashed tenant container from its latest checkpoint.
+
+        The VirtualDrone identity (SDK, VFC, allotment accounting,
+        waypoint progress) survives; only the container and its Android
+        environment are rebuilt.  Restored apps get their behaviour
+        installers re-run and, if a waypoint was being serviced, the
+        active-waypoint notification is re-delivered so the task resumes.
+        """
+        from repro.containers.checkpoint import CheckpointMissingError, \
+            restore_container
+
+        drone = self._drone(name)
+        image = self.checkpoints.get(name)
+        if image is None:
+            raise CheckpointMissingError(name)
+
+        def env_factory(container):
+            env = AndroidEnvironment(self.driver, container.name,
+                                     container.namespaces.device_ns)
+            env.retry_am_forwarding()
+            self.device_env.service_manager.publish_shared_into(
+                container.namespaces.device_ns, self.driver)
+            env.system_server.start()
+            return env
+
+        self.runtime.remove(name)
+        container, env = restore_container(image, self.runtime, env_factory,
+                                           VDRONE_MEMORY_KB)
+        drone.container = container
+        drone.env = env
+        # Pre-crash app instances are gone: drop their listeners, rewire
+        # the SDK to the restored environment, and reinstall behaviours.
+        drone.sdk.clear_listeners()
+        drone.sdk.intent_bus = env.intents
+        for package, installer in drone.installers.items():
+            app = env.apps.get(package)
+            if app is not None:
+                installer(app, drone.sdk, drone)
+        crashed_at = self._crashed_at_us.pop(name, None)
+        if crashed_at is not None:
+            obs.histogram("fault.recovery_us", unit="us-sim",
+                          kind="container-restart").observe(
+                float(self.sim.now - crashed_at))
+        obs.event("vdc.container_restarted", tenant=name,
+                  restarts=self.restart_counts.get(name, 0),
+                  checkpoint=image.checkpoint_id)
+        obs.counter("fault.container_restarts", tenant=name).inc()
+        if drone.current_index is not None and not drone.finished:
+            drone.sdk.notify_waypoint_active(drone.waypoint(drone.current_index))
+        return drone
+
+    def simulate_restart(self, downtime_s: float = 0.5) -> None:
+        """Fault injection: the VDC daemon dies and init restarts it.
+
+        Tenant containers are independent processes and keep running;
+        what stops is the daemon itself, so allotment enforcement and
+        container supervision pause for ``downtime_s`` and then resume
+        (the daemon re-reads its tenant table on startup).
+        """
+        if self._restarting:
+            return
+        self._restarting = True
+        obs.event("vdc.restart", phase="down", downtime_s=downtime_s)
+        obs.counter("fault.vdc_restarts").inc()
+        if self._enforcement_event is not None:
+            self._enforcement_event.cancel()
+            self._enforcement_event = None
+        self._enforcement_running = False
+        if self._supervision_event is not None:
+            self._supervision_event.cancel()
+            self._supervision_event = None
+
+        def come_back():
+            self._restarting = False
+            obs.event("vdc.restart", phase="up")
+            if self.drones and not self._enforcement_running:
+                self._enforcement_running = True
+                self._enforcement_tick()
+            if self.supervision_enabled and self._supervision_event is None:
+                self._supervision_tick()
+
+        self.sim.after(int(downtime_s * 1e6), come_back)
 
     # ------------------------------------------------ checkpoint migration
     def checkpoint_virtual_drone(self, name: str):
@@ -336,9 +538,14 @@ class VirtualDroneController:
         the lifecycle path, apps are not asked to cooperate."""
         from repro.containers.checkpoint import checkpoint_container
 
-        drone = self.drones[name]
+        drone = self._drone(name)
+        # Run-scoped id, not the process-wide default: replayed runs must
+        # name their checkpoints identically for traces to match.
+        seq = self._checkpoint_seq.get(name, 0) + 1
+        self._checkpoint_seq[name] = seq
         return checkpoint_container(drone.container, drone.env,
-                                    self.base_image_tag)
+                                    self.base_image_tag,
+                                    checkpoint_id=f"ckpt-{name}-{seq}")
 
     def restore_virtual_drone(self, image, definition: VirtualDroneDefinition,
                               template: Optional[RestrictionTemplate] = None) -> VirtualDrone:

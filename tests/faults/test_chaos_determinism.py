@@ -1,0 +1,116 @@
+"""Replayability of chaos runs and the zero-overhead-by-default guarantee.
+
+Two properties the fault layer promises:
+
+* **Determinism**: the same seed replays the identical fault log and
+  telemetry trace (modulo the one documented wall-clock histogram,
+  ``android.service.call_us`` — see docs/METRICS.md).
+* **Zero overhead when off**: attaching an injector with an empty plan
+  changes nothing — the run's telemetry trace is byte-identical to one
+  with no fault machinery at all.
+"""
+
+import io
+import pathlib
+import sys
+
+import pytest
+
+import repro.obs as obs
+from repro.faults import FaultInjector, FaultPlan
+from repro.sim.time import seconds
+from tests.util import make_node, simple_definition, survey_manifests
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve()
+                       .parents[2] / "examples"))
+from chaos_flight import run_chaos_mission  # noqa: E402
+
+#: The one deliberately wall-clock (hence nondeterministic) metric.
+WALL_CLOCK_MARKER = '"unit": "us-wall"'
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+def trace_lines():
+    """Export and reset the live registry; drop the wall-clock records."""
+    buffer = io.StringIO()
+    obs.export_jsonl(buffer)
+    return [line for line in buffer.getvalue().splitlines()
+            if WALL_CLOCK_MARKER not in line]
+
+
+class TestChaosDeterminism:
+    def test_same_seed_same_story(self):
+        first = run_chaos_mission(seed=11, verbose=False)
+        second = run_chaos_mission(seed=11, verbose=False)
+        assert first["fault_log"] == second["fault_log"]
+        assert first == second
+
+    def test_same_seed_same_trace(self, monkeypatch):
+        # ANDRONE_TRACE makes AnDroneSystem enable telemetry bound to its
+        # own sim clock, exactly as `make chaos` runs it.
+        monkeypatch.setenv(obs.TRACE_ENV, "in-memory")
+
+        def traced_run():
+            obs.reset()
+            try:
+                run_chaos_mission(seed=11, verbose=False)
+                return trace_lines()
+            finally:
+                obs.reset()
+
+        first = traced_run()
+        assert first == traced_run()
+        assert any('"fault.injected"' in line for line in first)
+
+    def test_mission_survives_the_gauntlet(self):
+        summary = run_chaos_mission(seed=11, verbose=False)
+        assert summary["completed"]
+        assert summary["faults_injected"] == summary["faults_planned"]
+        assert summary["container_restarts"] >= 1
+        assert summary["vfc_holds"] >= 1
+        assert summary["held_samples"] > 0
+
+
+class TestZeroOverheadDefault:
+    def _fly(self, with_injector: bool):
+        """A short supervised waypoint visit, traced; returns the trace."""
+        obs.reset()
+        node = make_node(seed=9)
+        obs.enable(node.sim)
+        try:
+            definition = simple_definition(name="vd1", n_waypoints=1,
+                                           apps=["com.example.survey"])
+            node.start_virtual_drone(
+                definition,
+                app_manifests={"com.example.survey": survey_manifests()})
+            if with_injector:
+                FaultInjector(node.sim, FaultPlan(seed=3)) \
+                    .attach_node(node).start()
+            node.boot()
+            node.vdc.waypoint_reached("vd1")
+            node.sim.run(until=seconds(2.0))
+            node.vdc.waypoint_completed("vd1")
+            node.sim.run(until=seconds(3.0))
+            return trace_lines()
+        finally:
+            obs.reset()
+
+    def test_empty_plan_is_byte_identical_to_no_injector(self):
+        baseline = self._fly(with_injector=False)
+        with_idle_injector = self._fly(with_injector=True)
+        assert baseline == with_idle_injector
+        assert len(baseline) > 10  # a real trace, not two empty runs
+
+    def test_no_hooks_left_behind(self):
+        node = make_node(seed=9)
+        FaultInjector(node.sim, FaultPlan(seed=3)).attach_node(node).start()
+        node.sim.run(until=seconds(1.0))
+        assert node.driver.fault_hook is None
+        for service in node.device_env.system_server.services.values():
+            assert service.fault_hook is None

@@ -1,0 +1,181 @@
+"""Every fault kind fires, recovers, and replays deterministically."""
+
+import pytest
+
+from repro.binder.driver import TransientBinderError
+from repro.faults import FaultError, FaultInjector, FaultKind, FaultPlan
+from repro.mavproxy.vfc import VfcState
+from repro.net.link import wifi
+from repro.sim.time import seconds
+from tests.util import make_node, simple_definition, survey_manifests
+
+
+@pytest.fixture
+def node():
+    return make_node()
+
+
+def start_tenant(node, name="vd1", **kw):
+    definition = simple_definition(name=name, apps=["com.example.survey"], **kw)
+    manifests = {"com.example.survey": survey_manifests()}
+    return node.start_virtual_drone(definition, app_manifests=manifests)
+
+
+def injector_for(node, plan):
+    return FaultInjector(node.sim, plan).attach_node(node).start()
+
+
+class TestLinkFaults:
+    def test_link_loss_drops_then_restores(self, node):
+        link = wifi()
+        baseline = link.loss_prob
+        plan = FaultPlan(seed=1).add(FaultKind.LINK_LOSS, target="gcs",
+                                     at_s=1.0, duration_s=2.0)
+        FaultInjector(node.sim, plan).bind_link("gcs", link).start()
+        node.sim.run(until=seconds(1.5))
+        assert link.loss_prob == 1.0
+        node.sim.run(until=seconds(4.0))
+        assert link.loss_prob == baseline
+
+    def test_link_latency_scales_then_restores(self, node):
+        link = wifi()
+        saved = (link.mean_us, link.stddev_us, link.max_us, link.min_us)
+        plan = FaultPlan(seed=1).add(FaultKind.LINK_LATENCY, target="gcs",
+                                     at_s=1.0, duration_s=2.0, factor=8.0)
+        FaultInjector(node.sim, plan).bind_link("gcs", link).start()
+        node.sim.run(until=seconds(1.5))
+        assert link.mean_us == saved[0] * 8.0
+        node.sim.run(until=seconds(4.0))
+        assert (link.mean_us, link.stddev_us, link.max_us, link.min_us) == saved
+
+    def test_link_loss_puts_vfc_on_hold(self, node):
+        vdrone = start_tenant(node)
+        node.vdc.waypoint_reached("vd1")
+        assert vdrone.vfc.state is VfcState.ACTIVE
+        plan = FaultPlan(seed=1).add(FaultKind.LINK_LOSS, target="vd1",
+                                     at_s=1.0, duration_s=2.0)
+        injector_for(node, plan)
+        node.sim.run(until=seconds(1.5))
+        assert vdrone.vfc.state is VfcState.HOLDING
+        node.sim.run(until=seconds(4.0))
+        assert vdrone.vfc.state is VfcState.ACTIVE
+        assert vdrone.vfc.link_holds == 1
+
+    def test_unbound_link_is_an_error(self, node):
+        plan = FaultPlan(seed=1).add(FaultKind.LINK_LATENCY, target="gcs",
+                                     at_s=0.0, duration_s=1.0)
+        FaultInjector(node.sim, plan).start()
+        with pytest.raises(FaultError, match="no link named 'gcs'"):
+            node.sim.run(until=seconds(1.0))
+
+
+class TestBinderFaults:
+    def test_transactions_fail_only_during_window(self, node):
+        vdrone = start_tenant(node)
+        app = vdrone.env.apps["com.example.survey"]
+        node.vdc.waypoint_reached("vd1")
+        assert app.call_service("CameraService", "capture")["status"] == "ok"
+        plan = FaultPlan(seed=1).add(FaultKind.BINDER_FAILURE, at_s=1.0,
+                                     duration_s=2.0)  # rate defaults to 1.0
+        injector_for(node, plan)
+        node.sim.run(until=seconds(1.5))
+        with pytest.raises(TransientBinderError):
+            app.call_service("CameraService", "capture")
+        node.sim.run(until=seconds(4.0))
+        assert node.driver.fault_hook is None
+        assert app.call_service("CameraService", "capture")["status"] == "ok"
+
+    def test_partial_rate_is_seed_deterministic(self, node):
+        def failures(seed):
+            local = make_node()
+            vdrone = start_tenant(local)
+            app = vdrone.env.apps["com.example.survey"]
+            local.vdc.waypoint_reached("vd1")
+            plan = FaultPlan(seed=seed).add(FaultKind.BINDER_FAILURE,
+                                            at_s=0.0, duration_s=10.0,
+                                            rate=0.5)
+            injector_for(local, plan)
+            local.sim.run(until=seconds(1.0))
+            outcomes = []
+            for _ in range(40):
+                try:
+                    app.call_service("CameraService", "capture")
+                    outcomes.append(True)
+                except TransientBinderError:
+                    outcomes.append(False)
+            return outcomes
+
+        first = failures(seed=3)
+        assert first == failures(seed=3)
+        assert first != failures(seed=4)
+        assert 5 < sum(first) < 35  # a rate, not all-or-nothing
+
+
+class TestServiceFaults:
+    def test_service_error_is_transient_and_scoped(self, node):
+        vdrone = start_tenant(node)
+        app = vdrone.env.apps["com.example.survey"]
+        node.vdc.waypoint_reached("vd1")
+        plan = FaultPlan(seed=1).add(FaultKind.SERVICE_ERROR,
+                                     target="CameraService",
+                                     at_s=1.0, duration_s=2.0)
+        injector_for(node, plan)
+        node.sim.run(until=seconds(1.5))
+        reply = app.call_service("CameraService", "capture")
+        assert reply.get("transient")
+        assert "injected transient service error" in reply["error"]
+        # Other services are untouched by a CameraService outage.
+        assert not app.call_service("LocationManagerService",
+                                    "native_get_location").get("transient")
+        node.sim.run(until=seconds(4.0))
+        assert app.call_service("CameraService", "capture")["status"] == "ok"
+
+    def test_sensor_dropout_holds_last_sample(self, node):
+        start_tenant(node)
+        plan = FaultPlan(seed=1).add(FaultKind.SENSOR_DROPOUT, target="gps",
+                                     at_s=1.0, duration_s=1.0)
+        injector_for(node, plan)
+        node.boot()
+        node.sim.run(until=seconds(3.0))
+        sensors = node.sitl.autopilot.sensors
+        assert sensors.held_samples > 0  # HAL bridge degraded, didn't fail
+
+    def test_unknown_sensor_is_an_error(self, node):
+        plan = FaultPlan(seed=1).add(FaultKind.SENSOR_DROPOUT, target="lidar",
+                                     at_s=0.0, duration_s=1.0)
+        injector_for(node, plan)
+        with pytest.raises(FaultError, match="unknown sensor 'lidar'"):
+            node.sim.run(until=seconds(1.0))
+
+
+class TestLifecycle:
+    def test_double_start_rejected(self, node):
+        injector = FaultInjector(node.sim, FaultPlan(seed=1))
+        injector.start()
+        with pytest.raises(FaultError, match="already started"):
+            injector.start()
+
+    def test_log_replays_identically(self):
+        def run():
+            local = make_node()
+            start_tenant(local)
+            plan = (FaultPlan(seed=5)
+                    .add(FaultKind.LINK_LOSS, target="vd1", at_s=1.0,
+                         duration_s=2.0)
+                    .add(FaultKind.BINDER_FAILURE, at_s=2.0, duration_s=1.0,
+                         rate=0.5)
+                    .add(FaultKind.CONTAINER_CRASH, target="vd1", at_s=4.0))
+            injector = injector_for(local, plan)
+            local.sim.run(until=seconds(6.0))
+            return injector.log
+
+        first = run()
+        assert first == run()
+        assert [(e["t"], e["action"], e["kind"]) for e in first] == [
+            (seconds(1.0), "inject", "link-loss"),
+            (seconds(2.0), "inject", "binder-failure"),
+            # Both clear at t=3; the link-loss revert was scheduled first.
+            (seconds(3.0), "clear", "link-loss"),
+            (seconds(3.0), "clear", "binder-failure"),
+            (seconds(4.0), "inject", "container-crash"),
+        ]

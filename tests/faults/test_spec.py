@@ -1,0 +1,118 @@
+"""Fault plan/spec parsing, validation, and round-tripping."""
+
+import pytest
+
+from repro.faults import FaultConfigError, FaultKind, FaultPlan, FaultSpec
+
+
+class TestFaultKind:
+    def test_parse_every_kind(self):
+        for kind in FaultKind:
+            assert FaultKind.parse(kind.value) is kind
+
+    def test_parse_unknown_kind(self):
+        with pytest.raises(FaultConfigError, match="unknown fault kind"):
+            FaultKind.parse("cosmic-ray")
+
+
+class TestSpecValidation:
+    def test_negative_at_s_rejected(self):
+        with pytest.raises(FaultConfigError, match="negative at_s"):
+            FaultSpec(FaultKind.LINK_LOSS, target="vd1", at_s=-1.0).validate()
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(FaultConfigError, match="negative duration"):
+            FaultSpec(FaultKind.LINK_LOSS, target="vd1",
+                      duration_s=-0.5).validate()
+
+    @pytest.mark.parametrize("kind", [FaultKind.CONTAINER_CRASH,
+                                      FaultKind.VDC_RESTART])
+    def test_instant_kinds_reject_duration(self, kind):
+        with pytest.raises(FaultConfigError, match="instantaneous"):
+            FaultSpec(kind, target="vd1", duration_s=1.0).validate()
+
+    def test_durable_kinds_require_target(self):
+        with pytest.raises(FaultConfigError, match="target is required"):
+            FaultSpec(FaultKind.SENSOR_DROPOUT, duration_s=1.0).validate()
+
+    def test_binder_failure_is_drone_wide(self):
+        FaultSpec(FaultKind.BINDER_FAILURE, duration_s=1.0).validate()
+
+    @pytest.mark.parametrize("rate", [0.0, -0.2, 1.5])
+    def test_rate_bounds(self, rate):
+        with pytest.raises(FaultConfigError, match="rate"):
+            FaultSpec(FaultKind.BINDER_FAILURE, duration_s=1.0,
+                      params={"rate": rate}).validate()
+
+    def test_rate_one_allowed(self):
+        FaultSpec(FaultKind.BINDER_FAILURE, duration_s=1.0,
+                  params={"rate": 1.0}).validate()
+
+
+class TestPlanBuilder:
+    def test_add_chains_and_validates(self):
+        plan = (FaultPlan(seed=3)
+                .add(FaultKind.LINK_LOSS, target="vd1", at_s=1.0,
+                     duration_s=2.0)
+                .add(FaultKind.CONTAINER_CRASH, target="vd1", at_s=5.0))
+        assert [s.kind for s in plan.faults] == [FaultKind.LINK_LOSS,
+                                                 FaultKind.CONTAINER_CRASH]
+
+    def test_add_rejects_invalid_spec(self):
+        with pytest.raises(FaultConfigError):
+            FaultPlan().add(FaultKind.LINK_LOSS, target="vd1", at_s=-1.0)
+
+    def test_params_dict_and_kwargs_equivalent(self):
+        # Regression: kwargs used to nest the params dict one level deep,
+        # silently turning a 35% binder failure rate into 100%.
+        via_dict = FaultPlan().add(FaultKind.BINDER_FAILURE, duration_s=1.0,
+                                   params={"rate": 0.35})
+        via_kwargs = FaultPlan().add(FaultKind.BINDER_FAILURE, duration_s=1.0,
+                                     rate=0.35)
+        assert via_dict.faults[0].params == {"rate": 0.35}
+        assert via_dict.faults[0] == via_kwargs.faults[0]
+
+    def test_kwargs_merge_over_params(self):
+        plan = FaultPlan().add(FaultKind.LINK_LATENCY, target="gcs",
+                               duration_s=1.0, params={"factor": 2.0},
+                               factor=8.0)
+        assert plan.faults[0].params == {"factor": 8.0}
+
+
+class TestRoundTrip:
+    def _plan(self):
+        return (FaultPlan(seed=7)
+                .add(FaultKind.LINK_LATENCY, target="gcs", at_s=4.0,
+                     duration_s=4.0, factor=8.0)
+                .add(FaultKind.BINDER_FAILURE, at_s=22.0, duration_s=3.0,
+                     rate=0.35)
+                .add(FaultKind.VDC_RESTART, at_s=46.0, downtime_s=1.0))
+
+    def test_json_round_trip(self):
+        plan = self._plan()
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_dict_round_trip(self):
+        plan = self._plan()
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(FaultConfigError, match="invalid fault plan JSON"):
+            FaultPlan.from_json("{nope")
+
+    def test_unknown_plan_keys_rejected(self):
+        with pytest.raises(FaultConfigError, match="unknown fault plan keys"):
+            FaultPlan.from_dict({"seed": 1, "chaos": True})
+
+    def test_unknown_spec_keys_rejected(self):
+        with pytest.raises(FaultConfigError, match="unknown fault spec keys"):
+            FaultSpec.from_dict({"kind": "link-loss", "target": "vd1",
+                                 "when": 3.0})
+
+    def test_spec_missing_kind_rejected(self):
+        with pytest.raises(FaultConfigError, match="missing 'kind'"):
+            FaultSpec.from_dict({"target": "vd1"})
+
+    def test_faults_must_be_list(self):
+        with pytest.raises(FaultConfigError, match="must be a list"):
+            FaultPlan.from_dict({"faults": {"kind": "link-loss"}})
