@@ -2,26 +2,27 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples results trace chaos clean
+.PHONY: install test bench examples results trace chaos soak check clean
 
 TRACE_FILE ?= trace.jsonl
 CHAOS_TRACE ?= chaos-trace.jsonl
 CHAOS_SEED ?= 42
+SOAK_TRACE ?= soak-trace.jsonl
 
 install:
 	$(PYTHON) setup.py develop
 
-test: chaos
-	$(PYTHON) -m pytest tests/
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/
 
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
 examples:
-	for script in examples/*.py; do echo "== $$script"; $(PYTHON) $$script; done
+	for script in examples/*.py; do echo "== $$script"; PYTHONPATH=src $(PYTHON) $$script; done
 
 results: ## regenerate the paper tables/figures into benchmarks/results/
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 chaos: ## fly the seeded chaos mission with telemetry on, then check the trace
 	PYTHONPATH=src ANDRONE_TRACE=$(CHAOS_TRACE) CHAOS_SEED=$(CHAOS_SEED) \
@@ -36,6 +37,17 @@ trace: ## fly the quickstart with telemetry on, then smoke-check the trace
 		--require binder. --require mavproxy. --require vdc. \
 		--require container.
 
+soak: ## soak a small fleet (2 drones x 4 tenants, chaos on), then check the trace
+	PYTHONPATH=src ANDRONE_TRACE=$(SOAK_TRACE) $(PYTHON) examples/fleet_soak.py
+	PYTHONPATH=src $(PYTHON) -m repro.obs.check $(SOAK_TRACE) \
+		--require loadgen. --require binder. --require vdc. \
+		--require vfc. --require fault.
+
+check: test soak ## what CI gates on: quick tests, a clean soak, smoke-scale bench
+	PYTHONPATH=src SCALE_SMOKE=1 $(PYTHON) -m pytest \
+		benchmarks/bench_scale.py --benchmark-only
+
 clean:
-	rm -rf .pytest_cache benchmarks/results .benchmarks trace.jsonl chaos-trace.jsonl
+	rm -rf .pytest_cache benchmarks/results .benchmarks \
+		trace.jsonl chaos-trace.jsonl soak-trace.jsonl
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Fleet soak: F drones x T virtual drones, mixed workloads, live invariants.
+
+The load generator behind docs/SCALING.md, packaged as a runnable soak:
+a seeded :class:`FleetScenario` spins every tenant through the real
+portal -> planner -> VDC -> binder -> MAVProxy path while an
+:class:`InvariantMonitor` sweeps isolation, geofence containment,
+allotment accounting and metric monotonicity twice a simulated second.
+
+Environment knobs (all optional):
+
+=============  =======  ==================================================
+Variable       Default  Meaning
+=============  =======  ==================================================
+SOAK_SEED      42       scenario seed (same seed => byte-identical trace)
+SOAK_DRONES    2        physical drones flying concurrently
+SOAK_TENANTS   4        virtual drones multiplexed per physical drone
+SOAK_CHAOS     1        chaos level: 0 off, 1 faults, 2 adds crash/restart
+ANDRONE_TRACE  (unset)  write the telemetry trace to this JSONL path
+=============  =======  ==================================================
+
+Exit status is 0 only if every tenant completed and no invariant broke —
+``make soak`` gates on that plus a trace check.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import repro.obs as obs
+from repro.loadgen import FleetScenario, run_scenario
+
+
+def main() -> int:
+    scenario = FleetScenario(
+        seed=int(os.environ.get("SOAK_SEED", "42")),
+        drones=int(os.environ.get("SOAK_DRONES", "2")),
+        tenants_per_drone=int(os.environ.get("SOAK_TENANTS", "4")),
+        chaos_level=int(os.environ.get("SOAK_CHAOS", "1")),
+    )
+    print(f"scenario: {scenario.to_json()}")
+
+    result = run_scenario(scenario)
+
+    print(f"\nsoak complete in {result.duration_s:.0f} s (sim time), "
+          f"{result.waypoints_serviced} waypoint(s) serviced, "
+          f"{result.faults_injected} fault(s) injected, "
+          f"{result.restarts} container restart(s)")
+    header = (f"{'tenant':<18} {'wl':<12} {'done':<5} {'wps':>3} "
+              f"{'time(s)':>8} {'energy(J)':>10} {'files':>5} "
+              f"{'beats':>6} {'frames':>6}  frame p95")
+    print(header)
+    print("-" * len(header))
+    for name, s in sorted(result.tenants.items()):
+        p95 = (f"{s.frame_latency_p95_us / 1e3:.1f} ms"
+               if s.frame_latency_p95_us is not None else "-")
+        print(f"{name:<18} {s.workload:<12} "
+              f"{'yes' if s.completed else 'NO':<5} "
+              f"{s.waypoints_completed:>3} {s.time_used_s:>8.1f} "
+              f"{s.energy_used_j:>10.1f} {s.files_delivered:>5} "
+              f"{s.heartbeats:>6} {s.frames:>6}  {p95}")
+
+    print(f"\ninvariants: {result.invariant_checks} sweeps, "
+          f"{len(result.violations)} violation(s)")
+    for violation in result.violations[:20]:
+        print(f"  {violation}")
+
+    trace_path = os.environ.get(obs.TRACE_ENV)
+    if trace_path:
+        written = obs.export_jsonl(trace_path)
+        print(f"telemetry: {written} records -> {trace_path}")
+
+    all_done = len(result.completed) == scenario.total_tenants
+    print(f"\nfleet soak {'CLEAN' if all_done and not result.violations else 'FAILED'}: "
+          f"{len(result.completed)}/{scenario.total_tenants} tenants completed")
+    return 0 if all_done and not result.violations else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

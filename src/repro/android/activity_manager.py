@@ -11,7 +11,7 @@ device grants and the current waypoint state.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set
+from typing import Callable, Dict, List, Optional, Set
 
 from repro.android.permissions import Permission
 from repro.binder.objects import Transaction
@@ -28,14 +28,24 @@ class ActivityManager:
         # uid -> package, so checks can be made by calling uid.
         self._uid_package: Dict[int, str] = {}
         self.check_count = 0
+        #: invalidation hook for the device container's PermissionCache:
+        #: called with the list of uids whose grants just changed.
+        self.on_permissions_changed: Optional[Callable[[List[int]], None]] = None
+
+    def _changed(self, uids: List[int]) -> None:
+        if self.on_permissions_changed is not None and uids:
+            self.on_permissions_changed(uids)
 
     def grant_install_permissions(self, package: str, uid: int,
                                   permissions) -> None:
         self._granted[package] = set(permissions)
         self._uid_package[uid] = package
+        self._changed([uid])
 
     def revoke_all(self, package: str) -> None:
         self._granted.pop(package, None)
+        self._changed(sorted(uid for uid, pkg in self._uid_package.items()
+                             if pkg == package))
 
     def package_for_uid(self, uid: int) -> Optional[str]:
         return self._uid_package.get(uid)

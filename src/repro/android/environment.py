@@ -17,8 +17,23 @@ from repro.android.system_server import SystemServer
 from repro.binder import BinderDriver, BinderError, ServiceManager
 from repro.kernel.namespaces import Namespace
 
-_pids = itertools.count(1000)
-_uids = itertools.count(10_000)
+# Kernel-scoped (per BinderDriver) pid/uid allocation, lazily attached to
+# the driver on first use.  Module-global counters would leak process
+# lifetime into uids — which appear in telemetry events — and break the
+# replay guarantee that two identical in-process runs trace identically
+# (the same class of fix as the PR-2 instance-scoped order/VDR ids).
+
+
+def _alloc_pid(driver) -> int:
+    if not hasattr(driver, "_pid_counter"):
+        driver._pid_counter = itertools.count(1000)
+    return next(driver._pid_counter)
+
+
+def _alloc_uid(driver) -> int:
+    if not hasattr(driver, "_uid_counter"):
+        driver._uid_counter = itertools.count(10_000)
+    return next(driver._uid_counter)
 
 
 class AndroidEnvironment:
@@ -38,9 +53,17 @@ class AndroidEnvironment:
         #: VDC policy hook: (container, androne_device) -> bool.  Installed
         #: by the VDC on the *device container's* environment.
         self.permission_hook: Optional[Callable[[str, str], bool]] = None
+        #: Cross-container checkPermission memo (device container only) —
+        #: consulted by SystemService before the binder round trip and
+        #: invalidated by the calling containers' ActivityManagers.
+        from repro.android.permissions import PermissionCache
+
+        self.permission_cache: Optional[PermissionCache] = \
+            PermissionCache() if is_device_container else None
 
         self.binder_proc = driver.open(
-            next(_pids), euid=1000, container=container_name, device_ns=device_ns
+            _alloc_pid(driver), euid=1000, container=container_name,
+            device_ns=device_ns
         )
         self.service_manager = ServiceManager(
             self.binder_proc, is_device_container=is_device_container
@@ -92,12 +115,12 @@ class AndroidEnvironment:
         """Install an app: assign a uid, grant install-time permissions."""
         if android_manifest.package in self.apps:
             raise ValueError(f"app {android_manifest.package!r} already installed")
-        uid = next(_uids)
+        uid = _alloc_uid(self.driver)
         self.activity_manager.grant_install_permissions(
             android_manifest.package, uid, android_manifest.permissions
         )
         app = App(self, android_manifest, androne_manifest, uid=uid,
-                  pid=next(_pids), container=container)
+                  pid=_alloc_pid(self.driver), container=container)
         self.apps[android_manifest.package] = app
         return app
 

@@ -128,7 +128,17 @@ class SystemService:
                 self.required_permission, txn.calling_euid
             )
         # Modified checkPermission(): find the *calling* container's AM by
-        # the scoped name PUBLISH_TO_DEV_CON registered.
+        # the scoped name PUBLISH_TO_DEV_CON registered.  The answer only
+        # changes when that AM's grant table changes, which fires explicit
+        # invalidation — so a memoized answer short-circuits the whole
+        # binder round trip (the saturated hot path under service-call
+        # storms; see docs/SCALING.md).
+        cache = self.env.permission_cache
+        if cache is not None:
+            cached = cache.lookup(txn.calling_container, txn.calling_euid,
+                                  self.required_permission)
+            if cached is not None:
+                return cached
         scoped = f"ActivityManager@{txn.calling_container}"
         if not self.env.service_manager.has_service(scoped):
             return False
@@ -145,8 +155,13 @@ class SystemService:
             )
         except RetriesExhausted:
             # Fail closed: an unreachable ActivityManager grants nothing.
+            # Transient failures are never cached.
             return False
-        return bool(reply.get("granted"))
+        granted = bool(reply.get("granted"))
+        if cache is not None:
+            cache.store(txn.calling_container, txn.calling_euid,
+                        self.required_permission, granted)
+        return granted
 
     # -- client/session tracking (used by VDC revocation) -----------------------------
     def attach_client(self, txn: Transaction) -> None:

@@ -75,6 +75,10 @@ class BinderProcess:
         self.container = container
         self.device_ns = device_ns
         self._handles: Dict[int, BinderNode] = {}
+        #: reverse index, node_id -> handle, keeping handle installation
+        #: O(1) however many handles the process holds.  Node ids are
+        #: driver-unique and never reused, so entries cannot alias.
+        self._handle_index: Dict[int, int] = {}
         self._next_handle = itertools.count(1)  # 0 is the context manager
         self._nodes: list = []
         self.closed = False
@@ -88,11 +92,29 @@ class BinderProcess:
 
     def _install_ref(self, node: BinderNode) -> int:
         """Translate a node into a handle in this process's table."""
+        if self.driver.use_handle_index:
+            handle = self._handle_index.get(node.node_id)
+            if handle is not None:
+                return handle
+            handle = next(self._next_handle)
+            self._handles[handle] = node
+            self._handle_index[node.node_id] = handle
+            return handle
+        return self._install_ref_linear(node)
+
+    def _install_ref_linear(self, node: BinderNode) -> int:
+        """The pre-index reference path: scan the whole handle table.
+
+        Kept (behind ``driver.use_handle_index = False``) as the oracle for
+        the route-index equivalence property test; the index is maintained
+        even here so the flag can be toggled mid-run.
+        """
         for handle, existing in self._handles.items():
             if existing is node:
                 return handle
         handle = next(self._next_handle)
         self._handles[handle] = node
+        self._handle_index[node.node_id] = handle
         return handle
 
     def ref_for_handle(self, handle: int) -> NodeRef:
@@ -216,6 +238,10 @@ class BinderDriver:
         #: (see repro.faults).  None in production — a single is-None check
         #: is the entire disabled-path cost.
         self.fault_hook: Optional[Callable] = None
+        #: O(1) handle installation via the per-process reverse index.
+        #: False falls back to the original linear handle-table scan —
+        #: kept for A/B benchmarks and the equivalence property test.
+        self.use_handle_index: bool = True
 
     def open(self, pid: int, euid: int, container: str, device_ns: Namespace) -> BinderProcess:
         proc = BinderProcess(self, pid, euid, container, device_ns)

@@ -83,6 +83,7 @@ class WebPortal:
             "standard": "quadcopter with camera and GPS",
             "video": "quadcopter specialized for stabilized video",
             "sensor": "quadcopter with environmental sensor payload",
+            "dense": "high-capacity quadcopter for many concurrent tenants",
         }
         self.orders: Dict[int, Order] = {}
         # Per-portal, not module-global: two AnDroneSystems in the same

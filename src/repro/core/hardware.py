@@ -87,6 +87,15 @@ DRONE_TYPE_PROFILES = {
         battery_capacity_wh=66.6,
         camera_width=1640, camera_height=1232,
     ),
+    # Multi-tenant platform for fleet soaks: a CM4-class companion with
+    # 4 GB usable RAM (16+ virtual drones at 185 MB each, Section 6.3's
+    # footprint) and a bigger pack to hold many operating windows.
+    "dense": HardwareProfile(
+        name="cm4-navio2-dense",
+        cpu_freq_mhz=1500,
+        memory_kb=4 * 1024 * 1024,
+        battery_capacity_wh=111.0,      # 10 Ah 3S
+    ),
 }
 
 

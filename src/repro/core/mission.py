@@ -117,6 +117,12 @@ class MissionRunner:
                 f"{point.longitude:.6f}")
 
     # -- the flight ------------------------------------------------------------------------
+    def steps(self):
+        """The mission as a plain generator, for embedding in a larger
+        simulation process (a fleet harness chaining flights on one
+        drone while other drones fly concurrently)."""
+        return self._mission_steps()
+
     def start_async(self) -> Process:
         """Run the mission as a simulation process (non-blocking), so
         several drones can fly concurrently on the shared clock."""

@@ -26,17 +26,24 @@ class GpsFix:
     hdop: float
     satellites: int
     fix_type: int  # 3 = 3D fix
+    # Doppler-derived ENU velocity.  u-blox receivers measure velocity from
+    # carrier Doppler, so it is an order of magnitude quieter than anything
+    # obtainable by differencing the (white-noise) position fixes.
+    velocity_e_ms: float = 0.0
+    velocity_n_ms: float = 0.0
 
 
 class GpsReceiver(Device):
     """Single-client GPS with 5 Hz fixes and Gaussian position noise."""
 
     def __init__(self, name: str = "gps", state_provider=None, rng=None,
-                 noise_m: float = 1.2, rate_hz: float = 5.0):
+                 noise_m: float = 1.2, rate_hz: float = 5.0,
+                 velocity_noise_ms: float = 0.12):
         super().__init__(name, state_provider)
         self._rng = rng
         self.noise_m = noise_m
         self.rate_hz = rate_hz
+        self.velocity_noise_ms = velocity_noise_ms
 
     def read_fix(self, handle: DeviceHandle) -> GpsFix:
         self._check(handle)
@@ -47,6 +54,9 @@ class GpsReceiver(Device):
         lon_scale = M_PER_DEG_LAT * max(0.01, math.cos(math.radians(state.latitude)))
         lon = state.longitude + noise_e / lon_scale
         vx, vy, _ = state.velocity_enu
+        vel_noise = self.velocity_noise_ms
+        vel_e = vx + (self._rng.gauss(0.0, vel_noise) if self._rng else 0.0)
+        vel_n = vy + (self._rng.gauss(0.0, vel_noise) if self._rng else 0.0)
         return GpsFix(
             time_us=state.time_us,
             latitude=lat,
@@ -56,4 +66,6 @@ class GpsReceiver(Device):
             hdop=0.9,
             satellites=12,
             fix_type=3,
+            velocity_e_ms=vel_e,
+            velocity_n_ms=vel_n,
         )

@@ -49,6 +49,14 @@ from repro.mavlink.messages import (
 #: Horizontal acceptance radius for waypoints, meters (ArduPilot default 2m).
 WP_ACCEPT_M = 2.0
 
+#: RTL may begin its vertical descent anywhere within this radius of the
+#: pad.  The hover equilibrium under estimation noise can settle just
+#: outside WP_ACCEPT_M, so gating the descent on waypoint-grade precision
+#: leaves RTL hovering forever on unlucky trajectories (fleet soaks under
+#: chaos hit this); landing descends straight down from within the pad
+#: area regardless.
+RTL_LAND_ACCEPT_M = 2.0 * WP_ACCEPT_M
+
 
 class DirectSensors:
     """Sensor frontend that owns its devices (standalone / SITL mode)."""
@@ -392,24 +400,16 @@ class Autopilot:
             east, north, _ = enu_between(self.home, GeoPoint(fix.latitude, fix.longitude))
             if self.log is not None:
                 self.log.record_gps(self.time_us, east, north)
-            # GPS velocity: project ground speed on last known direction —
-            # simplification: use position deltas via the filter instead.
+            # Fuse the receiver's Doppler velocity.  Differencing consecutive
+            # position fixes amplifies the white position noise ~40x at 5 Hz
+            # (sigma ~8 m/s) and the velocity PID's derivative term then
+            # saturates on noise — the vehicle loses the authority to close
+            # the last few metres of a hover and long soaks see RTL crawl for
+            # minutes.  Doppler velocity is quiet (~0.1 m/s) and is what real
+            # flight stacks fuse.
             self.position_est.correct_gps(east, north,
-                                          self.position_est.velocity[0],
-                                          self.position_est.velocity[1])
-            # Estimate horizontal velocity from consecutive fixes.
-            if not hasattr(self, "_last_fix_enu"):
-                self._last_fix_enu = (east, north, self.time_us)
-            else:
-                le, ln, lt = self._last_fix_enu
-                span_s = max(1e-3, (self.time_us - lt) / 1e6)
-                self.position_est.velocity[0] += 0.5 * (
-                    (east - le) / span_s - self.position_est.velocity[0]
-                )
-                self.position_est.velocity[1] += 0.5 * (
-                    (north - ln) / span_s - self.position_est.velocity[1]
-                )
-                self._last_fix_enu = (east, north, self.time_us)
+                                          fix.velocity_e_ms,
+                                          fix.velocity_n_ms)
         # Vertical velocity from baro-derived altitude changes.
         if not hasattr(self, "_last_alt"):
             self._last_alt = (self.position_est.position[2], self.time_us)
@@ -434,7 +434,7 @@ class Autopilot:
     def _navigate(self, dt_s: float) -> None:
         self.check_fence()
         if self.mode is CopterMode.RTL:
-            if self._dist_to_target() <= WP_ACCEPT_M and abs(
+            if self._dist_to_target() <= RTL_LAND_ACCEPT_M and abs(
                 self.position_est.position[2] - self.target_enu[2]
             ) < 1.5:
                 if self.target_enu[:2] == [0.0, 0.0]:

@@ -15,13 +15,29 @@ from typing import Optional, Tuple
 from repro.devices.imu import GRAVITY, ImuReading
 
 
+#: The loop rate `alpha` is tuned against.  The blend weight must scale
+#: with the actual sample interval or the filter's time constant changes
+#: with loop rate: SITLs running the fast loop slower than 400 Hz (the
+#: fleet harness uses 50 Hz) would correct gyro drift 8x+ more weakly,
+#: and the resulting steady attitude bias (~gyro_bias * tau) is enough to
+#: park a hover several metres off target.
+DESIGN_RATE_HZ = 400.0
+
+
 class AttitudeEstimator:
-    """Complementary filter over IMU samples."""
+    """Complementary filter over IMU samples.
+
+    ``alpha`` is the gyro weight per sample *at 400 Hz*; internally it is
+    converted to a time constant so the filter behaves identically at any
+    loop rate.
+    """
 
     def __init__(self, alpha: float = 0.999, yaw_gain: float = 0.05):
         if not 0.0 < alpha < 1.0:
             raise ValueError("alpha must be in (0, 1)")
         self.alpha = alpha
+        # (1 - alpha) per sample at DESIGN_RATE_HZ == dt/tau per second.
+        self.tau_s = 1.0 / (DESIGN_RATE_HZ * (1.0 - alpha))
         self.yaw_gain = yaw_gain
         self.roll = 0.0
         self.pitch = 0.0
@@ -43,8 +59,9 @@ class AttitudeEstimator:
         if 0.5 * GRAVITY < accel_norm < 1.5 * GRAVITY:
             accel_roll = math.atan2(ay, az)
             accel_pitch = math.atan2(-ax, math.sqrt(ay * ay + az * az))
-            self.roll = self.alpha * gyro_roll + (1 - self.alpha) * accel_roll
-            self.pitch = self.alpha * gyro_pitch + (1 - self.alpha) * accel_pitch
+            alpha = math.exp(-dt_s / self.tau_s)
+            self.roll = alpha * gyro_roll + (1 - alpha) * accel_roll
+            self.pitch = alpha * gyro_pitch + (1 - alpha) * accel_pitch
         else:
             self.roll = gyro_roll
             self.pitch = gyro_pitch

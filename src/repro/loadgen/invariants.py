@@ -1,0 +1,198 @@
+"""Continuous invariants checked while a fleet soaks.
+
+The monitor rides the simulation clock (every ``interval_s`` of sim
+time) and asserts the properties the paper's design promises must hold
+at *every* instant, not just at the end of a flight:
+
+* **tenant isolation** — at most one tenant per drone is ``AT_WAYPOINT``
+  and it is the VDC's ``active_tenant``; finished tenants are denied
+  every device they ever had.
+* **geofence containment** — while a fenced tenant's VFC is ACTIVE the
+  physical drone stays inside that waypoint's geofence (RECOVERING /
+  HOLDING are the sanctioned excursion-handling states and are exempt).
+* **allotment accounting** — per-tenant ``time_used``/``energy_used``
+  never decrease and never exceed the purchased allotment (plus the
+  VDC's one enforcement-tick grace).
+* **metric monotonicity** — no ``obs`` counter ever goes backwards
+  (when telemetry is enabled).
+
+Violations are collected, not raised, so a soak reports *all* breakage;
+``InvariantMonitor.assert_clean()`` is the one-liner for tests.
+
+The checks read plain attributes only (``policy._tenants`` phases via
+``phase_of``, autopilot position, battery accounts) — they never call
+``policy.allows`` or any instrumented path, so watching a run does not
+perturb its trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import repro.obs as obs
+from repro.vdc.device_access import TenantPhase
+
+#: meters of slack on containment: breach detection, recovery planning
+#: and the recovery flight itself all take sim time during which the
+#: drone is legitimately just outside the fence.
+FENCE_SLACK_M = 10.0
+
+#: seconds of slack on the duration allotment: the VDC enforces on a 1 s
+#: tick and the mission runner grants +10 s to wrap up (see
+#: MissionRunner window_s), so momentary overshoot up to ~15 s is the
+#: design working, not breaking.
+TIME_SLACK_S = 30.0
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One broken promise, timestamped on the sim clock."""
+
+    t_us: int
+    drone: str
+    rule: str
+    detail: str
+
+    def __str__(self) -> str:
+        return (f"[t={self.t_us / 1e6:.2f}s] {self.drone}: "
+                f"{self.rule}: {self.detail}")
+
+
+class InvariantMonitor:
+    """Periodically checks every watched drone node.
+
+    ``watch(name, node)`` before ``start()``; read ``violations`` (or
+    call ``assert_clean()``) after the run.  ``checks`` counts completed
+    sweeps so tests can prove the monitor actually ran.
+    """
+
+    def __init__(self, sim, interval_s: float = 0.5):
+        self.sim = sim
+        self.interval_us = int(interval_s * 1e6)
+        self.violations: List[InvariantViolation] = []
+        self.checks = 0
+        self._nodes: Dict[str, object] = {}
+        self._running = False
+        # high-water marks for the accounting invariants.
+        self._time_seen: Dict[Tuple[str, str], float] = {}
+        self._energy_seen: Dict[Tuple[str, str], float] = {}
+        self._counters_seen: Dict[Tuple[str, Tuple], float] = {}
+
+    # -- wiring ---------------------------------------------------------------
+    def watch(self, name: str, node) -> "InvariantMonitor":
+        self._nodes[name] = node
+        return self
+
+    def start(self) -> "InvariantMonitor":
+        if not self._running:
+            self._running = True
+            self._tick()
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+
+    # -- reporting ------------------------------------------------------------
+    def assert_clean(self) -> None:
+        if self.violations:
+            lines = "\n".join(f"  {v}" for v in self.violations[:20])
+            more = len(self.violations) - 20
+            suffix = f"\n  ... and {more} more" if more > 0 else ""
+            raise AssertionError(
+                f"{len(self.violations)} invariant violation(s):\n"
+                f"{lines}{suffix}")
+
+    def _flag(self, drone: str, rule: str, detail: str) -> None:
+        self.violations.append(
+            InvariantViolation(self.sim.now, drone, rule, detail))
+
+    # -- the sweep ------------------------------------------------------------
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        for name, node in self._nodes.items():
+            self._check_isolation(name, node)
+            self._check_containment(name, node)
+            self._check_allotments(name, node)
+        self._check_counters()
+        self.checks += 1
+        self.sim.after(self.interval_us, self._tick)
+
+    def _check_isolation(self, name: str, node) -> None:
+        vdc = node.vdc
+        at_waypoint = [tenant for tenant in vdc.drones
+                       if vdc.policy.phase_of(tenant) is TenantPhase.AT_WAYPOINT]
+        if len(at_waypoint) > 1:
+            self._flag(name, "isolation",
+                       f"{len(at_waypoint)} tenants active at a waypoint "
+                       f"simultaneously: {sorted(at_waypoint)}")
+        if at_waypoint and vdc.active_tenant not in at_waypoint:
+            self._flag(name, "isolation",
+                       f"active_tenant={vdc.active_tenant!r} but "
+                       f"AT_WAYPOINT={sorted(at_waypoint)}")
+        # Finished tenants keep no device access (policy reads only —
+        # allows() would count queries and perturb the trace).
+        for tenant, drone in vdc.drones.items():
+            if not drone.finished:
+                continue
+            if vdc.policy.phase_of(tenant) not in (TenantPhase.FINISHED, None):
+                self._flag(name, "isolation",
+                           f"finished tenant {tenant} still in phase "
+                           f"{vdc.policy.phase_of(tenant)}")
+
+    def _check_containment(self, name: str, node) -> None:
+        position = node.sitl.autopilot.position()
+        for tenant, drone in node.vdc.drones.items():
+            vfc = drone.vfc
+            # ACTIVE is the only state promising containment; RECOVERING
+            # and HOLDING are the sanctioned ways out of an excursion.
+            if vfc.state.name != "ACTIVE":
+                continue
+            autopilot = node.sitl.autopilot
+            fence = autopilot.fence if autopilot.fence_enabled else None
+            if fence is None or node.vdc.active_tenant != tenant:
+                continue
+            distance = fence.center.horizontal_distance_to(position)
+            if distance > fence.radius_m + FENCE_SLACK_M:
+                self._flag(name, "containment",
+                           f"{tenant} ACTIVE but drone {distance:.1f} m from "
+                           f"fence center (radius {fence.radius_m:.0f} m)")
+
+    def _check_allotments(self, name: str, node) -> None:
+        vdc = node.vdc
+        for tenant, drone in vdc.drones.items():
+            time_used = vdc.time_used(tenant)
+            energy_used = vdc.energy_used(tenant)
+            key = (name, tenant)
+            if time_used < self._time_seen.get(key, 0.0) - 1e-9:
+                self._flag(name, "allotment",
+                           f"{tenant} time_used went backwards: "
+                           f"{self._time_seen[key]:.3f} -> {time_used:.3f}")
+            if energy_used < self._energy_seen.get(key, 0.0) - 1e-6:
+                self._flag(name, "allotment",
+                           f"{tenant} energy_used went backwards: "
+                           f"{self._energy_seen[key]:.3f} -> {energy_used:.3f}")
+            self._time_seen[key] = max(self._time_seen.get(key, 0.0), time_used)
+            self._energy_seen[key] = max(self._energy_seen.get(key, 0.0),
+                                         energy_used)
+            limit_s = drone.definition.max_duration_s + TIME_SLACK_S
+            if time_used > limit_s:
+                self._flag(name, "allotment",
+                           f"{tenant} used {time_used:.1f} s of a "
+                           f"{drone.definition.max_duration_s:.0f} s allotment "
+                           f"(+{TIME_SLACK_S:.0f} s grace)")
+
+    def _check_counters(self) -> None:
+        if not obs.enabled():
+            return
+        for instrument in obs.get_registry().instruments():
+            if getattr(instrument, "kind", None) != "counter":
+                continue
+            key = (instrument.name, tuple(sorted(instrument.labels.items())))
+            last = self._counters_seen.get(key)
+            if last is not None and instrument.value < last:
+                self._flag("*", "metrics",
+                           f"counter {instrument.name}{instrument.labels} "
+                           f"went backwards: {last} -> {instrument.value}")
+            self._counters_seen[key] = instrument.value

@@ -33,6 +33,12 @@ def x25_crc(data: bytes, crc: int = 0xFFFF) -> int:
 
 
 def _pack_payload(msg: MavlinkMessage) -> bytes:
+    # Messages are value objects (constructed, sent, never mutated), so
+    # the packed payload is memoized on the instance: a telemetry
+    # snapshot shared across a whole fan-out round packs exactly once.
+    packed = msg.__dict__.get("_packed_payload")
+    if packed is not None:
+        return packed
     parts = []
     for name, fmt in msg.FIELDS:
         value = getattr(msg, name)
@@ -42,7 +48,9 @@ def _pack_payload(msg: MavlinkMessage) -> bytes:
             parts.append(raw.ljust(width, b"\0"))
         else:
             parts.append(struct.pack("<" + fmt, value))
-    return b"".join(parts)
+    packed = b"".join(parts)
+    msg.__dict__["_packed_payload"] = packed
+    return packed
 
 
 def _unpack_payload(cls, payload: bytes) -> MavlinkMessage:

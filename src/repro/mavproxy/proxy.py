@@ -36,6 +36,14 @@ class MavProxy:
         self.drone = drone
         self.vfcs: Dict[str, VirtualFlightController] = {}
         self.master_commands = 0
+        # Telemetry-round snapshot (see TelemetryFanout): while a round is
+        # open at the current sim timestamp, every VFC shares one real
+        # heartbeat/position instead of re-reading the autopilot per
+        # tenant.  Closed (None) outside fan-out rounds, so individually
+        # scheduled servers behave exactly as before.
+        self._round_at_us: Optional[int] = None
+        self._round_heartbeat: Optional[Heartbeat] = None
+        self._round_position: Optional[GlobalPositionInt] = None
 
     @property
     def home(self) -> GeoPoint:
@@ -108,10 +116,36 @@ class MavProxy:
                                     + msg.r / 1000.0 * 0.5)
 
     def fc_heartbeat(self) -> Heartbeat:
+        if self._round_at_us == self.sim.now:
+            if self._round_heartbeat is None:
+                self._round_heartbeat = self.drone.autopilot.make_heartbeat()
+            return self._round_heartbeat
         return self.drone.autopilot.make_heartbeat()
 
     def fc_global_position(self) -> GlobalPositionInt:
+        if self._round_at_us == self.sim.now:
+            if self._round_position is None:
+                self._round_position = \
+                    self.drone.autopilot.make_global_position()
+            return self._round_position
         return self.drone.autopilot.make_global_position()
+
+    # -- telemetry rounds (driven by TelemetryFanout) ----------------------------------
+    def begin_telemetry_round(self) -> None:
+        """Open a shared-snapshot window at the current sim timestamp.
+
+        No autopilot state changes inside a fan-out round (the round is a
+        single simulator event), so one heartbeat/position read serves
+        every tenant.
+        """
+        self._round_at_us = self.sim.now
+        self._round_heartbeat = None
+        self._round_position = None
+
+    def end_telemetry_round(self) -> None:
+        self._round_at_us = None
+        self._round_heartbeat = None
+        self._round_position = None
 
     def fc_position(self) -> GeoPoint:
         return self.drone.autopilot.position()
@@ -147,3 +181,72 @@ class MavProxy:
                 self.sim.after(250_000, poll)
 
         self.sim.after(250_000, poll)
+
+
+class TelemetryFanout:
+    """Batched MAVLink telemetry fan-out for many tenants on one drone.
+
+    Self-scheduled :class:`~repro.mavproxy.server.VfcServer` timers cost
+    two simulator events per tenant per period and re-read the autopilot
+    once per tenant.  The fanout replaces them with *two* shared timers
+    for the whole drone: each round opens a proxy telemetry snapshot (one
+    real heartbeat/position read, shared — and, via the codec's payload
+    memo, packed once), emits every registered server's frame, and closes
+    the snapshot.  Adding T tenants adds zero timers.
+
+    Servers added here must not also self-schedule; ``add_server`` marks
+    them fanout-driven so their ``start()`` skips the private timers.
+    """
+
+    def __init__(self, sim, proxy: MavProxy, heartbeat_hz: float = 1.0,
+                 position_hz: float = 4.0):
+        self.sim = sim
+        self.proxy = proxy
+        self.heartbeat_period_us = int(1e6 / heartbeat_hz)
+        self.position_period_us = int(1e6 / position_hz)
+        self._servers: list = []
+        self._running = False
+        self.heartbeat_rounds = 0
+        self.position_rounds = 0
+
+    def add_server(self, server) -> None:
+        server.attach_fanout(self)
+        self._servers.append(server)
+
+    @property
+    def servers(self) -> list:
+        return list(self._servers)
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._heartbeat_round()
+        self._position_round()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _heartbeat_round(self) -> None:
+        if not self._running:
+            return
+        self.heartbeat_rounds += 1
+        self.proxy.begin_telemetry_round()
+        try:
+            for server in self._servers:
+                server.emit_heartbeat()
+        finally:
+            self.proxy.end_telemetry_round()
+        self.sim.after(self.heartbeat_period_us, self._heartbeat_round)
+
+    def _position_round(self) -> None:
+        if not self._running:
+            return
+        self.position_rounds += 1
+        self.proxy.begin_telemetry_round()
+        try:
+            for server in self._servers:
+                server.emit_position()
+        finally:
+            self.proxy.end_telemetry_round()
+        self.sim.after(self.position_period_us, self._position_round)

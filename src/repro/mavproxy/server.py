@@ -43,17 +43,25 @@ class VfcServer:
         self.heartbeat_period_us = int(1e6 / heartbeat_hz)
         self.position_period_us = int(1e6 / position_hz)
         self._running = False
+        self._fanout = None
         self.commands_handled = 0
 
     def start(self) -> None:
         if self._running:
             return
         self._running = True
-        self._heartbeat_tick()
-        self._position_tick()
+        if self._fanout is None:
+            # Classic mode: two private timers (unchanged behaviour).  A
+            # fanout-driven server is ticked by the shared rounds instead.
+            self._heartbeat_tick()
+            self._position_tick()
 
     def stop(self) -> None:
         self._running = False
+
+    def attach_fanout(self, fanout) -> None:
+        """Hand telemetry scheduling to a shared TelemetryFanout."""
+        self._fanout = fanout
 
     # -- inbound ----------------------------------------------------------------
     def _on_message(self, msg: MavlinkMessage, sysid: int, compid: int) -> None:
@@ -65,17 +73,27 @@ class VfcServer:
             self._flush_outbox()
 
     # -- outbound telemetry ------------------------------------------------------
-    def _heartbeat_tick(self) -> None:
+    def emit_heartbeat(self) -> None:
         if not self._running:
             return
         self.connection.send(self.vfc.heartbeat())
         self._flush_outbox()
+
+    def emit_position(self) -> None:
+        if not self._running:
+            return
+        self.connection.send(self.vfc.global_position())
+
+    def _heartbeat_tick(self) -> None:
+        if not self._running:
+            return
+        self.emit_heartbeat()
         self.sim.after(self.heartbeat_period_us, self._heartbeat_tick)
 
     def _position_tick(self) -> None:
         if not self._running:
             return
-        self.connection.send(self.vfc.global_position())
+        self.emit_position()
         self.sim.after(self.position_period_us, self._position_tick)
 
     def _flush_outbox(self) -> None:

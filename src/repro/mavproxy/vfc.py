@@ -239,18 +239,24 @@ class VirtualFlightController:
         return None, ""
 
     # -- the virtualized view ----------------------------------------------------------
+    #: The synthetic views are stateless, so one shared instance serves
+    #: every tenant (and the codec packs its payload exactly once).
+    _APPROACHING_HEARTBEAT = Heartbeat(
+        custom_mode=int(CopterMode.GUIDED),
+        base_mode=CUSTOM_MODE_ENABLED | SAFETY_ARMED,
+        system_status=int(MavState.ACTIVE))
+    _IDLE_HEARTBEAT = Heartbeat(
+        custom_mode=int(CopterMode.STABILIZE),
+        base_mode=CUSTOM_MODE_ENABLED,
+        system_status=int(MavState.STANDBY))
+
     def heartbeat(self) -> Heartbeat:
-        real = self.proxy.fc_heartbeat()
         if self.state in _LIVE_STATES:
-            return real
+            return self.proxy.fc_heartbeat()
         if self.state is VfcState.APPROACHING:
-            return Heartbeat(custom_mode=int(CopterMode.GUIDED),
-                             base_mode=CUSTOM_MODE_ENABLED | SAFETY_ARMED,
-                             system_status=int(MavState.ACTIVE))
+            return self._APPROACHING_HEARTBEAT
         # Idle on the ground (INACTIVE) or landed (FINISHED).
-        return Heartbeat(custom_mode=int(CopterMode.STABILIZE),
-                         base_mode=CUSTOM_MODE_ENABLED,
-                         system_status=int(MavState.STANDBY))
+        return self._IDLE_HEARTBEAT
 
     def global_position(self) -> GlobalPositionInt:
         real = self.proxy.fc_global_position()

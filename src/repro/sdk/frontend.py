@@ -11,6 +11,7 @@ input, as in the paper's usage model.
 from __future__ import annotations
 
 import json
+import zlib
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.containers.vpn import VpnTunnel
@@ -24,9 +25,12 @@ class AppFrontendChannel:
     def __init__(self, network: Network, container: str, package: str,
                  user_address: str, link: Optional[LinkModel] = None):
         self.package = package
+        # crc32, not hash(): the port feeds endpoint addresses and through
+        # them the per-channel rng stream names, so it must be stable
+        # across processes (hash() is salted per interpreter run).
         self.tunnel = VpnTunnel(
             network, container,
-            local_address=f"10.99.0.3:{7000 + abs(hash(package)) % 1000}",
+            local_address=f"10.99.0.3:{7000 + zlib.crc32(package.encode()) % 1000}",
             remote_address=user_address,
             link=link or cellular_lte(),
         )

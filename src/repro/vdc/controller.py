@@ -157,6 +157,7 @@ class VirtualDroneController:
         container.start()
         env = AndroidEnvironment(self.driver, name, container.namespaces.device_ns)
         env.retry_am_forwarding()
+        self._wire_permission_cache(env)
         self.device_env.service_manager.publish_shared_into(
             container.namespaces.device_ns, self.driver)
         env.system_server.start()
@@ -202,6 +203,16 @@ class VirtualDroneController:
             self._enforcement_running = True
             self._enforcement_tick()
         return drone
+
+    def _wire_permission_cache(self, env: AndroidEnvironment) -> None:
+        """Connect a tenant AM's grant changes to the device container's
+        permission-cache invalidation (see PermissionCache)."""
+        cache = self.device_env.permission_cache
+        if cache is None:
+            return
+        container = env.container_name
+        env.activity_manager.on_permissions_changed = \
+            lambda uids: cache.invalidate_uids(container, uids)
 
     def get(self, name: str) -> VirtualDrone:
         return self._drone(name)
@@ -468,6 +479,12 @@ class VirtualDroneController:
             env = AndroidEnvironment(self.driver, container.name,
                                      container.namespaces.device_ns)
             env.retry_am_forwarding()
+            self._wire_permission_cache(env)
+            # The rebuilt environment assigns fresh uids; stale entries
+            # for the old instances must not outlive them.
+            if self.device_env.permission_cache is not None:
+                self.device_env.permission_cache.invalidate_container(
+                    container.name)
             self.device_env.service_manager.publish_shared_into(
                 container.namespaces.device_ns, self.driver)
             env.system_server.start()
@@ -556,6 +573,12 @@ class VirtualDroneController:
             env = AndroidEnvironment(self.driver, container.name,
                                      container.namespaces.device_ns)
             env.retry_am_forwarding()
+            self._wire_permission_cache(env)
+            # The rebuilt environment assigns fresh uids; stale entries
+            # for the old instances must not outlive them.
+            if self.device_env.permission_cache is not None:
+                self.device_env.permission_cache.invalidate_container(
+                    container.name)
             self.device_env.service_manager.publish_shared_into(
                 container.namespaces.device_ns, self.driver)
             env.system_server.start()

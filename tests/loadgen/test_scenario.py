@@ -1,0 +1,70 @@
+"""FleetScenario: validation and the JSON round trip."""
+
+import pytest
+
+from repro.loadgen import FleetScenario, ScenarioError, WORKLOADS
+
+
+class TestDefaults:
+    def test_defaults_are_valid(self):
+        scenario = FleetScenario()
+        assert scenario.seed == 42
+        assert scenario.total_tenants == scenario.drones * scenario.tenants_per_drone
+
+    def test_workload_cycling(self):
+        scenario = FleetScenario(workload_mix=["survey", "storm"])
+        assert [scenario.workload_for(i) for i in range(5)] == \
+            ["survey", "storm", "survey", "storm", "survey"]
+
+    def test_every_workload_is_known(self):
+        for workload in WORKLOADS:
+            FleetScenario(workload_mix=[workload])
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_identity(self):
+        scenario = FleetScenario(seed=7, drones=3, tenants_per_drone=5,
+                                 chaos_level=2, workload_mix=["storm"],
+                                 waypoints_per_tenant=2)
+        assert FleetScenario.from_json(scenario.to_json()) == scenario
+
+    def test_json_is_stable(self):
+        scenario = FleetScenario(seed=9)
+        assert scenario.to_json() == FleetScenario.from_json(
+            scenario.to_json()).to_json()
+
+    def test_from_dict_round_trip(self):
+        scenario = FleetScenario(drones=2)
+        assert FleetScenario.from_dict(scenario.to_dict()) == scenario
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [
+        dict(drones=0),
+        dict(tenants_per_drone=0),
+        dict(waypoints_per_tenant=0),
+        dict(workload_mix=[]),
+        dict(workload_mix=["cryptomining"]),
+        dict(chaos_level=3),
+        dict(chaos_level=-1),
+        dict(photos_per_waypoint=0),
+        dict(storm_calls=0),
+        dict(feed_frames=0),
+        dict(sitl_rate_hz=0.0),
+        dict(seed="not-an-int"),
+    ])
+    def test_bad_fields_rejected(self, bad):
+        with pytest.raises(ScenarioError):
+            FleetScenario(**bad)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown scenario fields"):
+            FleetScenario.from_dict({"drones": 1, "warp_factor": 9})
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ScenarioError, match="malformed"):
+            FleetScenario.from_json("{nope")
+
+    def test_non_object_json_rejected(self):
+        with pytest.raises(ScenarioError, match="object"):
+            FleetScenario.from_json("[1, 2]")
