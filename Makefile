@@ -2,15 +2,17 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples results trace chaos soak check clean
+.PHONY: install test bench examples results trace chaos parallel soak \
+	lint check gate baselines clean
 
 TRACE_FILE ?= trace.jsonl
 CHAOS_TRACE ?= chaos-trace.jsonl
 CHAOS_SEED ?= 42
 SOAK_TRACE ?= soak-trace.jsonl
+PARALLEL_TRACE ?= parallel-trace.jsonl
 
 install:
-	$(PYTHON) setup.py develop
+	$(PYTHON) -m pip install -e .
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/
@@ -37,17 +39,38 @@ trace: ## fly the quickstart with telemetry on, then smoke-check the trace
 		--require binder. --require mavproxy. --require vdc. \
 		--require container.
 
+parallel: ## run the serial-vs-sharded fleet demo, then check the merged trace
+	PYTHONPATH=src ANDRONE_TRACE=$(PARALLEL_TRACE) \
+		$(PYTHON) examples/parallel_fleet.py
+	PYTHONPATH=src $(PYTHON) -m repro.obs.check $(PARALLEL_TRACE) \
+		--require binder. --require loadgen. --require vdc.
+
 soak: ## soak a small fleet (2 drones x 4 tenants, chaos on), then check the trace
 	PYTHONPATH=src ANDRONE_TRACE=$(SOAK_TRACE) $(PYTHON) examples/fleet_soak.py
 	PYTHONPATH=src $(PYTHON) -m repro.obs.check $(SOAK_TRACE) \
 		--require loadgen. --require binder. --require vdc. \
 		--require vfc. --require fault.
 
+lint: ## ruff (blocking) + mypy (advisory while annotations land); pip install -e ".[lint]" first
+	ruff check src tests benchmarks examples
+	mypy src || echo "mypy: advisory for now (config in pyproject.toml)"
+
 check: test soak ## what CI gates on: quick tests, a clean soak, smoke-scale bench
 	PYTHONPATH=src SCALE_SMOKE=1 $(PYTHON) -m pytest \
 		benchmarks/bench_scale.py --benchmark-only
 
+gate: ## fail when fresh benchmark results regress vs benchmarks/baselines/
+	$(PYTHON) benchmarks/regression_gate.py
+
+baselines: ## refresh the checked-in perf baselines from a fresh smoke sweep
+	PYTHONPATH=src SCALE_SMOKE=1 $(PYTHON) -m pytest \
+		benchmarks/bench_scale.py --benchmark-only
+	cp benchmarks/results/scale.jsonl \
+		benchmarks/results/scale_hotpaths.jsonl \
+		benchmarks/results/scale_parallel.jsonl benchmarks/baselines/
+
 clean:
 	rm -rf .pytest_cache benchmarks/results .benchmarks \
-		trace.jsonl chaos-trace.jsonl soak-trace.jsonl
+		trace.jsonl chaos-trace.jsonl soak-trace.jsonl \
+		parallel-trace.jsonl shard-*.jsonl
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -7,7 +7,6 @@ flight controller's HAL).  With it, any number of tenants share all of
 Table 1's devices concurrently.
 """
 
-import pytest
 
 from repro.analysis import render_table
 from repro.devices import DeviceBusyError

@@ -8,7 +8,6 @@ extra flight costs a battery swap and a return leg).
 
 import random
 
-import pytest
 
 from repro.analysis import render_table
 from repro.cloud.planner import DroneEnergyModel, nearest_neighbor_routes, solve_vrp

@@ -8,7 +8,6 @@ percent of throughput (more under memory/disk load) in exchange for a
 untrusted virtual drones share a flight-critical CPU.
 """
 
-import pytest
 
 from repro.analysis import render_table
 from repro.kernel import Kernel, KernelConfig, PreemptionMode

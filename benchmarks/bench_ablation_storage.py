@@ -11,7 +11,6 @@ copies, and VDR bytes for stored (offline) virtual drones vs shipping
 full images.
 """
 
-import pytest
 
 from repro.analysis import render_table
 from repro.cloud import VirtualDroneRepository

@@ -6,7 +6,6 @@ against a live VFC at an active waypoint — the mechanism behind "drone
 providers can customize the degree of control a user is given".
 """
 
-import pytest
 
 from repro.analysis import render_table
 from repro.flight import Geofence, GeoPoint, SitlDrone, offset_geopoint
@@ -15,7 +14,6 @@ from repro.mavlink import (
     CopterMode,
     ManualControl,
     MavCommand,
-    MavResult,
     SetPositionTarget,
 )
 from repro.mavproxy import MavProxy, TEMPLATES

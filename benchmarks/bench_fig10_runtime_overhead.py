@@ -9,7 +9,6 @@ linearly with instance count (~3x at 3); disk ~2x / 2.2x (PREEMPT /
 PREEMPT_RT) at 3; memory ~1.8x / 2.3x at 3.
 """
 
-import pytest
 
 from repro.analysis import render_table
 from repro.kernel import Kernel, KernelConfig, PreemptionMode

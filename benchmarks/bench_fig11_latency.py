@@ -15,7 +15,6 @@ fast loop needs < 2,500 us: PREEMPT_RT always meets it, PREEMPT
 occasionally does not.
 """
 
-import pytest
 
 from repro.analysis import render_histogram, render_table
 from repro.kernel import Kernel, KernelConfig, PreemptionMode

@@ -13,7 +13,6 @@ flight tests) keeps that jitter far below anything that destabilizes the
 vehicle.
 """
 
-import pytest
 
 from repro.analysis import render_table
 from repro.flight.logs import (

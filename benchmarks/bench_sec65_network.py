@@ -12,7 +12,7 @@ receipt, and measure the RF baseline the same way.
 
 import pytest
 
-from repro.analysis import Summary, render_table, summarize
+from repro.analysis import render_table, summarize
 from repro.mavlink import CommandLong, MavCommand, MavlinkConnection
 from repro.net import Network, cellular_lte, rf_remote
 from repro.sim import Simulator, RngRegistry

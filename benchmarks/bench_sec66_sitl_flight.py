@@ -8,11 +8,10 @@ the paper's narrative: creation from definitions, correct pathing, device
 grant/deny at waypoint boundaries, breach recovery, and return to base.
 """
 
-import pytest
 
 from repro.analysis import render_table
 from repro.core import AnDroneSystem
-from repro.mavlink import CommandLong, MavCommand, SetPositionTarget
+from repro.mavlink import SetPositionTarget
 from repro.mavproxy.whitelist import FULL
 from repro.sdk import AndroneCli
 from repro.sdk.listener import WaypointListener

@@ -1,0 +1,159 @@
+"""Compare fresh benchmark jsonl results against checked-in baselines.
+
+Every benchmark exports its headline numbers as gauge records to
+``benchmarks/results/<experiment>.jsonl``; this gate reads those fresh
+records and compares them to the committed snapshots in
+``benchmarks/baselines/``, failing CI when a gated metric regresses.
+
+Gating policy (per metric name, matched on the keys present in *both*
+files — a baseline from a bigger sweep simply ignores points the fresh
+run did not produce):
+
+* ``*.speedup``                 higher is better; fail when the fresh
+                                value drops below ``baseline * (1 - tolerance)``.
+* ``*.completed``               exact: every tenant that completed at
+                                baseline must still complete.
+* ``*.violations``              exact: the invariant monitor stays clean.
+* ``*.wall_s`` / ``*.sim_s``    informational only — absolute seconds
+  / everything else             are runner noise, so they are reported
+                                but never gated.
+
+Usage::
+
+    python benchmarks/regression_gate.py [--results DIR] [--baselines DIR]
+                                         [--tolerance 0.5] [--verbose]
+
+Exit codes: 0 all gated metrics within tolerance, 1 regression detected,
+2 usage error (no baselines / no fresh results to compare).
+
+Refreshing baselines: when a perf improvement or an intentional behavior
+change moves the numbers, regenerate and commit — ``make baselines``
+runs the smoke sweep (the same one CI gates on) and copies the fresh
+jsonl into ``benchmarks/baselines/``.  See "CI" in the README.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict, List, Optional, Tuple
+
+HERE = pathlib.Path(__file__).resolve().parent
+
+#: (suffix, mode): first match wins.  Modes: exact, higher_better, info.
+POLICIES: List[Tuple[str, str]] = [
+    ("speedup", "higher_better"),
+    (".completed", "exact"),
+    (".violations", "exact"),
+]
+
+Key = Tuple[str, str]
+
+
+def load_gauges(path: pathlib.Path) -> Dict[Key, float]:
+    """Gauge records of one jsonl file, keyed on (name, labels-json)."""
+    gauges: Dict[Key, float] = {}
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("kind") != "gauge":
+                continue
+            key = (record["name"],
+                   json.dumps(record.get("labels", {}), sort_keys=True))
+            gauges[key] = float(record["value"])
+    return gauges
+
+
+def policy_for(name: str) -> str:
+    for suffix, mode in POLICIES:
+        if name.endswith(suffix):
+            return mode
+    return "info"
+
+
+def compare(baseline: Dict[Key, float], fresh: Dict[Key, float],
+            tolerance: float) -> Tuple[List[str], List[str]]:
+    """Returns (failures, report_lines) over the keys both sides share."""
+    failures: List[str] = []
+    report: List[str] = []
+    for key in sorted(set(baseline) & set(fresh)):
+        name, labels = key
+        mode = policy_for(name)
+        base, new = baseline[key], fresh[key]
+        line = f"  {name} {labels}: baseline={base:g} fresh={new:g} [{mode}]"
+        if mode == "exact" and new != base:
+            failures.append(f"{name} {labels}: expected {base:g}, got {new:g}")
+            line += "  << FAIL"
+        elif mode == "higher_better":
+            floor = base * (1.0 - tolerance)
+            if new < floor:
+                failures.append(
+                    f"{name} {labels}: {new:g} below tolerance floor "
+                    f"{floor:g} (baseline {base:g}, tolerance "
+                    f"{tolerance:.0%})")
+                line += "  << FAIL"
+        report.append(line)
+    return failures, report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when gated benchmark metrics regress vs the "
+                    "checked-in baselines.")
+    parser.add_argument("--results", default=str(HERE / "results"),
+                        help="directory with fresh *.jsonl results")
+    parser.add_argument("--baselines", default=str(HERE / "baselines"),
+                        help="directory with committed baseline *.jsonl")
+    parser.add_argument("--tolerance", type=float, default=0.5,
+                        help="allowed relative drop for higher-is-better "
+                             "metrics (default 0.5 = 50%%, generous "
+                             "because CI runners vary)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print every compared metric, not just gated "
+                             "failures")
+    args = parser.parse_args(argv)
+
+    results_dir = pathlib.Path(args.results)
+    baselines_dir = pathlib.Path(args.baselines)
+    if not baselines_dir.is_dir():
+        print(f"regression gate: no baselines directory {baselines_dir}",
+              file=sys.stderr)
+        return 2
+
+    failures: List[str] = []
+    compared = 0
+    for baseline_path in sorted(baselines_dir.glob("*.jsonl")):
+        fresh_path = results_dir / baseline_path.name
+        if not fresh_path.exists():
+            print(f"-- {baseline_path.name}: no fresh result, skipped")
+            continue
+        baseline = load_gauges(baseline_path)
+        fresh = load_gauges(fresh_path)
+        shared = set(baseline) & set(fresh)
+        compared += len(shared)
+        file_failures, report = compare(baseline, fresh, args.tolerance)
+        failures.extend(f"{baseline_path.name}: {f}" for f in file_failures)
+        print(f"-- {baseline_path.name}: {len(shared)} shared metric(s), "
+              f"{len(file_failures)} regression(s)")
+        if args.verbose or file_failures:
+            print("\n".join(report))
+    if compared == 0:
+        print("regression gate: nothing to compare (run the benchmarks "
+              "first)", file=sys.stderr)
+        return 2
+    if failures:
+        print(f"\nREGRESSIONS ({len(failures)}):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nregression gate: {compared} metric(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,7 @@ from repro.containers.vpn import VpnTunnel
 from repro.core.drone_node import DroneNode
 from repro.flight import Geofence
 from repro.flight.geo import GeoPoint, offset_geopoint
-from repro.mavlink import CopterMode, ManualControl, MavlinkCodec
+from repro.mavlink import ManualControl, MavlinkCodec
 from repro.mavproxy.whitelist import FULL
 from repro.net import cellular_lte
 from repro.sim.time import seconds

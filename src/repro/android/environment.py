@@ -8,7 +8,7 @@ the container is the device container.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Optional
 
 from repro.android.activity_manager import ActivityManager
 from repro.android.app import App

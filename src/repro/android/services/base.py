@@ -17,7 +17,7 @@ Access control happens per call, in two stages (Sections 4.2 and 4.4):
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, Optional, Set, Tuple
+from typing import Callable, Optional, Set, Tuple
 
 import repro.obs as obs
 from repro.android.permissions import Permission

@@ -12,7 +12,7 @@ from dataclasses import asdict
 from typing import Optional, Tuple
 
 from repro.android.permissions import Permission
-from repro.android.services.base import ServiceAccessDenied, SystemService
+from repro.android.services.base import SystemService
 from repro.binder.objects import Transaction
 
 

@@ -14,7 +14,7 @@ SystemServer" (Section 4.2).  So:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.android.services import (
     AudioFlinger,

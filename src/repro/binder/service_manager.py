@@ -13,7 +13,7 @@ AnDrone-specific flows from Figure 6:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List
 
 from repro.binder.driver import BinderProcess, NodeRef
 from repro.binder.objects import Transaction

@@ -1,0 +1,103 @@
+"""Admission control for the cloud tier: bounded queues + rate limits.
+
+The portal and the flight planner are the cloud service's front doors.
+Under fleet-scale load — many shards of a partitioned fleet hammering
+the same service concurrently — an unguarded front door turns into an
+unbounded queue, so both components take an optional
+:class:`AdmissionController` that enforces
+
+* a **bounded pending-request queue** (``max_pending``): once the
+  service has that much un-finished work, new requests are refused;
+* a **per-key token bucket** (``rate_per_s`` with ``burst`` capacity,
+  enforced only when a positive rate is configured): each tenant/user
+  gets ``burst`` immediate requests, then is throttled to the steady
+  rate.
+
+Refusals are *typed* (:class:`BusyError`, surfaced by the portal as
+``PortalBusyError``) and carry ``retry_after_s`` — the earliest time at
+which retrying can succeed — so callers back off deterministically
+instead of spinning.
+
+Time comes from an injected ``clock`` callable returning **seconds**
+(normally ``lambda: sim.now / 1e6``); with no clock the controller is
+purely burst/queue based, which is what the deterministic harness uses
+at construction time (the sim clock has not started ticking yet).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+
+class BusyError(RuntimeError):
+    """The service is at capacity; retry after ``retry_after_s``."""
+
+    def __init__(self, message: str, retry_after_s: float):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class AdmissionController:
+    """Token-bucket rate limiting plus a bounded pending-work queue."""
+
+    def __init__(self, max_pending: Optional[int] = None,
+                 rate_per_s: float = 0.0, burst: int = 8,
+                 clock: Optional[Callable[[], float]] = None):
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.max_pending = max_pending
+        self.rate_per_s = rate_per_s
+        self.burst = burst
+        self.clock = clock
+        self.pending = 0
+        self.admitted = 0
+        self.rejected = 0
+        self._tokens: Dict[str, float] = {}
+        self._last_refill: Dict[str, float] = {}
+
+    # -- the gate -------------------------------------------------------------
+    def _now(self) -> float:
+        return self.clock() if self.clock is not None else 0.0
+
+    def admit(self, key: str = "") -> None:
+        """Admit one request for ``key`` or raise :class:`BusyError`.
+
+        Admitted requests occupy a pending slot until :meth:`release`.
+        """
+        if self.max_pending is not None and self.pending >= self.max_pending:
+            self.rejected += 1
+            # The queue drains as in-flight work completes; with no
+            # completion-time model, one steady-rate interval (or 1 s)
+            # is the deterministic retry hint.
+            hint = 1.0 / self.rate_per_s if self.rate_per_s > 0 else 1.0
+            raise BusyError(
+                f"request queue full ({self.pending}/{self.max_pending} "
+                f"pending)", retry_after_s=hint)
+        if self.rate_per_s > 0:
+            now = self._now()
+            tokens = self._tokens.get(key, float(self.burst))
+            elapsed = now - self._last_refill.get(key, now)
+            tokens = min(float(self.burst),
+                         tokens + elapsed * self.rate_per_s)
+            self._last_refill[key] = now
+            if tokens < 1.0:
+                self.rejected += 1
+                hint = (1.0 - tokens) / self.rate_per_s
+                raise BusyError(
+                    f"rate limit for {key!r}: {self.rate_per_s:.1f}/s "
+                    f"(burst {self.burst}) exceeded",
+                    retry_after_s=hint)
+            self._tokens[key] = tokens - 1.0
+        self.pending += 1
+        self.admitted += 1
+
+    def release(self) -> None:
+        """Mark one admitted request as finished (frees a queue slot)."""
+        if self.pending > 0:
+            self.pending -= 1
+
+    def snapshot(self) -> Dict[str, float]:
+        return {"pending": self.pending, "admitted": self.admitted,
+                "rejected": self.rejected}

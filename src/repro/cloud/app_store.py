@@ -6,8 +6,8 @@ manifest to learn required devices and user arguments (Section 5).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List
 
 from repro.android.manifest import AndroidManifest, AnDroneManifest, ManifestError
 

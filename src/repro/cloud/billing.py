@@ -9,8 +9,8 @@ consume at its waypoints.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.cloud.planner.energy import DroneEnergyModel
 

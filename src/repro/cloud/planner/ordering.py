@@ -26,8 +26,8 @@ unconstrained tenants still interleave freely.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set
 
 from repro.cloud.planner.energy import DroneEnergyModel
 from repro.cloud.planner.vrp import (

@@ -17,8 +17,8 @@ with another's (providing ordering/grouping is explicitly future work).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
 
 from repro.cloud.planner.energy import DroneEnergyModel
 from repro.flight.geo import GeoPoint

@@ -14,9 +14,11 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
+import repro.obs as obs
 from repro.android.manifest import ManifestError
+from repro.cloud.admission import AdmissionController, BusyError
 from repro.cloud.app_store import AppStore
 from repro.cloud.billing import BillingService
 from repro.vdc.definition import (
@@ -32,6 +34,25 @@ class PortalError(ValueError):
     """Invalid order input."""
 
 
+class UnknownOrderError(PortalError, KeyError):
+    """An order id the portal has never issued (or no longer tracks)."""
+
+    def __init__(self, order_id: int):
+        PortalError.__init__(self, f"unknown order id {order_id!r}")
+        self.order_id = order_id
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0]
+
+
+class PortalBusyError(PortalError):
+    """The portal is at capacity; retry after ``retry_after_s``."""
+
+    def __init__(self, message: str, retry_after_s: float):
+        PortalError.__init__(self, message)
+        self.retry_after_s = retry_after_s
+
+
 class OrderState(enum.Enum):
     CONFIGURING = "configuring"
     SUBMITTED = "submitted"
@@ -39,6 +60,7 @@ class OrderState(enum.Enum):
     IN_FLIGHT = "in_flight"
     COMPLETED = "completed"
     INTERRUPTED = "interrupted"  # to be resumed on a later flight
+    CANCELLED = "cancelled"      # withdrawn by the user before flight
 
 
 @dataclass
@@ -75,7 +97,8 @@ class WebPortal:
     """The user-facing front end of the cloud service."""
 
     def __init__(self, app_store: AppStore, billing: BillingService,
-                 drone_types: Optional[Dict[str, str]] = None):
+                 drone_types: Optional[Dict[str, str]] = None,
+                 admission: Optional[AdmissionController] = None):
         self.app_store = app_store
         self.billing = billing
         #: drone type name -> human description (video, sensor payloads, ...)
@@ -85,11 +108,31 @@ class WebPortal:
             "sensor": "quadcopter with environmental sensor payload",
             "dense": "high-capacity quadcopter for many concurrent tenants",
         }
+        #: back-pressure on order submission; None = unguarded front door.
+        self.admission = admission
         self.orders: Dict[int, Order] = {}
         # Per-portal, not module-global: two AnDroneSystems in the same
         # process must hand out the same tenant names for the same order
         # sequence, or seeded runs stop replaying bit-for-bit.
         self._order_ids = itertools.count(1)
+
+    def seek_order_ids(self, next_id: int) -> None:
+        """Continue numbering orders from ``next_id``.
+
+        Sharded fleet execution partitions one logical fleet across
+        portal instances; seeking each shard's counter to its partition
+        offset keeps tenant names (``user-orderN``) globally unique and
+        identical to the unsharded run.
+        """
+        if next_id < 1:
+            raise PortalError(f"order ids start at 1, got {next_id}")
+        self._order_ids = itertools.count(next_id)
+
+    def _get_order(self, order_id: int) -> Order:
+        order = self.orders.get(order_id)
+        if order is None:
+            raise UnknownOrderError(order_id)
+        return order
 
     # -- ordering (basic service) ----------------------------------------------------
     def order_virtual_drone(
@@ -118,6 +161,39 @@ class WebPortal:
         """
         if schedule_mode not in ("immediate", "flexible"):
             raise PortalError(f"bad schedule mode {schedule_mode!r}")
+        if self.admission is not None:
+            try:
+                self.admission.admit(user)
+            except BusyError as busy:
+                obs.counter("portal.rejected", user=user).inc()
+                raise PortalBusyError(
+                    str(busy), retry_after_s=busy.retry_after_s) from busy
+            try:
+                return self._submit_order(
+                    user, waypoints, drone_type, apps, app_args, max_charge,
+                    max_duration_s, geofence_radius_m, extra_devices,
+                    schedule_mode)
+            except PortalError:
+                # Invalid orders never occupy a pending slot.
+                self.admission.release()
+                raise
+        return self._submit_order(
+            user, waypoints, drone_type, apps, app_args, max_charge,
+            max_duration_s, geofence_radius_m, extra_devices, schedule_mode)
+
+    def _submit_order(
+        self,
+        user: str,
+        waypoints: List[Dict[str, float]],
+        drone_type: str,
+        apps: Optional[List[str]],
+        app_args: Optional[Dict[str, Dict[str, Any]]],
+        max_charge: float,
+        max_duration_s: float,
+        geofence_radius_m: Optional[float],
+        extra_devices: Optional[Dict[str, str]],
+        schedule_mode: str,
+    ) -> Order:
         if drone_type not in self.drone_types:
             raise PortalError(f"unknown drone type {drone_type!r}: "
                               f"choose from {sorted(self.drone_types)}")
@@ -176,16 +252,39 @@ class WebPortal:
             schedule_mode=schedule_mode,
         )
         self.orders[order.order_id] = order
+        obs.counter("portal.orders", user=user).inc()
         return order
 
     def user_confirms_window(self, order_id: int) -> None:
         """Flexible orders: the user accepts the proposed window."""
-        order = self.orders[order_id]
+        order = self._get_order(order_id)
         order.window_confirmed = True
+
+    def cancel_order(self, order_id: int) -> Order:
+        """Withdraw an order that has not flown yet.
+
+        Unknown ids raise :class:`UnknownOrderError`; cancelling twice
+        (or cancelling an order already in flight or done) raises
+        :class:`PortalError` naming the offending state.
+        """
+        order = self._get_order(order_id)
+        if order.state is OrderState.CANCELLED:
+            raise PortalError(f"order {order_id} is already cancelled")
+        if order.state not in (OrderState.CONFIGURING, OrderState.SUBMITTED,
+                               OrderState.SCHEDULED):
+            raise PortalError(
+                f"order {order_id} cannot be cancelled in state "
+                f"{order.state.value!r}")
+        order.state = OrderState.CANCELLED
+        order.notifications.append(Notification("email", "order cancelled"))
+        obs.counter("portal.cancellations", user=order.user).inc()
+        if self.admission is not None:
+            self.admission.release()
+        return order
 
     # -- lifecycle notifications (driven by the planner / mission runner) ----------------
     def confirm_window(self, order_id: int, start_s: float, end_s: float) -> None:
-        order = self.orders[order_id]
+        order = self._get_order(order_id)
         order.state = OrderState.SCHEDULED
         window = f"estimated operating window {start_s:.0f}s-{end_s:.0f}s after launch"
         if order.schedule_mode == "immediate":
@@ -200,7 +299,7 @@ class WebPortal:
     def flight_started(self, order_id: int, ip: str, port: int,
                        how: str = "ssh via per-container VPN") -> None:
         """Take-off: send the access information (Section 2)."""
-        order = self.orders[order_id]
+        order = self._get_order(order_id)
         order.state = OrderState.IN_FLIGHT
         order.access_info = {"ip": ip, "port": port, "connect": how}
         order.notifications.append(Notification(
@@ -208,8 +307,10 @@ class WebPortal:
 
     def flight_completed(self, order_id: int, result_links: List[str],
                          interrupted: bool = False) -> None:
-        order = self.orders[order_id]
+        order = self._get_order(order_id)
         order.state = OrderState.INTERRUPTED if interrupted else OrderState.COMPLETED
+        if self.admission is not None:
+            self.admission.release()
         order.result_links = list(result_links)
         body = "flight complete"
         if interrupted:

@@ -9,7 +9,6 @@ the minimal-storage representation of Section 3.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -41,14 +40,19 @@ class VirtualDroneRepository:
         self._entries: Dict[str, VdrEntry] = {}
         #: latest entry per tenant name, for resume lookups.
         self._latest: Dict[str, str] = {}
-        # Per-repository, not module-global: seeded runs in one process
-        # must mint the same entry ids to replay bit-for-bit.
-        self._entry_ids = itertools.count(1)
+        #: entries stored per tenant, for id minting.
+        self._stored_count: Dict[str, int] = {}
 
     def store(self, name: str, definition: VirtualDroneDefinition,
               base_image_tag: str, diff: Layer, resumable: bool,
               completed_waypoints=frozenset()) -> str:
-        entry_id = f"vdr-{next(self._entry_ids)}"
+        # Ids are per-tenant sequences (vdr-<tenant>-1, -2, ...), not one
+        # global counter: a tenant's entry ids then depend only on its
+        # own flight history, so a fleet partitioned into per-drone
+        # shards mints exactly the ids the unsharded run would.
+        sequence = self._stored_count.get(name, 0) + 1
+        self._stored_count[name] = sequence
+        entry_id = f"vdr-{name}-{sequence}"
         previous = self._latest.get(name)
         flights = self._entries[previous].flights + 1 if previous else 1
         self._entries[entry_id] = VdrEntry(

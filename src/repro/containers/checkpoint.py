@@ -18,8 +18,8 @@ from __future__ import annotations
 
 import copy
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.android.app import AppState
 from repro.containers.image import Layer

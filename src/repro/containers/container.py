@@ -12,7 +12,7 @@ import enum
 from typing import Dict, Optional
 
 from repro.containers.image import Image, Layer, diff_layer
-from repro.kernel.cgroups import Cgroup, CgroupLimits
+from repro.kernel.cgroups import Cgroup
 from repro.kernel.kernel import Kernel
 from repro.kernel.namespaces import NamespaceSet
 from repro.kernel.thread import SchedPolicy, Thread

@@ -12,8 +12,7 @@ the storage-cost claim of Section 4.1.
 from __future__ import annotations
 
 import hashlib
-import json
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional
 
 #: Marker hiding a lower-layer path (overlayfs whiteout).
 WHITEOUT = "\0whiteout\0"

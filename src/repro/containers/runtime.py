@@ -11,7 +11,7 @@ from typing import Dict, List, Optional, Tuple
 
 import repro.obs as obs
 from repro.containers.container import Container, ContainerError, ContainerState
-from repro.containers.image import Image, ImageStore, Layer
+from repro.containers.image import ImageStore, Layer
 from repro.kernel.cgroups import CgroupLimits
 from repro.kernel.kernel import Kernel
 from repro.kernel.namespaces import NamespaceSet

@@ -15,10 +15,10 @@ from __future__ import annotations
 
 import hashlib
 import itertools
-from typing import Any, Callable, Optional
+from typing import Any, Callable
 
 from repro.net.link import LinkModel
-from repro.net.network import Channel, Network
+from repro.net.network import Network
 
 _tunnel_ids = itertools.count(1)
 

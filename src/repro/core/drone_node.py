@@ -9,8 +9,7 @@ demand.
 
 from __future__ import annotations
 
-import math
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 import repro.obs as obs
 from repro.android.environment import AndroidEnvironment
@@ -20,7 +19,7 @@ from repro.faults.policies import RetriesExhausted, RetryPolicy, retry_call
 from repro.containers.image import Image, Layer
 from repro.containers.runtime import ContainerRuntime
 from repro.core.hardware import HardwareProfile
-from repro.core.power import PowerModel, PowerMonitor
+from repro.core.power import PowerMonitor
 from repro.devices.gps import GpsFix
 from repro.devices.imu import ImuReading
 from repro.flight.geo import GeoPoint

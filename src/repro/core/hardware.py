@@ -8,7 +8,7 @@ Navio2 (IMU, barometer, GPS, magnetometer), Pi Camera v2, Turnigy
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.devices import (

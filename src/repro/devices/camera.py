@@ -8,10 +8,9 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Optional
 
 from repro.devices.bus import Device, DeviceHandle
-from repro.devices.state import DroneStateSnapshot
 
 
 @dataclass

@@ -9,7 +9,6 @@ remote pilots through MAVLink's DO_MOUNT_CONTROL).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.devices.bus import Device, DeviceHandle

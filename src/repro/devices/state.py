@@ -7,7 +7,7 @@ the devices package independent of the flight stack.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
 
 

@@ -21,7 +21,7 @@ from functools import partial
 from typing import Callable, Dict, List, Optional, Tuple
 
 import repro.obs as obs
-from repro.faults.spec import FaultError, FaultKind, FaultPlan, FaultSpec
+from repro.faults.spec import FaultError, FaultPlan, FaultSpec
 from repro.sim.rng import RngRegistry
 from repro.sim.time import seconds
 

@@ -16,7 +16,7 @@ draws from a named seeded stream (see :mod:`repro.sim.rng`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple, Type
+from typing import Callable, List, Tuple, Type
 
 import repro.obs as obs
 

@@ -14,7 +14,7 @@ never approaches gimbal lock in the evaluated regimes.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.devices.state import DroneStateSnapshot

@@ -8,7 +8,7 @@ and AnDrone's default with the PREEMPT_RT patch set applied.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 class PreemptionMode(enum.Enum):

@@ -8,7 +8,6 @@ load is what stretches PREEMPT's non-preemptible windows in Figure 11).
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.kernel.kernel import Kernel
 

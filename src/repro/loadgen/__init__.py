@@ -13,6 +13,13 @@ asserts invariants, and records per-tenant latency/throughput through
 See docs/SCALING.md for the scenario schema and the measured curves.
 """
 
+from repro.loadgen.executor import (
+    ParallelFleetExecutor,
+    ShardOutcome,
+    behavior_digest,
+    run_parallel,
+    run_shard,
+)
 from repro.loadgen.harness import (
     FleetHarness,
     FleetResult,
@@ -28,8 +35,13 @@ __all__ = [
     "FleetScenario",
     "InvariantMonitor",
     "InvariantViolation",
+    "ParallelFleetExecutor",
     "ScenarioError",
+    "ShardOutcome",
     "TenantStats",
     "WORKLOADS",
+    "behavior_digest",
+    "run_parallel",
     "run_scenario",
+    "run_shard",
 ]

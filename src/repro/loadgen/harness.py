@@ -26,6 +26,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import repro.obs as obs
+from repro.cloud.admission import AdmissionController
+from repro.cloud.planner import FlightPlanner
 from repro.core import AnDroneSystem
 from repro.core.mission import MissionReport, MissionRunner
 from repro.faults import FaultInjector, FaultKind, FaultPlan
@@ -127,15 +129,44 @@ class _DroneSlot:
     plans: List = field(default_factory=list)
     reports: List[MissionReport] = field(default_factory=list)
     process: Optional[Process] = None
+    fanout: Optional[TelemetryFanout] = None
+    #: per-tenant telemetry counts frozen the instant the drone's last
+    #: flight completes (see FleetHarness._finalize_slot).
+    final_counts: Optional[Dict[str, Dict]] = None
 
 
 class FleetHarness:
-    """Build and run one fleet scenario end to end."""
+    """Build and run one fleet scenario end to end.
 
-    def __init__(self, scenario: FleetScenario, optimized: bool = True):
+    ``drone_indices`` restricts the harness to a subset of the
+    scenario's drones (a *shard*): the selected drones are built with
+    exactly the identities — node seeds, order ids, planner RNG
+    streams, chaos plans — they would have in the full fleet, so a
+    partitioned run reproduces the unsharded run drone-for-drone (see
+    :mod:`repro.loadgen.executor`).  Default: every drone.
+    """
+
+    def __init__(self, scenario: FleetScenario, optimized: bool = True,
+                 drone_indices: Optional[List[int]] = None):
         self.scenario = scenario
         self.optimized = optimized
+        if drone_indices is None:
+            self.drone_indices = list(range(scenario.drones))
+        else:
+            self.drone_indices = sorted(set(drone_indices))
+            bad = [i for i in self.drone_indices
+                   if not 0 <= i < scenario.drones]
+            if bad or not self.drone_indices:
+                raise ValueError(
+                    f"drone_indices must be a non-empty subset of "
+                    f"0..{scenario.drones - 1}, got {drone_indices}")
         self.system = AnDroneSystem(seed=scenario.seed)
+        self.system.portal.admission = AdmissionController(
+            max_pending=max(16, 2 * scenario.total_tenants),
+            burst=max(8, scenario.tenants_per_drone),
+            clock=lambda: self.system.sim.now / 1e6)
+        self.system.planner.admission = AdmissionController(
+            max_pending=max(4, scenario.drones))
         self.network = Network(self.system.sim, self.system.rng)
         self.monitor = InvariantMonitor(self.system.sim)
         self.slots: List[_DroneSlot] = []
@@ -149,7 +180,7 @@ class FleetHarness:
         self._frame_counts: Dict[str, int] = {}
         self._frame_latency: Dict[str, List[int]] = {}
         self._publish_apps()
-        for drone_index in range(scenario.drones):
+        for drone_index in self.drone_indices:
             self.slots.append(self._build_drone(drone_index))
 
     # -- construction -----------------------------------------------------------
@@ -180,7 +211,16 @@ class FleetHarness:
     def _build_drone(self, drone_index: int) -> _DroneSlot:
         scenario = self.scenario
         system = self.system
-        node = system.add_drone(drone_type=scenario.drone_type,
+        # Every per-drone identity is derived from the *global* drone
+        # index, never from construction order, so a shard holding any
+        # subset of drones builds them bit-identically to the full run:
+        # - order ids are the drone's partition of the fleet sequence,
+        # - the node seed is index-based (matching the serial default),
+        # - planning draws from a per-drone RNG stream.
+        system.portal.seek_order_ids(
+            drone_index * scenario.tenants_per_drone + 1)
+        node = system.add_drone(seed=drone_index + 1,
+                                drone_type=scenario.drone_type,
                                 sitl_rate_hz=scenario.sitl_rate_hz)
         if not self.optimized:
             node.driver.use_handle_index = False
@@ -209,7 +249,13 @@ class FleetHarness:
             self.tenant_workload[tenant] = workload
             self.tenant_drone[tenant] = drone_index
 
-        slot.plans = system.planner.plan(
+        planner = FlightPlanner(
+            system.home, system.planner.model,
+            fleet_size=system.planner.fleet_size,
+            cruise_ms=system.planner.cruise_ms,
+            rng=system.rng.stream(f"planner.sa.drone{drone_index}"),
+            admission=system.planner.admission)
+        slot.plans = planner.plan(
             [order.definition for order in orders],
             battery_j=node.battery.remaining_j * 0.8)
         for order in orders:
@@ -246,6 +292,7 @@ class FleetHarness:
         if fanout is not None:
             fanout.start()
             self.fanouts.append(fanout)
+            slot.fanout = fanout
 
         if scenario.chaos_level > 0:
             plan = self._chaos_plan(drone_index, slot.tenants)
@@ -334,11 +381,41 @@ class FleetHarness:
         while not all(slot.process.done for slot in self.slots):
             if not sim.step():
                 break
+            for slot in self.slots:
+                if slot.final_counts is None and slot.process.done:
+                    self._finalize_slot(slot)
+        for slot in self.slots:
+            self._finalize_slot(slot)
         self.monitor.stop()
         for slot in self.slots:
             if slot.process.exception is not None:
                 raise slot.process.exception
         return self._collect()
+
+    def _finalize_slot(self, slot: _DroneSlot) -> None:
+        """Power down one drone's telemetry the instant its last flight
+        completes, freezing its per-tenant counts right there.
+
+        A landed drone's fan-out and VFC servers stop emitting, and the
+        station/frame counts are snapshotted before any later-queued
+        event can touch them — so a drone's stats are identical whether
+        the rest of the fleet is still flying (serial run) or was never
+        built (sharded run, :mod:`repro.loadgen.executor`)."""
+        if slot.final_counts is not None:
+            return
+        if slot.fanout is not None:
+            slot.fanout.stop()
+        counts: Dict[str, Dict] = {}
+        for tenant in slot.tenants:
+            self.servers[tenant].stop()
+            station = self.stations[tenant]
+            counts[tenant] = {
+                "heartbeats": len(station.heartbeats),
+                "positions": len(station.positions),
+                "frames": self._frame_counts.get(tenant, 0),
+                "latencies": list(self._frame_latency.get(tenant, [])),
+            }
+        slot.final_counts = counts
 
     # -- results ----------------------------------------------------------------
     def _collect(self) -> FleetResult:
@@ -356,10 +433,12 @@ class FleetHarness:
                 waypoints += report.waypoints_serviced
             duration = max(duration,
                            sum(report.duration_s for report in slot.reports))
+            if slot.final_counts is None:
+                self._finalize_slot(slot)
             for tenant in slot.tenants:
                 drone = node.vdc.drones[tenant]
-                station = self.stations[tenant]
-                latencies = self._frame_latency.get(tenant, [])
+                counts = slot.final_counts[tenant]
+                latencies = counts["latencies"]
                 completed = any(tenant in report.tenants_completed
                                 for report in slot.reports)
                 interrupted = drone.force_finished_reason is not None
@@ -374,9 +453,9 @@ class FleetHarness:
                     energy_used_j=round(node.vdc.energy_used(tenant), 3),
                     files_delivered=len(
                         self.system.storage.list_files(tenant)),
-                    heartbeats=len(station.heartbeats),
-                    positions=len(station.positions),
-                    frames=self._frame_counts.get(tenant, 0),
+                    heartbeats=counts["heartbeats"],
+                    positions=counts["positions"],
+                    frames=counts["frames"],
                     frame_latency_p95_us=(percentile(sorted(latencies), 95.0)
                                           if latencies else None),
                 )

@@ -28,7 +28,7 @@ perturb its trace.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import repro.obs as obs
 from repro.vdc.device_access import TenantPhase

@@ -12,7 +12,7 @@ from different message definitions reject each other's frames.
 from __future__ import annotations
 
 import struct
-from typing import Iterator, Optional, Tuple
+from typing import Tuple
 
 from repro.mavlink.messages import MESSAGE_REGISTRY, MavlinkMessage
 

@@ -8,13 +8,13 @@ latency and loss), and decoded on arrival.  Handlers receive
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List
 
 import repro.obs as obs
 from repro.mavlink.codec import CodecError, MavlinkCodec
 from repro.mavlink.messages import MavlinkMessage
 from repro.net.link import LinkModel
-from repro.net.network import Channel, Network
+from repro.net.network import Network
 
 
 class MavlinkConnection:

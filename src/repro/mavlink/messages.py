@@ -9,8 +9,8 @@ by decreasing size; the orders below follow the real generated code).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields as dc_fields
-from typing import ClassVar, Dict, List, Tuple
+from dataclasses import dataclass
+from typing import ClassVar, Dict, Tuple
 
 
 @dataclass

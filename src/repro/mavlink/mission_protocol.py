@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, ClassVar, List, Optional
 
-from repro.mavlink.codec import MavlinkCodec
 from repro.mavlink.connection import MavlinkConnection
 from repro.mavlink.messages import MESSAGE_REGISTRY, MavlinkMessage, MissionItem
 

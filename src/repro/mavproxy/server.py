@@ -12,7 +12,7 @@ at 1 Hz, position at 4 Hz, queued statustexts), and returns command acks.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.mavlink.connection import MavlinkConnection
 from repro.mavlink.messages import (

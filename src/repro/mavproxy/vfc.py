@@ -20,7 +20,7 @@ Each virtual drone connects to its own VFC, which (Section 4.3):
 from __future__ import annotations
 
 import enum
-from typing import Callable, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import repro.obs as obs
 from repro.flight.geo import GeoPoint

@@ -7,8 +7,8 @@ templates which are customizable by the service provider" (Section 4.3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import FrozenSet, Set
+from dataclasses import dataclass, replace
+from typing import FrozenSet
 
 from repro.mavlink.enums import CopterMode, MavCommand
 

@@ -15,7 +15,7 @@ call on the hot path.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 #: An instrument's identity: (name, ((label, value), ...)).
 InstrumentKey = Tuple[str, Tuple[Tuple[str, str], ...]]

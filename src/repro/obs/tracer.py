@@ -11,7 +11,7 @@ whole waypoint, a container's lifetime).
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List
 
 
 class TraceRecord(dict):

@@ -19,7 +19,7 @@ getAllottedTimeLeft()          get_allotted_time_left()
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List
 
 from repro.sdk.listener import Waypoint, WaypointListener
 
@@ -94,33 +94,33 @@ class AndroneSdk:
 
     def notify_waypoint_active(self, waypoint: Waypoint) -> None:
         self._dispatch("waypointActive",
-                       lambda l: l.waypoint_active(waypoint),
+                       lambda listener: listener.waypoint_active(waypoint),
                        extras={"index": waypoint.index,
                                "latitude": waypoint.latitude,
                                "longitude": waypoint.longitude})
 
     def notify_waypoint_inactive(self, waypoint: Waypoint) -> None:
         self._dispatch("waypointInactive",
-                       lambda l: l.waypoint_inactive(waypoint),
+                       lambda listener: listener.waypoint_inactive(waypoint),
                        extras={"index": waypoint.index})
 
     def notify_low_energy(self, remaining_j: float) -> None:
         self._dispatch("lowEnergyWarning",
-                       lambda l: l.low_energy_warning(remaining_j),
+                       lambda listener: listener.low_energy_warning(remaining_j),
                        extras={"remaining_j": remaining_j})
 
     def notify_low_time(self, remaining_s: float) -> None:
         self._dispatch("lowTimeWarning",
-                       lambda l: l.low_time_warning(remaining_s),
+                       lambda listener: listener.low_time_warning(remaining_s),
                        extras={"remaining_s": remaining_s})
 
     def notify_geofence_breached(self) -> None:
-        self._dispatch("geofenceBreached", lambda l: l.geofence_breached())
+        self._dispatch("geofenceBreached", lambda listener: listener.geofence_breached())
 
     def notify_suspend_continuous(self) -> None:
         self._dispatch("suspendContinuousDevices",
-                       lambda l: l.suspend_continuous_devices())
+                       lambda listener: listener.suspend_continuous_devices())
 
     def notify_resume_continuous(self) -> None:
         self._dispatch("resumeContinuousDevices",
-                       lambda l: l.resume_continuous_devices())
+                       lambda listener: listener.resume_continuous_devices())

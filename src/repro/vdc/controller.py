@@ -10,7 +10,6 @@ through the SDK's ``waypoint_completed``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 import repro.obs as obs
@@ -172,7 +171,7 @@ class VirtualDroneController:
             app.create()
             app.resume()
         sdk = AndroneSdk(name, self,
-                         flight_controller_ip=f"10.99.0.2:5760",
+                         flight_controller_ip="10.99.0.2:5760",
                          intent_bus=env.intents)
         vfc = self.proxy.create_vfc(
             name,

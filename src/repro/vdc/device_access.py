@@ -19,8 +19,8 @@ The policy object is the function behind the device container's
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Set
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 from repro.vdc.definition import VirtualDroneDefinition
 

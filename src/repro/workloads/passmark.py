@@ -18,10 +18,10 @@ is what :func:`normalized_slowdown` computes).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
-from repro.kernel import Kernel, SchedPolicy, ops
+from repro.kernel import Kernel, ops
 
 #: Work per test, microseconds of reference CPU time.
 CPU_TEST_WORK_US = 4_000_000

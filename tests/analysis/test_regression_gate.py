@@ -1,0 +1,88 @@
+"""Exit-code contract of ``benchmarks/regression_gate.py``."""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+GATE = (pathlib.Path(__file__).resolve().parents[2]
+        / "benchmarks" / "regression_gate.py")
+
+
+def write_jsonl(path, records):
+    path.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+
+
+def gauge(name, value, **labels):
+    return {"t": 0, "kind": "gauge", "name": name, "value": value,
+            "labels": {k: str(v) for k, v in labels.items()}}
+
+
+def run_gate(results, baselines, *extra):
+    return subprocess.run(
+        [sys.executable, str(GATE), "--results", str(results),
+         "--baselines", str(baselines), *extra],
+        capture_output=True, text=True)
+
+
+def make_dirs(tmp_path, baseline_records, fresh_records):
+    baselines = tmp_path / "baselines"
+    results = tmp_path / "results"
+    baselines.mkdir()
+    results.mkdir()
+    write_jsonl(baselines / "scale.jsonl", baseline_records)
+    write_jsonl(results / "scale.jsonl", fresh_records)
+    return results, baselines
+
+
+class TestGate:
+    def test_within_tolerance_exits_zero(self, tmp_path):
+        results, baselines = make_dirs(
+            tmp_path,
+            [gauge("scale.speedup", 4.0, path="x"),
+             gauge("scale.wall_s", 10.0, drones=1)],
+            [gauge("scale.speedup", 3.0, path="x"),
+             gauge("scale.wall_s", 99.0, drones=1)])  # info-only: ignored
+        proc = run_gate(results, baselines, "--tolerance", "0.5")
+        assert proc.returncode == 0, proc.stderr
+
+    def test_speedup_regression_exits_one(self, tmp_path):
+        results, baselines = make_dirs(
+            tmp_path,
+            [gauge("scale.speedup", 4.0, path="x")],
+            [gauge("scale.speedup", 1.0, path="x")])
+        proc = run_gate(results, baselines, "--tolerance", "0.5")
+        assert proc.returncode == 1
+        assert "REGRESSIONS" in proc.stderr
+
+    def test_exact_metric_must_match(self, tmp_path):
+        results, baselines = make_dirs(
+            tmp_path,
+            [gauge("scale.completed", 8, drones=1)],
+            [gauge("scale.completed", 7, drones=1)])
+        proc = run_gate(results, baselines)
+        assert proc.returncode == 1
+
+    def test_disjoint_keys_are_skipped(self, tmp_path):
+        """A full-sweep baseline gates nothing on a smoke run that
+        produced different points — but still needs *some* overlap."""
+        results, baselines = make_dirs(
+            tmp_path,
+            [gauge("scale.completed", 8, drones=4),
+             gauge("scale.completed", 1, drones=1)],
+            [gauge("scale.completed", 1, drones=1)])
+        proc = run_gate(results, baselines)
+        assert proc.returncode == 0, proc.stderr
+
+    def test_nothing_to_compare_exits_two(self, tmp_path):
+        results, baselines = make_dirs(
+            tmp_path,
+            [gauge("scale.completed", 8, drones=4)],
+            [gauge("scale.completed", 1, drones=1)])
+        (results / "scale.jsonl").unlink()
+        proc = run_gate(results, baselines)
+        assert proc.returncode == 2
+
+    def test_missing_baselines_dir_exits_two(self, tmp_path):
+        proc = run_gate(tmp_path, tmp_path / "absent")
+        assert proc.returncode == 2

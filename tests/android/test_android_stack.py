@@ -1,12 +1,11 @@
 """Integration tests for the Android stack: device container services,
 cross-container calls, permission routing, and the app lifecycle."""
 
-import math
 
 import pytest
 
 from repro.android import AndroidEnvironment, AndroidManifest, Permission
-from repro.android.app import AppState, LifecycleError
+from repro.android.app import LifecycleError
 from repro.binder import BinderDriver
 from repro.devices import (
     Barometer,

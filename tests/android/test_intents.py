@@ -3,7 +3,6 @@
 import pytest
 
 from repro.android.intents import (
-    ACTION_GEOFENCE_BREACHED,
     ACTION_WAYPOINT_ACTIVE,
     ACTION_WAYPOINT_INACTIVE,
     BroadcastReceiver,

@@ -3,7 +3,6 @@
 
 import random
 
-import pytest
 
 from repro.cloud.planner import (
     DroneEnergyModel,

@@ -1,6 +1,5 @@
 """Tests for the energy model, VRP solver, and flight planner."""
 
-import math
 import random
 
 import pytest
@@ -13,7 +12,7 @@ from repro.cloud.planner import (
     solve_vrp,
 )
 from repro.cloud.planner.vrp import InfeasibleStopError, split_into_routes
-from repro.flight.geo import GeoPoint, offset_geopoint
+from repro.flight.geo import offset_geopoint
 from tests.util import HOME, simple_definition
 
 

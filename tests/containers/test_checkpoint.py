@@ -2,9 +2,7 @@
 
 import json
 
-import pytest
 
-from repro.containers.checkpoint import checkpoint_container, restore_container
 from tests.util import make_node, simple_definition, survey_manifests
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.containers import Container, ContainerError, ContainerRuntime, ContainerState
+from repro.containers import ContainerError, ContainerRuntime, ContainerState
 from repro.containers.image import Image, Layer
 from repro.kernel import Kernel, KernelConfig, OutOfMemoryError, ops
 from repro.kernel.cgroups import CgroupLimits

@@ -3,9 +3,8 @@
 import pytest
 
 from repro.core.power import PowerModel
-from repro.kernel import OutOfMemoryError, ops
-from repro.kernel.config import PreemptionMode
-from tests.util import make_node, simple_definition, survey_manifests
+from repro.kernel import OutOfMemoryError
+from tests.util import make_node, simple_definition
 
 
 class TestAssembly:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import AnDroneSystem
-from repro.core.hardware import DRONE_TYPE_PROFILES, profile_for_drone_type
+from repro.core.hardware import profile_for_drone_type
 from repro.kernel import Kernel, KernelConfig, ops
 from repro.kernel.cgroups import CgroupLimits
 from repro.sim import Simulator, RngRegistry

@@ -5,7 +5,6 @@ import math
 import pytest
 
 from repro.flight import (
-    Autopilot,
     GeoPoint,
     Geofence,
     QuadcopterParams,

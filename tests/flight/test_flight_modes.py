@@ -5,8 +5,7 @@ import math
 
 import pytest
 
-from repro.flight import GeoPoint, QuadcopterParams, SitlDrone
-from repro.flight.physics import QuadcopterPhysics
+from repro.flight import GeoPoint, SitlDrone
 from repro.mavlink import CopterMode
 from repro.sim import Simulator, RngRegistry
 from repro.sim.time import seconds

@@ -1,6 +1,5 @@
 """Tests for the GPS-glitch and vibration log analyzers."""
 
-import pytest
 
 from repro.flight import GeoPoint, SitlDrone
 from repro.flight.logs import (

@@ -5,7 +5,6 @@ in simulated time — wall-clock of the *fleet* is the max of its flights,
 not their sum, which is what a real multi-drone operator gets.
 """
 
-import pytest
 
 from repro.cloud.planner import FlightPlanner
 from repro.core.drone_node import DroneNode

@@ -6,14 +6,12 @@ CLI — with device grants and denials at waypoint boundaries, geofenced
 control, and the post-flight offload.
 """
 
-import json
 
 import pytest
 
 from repro.core import AnDroneSystem
 from repro.mavlink import SetPositionTarget
 from repro.mavproxy.whitelist import FULL
-from repro.sdk import AndroneCli
 from repro.sdk.listener import WaypointListener
 
 SURVEY_ANDROID = ('<manifest package="com.example.survey">'

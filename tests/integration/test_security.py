@@ -13,9 +13,8 @@ import pytest
 from repro.binder import PermissionDeniedError
 from repro.devices import DeviceBusyError
 from repro.flight.autopilot import DirectSensors
-from repro.kernel import SchedPolicy, ops
-from repro.mavlink import CommandLong, MavCommand, MavResult, SetPositionTarget
-from repro.sim import RngRegistry
+from repro.kernel import ops
+from repro.mavlink import CommandLong, MavCommand, MavResult
 from tests.util import make_node, simple_definition, survey_manifests
 
 
@@ -103,7 +102,6 @@ class TestFlightControlContainment:
         assert not node.sitl.autopilot.armed
 
     def test_tenant_cannot_move_drone_to_arbitrary_location(self, node):
-        from repro.flight import Geofence
         from repro.flight.geo import GeoPoint
 
         attacker = tenant(node, "evil")

@@ -1,9 +1,7 @@
 """Edge-case tests for scheduling, timers, joins, and activity."""
 
-import pytest
 
 from repro.kernel import Kernel, KernelConfig, PreemptionMode, SchedPolicy, ops
-from repro.kernel.thread import ThreadState
 from repro.sim import Simulator, RngRegistry
 
 

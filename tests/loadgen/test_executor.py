@@ -1,0 +1,226 @@
+"""Serial/parallel equivalence for the sharded fleet executor.
+
+The contract of :mod:`repro.loadgen.executor` is behavior neutrality:
+for any scenario, the merged parallel result must carry the same tenant
+stats, the same invariant verdicts, and the same canonical behavior
+digest as the serial :class:`FleetHarness` run — at every worker count.
+These tests enforce that on a 4-drone mini-fleet at 1, 2 and 4 workers,
+plus the merge plumbing (span renumbering, overlap detection, trace
+export) piece by piece.
+"""
+
+import json
+
+import pytest
+
+import repro.obs as obs
+from repro.loadgen.executor import (
+    ParallelFleetExecutor,
+    ShardOutcome,
+    behavior_digest,
+    canonical_behavior,
+    merge_results,
+    merge_trace,
+    run_shard,
+)
+from repro.loadgen.harness import FleetHarness
+from repro.loadgen.scenario import FleetScenario
+from repro.obs.export import parse_jsonl, trace_records, validate_records
+
+EQ = FleetScenario(seed=11, drones=4, tenants_per_drone=1, chaos_level=1)
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+@pytest.fixture(scope="module")
+def serial():
+    """One serial reference run of the equivalence scenario, traced."""
+    obs.reset()
+    harness = FleetHarness(EQ)
+    obs.enable(harness.system.sim)
+    result = harness.run()
+    trace = trace_records(obs.get_registry())
+    obs.reset()
+    return result, trace
+
+
+@pytest.fixture(scope="module", params=[1, 2, 4])
+def parallel(request):
+    """The same scenario through the executor at 1, 2 and 4 workers."""
+    executor = ParallelFleetExecutor(EQ, workers=request.param, trace=True)
+    return executor, executor.run()
+
+
+class TestEquivalence:
+    def test_tenant_stats_identical(self, serial, parallel):
+        serial_result, _ = serial
+        _, parallel_result = parallel
+        assert set(serial_result.tenants) == set(parallel_result.tenants)
+        for name, stats in serial_result.tenants.items():
+            assert stats.to_dict() == parallel_result.tenants[name].to_dict()
+
+    def test_fleet_aggregates_identical(self, serial, parallel):
+        serial_result, _ = serial
+        _, parallel_result = parallel
+        assert parallel_result.duration_s == serial_result.duration_s
+        assert (parallel_result.waypoints_serviced
+                == serial_result.waypoints_serviced)
+        assert parallel_result.restarts == serial_result.restarts
+        assert (parallel_result.faults_injected
+                == serial_result.faults_injected)
+
+    def test_invariant_verdicts_identical(self, serial, parallel):
+        serial_result, _ = serial
+        _, parallel_result = parallel
+        assert ([str(v) for v in parallel_result.violations]
+                == [str(v) for v in serial_result.violations])
+        # Each shard sweeps its own drones on its own monitor, so the
+        # *check count* is a measurement artifact — it only has to show
+        # the monitors actually ran.
+        assert parallel_result.invariant_checks > 0
+
+    def test_behavior_digest_identical(self, serial, parallel):
+        _, serial_trace = serial
+        executor, _ = parallel
+        assert executor.trace_digest() == behavior_digest(serial_trace)
+
+
+class TestShards:
+    def test_shard_builds_global_identities(self):
+        """A shard holding only drone 1 mints drone 1's fleet-global
+        tenant names and order ids."""
+        harness = FleetHarness(EQ, drone_indices=[1])
+        (slot,) = harness.slots
+        assert slot.index == 1
+        assert list(slot.order_ids.values()) == [
+            1 * EQ.tenants_per_drone + 1]
+        assert all(tenant.startswith("user1-") for tenant in slot.tenants)
+
+    def test_bad_drone_indices_rejected(self):
+        with pytest.raises(ValueError):
+            FleetHarness(EQ, drone_indices=[])
+        with pytest.raises(ValueError):
+            FleetHarness(EQ, drone_indices=[EQ.drones])
+
+    def test_run_shard_inline(self):
+        outcome = run_shard(EQ.to_json(), [0], trace=True)
+        assert outcome.indices == (0,)
+        assert set(outcome.tenants) == {"user0-0-order1"}
+        assert outcome.trace and outcome.instruments
+        assert outcome.wall_s > 0
+        # run_shard leaves the process-wide registry clean.
+        assert not obs.enabled()
+
+    def test_workers_validated(self):
+        with pytest.raises(ValueError):
+            ParallelFleetExecutor(EQ, workers=0)
+
+
+class TestMerge:
+    def _shard(self, indices, trace):
+        return ShardOutcome(
+            indices=tuple(indices), tenants={}, violations=[],
+            invariant_checks=0, restarts=0, faults_injected=0,
+            waypoints_serviced=0, duration_s=0.0, wall_s=0.0, trace=trace)
+
+    def test_merge_orders_on_sim_clock(self):
+        a = self._shard([0], [{"t": 5, "kind": "event", "name": "a"},
+                              {"t": 20, "kind": "event", "name": "c"}])
+        b = self._shard([1], [{"t": 10, "kind": "event", "name": "b"}])
+        merged = merge_trace([a, b])
+        assert [r["name"] for r in merged] == ["a", "b", "c"]
+
+    def test_merge_renumbers_span_ids(self):
+        a = self._shard([0], [
+            {"t": 1, "kind": "span_begin", "name": "x", "id": 1},
+            {"t": 4, "kind": "span_end", "name": "x", "id": 1}])
+        b = self._shard([1], [
+            {"t": 2, "kind": "span_begin", "name": "y", "id": 1},
+            {"t": 3, "kind": "span_end", "name": "y", "id": 1}])
+        merged = merge_trace([a, b])
+        ids = {(r["name"], r["kind"]): r["id"] for r in merged}
+        assert ids[("x", "span_begin")] == ids[("x", "span_end")]
+        assert ids[("y", "span_begin")] == ids[("y", "span_end")]
+        assert ids[("x", "span_begin")] != ids[("y", "span_begin")]
+
+    def test_overlapping_shards_rejected(self):
+        stats = {"user0-0-order1": None}
+        a = self._shard([0], [])
+        a.tenants = dict(stats)
+        b = self._shard([0], [])
+        b.tenants = dict(stats)
+        with pytest.raises(ValueError, match="overlap"):
+            merge_results(EQ, [a, b])
+
+    def test_canonical_behavior_ignores_span_ids_and_order(self):
+        records = [
+            {"t": 2, "kind": "span_begin", "name": "x", "id": 7},
+            {"t": 1, "kind": "event", "name": "e"},
+            {"t": 3, "kind": "counter", "name": "n", "value": 4},
+        ]
+        renumbered = [
+            {"t": 1, "kind": "event", "name": "e"},
+            {"t": 2, "kind": "span_begin", "name": "x", "id": 1},
+        ]
+        assert canonical_behavior(records) == canonical_behavior(renumbered)
+        assert behavior_digest(records) == behavior_digest(renumbered)
+        assert all("counter" not in line
+                   for line in canonical_behavior(records))
+
+
+class TestExport:
+    def test_merged_export_is_valid_jsonl(self, tmp_path, parallel):
+        executor, _ = parallel
+        target = tmp_path / "merged.jsonl"
+        count = executor.export_jsonl(str(target))
+        records = parse_jsonl(str(target))
+        assert len(records) == count
+        validate_records(records)
+        kinds = {record["kind"] for record in records}
+        assert "event" in kinds and "counter" in kinds
+
+    def test_export_requires_traced_run(self):
+        executor = ParallelFleetExecutor(EQ, workers=1, trace=False)
+        with pytest.raises(RuntimeError):
+            executor.export_jsonl("unused.jsonl")
+
+    def test_merged_counters_match_serial(self, serial, parallel):
+        """Counters are extensive quantities: shard sums equal the
+        serial totals for everything that freezes when a drone's own
+        mission ends (portal, MAVLink, faults, workload traffic).  A
+        finished drone's *internal* loops — SITL polling, device reads —
+        keep ticking in the serial run until the whole fleet lands, so
+        for those the serial total is an upper bound."""
+        _, serial_trace = serial
+        executor, _ = parallel
+        # loadgen.* is excluded: a feed tenant's app keeps *attempting*
+        # (denied) calls after its mission ends, like the node loops.
+        frozen = ("portal.", "mavproxy.", "mavlink.", "fault.")
+
+        def totals(rows):
+            acc = {}
+            for row in rows:
+                if row.get("kind") != "counter":
+                    continue
+                key = (row["name"],
+                       json.dumps(row.get("labels", {}), sort_keys=True))
+                acc[key] = acc.get(key, 0) + row["value"]
+            return acc
+
+        merged = totals([{"kind": i.kind, "name": i.name, "value": i.value,
+                          "labels": dict(i.labels)}
+                         for i in executor.registry.instruments()
+                         if i.kind == "counter"])
+        reference = totals(serial_trace)
+        assert set(merged) == set(reference)
+        for key, value in merged.items():
+            name = key[0]
+            if name.startswith(frozen):
+                assert value == reference[key], key
+            else:
+                assert value <= reference[key], key

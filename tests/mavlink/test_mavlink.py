@@ -4,16 +4,11 @@ import pytest
 
 from repro.mavlink import (
     Attitude,
-    CommandAck,
     CommandLong,
-    CopterMode,
-    GlobalPositionInt,
     Heartbeat,
     MavCommand,
     MavlinkCodec,
     MavlinkConnection,
-    MavResult,
-    SetPositionTarget,
     Statustext,
     CodecError,
     MESSAGE_REGISTRY,

@@ -1,6 +1,5 @@
 """Tests for the MAVLink mission upload protocol."""
 
-import pytest
 
 from repro.flight import GeoPoint, SitlDrone, offset_geopoint
 from repro.mavlink import CopterMode, MavCommand, MissionItem, MavlinkConnection

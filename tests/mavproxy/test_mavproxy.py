@@ -1,6 +1,5 @@
 """Tests for MAVProxy: VFC virtualized views, whitelists, breach recovery."""
 
-import math
 
 import pytest
 

@@ -1,0 +1,75 @@
+"""Exit-code contract of ``python -m repro.obs.check`` (the CI trace gate)."""
+
+import json
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.check import check_trace, main
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    """A small valid trace written through the real exporter."""
+    registry = obs.enable()
+    registry.counter("binder.transactions", service="Camera").inc(3)
+    registry.event("vdc.start", tenant="alice")
+    with registry.span("mavproxy.route"):
+        pass
+    path = tmp_path / "trace.jsonl"
+    obs.write_jsonl(registry, str(path))
+    return path
+
+
+class TestExitCodes:
+    def test_valid_trace_exits_zero(self, trace_file, capsys):
+        assert main([str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "records ok" in out
+
+    def test_missing_file_exits_one(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.jsonl")]) == 1
+        assert "trace check failed" in capsys.readouterr().err
+
+    def test_empty_trace_exits_one(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main([str(empty)]) == 1
+        assert "trace check failed" in capsys.readouterr().err
+
+    def test_corrupt_line_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"t": 1, "kind": "event", "name": "x"}\nnot-json\n')
+        assert main([str(bad)]) == 1
+        assert "trace check failed" in capsys.readouterr().err
+
+    def test_non_monotonic_timestamps_exit_one(self, tmp_path, capsys):
+        bad = tmp_path / "backwards.jsonl"
+        records = [{"t": 10, "kind": "event", "name": "a"},
+                   {"t": 5, "kind": "event", "name": "b"}]
+        bad.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+        assert main([str(bad)]) == 1
+
+    def test_met_requirement_exits_zero(self, trace_file):
+        assert main([str(trace_file), "--require", "binder."]) == 0
+
+    def test_unmet_requirement_exits_one(self, trace_file, capsys):
+        assert main([str(trace_file), "--require", "quantum."]) == 1
+        assert "quantum." in capsys.readouterr().err
+
+    def test_no_arguments_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([])
+        assert excinfo.value.code == 2
+
+
+class TestCheckTrace:
+    def test_summary_counts_kinds(self, trace_file):
+        summary = check_trace(str(trace_file), [])
+        assert "event=1" in summary
+        assert "span_begin=1" in summary and "span_end=1" in summary
+
+    def test_requirement_matches_prefixes(self, trace_file):
+        check_trace(str(trace_file), ["vdc.", "mavproxy."])
+        with pytest.raises(ValueError, match="portal"):
+            check_trace(str(trace_file), ["portal."])

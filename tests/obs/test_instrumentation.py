@@ -6,7 +6,7 @@ import pytest
 import repro.obs as obs
 from repro.cloud.planner import FlightPlanner
 from repro.core.mission import MissionRunner
-from repro.obs.export import trace_records, validate_records
+from repro.obs.export import validate_records
 from repro.sdk.listener import WaypointListener
 from tests.util import HOME, make_node, simple_definition, survey_manifests
 

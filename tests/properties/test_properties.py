@@ -1,12 +1,11 @@
 """Property-based tests (hypothesis) for core invariants."""
 
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.analysis.stats import summarize
-from repro.containers.image import Image, Layer, WHITEOUT, diff_layer
+from repro.containers.image import Image, Layer, diff_layer
 from repro.flight.geo import GeoPoint, enu_between, offset_geopoint
 from repro.flight.geofence import Geofence
 from repro.kernel.memory import MemoryAccounting, OutOfMemoryError

@@ -5,18 +5,16 @@ must never happen: disarming the vehicle, accepting a target outside the
 geofence, or executing anything while the VFC is not active.
 """
 
-import math
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.flight.geo import GeoPoint, offset_geopoint
 from repro.flight.geofence import Geofence
 from repro.kernel.config import KernelConfig, PreemptionMode
 from repro.kernel.preemption import Activity, PreemptionModel
-from repro.mavlink.enums import CopterMode, MavCommand, MavResult
+from repro.mavlink.enums import MavCommand, MavResult
 from repro.mavlink.messages import CommandLong, ManualControl, SetPositionTarget
-from repro.mavproxy.vfc import VfcState, VirtualFlightController
+from repro.mavproxy.vfc import VirtualFlightController
 from repro.mavproxy.whitelist import TEMPLATES
 from repro.sim import RngRegistry
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.sdk.listener import WaypointListener
-from repro.vdc import TenantPhase
 from tests.util import make_node, simple_definition, survey_manifests
 
 

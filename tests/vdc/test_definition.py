@@ -1,6 +1,5 @@
 """Tests for virtual drone JSON definitions (paper Figure 2)."""
 
-import json
 
 import pytest
 

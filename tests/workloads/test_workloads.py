@@ -1,6 +1,5 @@
 """Tests for the workload analogs."""
 
-import pytest
 
 from repro.kernel import Kernel, KernelConfig, PreemptionMode
 from repro.sim import Simulator, RngRegistry
