@@ -51,9 +51,10 @@ soak: ## soak a small fleet (2 drones x 4 tenants, chaos on), then check the tra
 		--require loadgen. --require binder. --require vdc. \
 		--require vfc. --require fault.
 
-lint: ## ruff (blocking) + mypy (advisory while annotations land); pip install -e ".[lint]" first
+lint: ## ruff (blocking) + mypy (advisory) + domain rules; pip install -e ".[lint]" first
 	ruff check src tests benchmarks examples
 	mypy src || echo "mypy: advisory for now (config in pyproject.toml)"
+	PYTHONPATH=src $(PYTHON) -m repro.lint
 
 check: test soak ## what CI gates on: quick tests, a clean soak, smoke-scale bench
 	PYTHONPATH=src SCALE_SMOKE=1 $(PYTHON) -m pytest \
@@ -70,7 +71,8 @@ baselines: ## refresh the checked-in perf baselines from a fresh smoke sweep
 		benchmarks/results/scale_parallel.jsonl benchmarks/baselines/
 
 clean:
-	rm -rf .pytest_cache benchmarks/results .benchmarks \
+	rm -rf .pytest_cache .ruff_cache .mypy_cache .hypothesis \
+		benchmarks/results .benchmarks src/repro.egg-info \
 		trace.jsonl chaos-trace.jsonl soak-trace.jsonl \
-		parallel-trace.jsonl shard-*.jsonl
-	find . -name __pycache__ -type d -exec rm -rf {} +
+		parallel-trace.jsonl shard-*.jsonl repro-lint.json
+	find . -type d -name __pycache__ -prune -exec rm -rf {} +

@@ -92,13 +92,13 @@ class SystemService:
         # Call latency is wall-clock (the handler runs synchronously, so
         # no sim time passes); the one deliberately nondeterministic
         # metric — see docs/METRICS.md.
-        start_ns = time.perf_counter_ns()
+        start_ns = time.perf_counter_ns()  # repro-lint: disable=sim-clock
         try:
             return method(txn)
         finally:
             obs.histogram("android.service.call_us", unit="us-wall",
                           service=self.name).observe(
-                (time.perf_counter_ns() - start_ns) / 1000.0)
+                (time.perf_counter_ns() - start_ns) / 1000.0)  # repro-lint: disable=sim-clock
 
     # -- access control -------------------------------------------------------------
     def check_access(self, txn: Transaction) -> None:

@@ -29,6 +29,12 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional
 
 
+class AdmissionConfigError(ValueError):
+    """Invalid controller configuration (queue bound or burst < 1).
+    Subclasses ``ValueError`` so callers that caught the bare error this
+    used to surface as keep working."""
+
+
 class BusyError(RuntimeError):
     """The service is at capacity; retry after ``retry_after_s``."""
 
@@ -44,9 +50,10 @@ class AdmissionController:
                  rate_per_s: float = 0.0, burst: int = 8,
                  clock: Optional[Callable[[], float]] = None):
         if max_pending is not None and max_pending < 1:
-            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+            raise AdmissionConfigError(
+                f"max_pending must be >= 1, got {max_pending}")
         if burst < 1:
-            raise ValueError(f"burst must be >= 1, got {burst}")
+            raise AdmissionConfigError(f"burst must be >= 1, got {burst}")
         self.max_pending = max_pending
         self.rate_per_s = rate_per_s
         self.burst = burst

@@ -12,6 +12,19 @@ from typing import Dict, List
 from repro.android.manifest import AndroidManifest, AnDroneManifest, ManifestError
 
 
+class UnknownAppError(KeyError):
+    """Lookup of a package the store does not carry.  Subclasses
+    ``KeyError`` so callers that caught the bare lookup error this used
+    to surface as keep working."""
+
+    def __init__(self, package: str):
+        super().__init__(f"no app {package!r} in the store")
+        self.package = package
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0]
+
+
 @dataclass
 class StoreApp:
     """One published app."""
@@ -51,7 +64,7 @@ class AppStore:
 
     def get(self, package: str) -> StoreApp:
         if package not in self._apps:
-            raise KeyError(f"no app {package!r} in the store")
+            raise UnknownAppError(package)
         return self._apps[package]
 
     def download(self, package: str) -> StoreApp:

@@ -15,6 +15,12 @@ from typing import List, Optional
 from repro.cloud.planner.energy import DroneEnergyModel
 
 
+class BillingInputError(ValueError):
+    """Invalid billing input: non-positive charge caps or negative
+    usage quantities.  Subclasses ``ValueError`` so callers that caught
+    the bare error this used to surface as keep working."""
+
+
 @dataclass
 class BillingRates:
     """Service-provider pricing."""
@@ -53,7 +59,7 @@ class BillingService:
     def max_charge_to_energy_j(self, max_charge: float) -> float:
         """The user's maximum billing charge caps the energy allotment."""
         if max_charge <= 0:
-            raise ValueError("max charge must be positive")
+            raise BillingInputError("max charge must be positive")
         return max_charge / self.rates.currency_per_joule
 
     def estimate_flight_time_s(self, energy_j: float, payload_kg: float = 0.0) -> float:
@@ -68,7 +74,7 @@ class BillingService:
                 storage_bytes: int = 0, bandwidth_bytes: int = 0,
                 storage_months: float = 1.0) -> Invoice:
         if energy_used_j < 0 or storage_bytes < 0 or bandwidth_bytes < 0:
-            raise ValueError("usage quantities must be non-negative")
+            raise BillingInputError("usage quantities must be non-negative")
         gb = 1024 ** 3
         items = [
             LineItem(f"drone energy ({energy_used_j:.0f} J)",

@@ -20,6 +20,12 @@ from dataclasses import dataclass
 GRAVITY = 9.80665
 
 
+class EnergyModelError(ValueError):
+    """Physically meaningless input to the energy model (negative
+    distance, non-positive speed).  Subclasses ``ValueError`` so callers
+    that caught the bare error this used to surface as keep working."""
+
+
 @dataclass
 class DroneEnergyModel:
     """Energy model for one drone type (defaults: the F450 prototype)."""
@@ -54,7 +60,7 @@ class DroneEnergyModel:
         """Forward flight: induced power falls slightly with speed, but
         parasite drag grows with its cube; the classic bathtub curve."""
         if speed_ms < 0:
-            raise ValueError("speed must be non-negative")
+            raise EnergyModelError("speed must be non-negative")
         hover = self.hover_power_w(payload_kg)
         induced_relief = 1.0 / math.sqrt(1.0 + (speed_ms / 8.0) ** 2)
         induced_part = (hover - self.avionics_w) * max(0.7, induced_relief)
@@ -75,9 +81,9 @@ class DroneEnergyModel:
                      payload_kg: float = 0.0) -> float:
         """Energy to fly a straight leg at constant speed."""
         if distance_m < 0:
-            raise ValueError("distance must be non-negative")
+            raise EnergyModelError("distance must be non-negative")
         if speed_ms <= 0:
-            raise ValueError("speed must be positive")
+            raise EnergyModelError("speed must be positive")
         return self.cruise_power_w(speed_ms, payload_kg) * (distance_m / speed_ms)
 
     def hover_energy_j(self, duration_s: float, payload_kg: float = 0.0) -> float:

@@ -18,6 +18,19 @@ from repro.flight.geo import GeoPoint
 from repro.vdc.definition import VirtualDroneDefinition
 
 
+class UnknownFlightTenantError(KeyError):
+    """Window lookup for a tenant with no stop on this flight.
+    Subclasses ``KeyError`` so callers that caught the bare lookup error
+    this used to surface as keep working."""
+
+    def __init__(self, tenant: str):
+        super().__init__(f"tenant {tenant!r} not on this flight")
+        self.tenant = tenant
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0]
+
+
 @dataclass
 class PlannedStop:
     """One serviced waypoint in visit order."""
@@ -53,7 +66,7 @@ class FlightPlan:
         times = [(s.est_arrival_s, s.est_departure_s)
                  for s in self.stops if s.tenant == tenant]
         if not times:
-            raise KeyError(f"tenant {tenant!r} not on this flight")
+            raise UnknownFlightTenantError(tenant)
         return min(t[0] for t in times), max(t[1] for t in times)
 
 

@@ -15,6 +15,19 @@ from typing import Dict, List, Optional
 from repro.containers.image import Layer
 from repro.vdc.definition import VirtualDroneDefinition
 
+
+class UnknownVdrEntryError(KeyError):
+    """Fetch of a VDR entry id that was never stored.  Subclasses
+    ``KeyError`` so callers that caught the bare lookup error this used
+    to surface as keep working."""
+
+    def __init__(self, entry_id: str):
+        super().__init__(f"no VDR entry {entry_id!r}")
+        self.entry_id = entry_id
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0]
+
 @dataclass
 class VdrEntry:
     entry_id: str
@@ -64,7 +77,7 @@ class VirtualDroneRepository:
 
     def fetch(self, entry_id: str) -> VdrEntry:
         if entry_id not in self._entries:
-            raise KeyError(f"no VDR entry {entry_id!r}")
+            raise UnknownVdrEntryError(entry_id)
         return self._entries[entry_id]
 
     def latest_for(self, name: str) -> Optional[VdrEntry]:

@@ -17,14 +17,12 @@ taken, so the two migration strategies can be compared:
 from __future__ import annotations
 
 import copy
-import itertools
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.android.app import AppState
 from repro.containers.image import Layer
-
-_checkpoint_ids = itertools.count(1)
 
 
 class CheckpointError(RuntimeError):
@@ -85,8 +83,9 @@ def checkpoint_container(container, env, base_image_tag: str,
     No app callbacks fire: memory and lifecycle state are captured as-is
     (the "transparent" property of Zap/CRIU).  Callers that need
     deterministic replay (the VDC supervision loop) pass their own
-    run-scoped ``checkpoint_id``; the default draws from a process-wide
-    sequence.
+    run-scoped ``checkpoint_id``; the default is content-addressed from
+    the capture, so ids never depend on how many checkpoints other
+    drones in the process took first (repro-lint: fork-safety).
     """
     processes = []
     for package, app in env.apps.items():
@@ -99,11 +98,21 @@ def checkpoint_container(container, env, base_image_tag: str,
             android_manifest=app.manifest,
             androne_manifest=app.androne_manifest,
         ))
+    fs_diff = container.commit(comment=f"checkpoint:{container.name}")
+    if checkpoint_id is None:
+        capture = ":".join([
+            container.name, base_image_tag,
+            ",".join(f"{p.package}@{p.pid}:{p.lifecycle_state.value}"
+                     for p in processes),
+            str(fs_diff.size_bytes()),
+        ])
+        digest = hashlib.sha256(capture.encode()).hexdigest()[:10]
+        checkpoint_id = f"ckpt-{container.name}-{digest}"
     return CheckpointImage(
-        checkpoint_id=checkpoint_id or f"ckpt-{next(_checkpoint_ids)}",
+        checkpoint_id=checkpoint_id,
         container_name=container.name,
         base_image_tag=base_image_tag,
-        fs_diff=container.commit(comment=f"checkpoint:{container.name}"),
+        fs_diff=fs_diff,
         processes=processes,
     )
 

@@ -14,6 +14,7 @@ from typing import Dict, Optional
 from repro.containers.image import Image, Layer, diff_layer
 from repro.kernel.cgroups import Cgroup
 from repro.kernel.kernel import Kernel
+from repro.kernel.memory import OutOfMemoryError
 from repro.kernel.namespaces import NamespaceSet
 from repro.kernel.thread import SchedPolicy, Thread
 
@@ -61,7 +62,7 @@ class Container:
         self.cgroup.charge_memory(self.memory_kb)
         try:
             self.kernel.memory.allocate(self.name, self.memory_kb)
-        except Exception:
+        except OutOfMemoryError:
             self.cgroup.uncharge_memory(self.memory_kb)
             raise
         self.state = ContainerState.RUNNING

@@ -14,13 +14,10 @@ rejected — which is the testable property standing in for real crypto.
 from __future__ import annotations
 
 import hashlib
-import itertools
 from typing import Any, Callable
 
 from repro.net.link import LinkModel
 from repro.net.network import Network
-
-_tunnel_ids = itertools.count(1)
 
 
 class VpnEnvelope:
@@ -45,7 +42,12 @@ class VpnTunnel:
         remote_address: str,
         link: LinkModel,
     ):
-        self.tunnel_id = next(_tunnel_ids)
+        # Content-derived id: stable for a given endpoint triple no
+        # matter how many tunnels other drones opened first, so serial
+        # and sharded fleet runs agree (repro-lint: fork-safety).
+        self.tunnel_id = int.from_bytes(hashlib.sha256(
+            f"vpn:{container_name}:{local_address}:{remote_address}"
+            .encode()).digest()[:4], "big")
         self.container_name = container_name
         self.local_address = local_address
         self.remote_address = remote_address

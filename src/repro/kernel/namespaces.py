@@ -10,7 +10,7 @@ in :mod:`repro.binder.driver`.
 from __future__ import annotations
 
 import enum
-import itertools
+import hashlib
 from dataclasses import dataclass
 from typing import Dict
 
@@ -24,9 +24,6 @@ class NamespaceKind(enum.Enum):
     DEVICE = "device"   # the Cells-style device namespace
 
 
-_ns_ids = itertools.count(1)
-
-
 @dataclass(frozen=True)
 class Namespace:
     """An instance of one namespace kind."""
@@ -37,6 +34,19 @@ class Namespace:
 
     def __str__(self) -> str:
         return f"{self.kind.value}:{self.ns_id}({self.label})"
+
+
+def _stable_ns_id(kind: NamespaceKind, label: str) -> int:
+    """Content-derived namespace id.
+
+    Ids are a function of (kind, owner label) alone — no process-global
+    counter — so a container gets the same namespace identity whether the
+    fleet runs serially or partitioned across executor shards
+    (repro-lint: fork-safety).  Owner labels are unique within a host, so
+    ids are unique wherever namespaces can meet (e.g. one Binder driver).
+    """
+    digest = hashlib.sha256(f"{kind.value}:{label}".encode()).digest()
+    return int.from_bytes(digest[:6], "big")
 
 
 class NamespaceSet:
@@ -60,7 +70,7 @@ class NamespaceSet:
             if parent is not None and kind not in isolate:
                 self._spaces[kind] = parent.get(kind)
             else:
-                self._spaces[kind] = Namespace(kind, next(_ns_ids), label)
+                self._spaces[kind] = Namespace(kind, _stable_ns_id(kind, label), label)
 
     def get(self, kind: NamespaceKind) -> Namespace:
         return self._spaces[kind]

@@ -1,0 +1,44 @@
+"""Domain-aware static analysis for the AnDrone reproduction.
+
+The reproduction's correctness rests on invariants the paper states but
+ordinary linters cannot see: every MAVLink command must be classified by
+a restriction template (Section 4.3), raises on the cloud/VDC paths must
+use repro-defined typed exceptions, and replay determinism requires
+sim-clock-only timestamps, seeded RNG streams, and instance-scoped
+counters (the bug class PRs 2 and 4 each fixed by hand).  This package
+encodes those rules as AST checkers, in the tradition of the kernel's
+checkpatch/sparse subsystem linters.
+
+Run it as ``python -m repro.lint`` (or ``make lint``).  The rule
+catalog, suppression syntax, and baseline workflow are documented in
+``docs/STATIC_ANALYSIS.md``.
+"""
+
+from repro.lint.baseline import load_baseline, write_baseline
+from repro.lint.config import LintConfig, default_config
+from repro.lint.core import (
+    Checker,
+    Finding,
+    LintResult,
+    Severity,
+    all_checkers,
+    register,
+    run_lint,
+)
+from repro.lint.report import render_json, render_text
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "Severity",
+    "all_checkers",
+    "default_config",
+    "load_baseline",
+    "register",
+    "render_json",
+    "render_text",
+    "run_lint",
+    "write_baseline",
+]

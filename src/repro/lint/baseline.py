@@ -1,0 +1,63 @@
+"""Baseline files: grandfathered findings that do not fail the build.
+
+A baseline entry is a finding fingerprint — (rule, path, message), no
+line number — so entries survive unrelated edits to the file.  The
+workflow (documented in docs/STATIC_ANALYSIS.md): introduce a checker,
+``--write-baseline`` to freeze the existing debt, burn entries down in
+later PRs.  The checked-in baseline for this repository is empty: every
+rule lands with a clean tree.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Set, Tuple
+
+from repro.lint.core import Finding
+
+Fingerprint = Tuple[str, str, str]
+
+_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be used."""
+
+
+def load_baseline(path: Path) -> Set[Fingerprint]:
+    """Fingerprints from ``path``; a missing file is an empty baseline."""
+    if not path.exists():
+        return set()
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+        raise BaselineError(f"{path}: expected a version-{_VERSION} baseline")
+    out: Set[Fingerprint] = set()
+    for entry in payload.get("findings", ()):
+        try:
+            out.add((entry["rule"], entry["path"], entry["message"]))
+        except (TypeError, KeyError) as exc:
+            raise BaselineError(f"{path}: malformed entry {entry!r}") from exc
+    return out
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> int:
+    """Freeze ``findings`` (plus any already-baselined ones the caller
+    includes) as the new baseline; returns the entry count."""
+    entries = sorted(
+        {f.fingerprint() for f in findings})
+    payload = {
+        "version": _VERSION,
+        "comment": ("Grandfathered repro.lint findings; burn down, don't "
+                    "add.  Regenerate with python -m repro.lint "
+                    "--write-baseline."),
+        "findings": [
+            {"rule": rule, "path": rel, "message": message}
+            for rule, rel, message in entries
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(entries)

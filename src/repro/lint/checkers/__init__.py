@@ -1,0 +1,11 @@
+"""Builtin checkers.  Importing this package registers every checker
+with the engine registry (see :func:`repro.lint.core.all_checkers`)."""
+
+from repro.lint.checkers import (  # noqa: F401
+    forksafety,
+    metricdocs,
+    rng,
+    simclock,
+    taxonomy,
+    whitelist,
+)

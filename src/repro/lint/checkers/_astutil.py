@@ -1,0 +1,78 @@
+"""Shared AST helpers: import-aware name resolution and constant-name
+conventions, used by the determinism checkers."""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, Optional
+
+
+class ImportMap:
+    """Resolves local names back to the dotted names they import.
+
+    ``import time as t`` maps ``t`` -> ``time``; ``from datetime import
+    datetime as dt`` maps ``dt`` -> ``datetime.datetime``.  Only
+    module-level and function-level imports visible in the tree are
+    considered, which is exact enough for a linter.
+    """
+
+    def __init__(self, tree: ast.AST):
+        self.modules: Dict[str, str] = {}
+        self.from_names: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else local
+                    self.modules[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module \
+                    and not node.level:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.from_names[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, expr: ast.AST) -> Optional[str]:
+        """Dotted name a call target resolves to, or None."""
+        parts = []
+        while isinstance(expr, ast.Attribute):
+            parts.append(expr.attr)
+            expr = expr.value
+        if not isinstance(expr, ast.Name):
+            return None
+        parts.reverse()
+        base = expr.id
+        if base in self.from_names:
+            return ".".join([self.from_names[base]] + parts)
+        if base in self.modules:
+            return ".".join([self.modules[base]] + parts)
+        return ".".join([base] + parts)
+
+
+def iter_calls(tree: ast.AST) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+_CONST_NAME = re.compile(r"^_{0,2}[A-Z][A-Z0-9_]*$")
+
+
+def is_constant_name(name: str) -> bool:
+    """ALL_CAPS (optionally underscore-prefixed) or dunder convention —
+    treated as a read-only table, not mutable process state."""
+    return bool(_CONST_NAME.match(name)) or (
+        name.startswith("__") and name.endswith("__"))
+
+
+def assign_names(node: ast.stmt):
+    """Plain-name targets of an Assign/AnnAssign/AugAssign statement."""
+    if isinstance(node, ast.Assign):
+        targets = node.targets
+    elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+        targets = [node.target]
+    else:
+        return []
+    return [t.id for t in targets if isinstance(t, ast.Name)]

@@ -1,0 +1,104 @@
+"""fork-safety: no mutable process-global or class-level shared state.
+
+The sharded :class:`~repro.loadgen.executor.ParallelFleetExecutor`
+proves serial == sharded behavior; that proof only holds when no state
+leaks across drones through module or class scope.  Class-attribute id
+counters (``_next_order_id = 0`` bumped via the class) were exactly the
+bug class PRs 2 and 4 fixed by hand — ids allocated in one shard do not
+advance the counter in another, so merged runs diverge from serial
+ones.  ALL_CAPS names are exempt by convention: they are read-only
+tables, not state.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.lint.checkers._astutil import (
+    ImportMap,
+    assign_names,
+    is_constant_name,
+)
+from repro.lint.core import Checker, register
+
+#: Constructors whose result is shared mutable state when bound at
+#: module or class level.
+MUTABLE_CONSTRUCTORS = frozenset({
+    "dict", "list", "set", "bytearray",
+    "collections.defaultdict", "collections.OrderedDict",
+    "collections.Counter", "collections.deque",
+    "itertools.count",
+})
+
+#: Names that smell like a sequence/id allocator when bound to an int at
+#: class level ("count" alone is too common to flag).
+_COUNTER_NAME = re.compile(
+    r"(^|_)next(_|$)|(^|_)seq(_|$)|(^|_)serial(_|$)|counter")
+
+
+def _is_dataclass(node: ast.ClassDef, imap: ImportMap) -> bool:
+    """Dataclass bodies declare per-instance field defaults, not shared
+    class state (and dataclasses reject mutable defaults themselves)."""
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = imap.resolve(target)
+        if name in ("dataclasses.dataclass", "dataclass"):
+            return True
+    return False
+
+
+def _is_mutable_value(value: ast.AST, imap: ImportMap) -> bool:
+    if isinstance(value, (ast.Dict, ast.List, ast.Set,
+                          ast.DictComp, ast.ListComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        name = imap.resolve(value.func)
+        return name in MUTABLE_CONSTRUCTORS
+    return False
+
+
+@register
+class ForkSafetyChecker(Checker):
+    rule = "fork-safety"
+    description = ("no mutable module globals or class-level counters — "
+                   "they break serial == sharded equivalence")
+
+    def check_file(self, src, config):
+        imap = ImportMap(src.tree)
+        for stmt in src.tree.body:
+            yield from self._check_scope(
+                stmt, imap, src, config, scope="module")
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.ClassDef) \
+                    and not _is_dataclass(node, imap):
+                for stmt in node.body:
+                    yield from self._check_scope(
+                        stmt, imap, src, config, scope=f"class {node.name}")
+
+    def _check_scope(self, stmt, imap, src, config, scope):
+        names = [n for n in assign_names(stmt) if not is_constant_name(n)]
+        if not names:
+            return
+        value = getattr(stmt, "value", None)
+        if value is None:
+            return  # bare annotation, no state created
+        label = ", ".join(names)
+        if _is_mutable_value(value, imap):
+            yield self.finding(
+                config, src.path, stmt.lineno, stmt.col_offset,
+                f"mutable {scope}-level state {label!r} is shared across "
+                f"instances and never survives a shard boundary; scope it "
+                f"to the instance (or rename ALL_CAPS if it is a "
+                f"read-only table)")
+        elif (scope != "module"
+              and isinstance(value, ast.Constant)
+              and isinstance(value.value, int)
+              and not isinstance(value.value, bool)
+              and any(_COUNTER_NAME.search(n) for n in names)):
+            yield self.finding(
+                config, src.path, stmt.lineno, stmt.col_offset,
+                f"{scope} attribute {label!r} looks like a shared id "
+                f"counter; allocate ids per instance so parallel shards "
+                f"stay equivalent to the serial run (the PR 2/PR 4 bug "
+                f"class)")

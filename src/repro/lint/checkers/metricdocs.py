@@ -1,0 +1,101 @@
+"""metric-docs: the code and docs/METRICS.md agree on the vocabulary.
+
+Every dotted metric/span/event name registered through the ``repro.obs``
+helpers (``counter``/``gauge``/``histogram``/``span``/``event``) must
+have a row in docs/METRICS.md, and every name the doc tables list must
+still exist in code — the reference stays trustworthy in both
+directions.  Benchmarks register ``fig10.*``/``scale.*`` series, so the
+scan covers the configured extra trees as well as the package.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.lint.core import Checker, Severity, register
+
+OBS_HELPERS = frozenset({"counter", "gauge", "histogram", "span", "event"})
+
+#: Backticked dotted identifiers (``vdc.tenant``); label values and
+#: prose words never contain a dot, so this stays precise.
+_DOC_NAME = re.compile(r"`([a-z][a-z0-9_]*(?:\.[a-z0-9_]+)+)`")
+
+
+def _code_names(trees: Dict[str, ast.AST]) -> Dict[str, Tuple[str, int]]:
+    """metric name -> first (path, line) registering it."""
+    names: Dict[str, Tuple[str, int]] = {}
+    for rel in sorted(trees):
+        for node in ast.walk(trees[rel]):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            func = node.func
+            attr = (func.attr if isinstance(func, ast.Attribute)
+                    else func.id if isinstance(func, ast.Name) else None)
+            first = node.args[0]
+            if attr in OBS_HELPERS and isinstance(first, ast.Constant) \
+                    and isinstance(first.value, str) and "." in first.value:
+                names.setdefault(first.value, (rel, node.lineno))
+    return names
+
+
+def _doc_names(text: str) -> Dict[str, int]:
+    """metric name -> line, from the first cell of each table row."""
+    names: Dict[str, int] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped.startswith("|"):
+            continue
+        first_cell = stripped.split("|")[1]
+        for name in _DOC_NAME.findall(first_cell):
+            names.setdefault(name, lineno)
+    return names
+
+
+@register
+class MetricDocsChecker(Checker):
+    rule = "metric-docs"
+    scope = "project"
+    description = ("registered metric/span/event names and the "
+                   "docs/METRICS.md tables must match, both directions")
+
+    def check_project(self, corpus, config):
+        doc_path = config.root / config.metrics_doc_rel
+        if not doc_path.exists():
+            yield self.finding(config, doc_path, 1, 0,
+                               "metric-docs skipped: file not found",
+                               severity=Severity.WARNING)
+            return
+
+        trees: Dict[str, ast.AST] = {
+            rel: src.tree for rel, src in corpus.items()}
+        for extra in config.metrics_extra_rels:
+            base = config.root / extra
+            if not base.is_dir():
+                continue
+            for path in sorted(base.rglob("*.py")):
+                if any(part in config.skip_dirs for part in path.parts):
+                    continue
+                try:
+                    trees[config.rel(path)] = ast.parse(
+                        path.read_text(encoding="utf-8"))
+                except SyntaxError:
+                    continue  # the parse-error finding covers package files
+
+        code = _code_names(trees)
+        docs = _doc_names(doc_path.read_text(encoding="utf-8"))
+
+        for name in sorted(set(code) - set(docs)):
+            rel, line = code[name]
+            yield self.finding(
+                config, config.root / rel, line, 0,
+                f"metric {name!r} is registered here but has no row in "
+                f"{config.metrics_doc_rel}; document it (name, kind, "
+                f"unit, labels, paper anchor)")
+        for name in sorted(set(docs) - set(code)):
+            yield self.finding(
+                config, doc_path, docs[name], 0,
+                f"metric {name!r} is documented but never registered in "
+                f"code; delete the row or restore the instrumentation")

@@ -1,0 +1,56 @@
+"""seeded-rng: every random draw comes from a named, seeded stream.
+
+The module-level ``random.*`` functions share one process-global
+generator, so any new call site perturbs every stream after it and
+breaks replay from the root seed; an unseeded ``random.Random()`` (or
+``SystemRandom``) is nondeterministic by construction.  Components draw
+from :class:`repro.sim.rng.RngRegistry` streams instead.
+"""
+
+from __future__ import annotations
+
+from repro.lint.checkers._astutil import ImportMap, iter_calls
+from repro.lint.core import Checker, register
+
+#: ``random`` module-level functions backed by the shared global RNG.
+GLOBAL_RNG_FUNCS = frozenset({
+    "seed", "random", "uniform", "randint", "randrange", "choice",
+    "choices", "shuffle", "sample", "gauss", "normalvariate",
+    "expovariate", "betavariate", "triangular", "vonmisesvariate",
+    "paretovariate", "weibullvariate", "lognormvariate", "getrandbits",
+    "randbytes",
+})
+
+
+@register
+class SeededRngChecker(Checker):
+    rule = "seeded-rng"
+    description = ("no process-global or unseeded RNG; draw from a "
+                   "named RngRegistry stream")
+
+    def check_file(self, src, config):
+        if src.package_rel in config.rng_allow:
+            return
+        imap = ImportMap(src.tree)
+        for call in iter_calls(src.tree):
+            name = imap.resolve(call.func)
+            if name is None or not name.startswith("random."):
+                continue
+            suffix = name[len("random."):]
+            if suffix in GLOBAL_RNG_FUNCS:
+                yield self.finding(
+                    config, src.path, call.lineno, call.col_offset,
+                    f"{name}() draws from the process-global RNG and "
+                    f"breaks replay from the root seed; use a named "
+                    f"repro.sim.rng.RngRegistry stream")
+            elif suffix == "Random" and not call.args and not call.keywords:
+                yield self.finding(
+                    config, src.path, call.lineno, call.col_offset,
+                    "unseeded random.Random() is nondeterministic; pass "
+                    "a seed derived from the run's root seed "
+                    "(repro.sim.rng.RngRegistry)")
+            elif suffix == "SystemRandom":
+                yield self.finding(
+                    config, src.path, call.lineno, call.col_offset,
+                    "random.SystemRandom is entropy-backed and can never "
+                    "replay; use a seeded RngRegistry stream")

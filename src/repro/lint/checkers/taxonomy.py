@@ -1,0 +1,99 @@
+"""error-taxonomy: failures surface as repro-defined typed exceptions.
+
+Three shapes are flagged anywhere in the package: a bare ``except:``,
+an over-broad ``except Exception/BaseException``, and a handler whose
+body is only ``pass`` (a silent swallow — the failure neither logs via
+``repro.obs`` nor propagates).  On the cloud/VDC/portal paths — where
+callers dispatch on error type for retry/billing decisions — a fourth
+shape is flagged: raising a builtin exception class directly instead of
+one of the repo's typed errors (``PortalBusyError``,
+``UnknownTenantError``, ...).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.core import Checker, register
+
+BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+
+#: Builtins that must not be raised directly on the typed-raise paths.
+#: NotImplementedError and AssertionError stay legal (abstract hooks,
+#: invariant checks).
+BUILTIN_RAISES = frozenset({
+    "Exception", "BaseException", "RuntimeError", "ValueError",
+    "TypeError", "KeyError", "IndexError", "LookupError",
+    "ArithmeticError", "OSError", "IOError", "StopIteration",
+})
+
+
+def _exception_names(handler_type):
+    if handler_type is None:
+        return []
+    nodes = (handler_type.elts if isinstance(handler_type, ast.Tuple)
+             else [handler_type])
+    return [n.id for n in nodes if isinstance(n, ast.Name)]
+
+
+def _body_is_silent(body) -> bool:
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if (isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and stmt.value.value is Ellipsis):
+            continue
+        return False
+    return True
+
+
+@register
+class ErrorTaxonomyChecker(Checker):
+    rule = "error-taxonomy"
+    description = ("typed repro exceptions only: no bare/over-broad "
+                   "excepts, no silent swallows, no builtin raises on "
+                   "cloud/VDC paths")
+
+    def check_file(self, src, config):
+        typed_path = any(src.package_rel.startswith(p)
+                         for p in config.typed_raise_prefixes)
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.ExceptHandler):
+                yield from self._check_handler(node, src, config)
+            elif typed_path and isinstance(node, ast.Raise):
+                yield from self._check_raise(node, src, config)
+
+    def _check_handler(self, node, src, config):
+        names = _exception_names(node.type)
+        if node.type is None:
+            yield self.finding(
+                config, src.path, node.lineno, node.col_offset,
+                "bare 'except:' catches everything including "
+                "KeyboardInterrupt; catch the typed repro error this "
+                "block can actually recover from")
+        else:
+            for name in names:
+                if name in BROAD_EXCEPTIONS:
+                    yield self.finding(
+                        config, src.path, node.lineno, node.col_offset,
+                        f"over-broad 'except {name}' hides unrelated "
+                        f"bugs; catch the typed repro error(s) this "
+                        f"block recovers from")
+        if _body_is_silent(node.body):
+            caught = ", ".join(names) or "everything"
+            yield self.finding(
+                config, src.path, node.lineno, node.col_offset,
+                f"silently swallowed exception ({caught}): log it via "
+                f"repro.obs or re-raise a typed repro error")
+
+    def _check_raise(self, node, src, config):
+        exc = node.exc
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        if isinstance(exc, ast.Name) and exc.id in BUILTIN_RAISES:
+            yield self.finding(
+                config, src.path, node.lineno, node.col_offset,
+                f"raise of builtin {exc.id} on a cloud/VDC path; define "
+                f"or reuse a typed repro error (subclassing {exc.id} "
+                f"keeps existing callers working)")

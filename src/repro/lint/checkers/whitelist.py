@@ -1,0 +1,99 @@
+"""mav-whitelist: every MAVLink command is explicitly classified.
+
+Section 4.3's restriction templates are the only thing standing between
+a tenant and the real flight controller, so "not mentioned" must never
+be how a command gets its policy.  This checker cross-references the
+``MavCommand`` enum against ``mavproxy/whitelist.py``: every enum
+member must appear by name in the whitelist module (in a template's
+allowed set, or in one of the explicit classification sets such as
+``FENCE_CRITICAL``/``FULL_ONLY``/``VFC_INTERCEPTED``), and every
+``MavCommand.X`` the whitelist references must exist in the enum.
+``tests/mavproxy/test_whitelist_completeness.py`` mirrors the same
+invariant at runtime.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Tuple
+
+from repro.lint.core import Checker, Severity, register
+
+
+def _enum_members(tree: ast.AST, class_name: str) -> Dict[str, int]:
+    """name -> line of each int-valued member of ``class_name``."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            members: Dict[str, int] = {}
+            for stmt in node.body:
+                if isinstance(stmt, ast.Assign) \
+                        and isinstance(stmt.value, ast.Constant) \
+                        and isinstance(stmt.value.value, int):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            members[target.id] = stmt.lineno
+            return members
+    return {}
+
+
+def _attribute_refs(tree: ast.AST,
+                    base: str) -> List[Tuple[str, int, int]]:
+    """(member, line, col) for each ``base.member`` attribute access."""
+    refs = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute) \
+                and isinstance(node.value, ast.Name) \
+                and node.value.id == base:
+            refs.append((node.attr, node.lineno, node.col_offset))
+    return refs
+
+
+@register
+class MavWhitelistChecker(Checker):
+    rule = "mav-whitelist"
+    scope = "project"
+    description = ("every MavCommand enum member is explicitly "
+                   "classified in mavproxy/whitelist.py, and every "
+                   "referenced member exists")
+
+    def check_project(self, corpus, config):
+        enums_path = config.root / config.mav_enums_rel
+        whitelist_path = config.root / config.whitelist_rel
+        missing = [p for p in (enums_path, whitelist_path)
+                   if not p.exists()]
+        if missing:
+            for path in missing:
+                yield self.finding(
+                    config, path, 1, 0,
+                    "mav-whitelist skipped: file not found",
+                    severity=Severity.WARNING)
+            return
+
+        enums_tree = ast.parse(enums_path.read_text(encoding="utf-8"))
+        wl_tree = ast.parse(whitelist_path.read_text(encoding="utf-8"))
+        members = _enum_members(enums_tree, config.mav_enum_class)
+        if not members:
+            yield self.finding(
+                config, enums_path, 1, 0,
+                f"enum {config.mav_enum_class} not found or empty",
+                severity=Severity.WARNING)
+            return
+
+        refs = _attribute_refs(wl_tree, config.mav_enum_class)
+        referenced = {name for name, _, _ in refs}
+
+        for name in sorted(set(members) - referenced):
+            yield self.finding(
+                config, whitelist_path, 1, 0,
+                f"{config.mav_enum_class}.{name} is never classified in "
+                f"the whitelist module: add it to a template's allowed "
+                f"set or to an explicit classification set "
+                f"(FENCE_CRITICAL / FULL_ONLY / VFC_INTERCEPTED) so its "
+                f"policy is a decision, not an omission")
+        for name, line, col in refs:
+            if name not in members:
+                yield self.finding(
+                    config, whitelist_path, line, col,
+                    f"whitelist references unknown "
+                    f"{config.mav_enum_class}.{name} (not a member of "
+                    f"the enum in {config.mav_enums_rel})")

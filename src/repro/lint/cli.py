@@ -1,0 +1,125 @@
+"""The ``python -m repro.lint`` command line.
+
+Exit codes: 0 = clean (baselined/suppressed findings do not fail), 1 =
+fresh error-severity findings (or any finding under ``--strict``), 2 =
+usage or configuration problem.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.baseline import BaselineError, load_baseline, write_baseline
+from repro.lint.config import default_config
+from repro.lint.core import Severity, all_checkers, run_lint
+from repro.lint.report import render_json, render_text
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def _split_rules(values: List[str]) -> List[str]:
+    rules: List[str] = []
+    for value in values:
+        rules.extend(r.strip() for r in value.split(",") if r.strip())
+    return rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Domain-aware static analysis for the AnDrone "
+                    "reproduction (rule catalog in docs/STATIC_ANALYSIS.md).")
+    parser.add_argument(
+        "paths", nargs="*",
+        help="optional root-relative path prefixes to restrict the report "
+             "to (default: everything)")
+    parser.add_argument(
+        "--root", type=Path, default=None,
+        help="repository root (default: auto-detected from the package)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format on stdout (default: text)")
+    parser.add_argument(
+        "--output", type=Path, default=None,
+        help="also write a JSON report to this file (for CI artifacts)")
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="baseline file (default: <root>/lint-baseline.json)")
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="freeze the current findings as the new baseline and exit 0")
+    parser.add_argument(
+        "--select", action="append", default=[], metavar="RULES",
+        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument(
+        "--disable", action="append", default=[], metavar="RULES",
+        help="comma-separated rule ids to skip")
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="warnings also fail the run")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule, chk in sorted(all_checkers().items()):
+            print(f"{rule:16s} {chk.severity.value:7s} {chk.scope:7s} "
+                  f"{chk.description}")
+        return EXIT_CLEAN
+
+    config = default_config(args.root)
+    if not config.package_dir.is_dir():
+        print(f"repro.lint: package directory not found: "
+              f"{config.package_dir}", file=sys.stderr)
+        return EXIT_USAGE
+
+    select = _split_rules(args.select)
+    disable = _split_rules(args.disable)
+    known = set(all_checkers())
+    unknown = [r for r in select + disable if r not in known]
+    if unknown:
+        print(f"repro.lint: unknown rule(s): {', '.join(unknown)} "
+              f"(see --list-rules)", file=sys.stderr)
+        return EXIT_USAGE
+
+    baseline_path = args.baseline or config.baseline_path
+    try:
+        baseline = load_baseline(baseline_path)
+    except BaselineError as exc:
+        print(f"repro.lint: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    result = run_lint(config, select=select or None,
+                      disable=disable or None, baseline=baseline,
+                      paths=args.paths or None)
+
+    if args.write_baseline:
+        count = write_baseline(baseline_path,
+                               result.findings + result.baselined)
+        print(f"repro.lint: wrote {count} baseline entr"
+              f"{'y' if count == 1 else 'ies'} to {baseline_path}")
+        return EXIT_CLEAN
+
+    if args.output is not None:
+        args.output.write_text(render_json(result), encoding="utf-8")
+    if args.format == "json" and args.output is None:
+        print(render_json(result), end="")
+    else:
+        print(render_text(result))
+
+    failing = result.errors + (result.warnings if args.strict else 0)
+    return EXIT_FINDINGS if failing else EXIT_CLEAN
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""Lint configuration: what to scan and where the cross-referenced
+artifacts (enums, whitelist, metric docs) live.
+
+Defaults describe this repository; tests point ``root`` at synthetic
+mini-trees to exercise checkers against fixture snippets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Tuple
+
+
+@dataclass
+class LintConfig:
+    """Paths and allowlists for one lint run.
+
+    All ``*_rel`` fields are POSIX-style paths relative to ``root``;
+    allowlist entries are relative to the scanned package directory.
+    """
+
+    #: Repository root; every reported path is relative to it.
+    root: Path
+
+    #: The package tree the per-file checkers scan.
+    package_rel: str = "src/repro"
+
+    #: Sim-path wall-clock allowlist: modules that legitimately measure
+    #: host time (speedup/overhead numbers), relative to ``package_rel``.
+    sim_clock_allow: Tuple[str, ...] = ("loadgen/executor.py",)
+
+    #: Modules allowed to touch the ``random`` module directly (the
+    #: seeded-stream registry itself).
+    rng_allow: Tuple[str, ...] = ("sim/rng.py",)
+
+    #: Package-relative prefixes on which ``raise`` must use
+    #: repro-defined typed exceptions (the cloud/VDC/portal paths).
+    typed_raise_prefixes: Tuple[str, ...] = ("cloud/", "vdc/")
+
+    #: Cross-referenced artifacts for the project-scope checkers.
+    mav_enums_rel: str = "src/repro/mavlink/enums.py"
+    mav_enum_class: str = "MavCommand"
+    whitelist_rel: str = "src/repro/mavproxy/whitelist.py"
+    metrics_doc_rel: str = "docs/METRICS.md"
+
+    #: Extra trees (besides ``package_rel``) scanned for registered
+    #: metric names — benchmarks register ``fig10.*``/``scale.*`` series.
+    metrics_extra_rels: Tuple[str, ...] = ("benchmarks",)
+
+    #: Default baseline location for grandfathered findings.
+    baseline_rel: str = "lint-baseline.json"
+
+    #: Directory names never descended into.
+    skip_dirs: Tuple[str, ...] = field(
+        default=("__pycache__", ".git", ".pytest_cache", ".hypothesis"))
+
+    @property
+    def package_dir(self) -> Path:
+        return self.root / self.package_rel
+
+    @property
+    def baseline_path(self) -> Path:
+        return self.root / self.baseline_rel
+
+    def rel(self, path: Path) -> str:
+        """``path`` relative to the root, POSIX-style (finding identity)."""
+        try:
+            return path.resolve().relative_to(self.root.resolve()).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    def package_rel_of(self, path: Path) -> str:
+        """``path`` relative to the scanned package, or '' if outside."""
+        try:
+            return (path.resolve()
+                    .relative_to(self.package_dir.resolve()).as_posix())
+        except ValueError:
+            return ""
+
+
+def find_repo_root(start: Path) -> Path:
+    """Walk up from ``start`` to the checkout root (pyproject marker)."""
+    node = start.resolve()
+    for candidate in (node, *node.parents):
+        if (candidate / "pyproject.toml").exists():
+            return candidate
+    return start
+
+
+def default_config(root: Path = None) -> LintConfig:
+    """The configuration for this checkout (root auto-detected from the
+    installed package location when not given)."""
+    if root is None:
+        root = find_repo_root(Path(__file__).parent)
+    return LintConfig(root=Path(root))

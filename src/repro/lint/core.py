@@ -1,0 +1,246 @@
+"""The lint engine: findings, the checker registry, suppressions, and
+the orchestration that runs every registered checker over a tree.
+
+Checkers come in two scopes.  A ``file`` checker sees one parsed module
+at a time; a ``project`` checker runs once per lint with access to the
+whole corpus plus the config, for cross-file invariants (whitelist
+coverage, metric/doc drift).  Both yield :class:`Finding` objects; the
+engine applies inline suppressions and the baseline afterwards, so
+checkers stay oblivious to both mechanisms.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.lint.config import LintConfig
+
+
+class Severity(enum.Enum):
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location."""
+
+    rule: str
+    severity: Severity
+    path: str  # root-relative, POSIX
+    line: int
+    col: int
+    message: str
+
+    def fingerprint(self) -> Tuple[str, str, str]:
+        """Line-number-free identity used for baseline matching, so a
+        grandfathered finding survives unrelated edits above it."""
+        return (self.rule, self.path, self.message)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+#: ``# repro-lint: disable=rule[,rule]`` suppresses findings on its line;
+#: the ``disable-file`` form suppresses the rule(s) anywhere in the file.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_\-, ]+)")
+
+
+class Suppressions:
+    """Per-file inline suppression directives."""
+
+    def __init__(self, text: str):
+        self.file_rules: set = set()
+        self.line_rules: Dict[int, set] = {}
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            for kind, rules in _SUPPRESS_RE.findall(line):
+                names = {r.strip() for r in rules.split(",") if r.strip()}
+                if kind == "disable-file":
+                    self.file_rules |= names
+                else:
+                    self.line_rules.setdefault(lineno, set()).update(names)
+
+    def covers(self, finding: Finding) -> bool:
+        for scope in (self.file_rules,
+                      self.line_rules.get(finding.line, ())):
+            if finding.rule in scope or "all" in scope:
+                return True
+        return False
+
+
+@dataclass
+class SourceFile:
+    """One parsed module in the corpus."""
+
+    path: Path
+    rel: str            # root-relative (reported)
+    package_rel: str    # package-relative (allowlist matching)
+    text: str
+    tree: ast.AST
+    suppressions: Suppressions
+
+
+class Checker:
+    """Base class; subclasses register themselves via :func:`register`."""
+
+    rule: str = ""
+    severity: Severity = Severity.ERROR
+    scope: str = "file"  # or "project"
+    description: str = ""
+
+    def check_file(self, src: SourceFile,
+                   config: LintConfig) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, corpus: Dict[str, SourceFile],
+                      config: LintConfig) -> Iterable[Finding]:
+        return ()
+
+    def finding(self, config: LintConfig, path: Path, line: int, col: int,
+                message: str, severity: Optional[Severity] = None) -> Finding:
+        return Finding(rule=self.rule, severity=severity or self.severity,
+                       path=config.rel(path), line=line, col=col,
+                       message=message)
+
+
+_REGISTRY: Dict[str, Checker] = {}
+
+
+def register(cls):
+    """Class decorator adding a checker (by its ``rule`` id) to the
+    registry the engine runs."""
+    if not cls.rule:
+        raise ValueError(f"checker {cls.__name__} has no rule id")
+    if cls.rule in _REGISTRY:
+        raise ValueError(f"duplicate checker rule {cls.rule!r}")
+    _REGISTRY[cls.rule] = cls()
+    return cls
+
+
+def all_checkers() -> Dict[str, Checker]:
+    """rule id -> checker instance, after loading the builtin set."""
+    # Importing the package registers every builtin checker exactly once.
+    import repro.lint.checkers  # noqa: F401
+    return dict(_REGISTRY)
+
+
+@dataclass
+class LintResult:
+    """Outcome of one engine run (fresh findings only fail the build)."""
+
+    findings: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files_scanned: int = 0
+    rules_run: Tuple[str, ...] = ()
+    parse_errors: int = 0
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for f in self.findings
+                   if f.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return sum(1 for f in self.findings
+                   if f.severity is Severity.WARNING)
+
+
+def _iter_py_files(base: Path, skip_dirs: Sequence[str]) -> Iterator[Path]:
+    for path in sorted(base.rglob("*.py")):
+        if any(part in skip_dirs for part in path.parts):
+            continue
+        yield path
+
+
+def load_source(path: Path, config: LintConfig) -> Optional[SourceFile]:
+    """Parse one module; returns None when it fails to parse (the caller
+    reports a ``parse-error`` finding)."""
+    text = path.read_text(encoding="utf-8")
+    tree = ast.parse(text, filename=str(path))
+    return SourceFile(path=path, rel=config.rel(path),
+                      package_rel=config.package_rel_of(path), text=text,
+                      tree=tree, suppressions=Suppressions(text))
+
+
+def build_corpus(config: LintConfig,
+                 errors: List[Finding]) -> Dict[str, SourceFile]:
+    corpus: Dict[str, SourceFile] = {}
+    for path in _iter_py_files(config.package_dir, config.skip_dirs):
+        try:
+            src = load_source(path, config)
+        except SyntaxError as exc:
+            errors.append(Finding(
+                rule="parse-error", severity=Severity.ERROR,
+                path=config.rel(path), line=exc.lineno or 1,
+                col=exc.offset or 0,
+                message=f"module does not parse: {exc.msg}"))
+            continue
+        corpus[src.rel] = src
+    return corpus
+
+
+def run_lint(
+    config: LintConfig,
+    select: Optional[Sequence[str]] = None,
+    disable: Optional[Sequence[str]] = None,
+    baseline: Optional[Iterable[Tuple[str, str, str]]] = None,
+    paths: Optional[Sequence[str]] = None,
+) -> LintResult:
+    """Run every registered checker and post-process the findings.
+
+    ``select``/``disable`` narrow the rule set; ``baseline`` is a set of
+    fingerprints treated as grandfathered; ``paths`` (root-relative
+    prefixes) restrict which findings are reported.
+    """
+    checkers = all_checkers()
+    active = {
+        rule: chk for rule, chk in checkers.items()
+        if (not select or rule in select)
+        and (not disable or rule not in disable)
+    }
+
+    parse_failures: List[Finding] = []
+    corpus = build_corpus(config, parse_failures)
+
+    raw: List[Finding] = list(parse_failures)
+    for src in corpus.values():
+        for chk in active.values():
+            if chk.scope == "file":
+                raw.extend(chk.check_file(src, config))
+    for chk in active.values():
+        if chk.scope == "project":
+            raw.extend(chk.check_project(corpus, config))
+
+    if paths:
+        prefixes = tuple(p.rstrip("/") for p in paths)
+        raw = [f for f in raw
+               if any(f.path == p or f.path.startswith(p + "/")
+                      for p in prefixes)]
+
+    result = LintResult(files_scanned=len(corpus),
+                        rules_run=tuple(sorted(active)),
+                        parse_errors=len(parse_failures))
+    known = set(baseline or ())
+    for finding in sorted(raw, key=lambda f: (f.path, f.line, f.rule)):
+        src = corpus.get(finding.path)
+        if src is not None and src.suppressions.covers(finding):
+            result.suppressed += 1
+        elif finding.fingerprint() in known:
+            result.baselined.append(finding)
+        else:
+            result.findings.append(finding)
+    return result

@@ -1,0 +1,52 @@
+"""Reporters: the one-line-per-finding text format and the JSON document
+CI uploads as an artifact."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.core import LintResult
+
+
+def render_text(result: LintResult, verbose_clean: bool = True) -> str:
+    """``path:line:col: rule severity: message`` lines plus a summary."""
+    lines = [
+        f"{f.path}:{f.line}:{f.col}: {f.rule} {f.severity.value}: {f.message}"
+        for f in result.findings
+    ]
+    summary = (
+        f"repro.lint: {len(result.findings)} finding"
+        f"{'s' if len(result.findings) != 1 else ''} "
+        f"({result.errors} errors, {result.warnings} warnings), "
+        f"{len(result.baselined)} baselined, "
+        f"{result.suppressed} suppressed, "
+        f"{result.files_scanned} files scanned, "
+        f"{len(result.rules_run)} rules")
+    if not result.findings and verbose_clean:
+        summary = summary.replace("repro.lint: 0 findings",
+                                  "repro.lint: clean — 0 findings")
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    per_rule: dict = {}
+    for f in result.findings:
+        per_rule[f.rule] = per_rule.get(f.rule, 0) + 1
+    payload = {
+        "tool": "repro.lint",
+        "version": 1,
+        "files_scanned": result.files_scanned,
+        "rules_run": list(result.rules_run),
+        "summary": {
+            "findings": len(result.findings),
+            "errors": result.errors,
+            "warnings": result.warnings,
+            "baselined": len(result.baselined),
+            "suppressed": result.suppressed,
+            "by_rule": per_rule,
+        },
+        "findings": [f.to_dict() for f in result.findings],
+        "baselined": [f.to_dict() for f in result.baselined],
+    }
+    return json.dumps(payload, indent=2) + "\n"

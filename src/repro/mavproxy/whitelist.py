@@ -41,6 +41,41 @@ class RestrictionTemplate:
         return replace(self, **changes)
 
 
+#: Every :class:`~repro.mavlink.enums.MavCommand` member must be
+#: *explicitly* classified below — in a template's allowed set or one of
+#: these named sets — so a command's policy is always a decision, never
+#: an omission.  The ``mav-whitelist`` checker (``python -m repro.lint``)
+#: enforces this statically and
+#: ``tests/mavproxy/test_whitelist_completeness.py`` mirrors it at
+#: runtime.
+
+#: Commands the VFC intercepts before any whitelist consultation:
+#: DO_SET_MODE routes through :meth:`RestrictionTemplate.permits_mode`,
+#: and COMPONENT_ARM_DISARM is always denied while a tenant is active
+#: (``vfc.py::_filter_command`` — tenants may not disarm the real
+#: vehicle mid-flight).
+VFC_INTERCEPTED = frozenset({
+    MavCommand.DO_SET_MODE,
+    MavCommand.COMPONENT_ARM_DISARM,
+})
+
+#: Geofence-critical commands no template may ever grant: moving the
+#: fence or home position would defeat "so long as it remains within
+#: the geofence" (Section 4.3).
+FENCE_CRITICAL = frozenset({
+    MavCommand.DO_FENCE_ENABLE,
+    MavCommand.DO_SET_HOME,
+})
+
+#: Flight-phase commands reserved to the FULL tier: returning to launch
+#: or landing ends the *shared* flight for every other tenant, so the
+#: standard tiers deny them and the flight planner's mission logic
+#: brings the real vehicle home.
+FULL_ONLY = frozenset({
+    MavCommand.NAV_RETURN_TO_LAUNCH,
+    MavCommand.NAV_LAND,
+})
+
 #: "The most restrictive template available will only allow the drone to
 #: operate in guided mode wherein only a desired GPS position may be
 #: given."
@@ -80,8 +115,7 @@ STANDARD = RestrictionTemplate(
 FULL = RestrictionTemplate(
     name="full",
     allowed_commands=frozenset(
-        cmd for cmd in MavCommand
-        if cmd not in (MavCommand.DO_FENCE_ENABLE, MavCommand.DO_SET_HOME)
+        cmd for cmd in MavCommand if cmd not in FENCE_CRITICAL
     ),
     allowed_modes=frozenset({
         CopterMode.STABILIZE, CopterMode.ALT_HOLD, CopterMode.GUIDED,

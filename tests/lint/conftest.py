@@ -1,0 +1,32 @@
+"""Shared helpers: build synthetic mini-repos under tmp_path and run
+the lint engine against them, one rule at a time."""
+
+import textwrap
+
+import pytest
+
+from repro.lint import LintConfig, run_lint
+
+
+def make_repo(root, files):
+    """Materialise ``files`` (root-relative path -> source text) under
+    ``root`` and return a :class:`LintConfig` pointed at it."""
+    for rel, text in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text), encoding="utf-8")
+    (root / "src" / "repro").mkdir(parents=True, exist_ok=True)
+    return LintConfig(root=root)
+
+
+def lint_rule(config, rule, **kwargs):
+    """Run exactly one rule and return its fresh findings."""
+    return run_lint(config, select=[rule], **kwargs).findings
+
+
+@pytest.fixture
+def mini(tmp_path):
+    """Partially-applied ``make_repo`` bound to this test's tmp dir."""
+    def _build(files):
+        return make_repo(tmp_path, files)
+    return _build

@@ -1,0 +1,356 @@
+"""Per-rule fixture tests: one minimal violating snippet and one clean
+snippet per checker, plus the allowlist/exemption edges each rule
+carries."""
+
+from repro.lint import Severity
+
+from tests.lint.conftest import lint_rule
+
+
+class TestSimClock:
+    def test_time_time_in_flight_module_is_caught(self, mini):
+        # The acceptance scenario from the issue: seed a wall-clock read
+        # into src/repro/flight/ and the sim-clock rule must catch it.
+        config = mini({"src/repro/flight/bad.py": """\
+            import time
+
+            def stamp():
+                return time.time()
+            """})
+        findings = lint_rule(config, "sim-clock")
+        assert [f.rule for f in findings] == ["sim-clock"]
+        assert findings[0].path == "src/repro/flight/bad.py"
+        assert findings[0].line == 4
+        assert "time.time" in findings[0].message
+
+    def test_aliased_from_import_is_resolved(self, mini):
+        config = mini({"src/repro/sim/bad.py": """\
+            from time import perf_counter as tick
+
+            def overhead():
+                return tick()
+            """})
+        findings = lint_rule(config, "sim-clock")
+        assert len(findings) == 1
+        assert "time.perf_counter" in findings[0].message
+
+    def test_sleep_is_banned_too(self, mini):
+        config = mini({"src/repro/net/bad.py": """\
+            import time
+
+            def backoff():
+                time.sleep(0.1)
+            """})
+        assert len(lint_rule(config, "sim-clock")) == 1
+
+    def test_sim_clock_usage_is_clean(self, mini):
+        config = mini({"src/repro/flight/ok.py": """\
+            def stamp(sim):
+                return sim.now()
+            """})
+        assert lint_rule(config, "sim-clock") == []
+
+    def test_allowlisted_module_is_skipped(self, mini):
+        # loadgen/executor.py measures real speedup; same code, no finding.
+        config = mini({"src/repro/loadgen/executor.py": """\
+            import time
+
+            def wall():
+                return time.perf_counter()
+            """})
+        assert lint_rule(config, "sim-clock") == []
+
+
+class TestSeededRng:
+    def test_global_random_call_is_caught(self, mini):
+        config = mini({"src/repro/devices/bad.py": """\
+            import random
+
+            def jitter():
+                return random.uniform(0.0, 1.0)
+            """})
+        findings = lint_rule(config, "seeded-rng")
+        assert len(findings) == 1
+        assert "RngRegistry" in findings[0].message
+
+    def test_unseeded_random_instance_is_caught(self, mini):
+        config = mini({"src/repro/devices/bad.py": """\
+            import random
+
+            GEN = random.Random()
+            """})
+        findings = lint_rule(config, "seeded-rng")
+        assert len(findings) == 1
+        assert "unseeded" in findings[0].message
+
+    def test_seeded_random_instance_is_clean(self, mini):
+        config = mini({"src/repro/devices/ok.py": """\
+            import random
+
+            def stream(seed):
+                return random.Random(seed)
+            """})
+        assert lint_rule(config, "seeded-rng") == []
+
+    def test_system_random_is_caught(self, mini):
+        config = mini({"src/repro/cloud/bad.py": """\
+            import random
+
+            def token():
+                return random.SystemRandom().random()
+            """})
+        messages = [f.message for f in lint_rule(config, "seeded-rng")]
+        assert any("SystemRandom" in m for m in messages)
+
+    def test_registry_module_is_allowlisted(self, mini):
+        config = mini({"src/repro/sim/rng.py": """\
+            import random
+
+            def make(seed):
+                return random.Random(seed) if seed else random.Random()
+            """})
+        assert lint_rule(config, "seeded-rng") == []
+
+
+class TestForkSafety:
+    def test_module_level_counter_is_caught(self, mini):
+        config = mini({"src/repro/kernel/bad.py": """\
+            import itertools
+
+            _ids = itertools.count(1)
+            """})
+        findings = lint_rule(config, "fork-safety")
+        assert len(findings) == 1
+        assert "shard" in findings[0].message
+
+    def test_module_level_mutable_dict_is_caught(self, mini):
+        config = mini({"src/repro/cloud/bad.py": """\
+            _pending = {}
+            """})
+        assert len(lint_rule(config, "fork-safety")) == 1
+
+    def test_class_level_id_counter_is_caught(self, mini):
+        # The PR 2/PR 4 bug class verbatim.
+        config = mini({"src/repro/cloud/bad.py": """\
+            class Portal:
+                _next_order_id = 0
+            """})
+        findings = lint_rule(config, "fork-safety")
+        assert len(findings) == 1
+        assert "counter" in findings[0].message
+
+    def test_all_caps_table_is_exempt(self, mini):
+        config = mini({"src/repro/mavlink/ok.py": """\
+            DISPATCH = {1: "a", 2: "b"}
+
+            class Codec:
+                FIELDS = ["x", "y"]
+            """})
+        assert lint_rule(config, "fork-safety") == []
+
+    def test_dataclass_field_defaults_are_exempt(self, mini):
+        config = mini({"src/repro/mavlink/ok.py": """\
+            from dataclasses import dataclass
+
+            @dataclass
+            class MissionItem:
+                seq: int = 0
+            """})
+        assert lint_rule(config, "fork-safety") == []
+
+    def test_instance_state_is_clean(self, mini):
+        config = mini({"src/repro/cloud/ok.py": """\
+            class Portal:
+                def __init__(self):
+                    self._orders = {}
+                    self._next_order_id = 1
+            """})
+        assert lint_rule(config, "fork-safety") == []
+
+
+class TestErrorTaxonomy:
+    def test_bare_except_is_caught(self, mini):
+        config = mini({"src/repro/flight/bad.py": """\
+            def f():
+                try:
+                    return 1
+                except:
+                    return 0
+            """})
+        messages = [f.message for f in lint_rule(config, "error-taxonomy")]
+        assert any("bare 'except:'" in m for m in messages)
+
+    def test_broad_except_is_caught(self, mini):
+        config = mini({"src/repro/flight/bad.py": """\
+            def f():
+                try:
+                    return 1
+                except Exception:
+                    raise
+            """})
+        messages = [f.message for f in lint_rule(config, "error-taxonomy")]
+        assert any("over-broad" in m for m in messages)
+
+    def test_silent_swallow_is_caught(self, mini):
+        config = mini({"src/repro/flight/bad.py": """\
+            def f():
+                try:
+                    return 1
+                except ValueError:
+                    pass
+            """})
+        messages = [f.message for f in lint_rule(config, "error-taxonomy")]
+        assert any("silently swallowed" in m for m in messages)
+
+    def test_builtin_raise_on_cloud_path_is_caught(self, mini):
+        config = mini({"src/repro/cloud/bad.py": """\
+            def f(x):
+                if x < 0:
+                    raise ValueError("negative")
+            """})
+        findings = lint_rule(config, "error-taxonomy")
+        assert len(findings) == 1
+        assert "typed repro error" in findings[0].message
+
+    def test_builtin_raise_off_cloud_path_is_tolerated(self, mini):
+        # Same code outside the typed-raise prefixes: no finding.
+        config = mini({"src/repro/flight/ok.py": """\
+            def f(x):
+                if x < 0:
+                    raise ValueError("negative")
+            """})
+        assert lint_rule(config, "error-taxonomy") == []
+
+    def test_typed_raise_and_narrow_except_are_clean(self, mini):
+        config = mini({"src/repro/cloud/ok.py": """\
+            class BadInputError(ValueError):
+                pass
+
+            def f(x):
+                if x < 0:
+                    raise BadInputError("negative")
+                raise NotImplementedError
+            """})
+        assert lint_rule(config, "error-taxonomy") == []
+
+
+WHITELIST_ENUMS = """\
+    import enum
+
+    class MavCommand(enum.IntEnum):
+        NAV_WAYPOINT = 16
+        NAV_LAND = 21
+        DO_SET_HOME = 179
+"""
+
+
+class TestMavWhitelist:
+    def test_unclassified_member_is_caught(self, mini):
+        config = mini({
+            "src/repro/mavlink/enums.py": WHITELIST_ENUMS,
+            "src/repro/mavproxy/whitelist.py": """\
+                from repro.mavlink.enums import MavCommand
+
+                ALLOWED = frozenset({MavCommand.NAV_WAYPOINT})
+                DENIED = frozenset({MavCommand.DO_SET_HOME})
+                """,
+        })
+        findings = lint_rule(config, "mav-whitelist")
+        assert len(findings) == 1
+        assert "MavCommand.NAV_LAND" in findings[0].message
+
+    def test_unknown_reference_is_caught(self, mini):
+        config = mini({
+            "src/repro/mavlink/enums.py": WHITELIST_ENUMS,
+            "src/repro/mavproxy/whitelist.py": """\
+                from repro.mavlink.enums import MavCommand
+
+                ALLOWED = frozenset({
+                    MavCommand.NAV_WAYPOINT, MavCommand.NAV_LAND,
+                    MavCommand.DO_SET_HOME, MavCommand.NAV_TELEPORT,
+                })
+                """,
+        })
+        findings = lint_rule(config, "mav-whitelist")
+        assert len(findings) == 1
+        assert "NAV_TELEPORT" in findings[0].message
+
+    def test_full_classification_is_clean(self, mini):
+        config = mini({
+            "src/repro/mavlink/enums.py": WHITELIST_ENUMS,
+            "src/repro/mavproxy/whitelist.py": """\
+                from repro.mavlink.enums import MavCommand
+
+                ALLOWED = frozenset({MavCommand.NAV_WAYPOINT})
+                FULL_ONLY = frozenset({MavCommand.NAV_LAND})
+                FENCE_CRITICAL = frozenset({MavCommand.DO_SET_HOME})
+                """,
+        })
+        assert lint_rule(config, "mav-whitelist") == []
+
+    def test_missing_files_degrade_to_warning(self, mini):
+        config = mini({"src/repro/flight/ok.py": "X = 1\n"})
+        findings = lint_rule(config, "mav-whitelist")
+        assert findings and all(
+            f.severity is Severity.WARNING for f in findings)
+        assert all("file not found" in f.message for f in findings)
+
+
+class TestMetricDocs:
+    DOC = """\
+        # Metrics
+
+        | name | kind |
+        | --- | --- |
+        | `portal.orders` | counter |
+    """
+
+    def test_undocumented_metric_is_caught(self, mini):
+        config = mini({
+            "docs/METRICS.md": self.DOC,
+            "src/repro/cloud/portal.py": """\
+                def handle(obs):
+                    obs.counter("portal.orders")
+                    obs.counter("portal.rejected")
+                """,
+        })
+        findings = lint_rule(config, "metric-docs")
+        assert len(findings) == 1
+        assert "portal.rejected" in findings[0].message
+        assert findings[0].path == "src/repro/cloud/portal.py"
+
+    def test_stale_doc_row_is_caught(self, mini):
+        config = mini({
+            "docs/METRICS.md": self.DOC,
+            "src/repro/cloud/portal.py": "def handle(obs):\n    pass\n",
+        })
+        findings = lint_rule(config, "metric-docs")
+        assert len(findings) == 1
+        assert "portal.orders" in findings[0].message
+        assert findings[0].path == "docs/METRICS.md"
+
+    def test_synced_vocabulary_is_clean(self, mini):
+        config = mini({
+            "docs/METRICS.md": self.DOC,
+            "src/repro/cloud/portal.py": """\
+                def handle(obs):
+                    obs.counter("portal.orders")
+                """,
+        })
+        assert lint_rule(config, "metric-docs") == []
+
+    def test_extra_trees_are_scanned(self, mini):
+        # benchmarks/ registers names too; they must count as "in code".
+        config = mini({
+            "docs/METRICS.md": """\
+                | name | kind |
+                | --- | --- |
+                | `fig10.speedup` | gauge |
+            """,
+            "benchmarks/fig10.py": """\
+                def run(obs):
+                    obs.gauge("fig10.speedup")
+                """,
+            "src/repro/flight/ok.py": "X = 1\n",
+        })
+        assert lint_rule(config, "metric-docs") == []

@@ -1,0 +1,164 @@
+"""Engine semantics: suppressions, baseline matching, path filters,
+parse errors, and rule selection."""
+
+import json
+
+import pytest
+
+from repro.lint import load_baseline, run_lint, write_baseline
+from repro.lint.baseline import BaselineError
+
+from tests.lint.conftest import lint_rule
+
+VIOLATION = """\
+    import time
+
+    def stamp():
+        return time.time()
+"""
+
+
+class TestSuppressions:
+    def test_line_disable_suppresses_the_finding(self, mini):
+        config = mini({"src/repro/flight/bad.py": """\
+            import time
+
+            def stamp():
+                return time.time()  # repro-lint: disable=sim-clock
+            """})
+        result = run_lint(config, select=["sim-clock"])
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_disable_only_covers_its_own_line(self, mini):
+        config = mini({"src/repro/flight/bad.py": """\
+            import time
+
+            def stamp():
+                # repro-lint: disable=sim-clock
+                return time.time()
+            """})
+        # The directive sits one line above the call: not suppressed.
+        assert len(lint_rule(config, "sim-clock")) == 1
+
+    def test_disable_file_covers_the_whole_module(self, mini):
+        config = mini({"src/repro/flight/bad.py": """\
+            # repro-lint: disable-file=sim-clock
+            import time
+
+            def stamp():
+                return time.time() + time.monotonic()
+            """})
+        result = run_lint(config, select=["sim-clock"])
+        assert result.findings == []
+        assert result.suppressed == 2
+
+    def test_disable_all_wildcard(self, mini):
+        config = mini({"src/repro/flight/bad.py": """\
+            import time
+            import random
+
+            def stamp():
+                return time.time() + random.random()  # repro-lint: disable=all
+            """})
+        result = run_lint(config, select=["sim-clock", "seeded-rng"])
+        assert result.findings == []
+        assert result.suppressed == 2
+
+    def test_unrelated_rule_is_not_suppressed(self, mini):
+        config = mini({"src/repro/flight/bad.py": """\
+            import time
+
+            def stamp():
+                return time.time()  # repro-lint: disable=seeded-rng
+            """})
+        assert len(lint_rule(config, "sim-clock")) == 1
+
+
+class TestBaseline:
+    def test_baselined_findings_do_not_fail(self, mini, tmp_path):
+        config = mini({"src/repro/flight/bad.py": VIOLATION})
+        first = run_lint(config, select=["sim-clock"])
+        assert len(first.findings) == 1
+
+        baseline_path = tmp_path / "lint-baseline.json"
+        assert write_baseline(baseline_path, first.findings) == 1
+
+        second = run_lint(config, select=["sim-clock"],
+                          baseline=load_baseline(baseline_path))
+        assert second.findings == []
+        assert [f.rule for f in second.baselined] == ["sim-clock"]
+
+    def test_baseline_survives_unrelated_edits_above(self, mini, tmp_path):
+        config = mini({"src/repro/flight/bad.py": VIOLATION})
+        baseline_path = tmp_path / "lint-baseline.json"
+        write_baseline(baseline_path,
+                       run_lint(config, select=["sim-clock"]).findings)
+
+        # Prepend code: the finding moves down two lines but keeps its
+        # line-number-free fingerprint.
+        path = tmp_path / "src/repro/flight/bad.py"
+        path.write_text("HEADER = 1\nOTHER = 2\n" + path.read_text(),
+                        encoding="utf-8")
+        result = run_lint(config, select=["sim-clock"],
+                          baseline=load_baseline(baseline_path))
+        assert result.findings == []
+        assert len(result.baselined) == 1
+
+    def test_new_findings_still_fail_alongside_baseline(self, mini, tmp_path):
+        config = mini({"src/repro/flight/bad.py": VIOLATION})
+        baseline_path = tmp_path / "lint-baseline.json"
+        write_baseline(baseline_path,
+                       run_lint(config, select=["sim-clock"]).findings)
+
+        (tmp_path / "src/repro/flight/worse.py").write_text(
+            "import time\nT = time.monotonic()\n", encoding="utf-8")
+        result = run_lint(config, select=["sim-clock"],
+                          baseline=load_baseline(baseline_path))
+        assert len(result.findings) == 1
+        assert result.findings[0].path == "src/repro/flight/worse.py"
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == set()
+
+    def test_bad_version_is_rejected(self, tmp_path):
+        path = tmp_path / "lint-baseline.json"
+        path.write_text(json.dumps({"version": 99, "entries": []}),
+                        encoding="utf-8")
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+
+class TestEngine:
+    def test_paths_filter_restricts_the_report(self, mini):
+        config = mini({
+            "src/repro/flight/bad.py": VIOLATION,
+            "src/repro/cloud/bad.py": VIOLATION,
+        })
+        result = run_lint(config, select=["sim-clock"],
+                          paths=["src/repro/cloud"])
+        assert [f.path for f in result.findings] == ["src/repro/cloud/bad.py"]
+
+    def test_syntax_error_becomes_parse_error_finding(self, mini):
+        config = mini({"src/repro/flight/broken.py": "def f(:\n"})
+        result = run_lint(config)
+        assert result.parse_errors == 1
+        assert any(f.rule == "parse-error" for f in result.findings)
+
+    def test_disable_drops_a_rule(self, mini):
+        config = mini({"src/repro/flight/bad.py": VIOLATION})
+        result = run_lint(config, disable=["sim-clock"])
+        assert "sim-clock" not in result.rules_run
+        assert all(f.rule != "sim-clock" for f in result.findings)
+
+    def test_findings_are_sorted_and_counted(self, mini):
+        config = mini({
+            "src/repro/a.py": VIOLATION,
+            "src/repro/b.py": VIOLATION,
+        })
+        result = run_lint(config, select=["sim-clock"])
+        assert [f.path for f in result.findings] == [
+            "src/repro/a.py", "src/repro/b.py"]
+        assert result.errors == 2
+        assert result.warnings == 0
+        assert result.files_scanned == 2

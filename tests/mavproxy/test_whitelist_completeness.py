@@ -1,0 +1,92 @@
+"""Whitelist completeness: every MavCommand member is explicitly
+allowed or denied by each RestrictionTemplate — no command gets its
+policy by omission.  This mirrors the static ``mav-whitelist`` rule in
+``python -m repro.lint`` at runtime."""
+
+from repro.mavlink.enums import MavCommand
+from repro.mavproxy.whitelist import (
+    FENCE_CRITICAL,
+    FULL,
+    FULL_ONLY,
+    GUIDED_ONLY,
+    STANDARD,
+    TEMPLATES,
+    VFC_INTERCEPTED,
+)
+
+ALL_COMMANDS = frozenset(MavCommand)
+
+
+class TestClassificationCoverage:
+    def test_every_member_is_classified(self):
+        """STANDARD's allowed set plus the three named classification
+        sets partition the whole enum: adding a MavCommand member
+        without deciding its policy fails here (and in repro.lint)."""
+        classified = (STANDARD.allowed_commands | FENCE_CRITICAL
+                      | FULL_ONLY | VFC_INTERCEPTED)
+        unclassified = ALL_COMMANDS - classified
+        assert not unclassified, (
+            f"unclassified MavCommand members: "
+            f"{sorted(c.name for c in unclassified)} — add each to a "
+            f"template's allowed set or an explicit classification set")
+
+    def test_classification_sets_do_not_overlap(self):
+        groups = {"STANDARD.allowed": STANDARD.allowed_commands,
+                  "FENCE_CRITICAL": FENCE_CRITICAL,
+                  "FULL_ONLY": FULL_ONLY,
+                  "VFC_INTERCEPTED": VFC_INTERCEPTED}
+        names = sorted(groups)
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                overlap = groups[a] & groups[b]
+                assert not overlap, f"{a} and {b} both claim {overlap}"
+
+
+class TestEveryTemplateDecidesEveryCommand:
+    def test_permits_command_is_total(self):
+        """Each template returns an explicit boolean for every member —
+        the runtime face of "allowed or denied, never unspecified"."""
+        for template in TEMPLATES.values():
+            for cmd in MavCommand:
+                decision = template.permits_command(int(cmd))
+                assert decision is (cmd in template.allowed_commands), (
+                    f"{template.name} is inconsistent on {cmd.name}")
+
+    def test_guided_only_denies_all_commands(self):
+        assert GUIDED_ONLY.allowed_commands == frozenset()
+        assert not any(GUIDED_ONLY.permits_command(int(c))
+                       for c in MavCommand)
+
+    def test_full_allows_everything_but_fence_critical(self):
+        assert FULL.allowed_commands == ALL_COMMANDS - FENCE_CRITICAL
+
+
+class TestTierInvariants:
+    def test_fence_critical_is_denied_by_every_template(self):
+        """Geofence integrity (Section 4.3): no template, however
+        permissive, may move the fence or home position."""
+        for template in TEMPLATES.values():
+            for cmd in FENCE_CRITICAL:
+                assert not template.permits_command(int(cmd)), (
+                    f"{template.name} must deny {cmd.name}")
+
+    def test_full_only_commands_are_reserved_to_full(self):
+        for cmd in FULL_ONLY:
+            assert FULL.permits_command(int(cmd))
+            assert not STANDARD.permits_command(int(cmd))
+            assert not GUIDED_ONLY.permits_command(int(cmd))
+
+    def test_standard_is_a_strict_subset_of_full(self):
+        assert STANDARD.allowed_commands < FULL.allowed_commands
+
+    def test_unknown_raw_command_ids_are_denied(self):
+        for template in TEMPLATES.values():
+            assert template.permits_command(999999) is False
+
+    def test_intercepted_commands_never_reach_the_whitelist_path(self):
+        """DO_SET_MODE routes through permits_mode and arming is always
+        denied in vfc.py, so the templates themselves need not (and do
+        not) allow them outside FULL's blanket grant."""
+        for cmd in VFC_INTERCEPTED:
+            assert not STANDARD.permits_command(int(cmd))
+            assert not GUIDED_ONLY.permits_command(int(cmd))
