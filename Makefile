@@ -3,13 +3,15 @@
 PYTHON ?= python
 
 .PHONY: install test bench examples results trace chaos parallel soak \
-	lint check gate baselines clean
+	city docs-check lint check gate baselines clean
 
 TRACE_FILE ?= trace.jsonl
 CHAOS_TRACE ?= chaos-trace.jsonl
 CHAOS_SEED ?= 42
 SOAK_TRACE ?= soak-trace.jsonl
 PARALLEL_TRACE ?= parallel-trace.jsonl
+CITY_TRACE ?= city-trace.jsonl
+CITY_SEED ?= 42
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -51,6 +53,15 @@ soak: ## soak a small fleet (2 drones x 4 tenants, chaos on), then check the tra
 		--require loadgen. --require binder. --require vdc. \
 		--require vfc. --require fault.
 
+city: ## run the seeded city-scale control plane (twice: proves determinism), then check the trace
+	PYTHONPATH=src ANDRONE_TRACE=$(CITY_TRACE) CITY_SEED=$(CITY_SEED) \
+		$(PYTHON) examples/city_control_plane.py
+	PYTHONPATH=src $(PYTHON) -m repro.obs.check $(CITY_TRACE) \
+		--require cp. --require portal.
+
+docs-check: ## validate every intra-repo markdown link and anchor
+	$(PYTHON) tools/check_doc_links.py
+
 lint: ## ruff (blocking) + mypy (advisory) + domain rules; pip install -e ".[lint]" first
 	ruff check src tests benchmarks examples
 	mypy src || echo "mypy: advisory for now (config in pyproject.toml)"
@@ -66,13 +77,17 @@ gate: ## fail when fresh benchmark results regress vs benchmarks/baselines/
 baselines: ## refresh the checked-in perf baselines from a fresh smoke sweep
 	PYTHONPATH=src SCALE_SMOKE=1 $(PYTHON) -m pytest \
 		benchmarks/bench_scale.py --benchmark-only
+	PYTHONPATH=src CITY_SMOKE=1 $(PYTHON) -m pytest \
+		benchmarks/bench_city.py --benchmark-only
 	cp benchmarks/results/scale.jsonl \
 		benchmarks/results/scale_hotpaths.jsonl \
-		benchmarks/results/scale_parallel.jsonl benchmarks/baselines/
+		benchmarks/results/scale_parallel.jsonl \
+		benchmarks/results/city.jsonl benchmarks/baselines/
 
 clean:
 	rm -rf .pytest_cache .ruff_cache .mypy_cache .hypothesis \
 		benchmarks/results .benchmarks src/repro.egg-info \
 		trace.jsonl chaos-trace.jsonl soak-trace.jsonl \
-		parallel-trace.jsonl shard-*.jsonl repro-lint.json
+		parallel-trace.jsonl city-trace.jsonl shard-*.jsonl \
+		repro-lint.json
 	find . -type d -name __pycache__ -prune -exec rm -rf {} +

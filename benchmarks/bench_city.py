@@ -1,0 +1,117 @@
+"""City-scale control plane: order throughput and placement quality.
+
+Two measurements over the sharded control plane
+(``src/repro/cloud/controlplane/``):
+
+1. **Order throughput** — a seeded :class:`CityScenario` (Poisson order
+   stream through consistent-hash-routed shards, bin-packed onto the
+   fleet, multi-leg tasks migrated through the VDR) measured end to end:
+   orders/s of wall time, completion counts, migrations, and a clean
+   invariant monitor.  ``city.completed`` and ``city.violations`` are
+   exact-gated against ``baselines/city.jsonl``.
+2. **Placement quality** — the same scenario under the best-fit
+   bin-packing placer vs the naive first-fit baseline.  The headline is
+   mean pad-to-waypoint distance (battery spent ferrying is battery not
+   sold to tenants); bin-packing must not place *worse* than first-fit.
+
+``CITY_SMOKE=1`` shrinks the scenario for CI's city-smoke job; the
+checked-in baselines are generated at smoke scale (the regression gate
+only compares label sets both runs produced).
+"""
+
+import os
+import time
+
+from repro.analysis import render_table
+from repro.loadgen import CityScenario, run_city
+
+SMOKE = os.environ.get("CITY_SMOKE") == "1"
+
+SHARDS = 2 if SMOKE else 4
+DRONES = 6 if SMOKE else 12
+ORDERS = 60 if SMOKE else 240
+MIGRATION_EVERY = 12 if SMOKE else 24
+
+
+def city_scenario(placer: str) -> CityScenario:
+    return CityScenario(seed=42, shards=SHARDS, drones=DRONES,
+                        orders=ORDERS, migration_every=MIGRATION_EVERY,
+                        placer=placer)
+
+
+def run_point(placer: str) -> dict:
+    start = time.perf_counter()
+    result = run_city(city_scenario(placer))
+    wall_s = time.perf_counter() - start
+    return {
+        "placer": placer,
+        "wall_s": wall_s,
+        "sim_s": result.duration_s,
+        "orders_per_s": result.orders_completed / wall_s,
+        "completed": result.orders_completed,
+        "failed": result.orders_failed,
+        "rejected": result.orders_rejected,
+        "busy_retries": result.busy_retries,
+        "capacity_retries": result.capacity_retries,
+        "flights": result.flights,
+        "migrations_completed": result.migrations_completed,
+        "violations": len(result.violations),
+        "invariant_checks": result.invariant_checks,
+        "placement_mean_m": result.placement_mean_m,
+        "deadline_hit": result.deadline_hit,
+    }
+
+
+def test_city_control_plane(benchmark, record_result, metrics_registry,
+                            export_metrics):
+    def sweep():
+        return [run_point("binpack"), run_point("firstfit")]
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    binpack, firstfit = points
+
+    rows = [(p["placer"], f"{p['completed']}/{ORDERS}", p["flights"],
+             p["migrations_completed"], p["violations"],
+             round(p["placement_mean_m"], 1), round(p["sim_s"], 1),
+             round(p["wall_s"], 2), round(p["orders_per_s"], 1))
+            for p in points]
+    record_result("city", render_table(
+        ["Placer", "Completed", "Flights", "Migrations", "Violations",
+         "Mean dist (m)", "Sim (s)", "Wall (s)", "Orders/s"],
+        rows,
+        title=f"City control plane: {ORDERS} orders over {DRONES} drones "
+              f"across {SHARDS} shards (seed 42; placement quality = mean "
+              f"pad-to-waypoint distance)"))
+
+    scale = {"shards": SHARDS, "drones": DRONES, "orders": ORDERS}
+    for p in points:
+        labels = {"policy": p["placer"], **scale}
+        metrics_registry.gauge("city.wall_s", **labels).set(
+            round(p["wall_s"], 3))
+        metrics_registry.gauge("city.sim_s", **labels).set(p["sim_s"])
+        metrics_registry.gauge("city.orders_per_s", **labels).set(
+            round(p["orders_per_s"], 2))
+        metrics_registry.gauge("city.completed", **labels).set(
+            p["completed"])
+        metrics_registry.gauge("city.violations", **labels).set(
+            p["violations"])
+        metrics_registry.gauge("city.migrations_completed", **labels).set(
+            p["migrations_completed"])
+        metrics_registry.gauge("city.placement_locality_m", **labels).set(
+            round(p["placement_mean_m"], 2))
+    export_metrics("city", metrics_registry)
+
+    for p in points:
+        label = f"city[{p['placer']}]"
+        assert p["violations"] == 0, (
+            f"{label}: {p['violations']} invariant violation(s)")
+        assert p["invariant_checks"] > 0, f"{label}: monitor never ran"
+        assert not p["deadline_hit"], f"{label}: hit the sim deadline"
+        assert p["completed"] >= 0.9 * ORDERS, (
+            f"{label}: only {p['completed']}/{ORDERS} orders completed")
+        assert p["migrations_completed"] >= 1, (
+            f"{label}: no VDR migration completed")
+    assert (binpack["placement_mean_m"]
+            <= firstfit["placement_mean_m"] + 1e-9), (
+        f"bin-packing placed farther ({binpack['placement_mean_m']:.1f} m) "
+        f"than first-fit ({firstfit['placement_mean_m']:.1f} m)")

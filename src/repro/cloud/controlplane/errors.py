@@ -1,0 +1,101 @@
+"""Typed error taxonomy for the city-scale control plane.
+
+Every failure mode of the control plane surfaces as one of these classes
+so callers can dispatch on type — retry a :class:`NoFeasiblePlacementError`
+later, treat a :class:`MigrationAbortedError` as retryable, treat a
+:class:`MigrationStateError` as a programming bug.  All classes subclass
+a builtin (``ValueError`` / ``RuntimeError`` / ``KeyError``) so callers
+that only know the builtin vocabulary keep working; the ``error-taxonomy``
+lint rule holds the package to raising these, never bare builtins.
+"""
+
+from __future__ import annotations
+
+
+class ControlPlaneError(ValueError):
+    """Base class for every control-plane failure."""
+
+
+class ControlPlaneConfigError(ControlPlaneError):
+    """Invalid control-plane construction input (shard count, drone
+    spec, placer weights)."""
+
+
+class UnknownShardError(ControlPlaneError, KeyError):
+    """A shard id the router/plane never registered."""
+
+    def __init__(self, shard_id: str):
+        ControlPlaneError.__init__(self, f"unknown shard {shard_id!r}")
+        self.shard_id = shard_id
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0]
+
+
+class UnknownDroneError(ControlPlaneError, KeyError):
+    """A physical drone id the fleet directory has never seen."""
+
+    def __init__(self, drone_id: str):
+        ControlPlaneError.__init__(self, f"unknown drone {drone_id!r}")
+        self.drone_id = drone_id
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0]
+
+
+class DroneStateError(ControlPlaneError):
+    """An operation that is illegal in the drone's current state
+    (e.g. restarting a drone mid-flight)."""
+
+
+class PlacementError(ControlPlaneError):
+    """Base class for placement failures."""
+
+
+class NoFeasiblePlacementError(PlacementError):
+    """No physical drone can host the request right now.
+
+    Carries the request's tenant name and how many drones were
+    considered, so the admission layer can surface a typed reject and
+    the caller can decide whether to retry after capacity frees up.
+    """
+
+    def __init__(self, tenant: str, considered: int, detail: str = ""):
+        suffix = f": {detail}" if detail else ""
+        super().__init__(
+            f"no feasible placement for {tenant!r} across "
+            f"{considered} drone(s){suffix}")
+        self.tenant = tenant
+        self.considered = considered
+
+
+class MigrationError(ControlPlaneError):
+    """Base class for the migration taxonomy."""
+
+
+class MigrationStateError(MigrationError):
+    """An illegal migration state-machine transition (a bug, not a
+    retryable condition)."""
+
+    def __init__(self, tenant: str, current: str, requested: str):
+        super().__init__(
+            f"migration of {tenant!r} cannot go {current} -> {requested}")
+        self.tenant = tenant
+        self.current = current
+        self.requested = requested
+
+
+class MigrationTargetError(MigrationError):
+    """No feasible target drone for a paused virtual drone (placement
+    failed during migration)."""
+
+
+class MigrationAbortedError(MigrationError):
+    """A migration step found its precondition gone — the VDR entry
+    vanished or the target drone restarted mid-import.  Retryable: the
+    tenant's state is safe in the VDR."""
+
+    def __init__(self, tenant: str, reason: str):
+        super().__init__(f"migration of {tenant!r} aborted: {reason}")
+        self.tenant = tenant
+        self.reason = reason

@@ -305,6 +305,21 @@ class WebPortal:
         order.notifications.append(Notification(
             "sms", f"your virtual drone is airborne: {ip}:{port}"))
 
+    def flight_interrupted(self, order_id: int) -> None:
+        """The flight ended before the task did; the virtual drone was
+        checked into the VDR to resume on a later flight.
+
+        Unlike :meth:`flight_completed`, the admission slot is **not**
+        released: the order is still occupying service capacity (its
+        state lives in the VDR awaiting another flight), and releasing
+        here would double-release when the resumed flight completes.
+        """
+        order = self._get_order(order_id)
+        order.state = OrderState.INTERRUPTED
+        order.notifications.append(Notification(
+            "email", "flight over before task completion; your virtual "
+                     "drone will resume on a later flight"))
+
     def flight_completed(self, order_id: int, result_links: List[str],
                          interrupted: bool = False) -> None:
         order = self._get_order(order_id)

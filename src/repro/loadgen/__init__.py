@@ -13,6 +13,15 @@ asserts invariants, and records per-tenant latency/throughput through
 See docs/SCALING.md for the scenario schema and the measured curves.
 """
 
+from repro.loadgen.city import (
+    CityHarness,
+    CityInvariantMonitor,
+    CityResult,
+    CityScenario,
+    CityViolation,
+    make_city_specs,
+    run_city,
+)
 from repro.loadgen.executor import (
     ParallelFleetExecutor,
     ShardOutcome,
@@ -30,6 +39,11 @@ from repro.loadgen.invariants import InvariantMonitor, InvariantViolation
 from repro.loadgen.scenario import FleetScenario, ScenarioError, WORKLOADS
 
 __all__ = [
+    "CityHarness",
+    "CityInvariantMonitor",
+    "CityResult",
+    "CityScenario",
+    "CityViolation",
     "FleetHarness",
     "FleetResult",
     "FleetScenario",
@@ -41,6 +55,8 @@ __all__ = [
     "TenantStats",
     "WORKLOADS",
     "behavior_digest",
+    "make_city_specs",
+    "run_city",
     "run_parallel",
     "run_scenario",
     "run_shard",

@@ -1,0 +1,89 @@
+"""Consistent-hash router: stability under shard add/remove.
+
+The elastic-resharding properties the control plane leans on: routing
+is a pure function of (key, membership, vnodes) — no process state, no
+``hash()`` randomization — removing a shard moves *only* the keys that
+shard owned, and adding it back restores the exact previous mapping.
+"""
+
+import pytest
+
+from repro.cloud.controlplane import (
+    ConsistentHashRouter,
+    ControlPlaneConfigError,
+    UnknownShardError,
+)
+
+SHARDS = ["shard-0", "shard-1", "shard-2", "shard-3"]
+KEYS = [f"user{i:04d}" for i in range(500)]
+
+
+def make_router(shards=None, vnodes=64):
+    return ConsistentHashRouter(shards or list(SHARDS), vnodes=vnodes)
+
+
+class TestRouting:
+    def test_route_is_deterministic_across_instances(self):
+        a, b = make_router(), make_router()
+        assert a.table(KEYS) == b.table(KEYS)
+
+    def test_insertion_order_does_not_matter(self):
+        forward = make_router(list(SHARDS))
+        backward = make_router(list(reversed(SHARDS)))
+        assert forward.table(KEYS) == backward.table(KEYS)
+
+    def test_every_shard_owns_keys(self):
+        load = make_router().load(KEYS)
+        assert sorted(load) == sorted(SHARDS)
+        assert all(count > 0 for count in load.values())
+        assert sum(load.values()) == len(KEYS)
+
+    def test_vnodes_keep_partitions_balanced(self):
+        load = make_router().load(KEYS)
+        assert max(load.values()) < 3 * min(load.values())
+
+
+class TestMembershipChanges:
+    def test_remove_moves_only_owned_keys(self):
+        router = make_router()
+        before = router.table(KEYS)
+        router.remove_shard("shard-2")
+        after = router.table(KEYS)
+        for key in KEYS:
+            if before[key] != "shard-2":
+                assert after[key] == before[key], key
+            else:
+                assert after[key] != "shard-2", key
+
+    def test_re_adding_restores_exact_prior_mapping(self):
+        router = make_router()
+        before = router.table(KEYS)
+        router.remove_shard("shard-1")
+        router.add_shard("shard-1")
+        assert router.table(KEYS) == before
+
+    def test_add_moves_only_keys_the_new_shard_claims(self):
+        router = make_router(["shard-0", "shard-1"])
+        before = router.table(KEYS)
+        router.add_shard("shard-9")
+        after = router.table(KEYS)
+        for key in KEYS:
+            assert after[key] in (before[key], "shard-9"), key
+        assert any(after[key] == "shard-9" for key in KEYS)
+
+    def test_remove_unknown_shard_is_typed(self):
+        with pytest.raises(UnknownShardError):
+            make_router().remove_shard("shard-99")
+
+    def test_duplicate_add_is_typed(self):
+        with pytest.raises(ControlPlaneConfigError):
+            make_router().add_shard("shard-0")
+
+    def test_cannot_remove_last_shard(self):
+        router = make_router(["only"])
+        with pytest.raises(ControlPlaneConfigError):
+            router.remove_shard("only")
+
+    def test_empty_ring_is_typed(self):
+        with pytest.raises(ControlPlaneConfigError):
+            ConsistentHashRouter([])

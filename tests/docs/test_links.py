@@ -1,0 +1,64 @@
+"""The documentation stays navigable: every intra-repo link resolves.
+
+Runs ``tools/check_doc_links.py`` (the same script the ``docs`` CI job
+runs) over the working tree, and pins the checker's own slug/anchor
+logic so a refactor of the script can't silently stop checking.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+CHECKER = REPO_ROOT / "tools" / "check_doc_links.py"
+
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+from check_doc_links import extract_links, github_slug  # noqa: E402
+
+
+class TestChecker:
+    def test_github_slug(self):
+        assert github_slug("The placement-policy contract") \
+            == "the-placement-policy-contract"
+        assert github_slug("Metrics & Trace Reference") \
+            == "metrics--trace-reference"
+        assert github_slug("City control plane (`src/repro`)") \
+            == "city-control-plane-srcrepro"
+
+    def test_extract_links_skips_code_fences(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text("[ok](other.md)\n```\n[not](a-link.md)\n```\n")
+        targets = [target for _, target in extract_links(page)]
+        assert targets == ["other.md"]
+
+    def test_checker_reports_broken_links(self, tmp_path):
+        (tmp_path / "page.md").write_text("see [gone](missing.md)\n")
+        proc = subprocess.run(
+            [sys.executable, str(CHECKER), str(tmp_path)],
+            capture_output=True, text=True)
+        assert proc.returncode == 1
+        assert "missing.md" in proc.stdout + proc.stderr
+
+    def test_checker_reports_broken_anchors(self, tmp_path):
+        (tmp_path / "a.md").write_text("# Only Heading\n[x](b.md#nope)\n")
+        (tmp_path / "b.md").write_text("# Real Heading\n")
+        proc = subprocess.run(
+            [sys.executable, str(CHECKER), str(tmp_path)],
+            capture_output=True, text=True)
+        assert proc.returncode == 1
+        assert "nope" in proc.stdout + proc.stderr
+
+
+class TestRepoDocs:
+    def test_every_intra_repo_link_resolves(self):
+        proc = subprocess.run(
+            [sys.executable, str(CHECKER)], cwd=REPO_ROOT,
+            capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_doc_index_covers_every_docs_page(self):
+        index = (REPO_ROOT / "docs" / "README.md").read_text()
+        pages = sorted(p.name for p in (REPO_ROOT / "docs").glob("*.md")
+                       if p.name != "README.md")
+        for page in pages:
+            assert f"({page})" in index, f"docs/README.md misses {page}"

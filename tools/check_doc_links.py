@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Validate intra-repo markdown links and anchors.
+
+Scans every ``*.md`` file in the repository (skipping dot-directories
+and virtualenvs) and checks that
+
+* every relative link target exists on disk, and
+* every ``#anchor`` (on a relative link or a same-file ``#`` link)
+  matches a heading in the target file, using GitHub's slug rules
+  (lowercase, spaces to dashes, punctuation dropped).
+
+External links (``http(s)://``, ``mailto:``) and links that resolve
+outside the repository root (e.g. a CI badge pointing at ``../../
+actions``) are ignored — this tool gates on what the repo itself can
+keep true.
+
+Exit status 1 and one line per broken link when anything dangles; CI's
+docs job runs this next to the ``metric-docs`` lint rule.  An optional
+positional argument overrides the root to scan (the default is the
+repository containing this script).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Set, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SKIP_DIRS = {".git", ".venv", "venv", "node_modules", ".pytest_cache",
+             ".ruff_cache", ".mypy_cache", "__pycache__", ".benchmarks"}
+
+#: ``[text](target)`` — target captured up to the closing paren.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading-to-anchor slug: strip markup and punctuation,
+    lowercase, spaces to dashes."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)          # inline code
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links
+    text = re.sub(r"[*_~]", "", text)                     # emphasis
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def markdown_files(root: Path = REPO_ROOT) -> List[Path]:
+    files = []
+    for path in sorted(root.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in path.parts):
+            continue
+        files.append(path)
+    return files
+
+
+def anchors_of(path: Path, cache: Dict[Path, Set[str]]) -> Set[str]:
+    if path not in cache:
+        slugs: Set[str] = set()
+        seen: Dict[str, int] = {}
+        in_fence = False
+        for line in path.read_text(encoding="utf-8").splitlines():
+            if CODE_FENCE_RE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            match = HEADING_RE.match(line)
+            if not match:
+                continue
+            slug = github_slug(match.group(2))
+            # Duplicate headings get -1, -2, ... suffixes on GitHub.
+            count = seen.get(slug, 0)
+            seen[slug] = count + 1
+            slugs.add(slug if count == 0 else f"{slug}-{count}")
+        cache[path] = slugs
+    return cache[path]
+
+
+def extract_links(path: Path) -> List[Tuple[int, str]]:
+    links = []
+    in_fence = False
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        if CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            links.append((lineno, match.group(1)))
+    return links
+
+
+def check_file(path: Path, cache: Dict[Path, Set[str]],
+               root: Path = REPO_ROOT) -> List[str]:
+    problems = []
+    for lineno, target in extract_links(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, fragment = target.partition("#")
+        if base:
+            resolved = (path.parent / base).resolve()
+            try:
+                resolved.relative_to(root)
+            except ValueError:
+                continue  # points outside the repo (e.g. CI badge)
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(root)}:{lineno}: "
+                    f"broken link target {base!r}")
+                continue
+        else:
+            resolved = path
+        if fragment and resolved.suffix == ".md" and resolved.is_file():
+            if fragment.lower() not in anchors_of(resolved, cache):
+                problems.append(
+                    f"{path.relative_to(root)}:{lineno}: "
+                    f"no heading for anchor "
+                    f"{'#' + fragment!r} in "
+                    f"{resolved.relative_to(root)}")
+    return problems
+
+
+def main(argv: List[str] = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    root = Path(args[0]).resolve() if args else REPO_ROOT
+    cache: Dict[Path, Set[str]] = {}
+    files = markdown_files(root)
+    problems = []
+    for path in files:
+        problems.extend(check_file(path, cache, root))
+    if problems:
+        print(f"{len(problems)} broken markdown link(s):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"doc links OK: {len(files)} markdown file(s) checked")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
