@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test bench examples results trace chaos parallel soak \
-	city docs-check lint check gate baselines clean
+	city docs-check lint check gate baselines profile throughput clean
 
 TRACE_FILE ?= trace.jsonl
 CHAOS_TRACE ?= chaos-trace.jsonl
@@ -59,6 +59,13 @@ city: ## run the seeded city-scale control plane (twice: proves determinism), th
 	PYTHONPATH=src $(PYTHON) -m repro.obs.check $(CITY_TRACE) \
 		--require cp. --require portal.
 
+profile: ## cProfile the hot paths into profiles/ (pstats + folded stacks)
+	PYTHONPATH=src $(PYTHON) tools/profile_hotpaths.py --out profiles
+
+throughput: ## run the raw-speed engine benchmark (fast vs legacy-oracle A/B)
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_throughput.py \
+		--benchmark-only -s
+
 docs-check: ## validate every intra-repo markdown link and anchor
 	$(PYTHON) tools/check_doc_links.py
 
@@ -79,15 +86,18 @@ baselines: ## refresh the checked-in perf baselines from a fresh smoke sweep
 		benchmarks/bench_scale.py --benchmark-only
 	PYTHONPATH=src CITY_SMOKE=1 $(PYTHON) -m pytest \
 		benchmarks/bench_city.py --benchmark-only
+	PYTHONPATH=src THROUGHPUT_SMOKE=1 $(PYTHON) -m pytest \
+		benchmarks/bench_throughput.py --benchmark-only
 	cp benchmarks/results/scale.jsonl \
 		benchmarks/results/scale_hotpaths.jsonl \
 		benchmarks/results/scale_parallel.jsonl \
-		benchmarks/results/city.jsonl benchmarks/baselines/
+		benchmarks/results/city.jsonl \
+		benchmarks/results/throughput.jsonl benchmarks/baselines/
 
 clean:
 	rm -rf .pytest_cache .ruff_cache .mypy_cache .hypothesis \
 		benchmarks/results .benchmarks src/repro.egg-info \
-		trace.jsonl chaos-trace.jsonl soak-trace.jsonl \
+		profiles trace.jsonl chaos-trace.jsonl soak-trace.jsonl \
 		parallel-trace.jsonl city-trace.jsonl shard-*.jsonl \
 		repro-lint.json
 	find . -type d -name __pycache__ -prune -exec rm -rf {} +

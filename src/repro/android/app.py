@@ -72,7 +72,10 @@ class App:
         return self._service_handles[name]
 
     def call_service(self, service: str, code: str, data: Optional[dict] = None) -> Any:
-        return self.binder.transact(self.get_service(service), code, data or {})
+        handle = self._service_handles.get(service)
+        if handle is None:
+            handle = self.get_service(service)
+        return self.binder.transact(handle, code, data or {})
 
     # -- files ----------------------------------------------------------------------
     @property

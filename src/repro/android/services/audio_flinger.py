@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from dataclasses import asdict
 
 from repro.android.permissions import Permission
 from repro.android.services.base import SystemService
@@ -38,7 +37,7 @@ class AudioFlinger(SystemService):
         duration = float(txn.data.get("duration_s", 1.0))
         self.attach_client(txn)
         clip = self._microphone.record(self._mic_handle, duration)
-        return {"status": "ok", "clip": asdict(clip)}
+        return {"status": "ok", "clip": self._payload(clip)}
 
     def op_play(self, txn: Transaction):
         from repro.devices.audio import AudioClip

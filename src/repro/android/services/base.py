@@ -17,6 +17,7 @@ Access control happens per call, in two stages (Sections 4.2 and 4.4):
 from __future__ import annotations
 
 import time
+from dataclasses import asdict
 from typing import Callable, Optional, Set, Tuple
 
 import repro.obs as obs
@@ -58,6 +59,13 @@ class SystemService:
         #: ``transient`` error reply (see repro.faults).  None in
         #: production.
         self.fault_hook: Optional[Callable[[Transaction], Optional[str]]] = None
+        #: Fast dispatch (memoized op_<code> lookup, interned call
+        #: counters, deepcopy-free reply payloads).  False routes every
+        #: call through the original getattr/asdict path — the oracle the
+        #: service-dispatch equivalence tests and throughput benchmarks
+        #: A/B against.
+        self.use_fast_ops = True
+        self._call_counters = obs.InstrumentCache()
 
     # -- lifecycle ------------------------------------------------------------
     def start(self, device_bus) -> None:
@@ -67,31 +75,142 @@ class SystemService:
         """Release devices."""
 
     # -- dispatch ----------------------------------------------------------------
+    def _call_counter(self, code: str, outcome: str):
+        """The ``android.service.calls`` counter for one (code, outcome),
+        memoized when fast dispatch is on (self.name never changes)."""
+        if not self.use_fast_ops:
+            return obs.counter("android.service.calls", service=self.name,
+                               code=code, outcome=outcome)
+        key = (code, outcome)
+        counter = self._call_counters.get(key)
+        if counter is None:
+            counter = self._call_counters.put(key, obs.counter(
+                "android.service.calls", service=self.name,
+                code=code, outcome=outcome))
+        return counter
+
+    def _op_method(self, code: str):
+        # Always a live getattr — never a memoized bound method — so
+        # instance-level op overrides take effect on the next call.
+        return getattr(self, f"op_{code}", None)
+
+    def _payload(self, obj) -> dict:
+        """Flat-dataclass reply payload; ``asdict`` is the legacy oracle
+        (identical output, plus a deepcopy per field)."""
+        if self.use_fast_ops:
+            return obj.to_dict()
+        return asdict(obj)
+
     def handle_txn(self, txn: Transaction):
-        method = getattr(self, f"op_{txn.code}", None)
+        if self.use_fast_ops and self.fault_hook is None:
+            # Fast lane: one memo lookup yields the op method plus both
+            # served-path instruments; miss only on first call per code
+            # or after a registry swap.
+            code = txn.code
+            lane = self._call_counters.get(code)
+            if lane is None:
+                if getattr(self, f"op_{code}", None) is None:
+                    return {"error": f"{self.name}: unknown code {code!r}"}
+                lane = self._call_counters.put(code, (
+                    f"op_{code}",
+                    obs.counter("android.service.calls", service=self.name,
+                                code=code, outcome="served"),
+                    obs.histogram("android.service.call_us", unit="us-wall",
+                                  service=self.name),
+                ))
+            op_name, served, histo = lane
+            # The attribute name is memoized, not the bound method —
+            # instance-level op overrides (fault tests, compromised-
+            # service scenarios) must keep taking effect.
+            method = getattr(self, op_name, None)
+            if method is None:
+                return {"error": f"{self.name}: unknown code {code!r}"}
+            # check_access() inlined (no service overrides it): android
+            # permission first, device policy second, short-circuiting
+            # exactly like the reference path — a denied android check
+            # never consults (or counts a query against) the VDC policy.
+            denied_msg = None
+            perm = self.required_permission
+            if perm is not None:
+                # _android_permission_granted() inlined: root passes,
+                # same-container asks our AM, cross-container hits the
+                # memoized grant table (miss → binder round trip).
+                if txn.calling_euid == 0:
+                    granted = True
+                elif txn.calling_container == self.env.container_name:
+                    granted = self.env.activity_manager.check_permission(
+                        perm, txn.calling_euid)
+                else:
+                    # PermissionCache.lookup() inlined (same package);
+                    # hit/miss bookkeeping matches the reference path.
+                    cache = self.env.permission_cache
+                    granted = None
+                    if cache is not None and cache.enabled:
+                        granted = cache._entries.get(
+                            (txn.calling_container, txn.calling_euid, perm))
+                        if granted is None:
+                            cache.misses += 1
+                        else:
+                            cache.hits += 1
+                    if granted is None:
+                        granted = self._remote_permission_check(txn)
+            else:
+                granted = True
+            if not granted:
+                denied_msg = (
+                    f"{self.name}: {txn.calling_container or 'host'}/uid "
+                    f"{txn.calling_euid} lacks {perm}")
+            elif self.androne_device:
+                hook = self.env.permission_hook
+                if hook is not None and not hook(txn.calling_container,
+                                                self.androne_device):
+                    denied_msg = (
+                        f"{self.name}: VDC denies {self.androne_device!r} "
+                        f"for container {txn.calling_container!r}")
+            if denied_msg is not None:
+                self.denied_calls += 1
+                obs.counter("android.service.calls", service=self.name,
+                            code=code, outcome="denied").inc()
+                return {"error": denied_msg, "denied": True}
+            self.served_calls += 1
+            served.inc()
+            # Call latency is wall-clock (the handler runs synchronously,
+            # so no sim time passes); the one deliberately
+            # nondeterministic metric — see docs/METRICS.md.  With
+            # telemetry disabled ``histo`` is the shared null histogram,
+            # so no enabled() branch is needed.
+            start_ns = time.perf_counter_ns()  # repro-lint: disable=sim-clock
+            try:
+                return method(txn)
+            finally:
+                histo.observe(
+                    (time.perf_counter_ns() - start_ns) / 1000.0)  # repro-lint: disable=sim-clock
+        return self._handle_txn_ref(txn)
+
+    def _handle_txn_ref(self, txn: Transaction):
+        """The reference dispatch path: per-call getattr + uncached
+        instrument lookups.  Runs when ``use_fast_ops`` is off (the
+        oracle for the fast-lane equivalence tests and throughput A/B)
+        and whenever a fault hook is installed."""
+        method = self._op_method(txn.code)
         if method is None:
             return {"error": f"{self.name}: unknown code {txn.code!r}"}
         if self.fault_hook is not None:
             failure = self.fault_hook(txn)
             if failure is not None:
-                obs.counter("android.service.calls", service=self.name,
-                            code=txn.code, outcome="fault").inc()
+                self._call_counter(txn.code, "fault").inc()
                 return {"error": failure, "transient": True}
         try:
             self.check_access(txn)
         except ServiceAccessDenied as denied:
             self.denied_calls += 1
-            obs.counter("android.service.calls", service=self.name,
-                        code=txn.code, outcome="denied").inc()
+            self._call_counter(txn.code, "denied").inc()
             return {"error": str(denied), "denied": True}
         self.served_calls += 1
-        obs.counter("android.service.calls", service=self.name,
-                    code=txn.code, outcome="served").inc()
+        self._call_counter(txn.code, "served").inc()
         if not obs.enabled():
             return method(txn)
-        # Call latency is wall-clock (the handler runs synchronously, so
-        # no sim time passes); the one deliberately nondeterministic
-        # metric — see docs/METRICS.md.
+        # Wall-clock call latency, as above.
         start_ns = time.perf_counter_ns()  # repro-lint: disable=sim-clock
         try:
             return method(txn)
@@ -139,6 +258,11 @@ class SystemService:
                                   self.required_permission)
             if cached is not None:
                 return cached
+        return self._remote_permission_check(txn)
+
+    def _remote_permission_check(self, txn: Transaction) -> bool:
+        """The cross-container binder round trip (cache already missed)."""
+        cache = self.env.permission_cache
         scoped = f"ActivityManager@{txn.calling_container}"
         if not self.env.service_manager.has_service(scoped):
             return False

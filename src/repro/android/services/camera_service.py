@@ -8,7 +8,6 @@ pipeline), but stills interleave freely.
 
 from __future__ import annotations
 
-from dataclasses import asdict
 from typing import Optional, Tuple
 
 from repro.android.permissions import Permission
@@ -58,7 +57,7 @@ class CameraService(SystemService):
 
     def op_capture(self, txn: Transaction):
         frame = self._camera.capture(self._handle)
-        return {"status": "ok", "frame": asdict(frame)}
+        return {"status": "ok", "frame": self._payload(frame)}
 
     def op_start_video(self, txn: Transaction):
         if self._recorder is not None:
@@ -74,7 +73,7 @@ class CameraService(SystemService):
             return {"error": "not recording"}
         segment = self._camera.stop_recording(self._handle)
         self._recorder = None
-        return {"status": "ok", "segment": asdict(segment)}
+        return {"status": "ok", "segment": self._payload(segment)}
 
     def op_point_gimbal(self, txn: Transaction):
         if self._gimbal is None:

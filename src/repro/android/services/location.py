@@ -9,7 +9,6 @@ native interface for Android's LocationManagerService had to be created"
 
 from __future__ import annotations
 
-from dataclasses import asdict
 
 from repro.android.permissions import Permission
 from repro.android.services.base import SystemService
@@ -39,7 +38,7 @@ class LocationManagerService(SystemService):
     def op_get_location(self, txn: Transaction):
         self.attach_client(txn)
         fix = self._gps.read_fix(self._handle)
-        return {"status": "ok", "fix": asdict(fix)}
+        return {"status": "ok", "fix": self._payload(fix)}
 
     # The native (NDK-bridge) entry point used by the flight container's
     # HAL; identical data, but kept as a distinct code so the flight
@@ -47,4 +46,4 @@ class LocationManagerService(SystemService):
     def op_native_get_location(self, txn: Transaction):
         self.attach_client(txn)
         fix = self._gps.read_fix(self._handle)
-        return {"status": "ok", "fix": asdict(fix)}
+        return {"status": "ok", "fix": self._payload(fix)}

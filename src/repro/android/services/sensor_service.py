@@ -3,7 +3,6 @@ magnetometer), multiplexed from the device container."""
 
 from __future__ import annotations
 
-from dataclasses import asdict
 
 from repro.android.permissions import Permission
 from repro.android.services.base import SystemService
@@ -46,7 +45,7 @@ class SensorService(SystemService):
         handle = self._handles[sensor]
         if sensor == "imu":
             reading = device.read(handle)
-            return {"status": "ok", "reading": asdict(reading)}
+            return {"status": "ok", "reading": self._payload(reading)}
         if sensor == "barometer":
             return {
                 "status": "ok",

@@ -82,6 +82,10 @@ class BinderProcess:
         self._next_handle = itertools.count(1)  # 0 is the context manager
         self._nodes: list = []
         self.closed = False
+        #: memoized per-target transaction counters: this process's
+        #: ns/container labels are fixed, so the instrument only varies
+        #: with the target node (see obs.InstrumentCache).
+        self._txn_counters = obs.InstrumentCache()
 
     # -- node/handle management ------------------------------------------------
     def create_node(self, handler: Callable, label: str = "") -> NodeRef:
@@ -144,15 +148,76 @@ class BinderProcess:
         handle in the receiving process's table and delivered as an integer
         under the same key, mirroring Binder object flattening.
         """
-        node = self._resolve(handle)
+        # _resolve() inlined for the common case (known handle, open fd);
+        # the slow path still covers handle 0 and error reporting.
+        if self.closed:
+            raise BinderError(f"pid {self.pid}: binder fd is closed")
+        node = self._handles.get(handle)
+        if node is None:
+            node = self._resolve(handle)
         if node.dead:
             obs.counter("binder.dead_node_errors",
                         service=node.label or "anonymous").inc()
             raise DeadNodeError(f"node {node.label!r} is dead")
-        if self.driver.fault_hook is not None:
-            failure = self.driver.fault_hook(self, node, code)
+        driver = self.driver
+        if driver.fault_hook is not None:
+            failure = driver.fault_hook(self, node, code)
             if failure is not None:
                 raise failure
+        if not driver.use_fast_path:
+            return self._transact_legacy(node, code, data)
+        counter = self._txn_counters.get(node)
+        if counter is None:
+            counter = self._txn_counters.put(node, obs.counter(
+                "binder.transactions",
+                service=node.label or "anonymous",
+                ns=self.device_ns.label or str(self.device_ns.ns_id),
+                container=self.container or "host"))
+        counter.inc()
+        # Payload delivery: a C-level dict copy, then ref translation only
+        # for the (rare) NodeRef values found while scanning the copy.
+        if data:
+            delivered = data.copy()
+            for key, value in data.items():
+                if isinstance(value, NodeRef):
+                    delivered[key] = node.owner._install_ref(value.node)
+        else:
+            delivered = {}
+        txn = Transaction(
+            code=code,
+            data=delivered,
+            calling_pid=self.pid,
+            calling_euid=self.euid,
+            calling_container=self.container,
+        )
+        reply = node.handler(txn)
+        if isinstance(reply, dict):
+            # Translate any refs in the reply into *our* handle table, the
+            # way Binder flattens objects in reply parcels.  Ref-free
+            # replies (the overwhelmingly common case) pass through
+            # without the rebuild.
+            for value in reply.values():
+                if isinstance(value, NodeRef):
+                    break
+            else:
+                return reply
+            translated = {}
+            for key, value in reply.items():
+                if isinstance(value, NodeRef):
+                    translated[key] = self._install_ref(value.node)
+                else:
+                    translated[key] = value
+            return translated
+        return reply
+
+    def _transact_legacy(self, node: BinderNode, code: str,
+                         data: Optional[Dict[str, Any]]) -> Any:
+        """The pre-fast-path transaction body: per-item payload rebuild,
+        uncached counter lookup, unconditional reply translation.  Kept
+        (behind ``driver.use_fast_path = False``) as the oracle the
+        fast-path equivalence tests and throughput A/B benchmarks compare
+        against — the same pattern as :meth:`_install_ref_linear`.
+        """
         obs.counter("binder.transactions",
                     service=node.label or "anonymous",
                     ns=self.device_ns.label or str(self.device_ns.ns_id),
@@ -172,8 +237,6 @@ class BinderProcess:
         )
         reply = node.handler(txn)
         if isinstance(reply, dict):
-            # Translate any refs in the reply into *our* handle table, the
-            # way Binder flattens objects in reply parcels.
             translated = {}
             for key, value in reply.items():
                 if isinstance(value, NodeRef):
@@ -182,6 +245,26 @@ class BinderProcess:
                     translated[key] = value
             return translated
         return reply
+
+    def transact_async(self, handle: int, code: str,
+                       data: Optional[Dict[str, Any]] = None,
+                       on_reply: Optional[Callable[[Any], None]] = None):
+        """Queue a transaction for batched delivery (TF_ONE_WAY flavor).
+
+        Every transaction queued within one simulator tick is delivered by
+        a *single* flush event — the event queue carries one delivery
+        event per tick instead of one per message, which is what keeps
+        publish/telemetry bursts from dominating the heap.  Delivery order
+        within the batch is enqueue order, and each message goes through
+        the same resolve/fault/translate path as :meth:`transact`; the
+        reply (or an ``{"error": ...}`` dict for dead-node/transient
+        failures, which a synchronous caller would have seen as an
+        exception) is passed to ``on_reply`` when given.  Requires the
+        driver to be bound to a simulator via ``bind_sim()``.
+        """
+        if self.closed:
+            raise BinderError(f"pid {self.pid}: binder fd is closed")
+        self.driver._enqueue(self, handle, code, data, on_reply)
 
     # -- privileged ioctls ---------------------------------------------------------
     def ioctl_set_context_mgr(self, ref: NodeRef) -> None:
@@ -242,11 +325,72 @@ class BinderDriver:
         #: False falls back to the original linear handle-table scan —
         #: kept for A/B benchmarks and the equivalence property test.
         self.use_handle_index: bool = True
+        #: Fast transaction body (interned counters, copy-based payload
+        #: delivery, ref-free reply passthrough).  False routes through
+        #: the original per-item body — the behavioral oracle for the
+        #: fast-path equivalence tests and throughput benchmarks.
+        self.use_fast_path: bool = True
+        #: Batched async delivery (``transact_async``): the simulator the
+        #: flush event is scheduled on, the queued messages, and the
+        #: pending flush event (at most one per tick).
+        self._sim = None
+        self._async_pending: list = []
+        self._async_flush_event = None
 
     def open(self, pid: int, euid: int, container: str, device_ns: Namespace) -> BinderProcess:
         proc = BinderProcess(self, pid, euid, container, device_ns)
         self._processes.append(proc)
         return proc
+
+    # -- batched async delivery ---------------------------------------------------
+    def bind_sim(self, sim) -> None:
+        """Attach the simulator batched deliveries are scheduled on."""
+        self._sim = sim
+
+    def _enqueue(self, proc: BinderProcess, handle: int, code: str,
+                 data: Optional[Dict[str, Any]],
+                 on_reply: Optional[Callable[[Any], None]]) -> None:
+        if self._sim is None:
+            raise BinderError(
+                "transact_async needs bind_sim(sim) on the driver first")
+        if not self.use_fast_path:
+            # The pre-batching oracle: one simulator delivery event per
+            # message.  Same delivery order (call_soon is FIFO at a given
+            # timestamp) and per-message metrics (each event is a batch
+            # of one), so only the event-queue traffic differs.
+            self._sim.call_soon(
+                lambda: self._deliver_batch([(proc, handle, code, data,
+                                              on_reply)]))
+            return
+        self._async_pending.append((proc, handle, code, data, on_reply))
+        if self._async_flush_event is None:
+            self._async_flush_event = self._sim.call_soon(self._flush_async)
+
+    def _flush_async(self) -> None:
+        """Deliver every queued async transaction in one simulator event."""
+        self._async_flush_event = None
+        batch, self._async_pending = self._async_pending, []
+        self._deliver_batch(batch)
+
+    def _deliver_batch(self, batch) -> None:
+        obs.counter("binder.async_batches").inc()
+        obs.histogram("binder.async_batch_size", unit="msgs").observe(
+            len(batch))
+        for proc, handle, code, data, on_reply in batch:
+            try:
+                reply = proc.transact(handle, code, data)
+            except BinderError as failure:
+                # A synchronous caller would have seen the exception; an
+                # async sender gets it as an error reply.
+                reply = {"error": str(failure),
+                         "transient": isinstance(failure,
+                                                 TransientBinderError)}
+            if on_reply is not None:
+                on_reply(reply)
+
+    def async_pending(self) -> int:
+        """Messages queued for the next batch flush (introspection)."""
+        return len(self._async_pending)
 
     def _new_node(self, owner: BinderProcess, handler: Callable, label: str) -> BinderNode:
         return BinderNode(next(self._node_ids), owner, handler, label)

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Callable, Dict
 
 
@@ -36,18 +35,33 @@ class BinderNode:
         return f"<BinderNode {self.node_id} {self.label!r}>"
 
 
-@dataclass
 class Transaction:
     """One Binder transaction as seen by the receiving service.
 
     AnDrone adds ``calling_container`` alongside the standard calling PID
     and EUID (Section 4.2) so shared device services can identify which
     virtual drone a request came from.
+
+    A slotted plain class rather than a dataclass: one is built per
+    binder call, so construction cost is hot-path cost (and
+    ``dataclass(slots=True)`` needs Python 3.10+).
     """
 
-    code: str
-    data: Dict[str, Any]
-    calling_pid: int
-    calling_euid: int
-    calling_container: str
-    reply: Any = None
+    __slots__ = ("code", "data", "calling_pid", "calling_euid",
+                 "calling_container", "reply")
+
+    def __init__(self, code: str, data: Dict[str, Any], calling_pid: int,
+                 calling_euid: int, calling_container: str,
+                 reply: Any = None):
+        self.code = code
+        self.data = data
+        self.calling_pid = calling_pid
+        self.calling_euid = calling_euid
+        self.calling_container = calling_container
+        self.reply = reply
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Transaction(code={self.code!r}, data={self.data!r}, "
+                f"calling_pid={self.calling_pid}, "
+                f"calling_euid={self.calling_euid}, "
+                f"calling_container={self.calling_container!r})")

@@ -175,6 +175,7 @@ class DroneNode:
         _base_images(self.runtime)
         self.kernel.memory.allocate("host-base", HOST_BASE_KB)
         self.driver = BinderDriver(device_container_name="device")
+        self.driver.bind_sim(self.sim)
         self.battery = self.profile.build_battery()
 
         # --- flight physics first (devices need its state snapshots) ---

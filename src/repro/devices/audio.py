@@ -17,6 +17,11 @@ class AudioClip:
     def size_bytes(self) -> int:
         return int(self.duration_s * 44_100 * 2)
 
+    def to_dict(self) -> dict:
+        """Field dict, equal to ``dataclasses.asdict`` (one scalar field;
+        properties are excluded there too)."""
+        return {"duration_s": self.duration_s}
+
 
 class Microphone(Device):
     """Single-client microphone."""

@@ -30,8 +30,10 @@ class Barometer(Device):
         self.ground_altitude_m = ground_altitude_m
 
     def read_pressure(self, handle: DeviceHandle) -> float:
-        self._check(handle)
-        state = self._state()
+        # _check()/_state() inlined: service-storm hot path.
+        if handle.closed or self._holder is not handle:
+            raise PermissionError(f"stale handle for device {self.name!r}")
+        state = self._state_provider()
         absolute_alt = self.ground_altitude_m + state.altitude_m
         noise = self._rng.gauss(0.0, 1.2) if self._rng else 0.0  # ~0.1 m
         return altitude_to_pressure(absolute_alt) + noise

@@ -26,6 +26,14 @@ class CameraFrame:
     width: int
     height: int
 
+    def to_dict(self) -> dict:
+        """Field dict, equal to ``dataclasses.asdict`` without the
+        per-field deepcopy (every field is a scalar)."""
+        return {"seq": self.seq, "time_us": self.time_us,
+                "latitude": self.latitude, "longitude": self.longitude,
+                "altitude_m": self.altitude_m, "yaw": self.yaw,
+                "width": self.width, "height": self.height}
+
     @property
     def size_bytes(self) -> int:
         # Rough JPEG estimate at quality ~85.
@@ -41,6 +49,13 @@ class VideoSegment:
     frame_count: int
     size_bytes: int
 
+    def to_dict(self) -> dict:
+        """Field dict, equal to ``dataclasses.asdict`` without the
+        per-field deepcopy (every field is a scalar)."""
+        return {"start_us": self.start_us, "end_us": self.end_us,
+                "frame_count": self.frame_count,
+                "size_bytes": self.size_bytes}
+
 
 class Camera(Device):
     """Single-client camera with still capture and video recording."""
@@ -55,8 +70,10 @@ class Camera(Device):
         self._recording_since: Optional[int] = None
 
     def capture(self, handle: DeviceHandle) -> CameraFrame:
-        self._check(handle)
-        state = self._state()
+        # _check()/_state() inlined: service-storm hot path.
+        if handle.closed or self._holder is not handle:
+            raise PermissionError(f"stale handle for device {self.name!r}")
+        state = self._state_provider()
         return CameraFrame(
             seq=next(self._frame_seq),
             time_us=state.time_us,

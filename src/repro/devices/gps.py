@@ -32,6 +32,16 @@ class GpsFix:
     velocity_e_ms: float = 0.0
     velocity_n_ms: float = 0.0
 
+    def to_dict(self) -> dict:
+        """Field dict, equal to ``dataclasses.asdict`` without the
+        per-field deepcopy (every field is a scalar)."""
+        return {"time_us": self.time_us, "latitude": self.latitude,
+                "longitude": self.longitude, "altitude_m": self.altitude_m,
+                "ground_speed_ms": self.ground_speed_ms, "hdop": self.hdop,
+                "satellites": self.satellites, "fix_type": self.fix_type,
+                "velocity_e_ms": self.velocity_e_ms,
+                "velocity_n_ms": self.velocity_n_ms}
+
 
 class GpsReceiver(Device):
     """Single-client GPS with 5 Hz fixes and Gaussian position noise."""
@@ -46,22 +56,34 @@ class GpsReceiver(Device):
         self.velocity_noise_ms = velocity_noise_ms
 
     def read_fix(self, handle: DeviceHandle) -> GpsFix:
-        self._check(handle)
-        state = self._state()
-        noise_n = self._rng.gauss(0.0, self.noise_m) if self._rng else 0.0
-        noise_e = self._rng.gauss(0.0, self.noise_m) if self._rng else 0.0
+        # _check()/_state() inlined: service-storm hot path.
+        if handle.closed or self._holder is not handle:
+            raise PermissionError(f"stale handle for device {self.name!r}")
+        state = self._state_provider()
+        rng = self._rng
+        vx, vy, _ = state.velocity_enu
+        if rng is not None:
+            # Draw order (north, east, velocity east, velocity north,
+            # altitude) is part of the RNG stream contract — keep it.
+            gauss = rng.gauss
+            noise_m = self.noise_m
+            vel_noise = self.velocity_noise_ms
+            noise_n = gauss(0.0, noise_m)
+            noise_e = gauss(0.0, noise_m)
+            vel_e = vx + gauss(0.0, vel_noise)
+            vel_n = vy + gauss(0.0, vel_noise)
+            alt_noise = gauss(0, 2.0)
+        else:
+            noise_n = noise_e = alt_noise = 0.0
+            vel_e, vel_n = vx, vy
         lat = state.latitude + noise_n / M_PER_DEG_LAT
         lon_scale = M_PER_DEG_LAT * max(0.01, math.cos(math.radians(state.latitude)))
         lon = state.longitude + noise_e / lon_scale
-        vx, vy, _ = state.velocity_enu
-        vel_noise = self.velocity_noise_ms
-        vel_e = vx + (self._rng.gauss(0.0, vel_noise) if self._rng else 0.0)
-        vel_n = vy + (self._rng.gauss(0.0, vel_noise) if self._rng else 0.0)
         return GpsFix(
             time_us=state.time_us,
             latitude=lat,
             longitude=lon,
-            altitude_m=state.altitude_m + (self._rng.gauss(0, 2.0) if self._rng else 0.0),
+            altitude_m=state.altitude_m + alt_noise,
             ground_speed_ms=math.hypot(vx, vy),
             hdop=0.9,
             satellites=12,

@@ -22,6 +22,12 @@ class ImuReading:
     accel: Tuple[float, float, float]   # m/s^2, body frame (includes gravity)
     gyro: Tuple[float, float, float]    # rad/s, body frame
 
+    def to_dict(self) -> dict:
+        """Field dict, equal to ``dataclasses.asdict`` without the
+        per-field deepcopy (every field is already immutable)."""
+        return {"time_us": self.time_us, "accel": self.accel,
+                "gyro": self.gyro}
+
 
 class Imu(Device):
     """Single-client IMU sampled at up to 1 kHz."""
@@ -41,23 +47,34 @@ class Imu(Device):
             self._gyro_bias = (0.0, 0.0, 0.0)
 
     def read(self, handle: DeviceHandle) -> ImuReading:
-        self._check(handle)
-        state = self._state()
+        # _check()/_state() inlined: this is the 400 Hz fast-loop (and
+        # service-storm) hot path.
+        if handle.closed or self._holder is not handle:
+            raise PermissionError(f"stale handle for device {self.name!r}")
+        state = self._state_provider()
         # Gravity resolved into the body frame from roll/pitch.
-        gx = -math.sin(state.pitch) * GRAVITY
-        gy = math.sin(state.roll) * math.cos(state.pitch) * GRAVITY
-        gz = math.cos(state.roll) * math.cos(state.pitch) * GRAVITY
+        pitch, roll = state.pitch, state.roll
+        cos_pitch = math.cos(pitch)
+        gx = -math.sin(pitch) * GRAVITY
+        gy = math.sin(roll) * cos_pitch * GRAVITY
+        gz = math.cos(roll) * cos_pitch * GRAVITY
         ax, ay, az = state.accel_body
-        noise = (lambda s: self._rng.gauss(0.0, s)) if self._rng else (lambda s: 0.0)
-        accel = (
-            ax + gx + self._accel_bias[0] + noise(self.accel_noise),
-            ay + gy + self._accel_bias[1] + noise(self.accel_noise),
-            az + gz + self._accel_bias[2] + noise(self.accel_noise),
-        )
+        bax, bay, baz = self._accel_bias
+        bgp, bgq, bgr = self._gyro_bias
         p, q, r = state.angular_rates
-        gyro = (
-            p + self._gyro_bias[0] + noise(self.gyro_noise),
-            q + self._gyro_bias[1] + noise(self.gyro_noise),
-            r + self._gyro_bias[2] + noise(self.gyro_noise),
-        )
+        rng = self._rng
+        if rng is not None:
+            # Draw order (3 accel then 3 gyro) is part of the RNG stream
+            # contract — keep it stable.
+            gauss = rng.gauss
+            an, gn = self.accel_noise, self.gyro_noise
+            accel = (ax + gx + bax + gauss(0.0, an),
+                     ay + gy + bay + gauss(0.0, an),
+                     az + gz + baz + gauss(0.0, an))
+            gyro = (p + bgp + gauss(0.0, gn),
+                    q + bgq + gauss(0.0, gn),
+                    r + bgr + gauss(0.0, gn))
+        else:
+            accel = (ax + gx + bax, ay + gy + bay, az + gz + baz)
+            gyro = (p + bgp, q + bgq, r + bgr)
         return ImuReading(time_us=state.time_us, accel=accel, gyro=gyro)

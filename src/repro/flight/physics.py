@@ -65,6 +65,17 @@ class QuadcopterPhysics:
         self._last_accel_body = (0.0, 0.0, 0.0)
         #: cumulative propulsion energy drawn, joules (for billing/power).
         self.propulsion_energy_j = 0.0
+        #: Memoize snapshot() between steps.  Sensors on the same tick all
+        #: sample identical ground truth, so the geodetic conversion and
+        #: snapshot construction run once per step instead of once per
+        #: sensor read.  False rebuilds every call — the oracle the
+        #: equivalence tests and throughput benchmarks A/B against.
+        #: Direct state pokes (tests) must be followed by step() before
+        #: the cached view refreshes.
+        self.cache_snapshots = True
+        self._state_version = 0
+        self._snapshot_cache: Optional[DroneStateSnapshot] = None
+        self._snapshot_version = -1
 
     # -- state access -----------------------------------------------------------
     def geoposition(self) -> GeoPoint:
@@ -74,8 +85,10 @@ class QuadcopterPhysics:
 
     def snapshot(self) -> DroneStateSnapshot:
         """The ground truth that sensors sample."""
+        if self.cache_snapshots and self._snapshot_version == self._state_version:
+            return self._snapshot_cache
         geo = self.geoposition()
-        return DroneStateSnapshot(
+        snap = DroneStateSnapshot(
             time_us=self.time_us,
             latitude=geo.latitude,
             longitude=geo.longitude,
@@ -89,6 +102,10 @@ class QuadcopterPhysics:
             angular_rates=tuple(self.rates),
             on_ground=self.on_ground,
         )
+        if self.cache_snapshots:
+            self._snapshot_cache = snap
+            self._snapshot_version = self._state_version
+        return snap
 
     def total_thrust(self) -> float:
         return sum(self.motor_thrust)
@@ -197,3 +214,4 @@ class QuadcopterPhysics:
 
         self.propulsion_energy_j += self.propulsion_power_w() * dt_s
         self.time_us += int(round(dt_s * 1e6))
+        self._state_version += 1

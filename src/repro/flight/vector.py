@@ -1,0 +1,293 @@
+"""Vectorized flight dynamics + attitude fusion over drone slots.
+
+:class:`~repro.flight.physics.QuadcopterPhysics` integrates one vehicle
+per Python call; a ground station soaking hundreds of physical drones
+spends most of its flight budget re-running the same arithmetic per
+slot.  This module carries the identical math as numpy array ops with
+one row per drone slot, so a fleet tick is a handful of vector
+operations instead of ``N`` interpreter passes.
+
+The vector core is **opt-in**: the simulator's golden path keeps the
+scalar integrator (whose RNG gust stream is part of the golden-trace
+contract), and the scalar classes remain the behavioral oracle.  The
+property tests in ``tests/flight/test_vector_equivalence.py`` drive both
+implementations through identical command histories and hold every state
+component within 1e-9 (``on_ground``/``time_us`` exactly), which is what
+licenses the benchmark suite to report vector throughput as equivalent
+work.
+
+Operation order mirrors ``physics.py`` statement by statement — numpy
+elementwise float64 arithmetic performs the same IEEE operations, so any
+divergence is confined to the transcendental ulp differences between
+``math.sin`` and ``np.sin``.  Gusts are still drawn from the per-slot
+``random.Random`` streams (three draws per slot per step, same order as
+the scalar model) so seeded runs agree draw for draw.
+
+numpy is an optional dependency: importing this module without it leaves
+``np`` as None and the classes raise at construction.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+try:  # pragma: no cover - exercised implicitly by import
+    import numpy as np
+except ImportError:  # pragma: no cover - container always has numpy
+    np = None
+
+from repro.flight.estimator import DESIGN_RATE_HZ
+from repro.flight.physics import GRAVITY, QuadcopterParams
+
+
+def _require_numpy() -> None:
+    if np is None:  # pragma: no cover
+        raise RuntimeError(
+            "repro.flight.vector needs numpy; install it or use the scalar "
+            "QuadcopterPhysics/AttitudeEstimator classes")
+
+
+TWO_PI = 2 * math.pi
+
+
+class VectorFleetPhysics:
+    """``count`` quadcopters integrated as (count, ...) arrays.
+
+    All slots share one :class:`QuadcopterParams` (the fleet flies
+    identical airframes).  ``rngs`` optionally supplies one
+    ``random.Random`` per slot for wind gusts; omit it for the
+    deterministic, gust-free model.
+    """
+
+    def __init__(self, count: int, params: Optional[QuadcopterParams] = None,
+                 rngs: Optional[Sequence] = None,
+                 wind_enu: Tuple[float, float, float] = (0.0, 0.0, 0.0)):
+        _require_numpy()
+        if count <= 0:
+            raise ValueError("count must be positive")
+        if rngs is not None and len(rngs) != count:
+            raise ValueError("need one rng per slot")
+        self.count = count
+        self.params = params or QuadcopterParams()
+        self._rngs = list(rngs) if rngs is not None else None
+        self.wind_enu = np.broadcast_to(
+            np.asarray(wind_enu, dtype=np.float64), (count, 3)).copy()
+        self.position = np.zeros((count, 3))
+        self.velocity = np.zeros((count, 3))
+        self.roll = np.zeros(count)
+        self.pitch = np.zeros(count)
+        self.yaw = np.zeros(count)
+        self.rates = np.zeros((count, 3))
+        self.motor_thrust = np.zeros((count, 4))
+        self.on_ground = np.ones(count, dtype=bool)
+        self.time_us = np.zeros(count, dtype=np.int64)
+        self.last_accel_body = np.zeros((count, 3))
+        self.propulsion_energy_j = np.zeros(count)
+
+    # -- dynamics ---------------------------------------------------------------
+    def step_all(self, dt_s: float, motor_commands) -> None:
+        """Advance every slot by ``dt_s``.
+
+        ``motor_commands`` is (count, 4) in ArduPilot X-configuration
+        order, exactly as :meth:`QuadcopterPhysics.step` takes per
+        vehicle.
+        """
+        if dt_s <= 0:
+            raise ValueError("dt must be positive")
+        p = self.params
+        commands = np.clip(np.asarray(motor_commands, dtype=np.float64),
+                           0.0, 1.0)
+        if commands.shape != (self.count, 4):
+            raise ValueError(f"motor_commands must be ({self.count}, 4)")
+        # math.exp, not np.exp: the scalar model's alpha, bit for bit.
+        alpha = 1.0 - math.exp(-dt_s / p.motor_tau_s)
+        thrusts = self.motor_thrust
+        thrusts += (commands * p.max_thrust_per_motor_n - thrusts) * alpha
+
+        t1, t2, t3, t4 = thrusts[:, 0], thrusts[:, 1], thrusts[:, 2], thrusts[:, 3]
+        thrust = t1 + t2 + t3 + t4
+        arm = p.arm_length_m * math.sqrt(0.5)
+        torque_roll = arm * ((t2 + t3) - (t1 + t4))
+        torque_pitch = arm * ((t1 + t3) - (t2 + t4))
+        torque_yaw = p.yaw_torque_coeff * ((t1 + t2) - (t3 + t4))
+
+        ix, iy, iz = p.inertia
+        rates = self.rates
+        rates[:, 0] += (torque_roll - p.angular_drag * rates[:, 0]) / ix * dt_s
+        rates[:, 1] += (torque_pitch - p.angular_drag * rates[:, 1]) / iy * dt_s
+        rates[:, 2] += (torque_yaw - p.angular_drag * rates[:, 2]) / iz * dt_s
+        self.roll += rates[:, 0] * dt_s
+        self.pitch += rates[:, 1] * dt_s
+        self.yaw = (self.yaw + rates[:, 2] * dt_s) % TWO_PI
+
+        sr, cr = np.sin(self.roll), np.cos(self.roll)
+        sp, cp = np.sin(self.pitch), np.cos(self.pitch)
+        sy, cy = np.sin(self.yaw), np.cos(self.yaw)
+        forward_force = thrust * (-sp)
+        right_force = thrust * (sr * cp)
+        up_force = thrust * (cp * cr)
+        force_e = forward_force * sy + right_force * cy
+        force_n = forward_force * cy - right_force * sy
+        force_u = up_force - p.mass_kg * GRAVITY
+
+        gust = np.zeros((self.count, 3))
+        if self._rngs is not None:
+            # Per-slot scalar draws keep each slot's RNG stream identical
+            # to the scalar model's (three gauss per step, in order).
+            for i, rng in enumerate(self._rngs):
+                gust[i, 0] = rng.gauss(0.0, 0.05)
+                gust[i, 1] = rng.gauss(0.0, 0.05)
+                gust[i, 2] = rng.gauss(0.0, 0.05)
+        rel_v = self.velocity - self.wind_enu
+        accel = np.empty((self.count, 3))
+        accel[:, 0] = (force_e - p.linear_drag * rel_v[:, 0]) / p.mass_kg + gust[:, 0]
+        accel[:, 1] = (force_n - p.linear_drag * rel_v[:, 1]) / p.mass_kg + gust[:, 1]
+        accel[:, 2] = (force_u - p.linear_drag * rel_v[:, 2]) / p.mass_kg + gust[:, 2]
+        self.last_accel_body[:, 0] = accel[:, 0] * sy + accel[:, 1] * cy
+        self.last_accel_body[:, 1] = accel[:, 0] * cy - accel[:, 1] * sy
+        self.last_accel_body[:, 2] = accel[:, 2]
+
+        self.velocity += accel * dt_s
+        self.position += self.velocity * dt_s
+
+        # Ground contact, same branch order as the scalar model.
+        below = self.position[:, 2] <= 0.0
+        if below.any():
+            self.position[below, 2] = 0.0
+            sinking = below & (self.velocity[:, 2] < 0.0)
+            self.velocity[sinking, 2] = 0.0
+            landed = below & (thrust < p.mass_kg * GRAVITY * 0.95)
+            if landed.any():
+                self.on_ground[landed] = True
+                self.velocity[landed] = 0.0
+                self.rates[landed] = 0.0
+                self.roll[landed] = 0.0
+                self.pitch[landed] = 0.0
+        self.on_ground[self.position[:, 2] > 0.02] = False
+
+        self.propulsion_energy_j += self._propulsion_power_w(thrust) * dt_s
+        self.time_us += int(round(dt_s * 1e6))
+
+    def _propulsion_power_w(self, thrust) -> "np.ndarray":
+        rho = 1.225
+        disk_area = math.pi * (0.120) ** 2
+        denom = math.sqrt(2 * rho * disk_area) * 0.55
+        per_motor = np.maximum(self.motor_thrust, 0.0) ** 1.5 / denom
+        power = (per_motor[:, 0] + per_motor[:, 1]
+                 + per_motor[:, 2] + per_motor[:, 3])
+        return np.where(thrust <= 0.0, 0.0, power)
+
+    # -- scalar interop ---------------------------------------------------------
+    def load_slot(self, i: int, physics) -> None:
+        """Copy one :class:`QuadcopterPhysics` state into slot ``i``."""
+        self.position[i] = physics.position
+        self.velocity[i] = physics.velocity
+        self.roll[i] = physics.roll
+        self.pitch[i] = physics.pitch
+        self.yaw[i] = physics.yaw
+        self.rates[i] = physics.rates
+        self.motor_thrust[i] = physics.motor_thrust
+        self.on_ground[i] = physics.on_ground
+        self.time_us[i] = physics.time_us
+        self.last_accel_body[i] = physics._last_accel_body
+        self.propulsion_energy_j[i] = physics.propulsion_energy_j
+        self.wind_enu[i] = physics.wind_enu
+
+    def slot_state(self, i: int) -> dict:
+        """Plain-scalar view of slot ``i`` (for tests and reports)."""
+        return {
+            "position": [float(v) for v in self.position[i]],
+            "velocity": [float(v) for v in self.velocity[i]],
+            "roll": float(self.roll[i]),
+            "pitch": float(self.pitch[i]),
+            "yaw": float(self.yaw[i]),
+            "rates": [float(v) for v in self.rates[i]],
+            "motor_thrust": [float(v) for v in self.motor_thrust[i]],
+            "on_ground": bool(self.on_ground[i]),
+            "time_us": int(self.time_us[i]),
+            "accel_body": [float(v) for v in self.last_accel_body[i]],
+            "propulsion_energy_j": float(self.propulsion_energy_j[i]),
+        }
+
+
+class VectorAttitudeEstimator:
+    """Complementary attitude filter over ``count`` slots at once.
+
+    Mirrors :class:`~repro.flight.estimator.AttitudeEstimator.update`
+    with arrays for the gyro/accel samples; the blend condition and the
+    circular yaw correction use ``np.where`` over the same expressions.
+    """
+
+    def __init__(self, count: int, alpha: float = 0.999,
+                 yaw_gain: float = 0.05):
+        _require_numpy()
+        if not 0.0 < alpha < 1.0:
+            raise ValueError("alpha must be in (0, 1)")
+        self.count = count
+        self.alpha = alpha
+        self.tau_s = 1.0 / (DESIGN_RATE_HZ * (1.0 - alpha))
+        self.yaw_gain = yaw_gain
+        self.roll = np.zeros(count)
+        self.pitch = np.zeros(count)
+        self.yaw = np.zeros(count)
+        self.rates = np.zeros((count, 3))
+        self.samples = 0
+
+    def update_all(self, gyro, accel, dt_s: float,
+                   heading_rad=None) -> None:
+        """Fold in one (count, 3) gyro/accel sample pair per slot.
+
+        ``heading_rad`` is an optional (count,) compass array; pass NaN
+        in a slot to skip its heading correction this sample (the scalar
+        model's ``heading_rad=None``).
+        """
+        gyro = np.asarray(gyro, dtype=np.float64)
+        accel = np.asarray(accel, dtype=np.float64)
+        self.rates = gyro.copy()
+        gyro_roll = self.roll + gyro[:, 0] * dt_s
+        gyro_pitch = self.pitch + gyro[:, 1] * dt_s
+        ax, ay, az = accel[:, 0], accel[:, 1], accel[:, 2]
+        accel_norm = np.sqrt(ax * ax + ay * ay + az * az)
+        trusted = (0.5 * GRAVITY < accel_norm) & (accel_norm < 1.5 * GRAVITY)
+        accel_roll = np.arctan2(ay, az)
+        accel_pitch = np.arctan2(-ax, np.sqrt(ay * ay + az * az))
+        blend = math.exp(-dt_s / self.tau_s)
+        self.roll = np.where(
+            trusted, blend * gyro_roll + (1 - blend) * accel_roll, gyro_roll)
+        self.pitch = np.where(
+            trusted, blend * gyro_pitch + (1 - blend) * accel_pitch,
+            gyro_pitch)
+        yaw_gyro = self.yaw + gyro[:, 2] * dt_s
+        if heading_rad is None:
+            self.yaw = yaw_gyro % TWO_PI
+        else:
+            heading = np.asarray(heading_rad, dtype=np.float64)
+            have = ~np.isnan(heading)
+            err = (np.where(have, heading, 0.0) - yaw_gyro
+                   + math.pi) % TWO_PI - math.pi
+            corrected = (yaw_gyro + self.yaw_gain * err) % TWO_PI
+            self.yaw = np.where(have, corrected, yaw_gyro % TWO_PI)
+        self.samples += 1
+
+
+def fleet_step_rate(count: int, steps: int, dt_s: float = 0.0025,
+                    hover: Optional[float] = None) -> float:
+    """Drone-steps per wall-second for a ``count``-slot hover workload.
+
+    The benchmark helper behind ``benchmarks/bench_throughput.py``'s
+    flight-loop row: every slot holds a slightly perturbed hover command
+    so the integrator exercises the full force/torque path.
+    """
+    _require_numpy()
+    import time
+    fleet = VectorFleetPhysics(count)
+    throttle = hover if hover is not None else fleet.params.hover_throttle()
+    commands = np.full((count, 4), throttle)
+    commands[:, 0] += 0.01  # asymmetric, so attitude dynamics stay live
+    fleet.step_all(dt_s, commands)  # warm the allocator
+    start = time.perf_counter()  # repro-lint: disable=sim-clock
+    for _ in range(steps):
+        fleet.step_all(dt_s, commands)
+    elapsed = time.perf_counter() - start  # repro-lint: disable=sim-clock
+    return count * steps / elapsed

@@ -14,9 +14,11 @@ Everything runs on the sim clock from the scenario's seed: the same
 scenario produces byte-identical telemetry traces, run after run (the
 golden-trace regression test holds the repo to that).
 
-``optimized=False`` switches all three hot-path optimizations off —
-linear binder handle lookup, uncached permission checks, per-tenant
-telemetry timers — so benchmarks and equivalence tests can A/B them.
+``optimized=False`` switches every hot-path optimization off — linear
+binder handle lookup, uncached permission checks, per-tenant telemetry
+timers, the binder fast path, uncached service dispatch (getattr +
+asdict), and per-call physics snapshots — so benchmarks and
+equivalence tests can A/B them.
 """
 
 from __future__ import annotations
@@ -224,7 +226,11 @@ class FleetHarness:
                                 sitl_rate_hz=scenario.sitl_rate_hz)
         if not self.optimized:
             node.driver.use_handle_index = False
+            node.driver.use_fast_path = False
             node.device_env.permission_cache = None
+            for service in node.device_env.system_server.services.values():
+                service.use_fast_ops = False
+            node.sitl.physics.cache_snapshots = False
         if scenario.chaos_level >= 2:
             node.vdc.enable_supervision(heartbeat_interval_s=0.5)
         slot = _DroneSlot(index=drone_index, node=node)

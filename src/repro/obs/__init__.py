@@ -92,6 +92,58 @@ def auto_enable(clock_source=None) -> Optional[str]:
     return None
 
 
+def active() -> Union[TelemetryRegistry, NullRegistry]:
+    """The registry the helpers currently route to.
+
+    Its *identity* is the cache-invalidation token hot paths use: it
+    changes on every :func:`enable`/:func:`disable`/:func:`reset`, so an
+    instrument memoized against one identity is never reused across a
+    registry swap (see :class:`InstrumentCache`).
+    """
+    return _active
+
+
+class InstrumentCache:
+    """Per-call-site memo for instrument lookups (hot-path interning).
+
+    The module helpers re-derive the sorted, stringified label key on
+    every call; a call site firing thousands of times with the same
+    labels can memoize the returned instrument under a small hashable
+    key instead::
+
+        counter = self._tx_counters.get(node)
+        if counter is None:
+            counter = self._tx_counters.put(node, obs.counter(
+                "binder.transactions", service=..., ns=..., container=...))
+        counter.inc()
+
+    The memo is keyed to the active registry's identity, so
+    ``enable()``/``disable()``/``reset()`` invalidate it wholesale and a
+    cached instrument can never leak counts into the wrong registry.
+    Instances belong on the objects that own the call site (never at
+    module/class level — the fork-safety lint rule applies to this cache
+    like any other mutable state).
+    """
+
+    __slots__ = ("_registry", "_memo")
+
+    def __init__(self) -> None:
+        self._registry: object = None
+        self._memo: dict = {}
+
+    def get(self, key):
+        """The memoized instrument, or None after a registry swap/miss."""
+        if _active is not self._registry:
+            self._registry = _active
+            self._memo = {}
+            return None
+        return self._memo.get(key)
+
+    def put(self, key, instrument):
+        self._memo[key] = instrument
+        return instrument
+
+
 # -- instrument/trace helpers (the API instrumented modules use) -------------
 def counter(name: str, /, **labels: object):
     return _active.counter(name, **labels)
@@ -125,10 +177,10 @@ def render_report() -> str:
 
 
 __all__ = [
-    "Counter", "Gauge", "Histogram", "Span", "Tracer",
+    "Counter", "Gauge", "Histogram", "InstrumentCache", "Span", "Tracer",
     "TelemetryRegistry", "NullRegistry", "NULL_REGISTRY",
-    "TRACE_ENV", "auto_enable", "counter", "disable", "enable", "enabled",
-    "event", "export_jsonl", "gauge", "get_registry", "histogram",
-    "parse_jsonl", "percentile", "render_report", "reset", "span",
-    "trace_records", "validate_records", "write_jsonl",
+    "TRACE_ENV", "active", "auto_enable", "counter", "disable", "enable",
+    "enabled", "event", "export_jsonl", "gauge", "get_registry",
+    "histogram", "parse_jsonl", "percentile", "render_report", "reset",
+    "span", "trace_records", "validate_records", "write_jsonl",
 ]

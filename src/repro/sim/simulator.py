@@ -114,16 +114,26 @@ class Simulator:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         executed = 0
+        # The drain loop is the hottest code in the tree (every sim event
+        # in every run passes through it), so the peek()/step() pair is
+        # inlined into a single heap access per event: cancelled events
+        # are popped without counting, everything else pays exactly one
+        # heappop, one clock store, and one call.
+        queue = self._queue
+        pop = heapq.heappop
         try:
-            while True:
+            while queue:
+                event = queue[0]
+                if event.cancelled:
+                    pop(queue)
+                    continue
+                if until is not None and event.time > until:
+                    break
                 if max_events is not None and executed >= max_events:
                     break
-                next_time = self.peek()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    break
-                self.step()
+                pop(queue)
+                self._now = event.time
+                event.fn()
                 executed += 1
         finally:
             self._running = False

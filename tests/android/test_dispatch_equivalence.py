@@ -1,0 +1,78 @@
+"""The fast service-dispatch lane vs the reference path, reply for reply.
+
+``SystemService.handle_txn`` grew a fast lane (memoized dispatch lanes,
+interned counters, inlined access checks, ``to_dict`` payloads); the
+original body survives as ``_handle_txn_ref`` and behind
+``use_fast_ops=False``.  Two identically-seeded drone rigs — one per
+configuration — must produce byte-identical replies on the storm
+workload, on unknown codes, and on policy denials, and the fast lane
+must keep honoring instance-level op overrides (fault and security
+tests monkey-patch ``op_*`` methods on live services).
+"""
+
+import pytest
+
+from repro.loadgen import FleetScenario, FleetHarness
+from repro.loadgen.workloads import STORM_CALLS
+
+
+def make_rig(fast: bool, waypoint: bool = True):
+    harness = FleetHarness(FleetScenario(
+        seed=42, drones=1, tenants_per_drone=1, workload_mix=["storm"]))
+    slot = harness.slots[0]
+    node = slot.node
+    tenant = slot.tenants[0]
+    if waypoint:
+        node.vdc.waypoint_reached(tenant)
+    if not fast:
+        node.driver.use_fast_path = False
+        for service in node.device_env.system_server.services.values():
+            service.use_fast_ops = False
+        node.sitl.physics.cache_snapshots = False
+    app = next(iter(node.vdc.drones[tenant].env.apps.values()))
+    return node, app
+
+
+def test_storm_replies_identical_across_configs():
+    _, fast_app = make_rig(fast=True)
+    _, ref_app = make_rig(fast=False)
+    for i in range(40):
+        svc, code, data = STORM_CALLS[i % len(STORM_CALLS)]
+        fast_reply = fast_app.call_service(svc, code, dict(data))
+        ref_reply = ref_app.call_service(svc, code, dict(data))
+        assert fast_reply == ref_reply, (svc, code, i)
+
+
+@pytest.mark.parametrize("svc", ["CameraService", "SensorService",
+                                 "LocationManagerService"])
+def test_unknown_code_error_identical(svc):
+    _, fast_app = make_rig(fast=True)
+    _, ref_app = make_rig(fast=False)
+    fast_reply = fast_app.call_service(svc, "no_such_op", {})
+    ref_reply = ref_app.call_service(svc, "no_such_op", {})
+    assert fast_reply == ref_reply
+    assert "error" in fast_reply
+
+
+def test_policy_denial_identical_without_waypoint():
+    """Before waypoint_reached the device policy denies camera capture."""
+    _, fast_app = make_rig(fast=True, waypoint=False)
+    _, ref_app = make_rig(fast=False, waypoint=False)
+    fast_reply = fast_app.call_service("CameraService", "capture", {})
+    ref_reply = ref_app.call_service("CameraService", "capture", {})
+    assert fast_reply == ref_reply
+    assert "error" in fast_reply
+
+
+def test_fast_lane_honors_instance_op_override():
+    """The lane memo must not capture bound methods: security/fault tests
+    monkey-patch ``op_*`` on live service instances."""
+    node, app = make_rig(fast=True)
+    assert app.call_service("CameraService", "capture", {}).get(
+        "status") == "ok"  # lane is now warm
+    service = node.device_env.system_server.services["CameraService"]
+    service.op_capture = lambda txn: {"status": "ok", "poisoned": True}
+    reply = app.call_service("CameraService", "capture", {})
+    assert reply.get("poisoned") is True
+    del service.op_capture
+    assert "poisoned" not in app.call_service("CameraService", "capture", {})

@@ -1,0 +1,140 @@
+"""Batched async (oneway) delivery: one event per tick, not per message.
+
+``transact_async`` is the tentpole of the engine pass: every message
+queued within a simulator tick rides ONE flush event through the heap.
+These tests pin down the contract and hold the batched path to the
+per-message legacy oracle (``use_fast_path=False``): same replies, same
+order, same handler effects — only the event-queue traffic differs.
+"""
+
+import pytest
+
+from repro.binder import BinderDriver, ServiceManager
+from repro.binder.driver import BinderError
+from repro.kernel.namespaces import NamespaceSet
+import repro.obs as obs
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def registry():
+    registry = obs.enable()
+    yield registry
+    obs.reset()
+
+
+def make_rig(batched: bool):
+    """A driver bound to a sim with one echo service and a client."""
+    driver = BinderDriver(device_container_name="device")
+    driver.use_fast_path = batched
+    sim = Simulator()
+    driver.bind_sim(sim)
+    ns = NamespaceSet("vd1")
+    server = driver.open(100, 1000, "vd1", ns.device_ns)
+    manager = ServiceManager(server, is_device_container=False)
+    calls = []
+
+    def handler(txn):
+        calls.append((txn.code, dict(txn.data)))
+        return {"status": "ok", "echo": txn.data.get("x")}
+
+    manager.register("Echo", server.create_node(handler, "echo"))
+    client = driver.open(101, 1000, "vd1", ns.device_ns)
+    handle = client.transact(0, "get", {"name": "Echo"})["service"]
+    return driver, sim, server, client, handle, calls
+
+
+def test_batched_mode_uses_one_event_for_many_messages(registry):
+    driver, sim, _, client, handle, calls = make_rig(batched=True)
+    replies = []
+    for i in range(10):
+        client.transact_async(handle, "ping", {"x": i},
+                              on_reply=replies.append)
+    assert driver.async_pending() == 10
+    executed = sim.run(until=sim.now)
+    assert executed == 1, "a whole tick's messages must share one event"
+    assert driver.async_pending() == 0
+    assert [r["echo"] for r in replies] == list(range(10))
+    assert [c[1]["x"] for c in calls] == list(range(10))
+    assert registry.counter("binder.async_batches").value == 1
+    histo = registry.histogram("binder.async_batch_size", unit="msgs")
+    assert histo.count == 1
+
+
+def test_legacy_mode_uses_one_event_per_message(registry):
+    driver, sim, _, client, handle, calls = make_rig(batched=False)
+    replies = []
+    for i in range(10):
+        client.transact_async(handle, "ping", {"x": i},
+                              on_reply=replies.append)
+    executed = sim.run(until=sim.now)
+    assert executed == 10, "the oracle schedules one event per message"
+    assert [r["echo"] for r in replies] == list(range(10))
+    # Per-event accounting stays honest: ten batches of one.
+    assert registry.counter("binder.async_batches").value == 10
+
+
+@pytest.mark.parametrize("batched", [True, False])
+def test_modes_agree_on_replies_order_and_effects(registry, batched):
+    _, sim, _, client, handle, calls = make_rig(batched=batched)
+    replies = []
+    for i in range(25):
+        client.transact_async(handle, f"op{i % 3}", {"x": i},
+                              on_reply=replies.append)
+    sim.run(until=sim.now)
+    assert [r["echo"] for r in replies] == list(range(25))
+    assert [c[0] for c in calls] == [f"op{i % 3}" for i in range(25)]
+
+
+@pytest.mark.parametrize("batched", [True, False])
+def test_dead_node_becomes_error_reply_not_exception(registry, batched):
+    _, sim, server, client, handle, _ = make_rig(batched=batched)
+    replies = []
+    client.transact_async(handle, "ping", {"x": 1}, on_reply=replies.append)
+    server.close()
+    client.transact_async(handle, "ping", {"x": 2}, on_reply=replies.append)
+    sim.run(until=sim.now)
+    assert len(replies) == 2
+    assert "error" in replies[0] and "error" in replies[1]
+
+
+def test_messages_sent_during_flush_ride_the_next_event(registry):
+    driver = BinderDriver(device_container_name="device")
+    sim = Simulator()
+    driver.bind_sim(sim)
+    ns = NamespaceSet("vd1")
+    server = driver.open(100, 1000, "vd1", ns.device_ns)
+    manager = ServiceManager(server, is_device_container=False)
+    client = driver.open(101, 1000, "vd1", ns.device_ns)
+    events = []
+
+    def handler(txn):
+        events.append(txn.data["n"])
+        if txn.data["n"] == 0:
+            # A handler fanning out more oneway traffic mid-flush: it
+            # must land in a NEW batch, not extend the one in flight.
+            client.transact_async(handle, "ping", {"n": 99})
+        return None
+
+    manager.register("Fan", server.create_node(handler, "fan"))
+    handle = client.transact(0, "get", {"name": "Fan"})["service"]
+    client.transact_async(handle, "ping", {"n": 0})
+    client.transact_async(handle, "ping", {"n": 1})
+    executed = sim.run(until=sim.now)
+    assert events == [0, 1, 99]
+    assert executed == 2, "mid-flush sends get their own flush event"
+
+
+def test_transact_async_requires_bound_sim():
+    driver = BinderDriver(device_container_name="device")
+    ns = NamespaceSet("vd1")
+    client = driver.open(101, 1000, "vd1", ns.device_ns)
+    with pytest.raises(BinderError, match="bind_sim"):
+        client.transact_async(1, "ping", {})
+
+
+def test_transact_async_rejects_closed_process():
+    driver, _, _, client, handle, _ = make_rig(batched=True)
+    client.close()
+    with pytest.raises(BinderError, match="closed"):
+        client.transact_async(handle, "ping", {})

@@ -1,0 +1,218 @@
+"""Scalar-reference vs numpy-slot equivalence for the vector flight core.
+
+The vector engine in :mod:`repro.flight.vector` is only allowed into the
+benchmark suite because these tests hold it to the scalar model's
+behavior: every slot of a :class:`VectorFleetPhysics` stepped through an
+identical command history must track its own
+:class:`~repro.flight.physics.QuadcopterPhysics` within 1e-9 on every
+float component and *exactly* on ``on_ground`` and ``time_us``.  The
+command histories cover takeoff, asymmetric maneuvering, and a powered
+descent back to ground contact so the landed/airborne branches all run.
+"""
+
+import math
+import random
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.flight.estimator import AttitudeEstimator
+from repro.flight.physics import QuadcopterParams, QuadcopterPhysics
+from repro.flight.vector import VectorAttitudeEstimator, VectorFleetPhysics
+
+SEEDS = [0, 1, 7, 42, 1234]
+DT = 0.02
+
+
+def _close(a, b, what):
+    assert math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9), (
+        f"{what}: scalar={a!r} vector={b!r}")
+
+
+def _assert_slot_matches(scalar: QuadcopterPhysics,
+                         fleet: VectorFleetPhysics, i: int) -> None:
+    state = fleet.slot_state(i)
+    for axis in range(3):
+        _close(scalar.position[axis], state["position"][axis],
+               f"slot {i} position[{axis}]")
+        _close(scalar.velocity[axis], state["velocity"][axis],
+               f"slot {i} velocity[{axis}]")
+        _close(scalar.rates[axis], state["rates"][axis],
+               f"slot {i} rates[{axis}]")
+        _close(scalar._last_accel_body[axis], state["accel_body"][axis],
+               f"slot {i} accel_body[{axis}]")
+    for m in range(4):
+        _close(scalar.motor_thrust[m], state["motor_thrust"][m],
+               f"slot {i} motor_thrust[{m}]")
+    _close(scalar.roll, state["roll"], f"slot {i} roll")
+    _close(scalar.pitch, state["pitch"], f"slot {i} pitch")
+    _close(scalar.yaw, state["yaw"], f"slot {i} yaw")
+    _close(scalar.propulsion_energy_j, state["propulsion_energy_j"],
+           f"slot {i} energy")
+    assert scalar.on_ground == state["on_ground"], f"slot {i} on_ground"
+    assert scalar.time_us == state["time_us"], f"slot {i} time_us"
+
+
+def _mission_commands(rng: random.Random, steps: int):
+    """A command history with distinct flight phases.
+
+    Climb hard, wander around hover with per-motor jitter, then idle the
+    motors so the vehicle falls back through the ground-contact branch.
+    """
+    hover = QuadcopterParams().hover_throttle()
+    history = []
+    for k in range(steps):
+        if k < steps // 4:
+            base = hover * 1.35
+        elif k < 3 * steps // 4:
+            base = hover * rng.uniform(0.95, 1.05)
+        else:
+            base = hover * 0.2
+        history.append(tuple(
+            min(1.0, max(0.0, base + rng.uniform(-0.03, 0.03)))
+            for _ in range(4)))
+    return history
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fleet_matches_scalar_reference_with_gusts(seed):
+    slots = 4
+    steps = 160
+    histories = [
+        _mission_commands(random.Random(seed * 1000 + i), steps)
+        for i in range(slots)
+    ]
+    scalars = [QuadcopterPhysics(rng=random.Random(seed * 77 + i))
+               for i in range(slots)]
+    fleet = VectorFleetPhysics(
+        slots, rngs=[random.Random(seed * 77 + i) for i in range(slots)])
+    for k in range(steps):
+        commands = np.array([histories[i][k] for i in range(slots)])
+        for i in range(slots):
+            scalars[i].step(DT, histories[i][k])
+        fleet.step_all(DT, commands)
+    for i in range(slots):
+        _assert_slot_matches(scalars[i], fleet, i)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fleet_matches_scalar_reference_gust_free(seed):
+    slots = 3
+    steps = 120
+    histories = [
+        _mission_commands(random.Random(seed * 31 + i), steps)
+        for i in range(slots)
+    ]
+    scalars = [QuadcopterPhysics() for _ in range(slots)]
+    fleet = VectorFleetPhysics(slots)
+    for k in range(steps):
+        for i in range(slots):
+            scalars[i].step(DT, histories[i][k])
+        fleet.step_all(DT, np.array([histories[i][k] for i in range(slots)]))
+    for i in range(slots):
+        _assert_slot_matches(scalars[i], fleet, i)
+
+
+def test_fleet_with_wind_matches_scalar():
+    wind = (2.0, -1.0, 0.3)
+    scalar = QuadcopterPhysics(wind_enu=wind)
+    fleet = VectorFleetPhysics(1, wind_enu=wind)
+    hover = scalar.params.hover_throttle()
+    for _ in range(200):
+        cmd = (hover * 1.2, hover * 1.2, hover * 1.18, hover * 1.22)
+        scalar.step(DT, cmd)
+        fleet.step_all(DT, np.array([cmd]))
+    _assert_slot_matches(scalar, fleet, 0)
+    assert not scalar.on_ground  # the profile actually flew
+
+
+def test_load_slot_resumes_mid_flight():
+    """A scalar vehicle state loaded into a slot continues identically."""
+    scalar = QuadcopterPhysics()
+    hover = scalar.params.hover_throttle()
+    for _ in range(80):
+        scalar.step(DT, (hover * 1.3,) * 4)
+    fleet = VectorFleetPhysics(2)
+    fleet.load_slot(0, scalar)
+    for _ in range(50):
+        cmd = (hover, hover * 1.02, hover * 0.98, hover)
+        scalar.step(DT, cmd)
+        fleet.step_all(DT, np.array([cmd, cmd]))
+    _assert_slot_matches(scalar, fleet, 0)
+
+
+def test_fleet_rejects_bad_inputs():
+    fleet = VectorFleetPhysics(2)
+    with pytest.raises(ValueError):
+        fleet.step_all(0.0, np.zeros((2, 4)))
+    with pytest.raises(ValueError):
+        fleet.step_all(DT, np.zeros((3, 4)))
+    with pytest.raises(ValueError):
+        VectorFleetPhysics(0)
+    with pytest.raises(ValueError):
+        VectorFleetPhysics(2, rngs=[random.Random(1)])
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_attitude_estimator_matches_scalar(seed):
+    rng = random.Random(seed)
+    slots = 3
+    scalars = [AttitudeEstimator() for _ in range(slots)]
+    fleet = VectorAttitudeEstimator(slots)
+    dt = 1.0 / 50.0
+
+    class _Sample:
+        def __init__(self, accel, gyro):
+            self.accel = accel
+            self.gyro = gyro
+
+    for k in range(300):
+        gyro = [[rng.uniform(-0.5, 0.5) for _ in range(3)]
+                for _ in range(slots)]
+        # Mostly near-1g samples (blend branch), sometimes far off
+        # (gyro-only branch).
+        accel = []
+        for _ in range(slots):
+            scale = 9.8 if rng.random() < 0.8 else 25.0
+            accel.append([rng.uniform(-0.3, 0.3) * scale,
+                          rng.uniform(-0.3, 0.3) * scale,
+                          rng.uniform(0.7, 1.1) * scale])
+        # Compass arrives only sometimes, per slot.
+        headings = [rng.uniform(0, 2 * math.pi) if rng.random() < 0.3
+                    else None for _ in range(slots)]
+        for i in range(slots):
+            scalars[i].update(_Sample(tuple(accel[i]), tuple(gyro[i])), dt,
+                              heading_rad=headings[i])
+        heading_arr = np.array([
+            h if h is not None else np.nan for h in headings])
+        fleet.update_all(np.array(gyro), np.array(accel), dt,
+                         heading_rad=heading_arr)
+    for i in range(slots):
+        _close(scalars[i].roll, float(fleet.roll[i]), f"slot {i} roll")
+        _close(scalars[i].pitch, float(fleet.pitch[i]), f"slot {i} pitch")
+        _close(scalars[i].yaw, float(fleet.yaw[i]), f"slot {i} yaw")
+        for axis in range(3):
+            _close(scalars[i].rates[axis], float(fleet.rates[i, axis]),
+                   f"slot {i} rates[{axis}]")
+
+
+def test_attitude_estimator_no_heading_path():
+    scalar = AttitudeEstimator()
+    fleet = VectorAttitudeEstimator(1)
+    rng = random.Random(9)
+    dt = 1.0 / 400.0
+
+    class _Sample:
+        def __init__(self, accel, gyro):
+            self.accel = accel
+            self.gyro = gyro
+
+    for _ in range(400):
+        gyro = tuple(rng.uniform(-1.0, 1.0) for _ in range(3))
+        accel = (rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(9, 10.5))
+        scalar.update(_Sample(accel, gyro), dt)
+        fleet.update_all(np.array([gyro]), np.array([accel]), dt)
+    _close(scalar.roll, float(fleet.roll[0]), "roll")
+    _close(scalar.pitch, float(fleet.pitch[0]), "pitch")
+    _close(scalar.yaw, float(fleet.yaw[0]), "yaw")

@@ -1,0 +1,72 @@
+"""InstrumentCache: hot-path interning that survives registry swaps.
+
+The engine's fast lanes memoize instrument lookups per call site; the
+whole design rests on the memo invalidating itself whenever the active
+registry's identity changes, so counts can never leak between an
+enabled registry, the null registry, and a post-reset registry.
+"""
+
+import repro.obs as obs
+from repro.obs import InstrumentCache
+
+
+def teardown_function(_fn):
+    obs.reset()
+
+
+def test_memoizes_within_one_registry_epoch():
+    obs.enable()
+    cache = InstrumentCache()
+    assert cache.get("k") is None
+    counter = cache.put("k", obs.counter("cache.test", site="a"))
+    assert cache.get("k") is counter
+    counter.inc()
+    assert obs.get_registry().counter("cache.test", site="a").value == 1
+
+
+def test_enable_swap_invalidates():
+    obs.enable()
+    cache = InstrumentCache()
+    cache.put("k", cache.get("k") or obs.counter("cache.test"))
+    first = cache.get("k")
+    assert first is not None
+    obs.disable()
+    assert cache.get("k") is None, "disable() must invalidate the memo"
+    null_instrument = cache.put("k", obs.counter("cache.test"))
+    null_instrument.inc()  # routed to the null registry: a no-op
+    obs.enable()
+    assert cache.get("k") is None, "enable() must invalidate again"
+    # The real registry never saw the null-epoch increments.
+    assert obs.get_registry().counter("cache.test").value == 0
+
+
+def test_reset_invalidates_and_drops_counts():
+    obs.enable()
+    cache = InstrumentCache()
+    cache.put("k", obs.counter("cache.test")).inc()
+    obs.reset()
+    obs.enable()
+    assert cache.get("k") is None
+    fresh = cache.put("k", obs.counter("cache.test"))
+    assert fresh.value == 0
+
+
+def test_null_epoch_instruments_are_cached_too():
+    """With telemetry off the memo still works (caching null instruments
+    keeps the disabled path allocation-free after warm-up)."""
+    cache = InstrumentCache()
+    assert cache.get("k") is None
+    null_counter = cache.put("k", obs.counter("cache.test"))
+    assert cache.get("k") is null_counter
+
+
+def test_distinct_keys_distinct_instruments():
+    """get-before-put is the contract: get() pins the registry epoch."""
+    obs.enable()
+    cache = InstrumentCache()
+    assert cache.get("a") is None
+    a = cache.put("a", obs.counter("cache.test", site="a"))
+    assert cache.get("b") is None
+    b = cache.put("b", obs.counter("cache.test", site="b"))
+    assert cache.get("a") is a and cache.get("b") is b
+    assert a is not b
