@@ -3,7 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test bench examples results trace chaos parallel soak \
-	city docs-check lint check gate baselines profile throughput clean
+	city explore docs-check lint check gate baselines profile throughput \
+	clean
 
 TRACE_FILE ?= trace.jsonl
 CHAOS_TRACE ?= chaos-trace.jsonl
@@ -12,6 +13,9 @@ SOAK_TRACE ?= soak-trace.jsonl
 PARALLEL_TRACE ?= parallel-trace.jsonl
 CITY_TRACE ?= city-trace.jsonl
 CITY_SEED ?= 42
+EXPLORE_SCHEDULES ?= 25
+EXPLORE_SEED ?= 42
+EXPLORE_OUT ?= explore-artifacts
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -59,6 +63,12 @@ city: ## run the seeded city-scale control plane (twice: proves determinism), th
 	PYTHONPATH=src $(PYTHON) -m repro.obs.check $(CITY_TRACE) \
 		--require cp. --require portal.
 
+explore: ## hunt schedule races: N seeded same-tick schedules per smoke scenario
+	PYTHONPATH=src $(PYTHON) -m repro.sched explore \
+		--scenario storm-smoke --scenario city-smoke \
+		--schedules $(EXPLORE_SCHEDULES) --seed $(EXPLORE_SEED) \
+		--out $(EXPLORE_OUT)
+
 profile: ## cProfile the hot paths into profiles/ (pstats + folded stacks)
 	PYTHONPATH=src $(PYTHON) tools/profile_hotpaths.py --out profiles
 
@@ -99,5 +109,5 @@ clean:
 		benchmarks/results .benchmarks src/repro.egg-info \
 		profiles trace.jsonl chaos-trace.jsonl soak-trace.jsonl \
 		parallel-trace.jsonl city-trace.jsonl shard-*.jsonl \
-		repro-lint.json
+		repro-lint.json explore-artifacts
 	find . -type d -name __pycache__ -prune -exec rm -rf {} +

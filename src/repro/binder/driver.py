@@ -336,6 +336,10 @@ class BinderDriver:
         self._sim = None
         self._async_pending: list = []
         self._async_flush_event = None
+        #: Legacy-path (use_fast_path=False) submission queue.  Delivery
+        #: events pop the *head*, so replies keep per-sender submission
+        #: order no matter how same-tick delivery events are interleaved.
+        self._legacy_pending: list = []
 
     def open(self, pid: int, euid: int, container: str, device_ns: Namespace) -> BinderProcess:
         proc = BinderProcess(self, pid, euid, container, device_ns)
@@ -355,22 +359,33 @@ class BinderDriver:
                 "transact_async needs bind_sim(sim) on the driver first")
         if not self.use_fast_path:
             # The pre-batching oracle: one simulator delivery event per
-            # message.  Same delivery order (call_soon is FIFO at a given
-            # timestamp) and per-message metrics (each event is a batch
-            # of one), so only the event-queue traffic differs.
-            self._sim.call_soon(
-                lambda: self._deliver_batch([(proc, handle, code, data,
-                                              on_reply)]))
+            # message, but the *message* each event delivers is the head
+            # of a FIFO submission queue rather than a value captured in
+            # the event's closure.  Delivery order therefore equals
+            # submission order under any same-tick schedule — capturing
+            # the message per event let explored tie-breaks reorder one
+            # sender's replies (the shrunk schedule lives in
+            # tests/sched/fixtures/binder-burst-legacy-sender-order.json).
+            # Per-message metrics are unchanged: each event is a batch
+            # of one.
+            self._legacy_pending.append((proc, handle, code, data, on_reply))
+            self._sim.call_soon(self._deliver_legacy_head,
+                                key="binder.deliver")
             return
         self._async_pending.append((proc, handle, code, data, on_reply))
         if self._async_flush_event is None:
-            self._async_flush_event = self._sim.call_soon(self._flush_async)
+            self._async_flush_event = self._sim.call_soon(
+                self._flush_async, key="binder.flush")
 
     def _flush_async(self) -> None:
         """Deliver every queued async transaction in one simulator event."""
         self._async_flush_event = None
         batch, self._async_pending = self._async_pending, []
         self._deliver_batch(batch)
+
+    def _deliver_legacy_head(self) -> None:
+        """Deliver the oldest queued legacy-path message (a batch of one)."""
+        self._deliver_batch([self._legacy_pending.pop(0)])
 
     def _deliver_batch(self, batch) -> None:
         obs.counter("binder.async_batches").inc()
@@ -389,8 +404,8 @@ class BinderDriver:
                 on_reply(reply)
 
     def async_pending(self) -> int:
-        """Messages queued for the next batch flush (introspection)."""
-        return len(self._async_pending)
+        """Messages queued but not yet delivered (introspection)."""
+        return len(self._async_pending) + len(self._legacy_pending)
 
     def _new_node(self, owner: BinderProcess, handler: Callable, label: str) -> BinderNode:
         return BinderNode(next(self._node_ids), owner, handler, label)

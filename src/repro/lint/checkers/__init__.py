@@ -7,5 +7,6 @@ from repro.lint.checkers import (  # noqa: F401
     rng,
     simclock,
     taxonomy,
+    unordered,
     whitelist,
 )

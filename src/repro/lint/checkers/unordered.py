@@ -1,0 +1,69 @@
+"""unordered-iter: never iterate an unordered structure directly.
+
+Set iteration order is an accident of hashing and insertion history —
+two runs from the same seed can visit a same-tick event set, a handle
+table, or a membership index in different orders, which is exactly the
+class of bug the schedule explorer (:mod:`repro.sched`) hunts at the
+event level.  Any ``for``/comprehension over a set literal, set
+comprehension, ``set()``/``frozenset()`` call, or set-algebra result
+must go through ``sorted(...)`` with a stable key first (a plain
+``sorted`` wrapper satisfies the rule; picking a *meaningful* key is
+code review's job).  See docs/EXPLORATION.md.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.core import Checker, register
+
+#: builtin constructors that produce unordered containers.
+SET_CONSTRUCTORS = frozenset({"set", "frozenset"})
+
+#: set-algebra methods that produce a new unordered container.
+SET_ALGEBRA_METHODS = frozenset({
+    "union", "intersection", "difference", "symmetric_difference",
+})
+
+
+def _unordered_reason(node: ast.AST):
+    """Why ``node`` evaluates to an unordered container, or None."""
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    if isinstance(node, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in SET_CONSTRUCTORS:
+            return f"{func.id}()"
+        if isinstance(func, ast.Attribute) \
+                and func.attr in SET_ALGEBRA_METHODS:
+            return f".{func.attr}()"
+    return None
+
+
+@register
+class UnorderedIterChecker(Checker):
+    rule = "unordered-iter"
+    description = ("no iteration over sets or set-algebra results "
+                   "without sorted() and a stable key")
+
+    def check_file(self, src, config):
+        for node in ast.walk(src.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters = [node.iter]
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iters = [gen.iter for gen in node.generators]
+            else:
+                continue
+            for target in iters:
+                reason = _unordered_reason(target)
+                if reason is None:
+                    continue
+                yield self.finding(
+                    config, src.path, target.lineno, target.col_offset,
+                    f"iterating {reason} visits members in arbitrary "
+                    f"hash order, which diverges across runs and "
+                    f"same-tick schedules; wrap it in sorted() with a "
+                    f"stable key")

@@ -253,7 +253,9 @@ def feed_installer(scenario, attach_frontend) -> Callable:
 def build_installers(scenario, attach_frontend) -> dict:
     """package -> installer for every workload in the scenario's mix."""
     installers = {}
-    for workload in set(scenario.workload_mix):
+    # sorted() so the installers dict (and everything that iterates it
+    # downstream) has a schedule-independent insertion order.
+    for workload in sorted(set(scenario.workload_mix)):
         if workload == "survey":
             installers[PACKAGES[workload]] = survey_installer(scenario)
         elif workload == "storm":

@@ -78,6 +78,19 @@ def reset() -> None:
     _active = NULL_REGISTRY
 
 
+def set_trace_context(**attrs) -> None:
+    """Stamp run-level context (e.g. ``schedule="storm:random:3"``) onto
+    every subsequent trace record; call with no attrs to clear.  Applies
+    to the real registry whether or not telemetry is currently enabled,
+    so explorers can tag a run before :func:`enable`."""
+    _registry.tracer.set_context(**attrs)
+
+
+def clear_trace_context() -> None:
+    """Remove the run-level trace context (records revert to ctx-free)."""
+    _registry.tracer.set_context()
+
+
 def auto_enable(clock_source=None) -> Optional[str]:
     """Enable telemetry iff ``ANDRONE_TRACE`` is set in the environment.
 
@@ -179,8 +192,9 @@ def render_report() -> str:
 __all__ = [
     "Counter", "Gauge", "Histogram", "InstrumentCache", "Span", "Tracer",
     "TelemetryRegistry", "NullRegistry", "NULL_REGISTRY",
-    "TRACE_ENV", "active", "auto_enable", "counter", "disable", "enable",
-    "enabled", "event", "export_jsonl", "gauge", "get_registry",
-    "histogram", "parse_jsonl", "percentile", "render_report", "reset",
-    "span", "trace_records", "validate_records", "write_jsonl",
+    "TRACE_ENV", "active", "auto_enable", "clear_trace_context", "counter",
+    "disable", "enable", "enabled", "event", "export_jsonl", "gauge",
+    "get_registry", "histogram", "parse_jsonl", "percentile",
+    "render_report", "reset", "set_trace_context", "span", "trace_records",
+    "validate_records", "write_jsonl",
 ]

@@ -85,13 +85,28 @@ class Tracer:
         self.records: List[TraceRecord] = []
         #: (name, duration_us) of every closed span, for the report.
         self.closed_spans: List[tuple] = []
+        #: run-level context stamped on every record while set (e.g. the
+        #: schedule id during exploration).  Empty = no ``ctx`` field, so
+        #: default traces are byte-identical to pre-context ones.
+        self._context: Dict[str, Any] = {}
 
     def set_clock(self, clock: Callable[[], int]) -> None:
         self._clock = clock
 
+    def set_context(self, **attrs: Any) -> None:
+        """Replace the run-level context carried by subsequent records.
+
+        Calling with no attributes clears it.  Exploration runs set
+        ``schedule=<id>`` here so every trace line names the same-tick
+        schedule it was recorded under (see docs/EXPLORATION.md).
+        """
+        self._context = dict(attrs)
+
     def event(self, name: str, /, **attrs: Any) -> TraceRecord:
         record = TraceRecord(t=self._clock(), kind="event", name=name,
                              attrs=attrs)
+        if self._context:
+            record["ctx"] = self._context
         self.records.append(record)
         return record
 
@@ -101,9 +116,12 @@ class Tracer:
         # copies on write) — one allocation instead of three.
         span = Span(self, next(self._span_ids), name, self._clock(),
                     attrs, shared=True)
-        self.records.append(TraceRecord(
+        record = TraceRecord(
             t=span.t_start, kind="span_begin", name=name, id=span.span_id,
-            attrs=attrs))
+            attrs=attrs)
+        if self._context:
+            record["ctx"] = self._context
+        self.records.append(record)
         return span
 
     def _end_span(self, span: Span) -> int:
@@ -111,9 +129,12 @@ class Tracer:
         duration = t_end - span.t_start
         # span.attrs is immutable from here on (the span is closed), so
         # the end record references it without copying.
-        self.records.append(TraceRecord(
+        record = TraceRecord(
             t=t_end, kind="span_end", name=span.name, id=span.span_id,
-            dur_us=duration, attrs=span.attrs))
+            dur_us=duration, attrs=span.attrs)
+        if self._context:
+            record["ctx"] = self._context
+        self.records.append(record)
         self.closed_spans.append((span.name, duration))
         return duration
 

@@ -1,0 +1,51 @@
+"""Schedule exploration: seeded same-tick interleaving for race hunting.
+
+The simulator's same-tick event order is a pluggable dimension
+(:meth:`repro.sim.Simulator.set_tie_breaker`); this package supplies the
+policies (:mod:`~repro.sched.tiebreak`), the invariant oracles checked
+after every explored run (:mod:`~repro.sched.oracles`), the canned
+scenarios (:mod:`~repro.sched.scenarios`), and the :class:`Explorer`
+runner that samples/enumerates schedules, shrinks violations, and emits
+replayable ``(seed, schedule-trace)`` artifacts.  CLI:
+``python -m repro.sched`` (``make explore``).  See docs/EXPLORATION.md.
+"""
+
+from repro.sched.explorer import (
+    ARTIFACT_SCHEMA,
+    ExplorationResult,
+    Explorer,
+    ReplayMismatchError,
+    ScheduleReport,
+    load_artifact,
+    replay_artifact,
+    save_artifact,
+)
+from repro.sched.oracles import (
+    ORACLES,
+    Oracle,
+    RunOutcome,
+    build_oracles,
+    run_oracles,
+)
+from repro.sched.scenarios import SCENARIOS, ExplorationScenario, make_scenario
+from repro.sched.tiebreak import (
+    STRATEGIES,
+    FifoTieBreaker,
+    PctTieBreaker,
+    RandomTieBreaker,
+    TieBreaker,
+    TraceTieBreaker,
+    derive_seed,
+    make_tie_breaker,
+    schedule_permutation,
+)
+
+__all__ = [
+    "ARTIFACT_SCHEMA", "ExplorationResult", "ExplorationScenario",
+    "Explorer", "FifoTieBreaker", "ORACLES", "Oracle", "PctTieBreaker",
+    "RandomTieBreaker", "ReplayMismatchError", "RunOutcome", "SCENARIOS",
+    "STRATEGIES", "ScheduleReport", "TieBreaker", "TraceTieBreaker",
+    "build_oracles", "derive_seed", "load_artifact", "make_scenario",
+    "make_tie_breaker", "replay_artifact", "run_oracles", "save_artifact",
+    "schedule_permutation",
+]

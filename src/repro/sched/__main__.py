@@ -1,0 +1,7 @@
+"""Entry point: ``python -m repro.sched`` (see repro.sched.cli)."""
+
+import sys
+
+from repro.sched.cli import main
+
+sys.exit(main())

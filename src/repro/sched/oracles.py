@@ -1,0 +1,214 @@
+"""Invariant oracles: what must hold under *every* same-tick schedule.
+
+An oracle inspects one :class:`RunOutcome` — the scenario-independent
+summary of a run under one schedule — and returns a list of violation
+strings (empty = clean).  The explorer runs the scenario's oracle set
+after every schedule; any non-empty result is a race finding, and the
+offending schedule is shrunk and emitted as a replayable artifact.
+
+The catalog (see docs/EXPLORATION.md for the prose version):
+
+* ``digest-match`` — where a scenario claims *schedule neutrality*, its
+  behavior digest must equal the FIFO baseline's bit for bit.
+* ``monotone-clock`` — trace record timestamps never decrease.
+* ``balanced-async`` — every queued binder async transaction was
+  delivered (no pending residue, no reply callback skipped) and every
+  closed span matches an opened one.
+* ``sender-order`` — replies within a flush arrive in per-sender
+  submission order (the batched-delivery contract, satellite of PR 8).
+* ``allotment`` — per-tenant time/energy accounting is conserved:
+  monitors saw no violation and usage never exceeds the allotment.
+* ``vfc-legal`` — no virtual flight controller ended in (or passed
+  through) an illegal state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class RunOutcome:
+    """One scenario run under one schedule, summarized for the oracles.
+
+    ``final`` is the scenario's structured summary (replies, violations,
+    accounting); ``records`` the obs trace records (possibly empty when
+    the scenario does not trace); ``digest`` the scenario's canonical
+    behavior digest; ``decisions``/``meta`` the schedule actually taken.
+    """
+
+    scenario: str
+    digest: str
+    final: Dict[str, Any] = field(default_factory=dict)
+    records: List[dict] = field(default_factory=list)
+    decisions: List[int] = field(default_factory=list)
+    meta: List[dict] = field(default_factory=list)
+    executed: int = 0
+    schedule_id: Optional[str] = None
+
+
+class Oracle:
+    """One invariant; ``check`` returns violation strings (empty = ok)."""
+
+    name = "oracle"
+
+    def check(self, outcome: RunOutcome) -> List[str]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Oracle {self.name}>"
+
+
+class MonotoneClockOracle(Oracle):
+    """Trace timestamps are nondecreasing: reordering same-tick events
+    must never let a record claim time ran backwards."""
+
+    name = "monotone-clock"
+
+    def check(self, outcome: RunOutcome) -> List[str]:
+        problems = []
+        last = None
+        for record in outcome.records:
+            t = record.get("t")
+            if t is None:
+                continue
+            if last is not None and t < last:
+                problems.append(
+                    f"trace clock went backwards: {last} -> {t} at "
+                    f"{record.get('kind')}/{record.get('name')}")
+            last = t
+        return problems
+
+
+class BalancedAsyncOracle(Oracle):
+    """Binder async delivery is conservative under any schedule.
+
+    The scenario reports ``async_pending`` (undelivered queue residue
+    after the run drained) and ``missing_replies`` (reply callbacks that
+    never fired); both must be zero.  Trace spans must pair: a
+    ``span_end`` without a ``span_begin`` means an open/close imbalance.
+    """
+
+    name = "balanced-async"
+
+    def check(self, outcome: RunOutcome) -> List[str]:
+        problems = []
+        pending = outcome.final.get("async_pending", 0)
+        if pending:
+            problems.append(
+                f"{pending} async transaction(s) still queued after drain")
+        missing = outcome.final.get("missing_replies", 0)
+        if missing:
+            problems.append(f"{missing} reply callback(s) never fired")
+        opened = set()
+        for record in outcome.records:
+            kind = record.get("kind")
+            if kind == "span_begin":
+                opened.add(record.get("id"))
+            elif kind == "span_end" and record.get("id") not in opened:
+                problems.append(
+                    f"span_end #{record.get('id')} "
+                    f"({record.get('name')}) closes a span never opened")
+        return problems
+
+
+class SenderOrderOracle(Oracle):
+    """Per-sender submission order of async replies.
+
+    ``final['sender_reply_orders']`` maps each sender to the submission
+    indices of its replies *in delivery order*; each list must be
+    strictly increasing.  Cross-sender interleaving is free to vary —
+    that is exactly the dimension being explored.
+    """
+
+    name = "sender-order"
+
+    def check(self, outcome: RunOutcome) -> List[str]:
+        problems = []
+        for sender, order in sorted(
+                outcome.final.get("sender_reply_orders", {}).items()):
+            if any(b <= a for a, b in zip(order, order[1:])):
+                problems.append(
+                    f"sender {sender}: replies delivered out of "
+                    f"submission order: {order}")
+        return problems
+
+
+class AllotmentOracle(Oracle):
+    """Tenant time/energy conservation, via the harness monitors."""
+
+    name = "allotment"
+
+    def check(self, outcome: RunOutcome) -> List[str]:
+        problems = [f"invariant monitor: {v}"
+                    for v in outcome.final.get("violations", [])]
+        for tenant, account in sorted(
+                outcome.final.get("allotments", {}).items()):
+            used = account.get("used", 0.0)
+            allotted = account.get("allotted", 0.0)
+            slack = account.get("slack", 0.0)
+            if used > allotted + slack:
+                problems.append(
+                    f"tenant {tenant}: used {used:.3f} exceeds allotment "
+                    f"{allotted:.3f} (+{slack:.3f} slack)")
+        return problems
+
+
+class VfcLegalityOracle(Oracle):
+    """Every VFC reported a legal state under the explored schedule."""
+
+    name = "vfc-legal"
+
+    def check(self, outcome: RunOutcome) -> List[str]:
+        return [f"VFC {name}: illegal state {state}"
+                for name, state in sorted(
+                    outcome.final.get("vfc_illegal", {}).items())]
+
+
+class DigestMatchOracle(Oracle):
+    """Schedule neutrality: digest must equal the FIFO baseline's."""
+
+    name = "digest-match"
+
+    def __init__(self, expected: str):
+        self.expected = expected
+
+    def check(self, outcome: RunOutcome) -> List[str]:
+        if outcome.digest != self.expected:
+            return [f"behavior digest {outcome.digest[:16]}... diverged "
+                    f"from FIFO baseline {self.expected[:16]}... under a "
+                    f"schedule the scenario claims neutrality for"]
+        return []
+
+
+#: Name -> constructor for the schedule-independent oracles (digest-match
+#: needs a baseline and is built by the explorer).
+ORACLES = {
+    MonotoneClockOracle.name: MonotoneClockOracle,
+    BalancedAsyncOracle.name: BalancedAsyncOracle,
+    SenderOrderOracle.name: SenderOrderOracle,
+    AllotmentOracle.name: AllotmentOracle,
+    VfcLegalityOracle.name: VfcLegalityOracle,
+}
+
+
+def build_oracles(names) -> List[Oracle]:
+    """Instantiate the named subset of the catalog, order-preserving."""
+    built = []
+    for name in names:
+        if name not in ORACLES:
+            raise ValueError(
+                f"unknown oracle {name!r}: choose from {sorted(ORACLES)}")
+        built.append(ORACLES[name]())
+    return built
+
+
+def run_oracles(oracles, outcome: RunOutcome) -> Dict[str, List[str]]:
+    """Run every oracle; returns {oracle name: violations} for failures."""
+    failures: Dict[str, List[str]] = {}
+    for oracle in oracles:
+        problems = oracle.check(outcome)
+        if problems:
+            failures[oracle.name] = problems
+    return failures

@@ -5,6 +5,15 @@ Events at the same timestamp fire in the order they were scheduled, which
 keeps runs deterministic.  Components either schedule callbacks directly or
 run generator-based :class:`~repro.sim.process.Process` objects on top of
 the simulator.
+
+Same-tick ordering is also a *pluggable* dimension: installing a
+:class:`TieBreaker` (``sim.set_tie_breaker(...)``) routes the drain loop
+through an explored variant in which every set of runnable events sharing
+the current timestamp is handed to the tie-breaker to pick from.  The
+default (no tie-breaker) keeps the original FIFO heap order on the
+original hot loop, byte for byte; explorers in :mod:`repro.sched` use the
+hook to permute, enumerate, and replay same-tick schedules for race
+hunting.
 """
 
 from __future__ import annotations
@@ -22,15 +31,24 @@ class Event:
 
     Events support cancellation: a cancelled event stays in the heap but is
     skipped when popped.  This makes cancel O(1) and keeps the heap simple.
+
+    ``key`` is the event's *stable logical identity*: a short label naming
+    the scheduling site (``"binder.flush"``, ``"proc.planner"``), not the
+    scheduling order.  Keys let schedule explorers and their artifacts
+    refer to an event independently of ``seq`` (which depends on execution
+    history) and give priority-based tie-breakers a unit to prioritize.
+    An empty key means "anonymous": still explorable, just unnamed.
     """
 
-    __slots__ = ("time", "seq", "fn", "cancelled")
+    __slots__ = ("time", "seq", "fn", "cancelled", "key")
 
-    def __init__(self, time: int, seq: int, fn: Callable[[], Any]):
+    def __init__(self, time: int, seq: int, fn: Callable[[], Any],
+                 key: str = ""):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.cancelled = False
+        self.key = key
 
     def cancel(self) -> None:
         """Prevent the event's callback from running."""
@@ -41,7 +59,8 @@ class Event:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = " cancelled" if self.cancelled else ""
-        return f"<Event t={self.time}us seq={self.seq}{state}>"
+        label = f" key={self.key!r}" if self.key else ""
+        return f"<Event t={self.time}us seq={self.seq}{label}{state}>"
 
 
 class Simulator:
@@ -52,35 +71,66 @@ class Simulator:
         self._seq = 0
         self._queue: List[Event] = []
         self._running = False
+        #: Optional same-tick ordering policy (see repro.sched.tiebreak).
+        #: None means the original FIFO heap order on the original loop.
+        self.tie_breaker = None
+        #: While a tie-breaker is installed: the live events popped off
+        #: the heap that share the current timestamp and have not run
+        #: yet, ascending seq.  Survives across step() calls so drivers
+        #: that single-step (the fleet harness) explore identically to
+        #: ones that drain via run().
+        self._tick: List[Event] = []
 
     @property
     def now(self) -> int:
         """Current virtual time in integer microseconds."""
         return self._now
 
-    def at(self, time: int, fn: Callable[[], Any]) -> Event:
-        """Schedule ``fn`` to run at absolute virtual time ``time``."""
+    def set_tie_breaker(self, tie_breaker) -> None:
+        """Install (or with ``None`` remove) a same-tick ordering policy.
+
+        The tie-breaker is consulted by :meth:`run`/:meth:`step` whenever
+        more than one live event shares the current timestamp; it never
+        reorders events across *different* timestamps, so causality along
+        the virtual clock is preserved under any policy.
+        """
+        self.tie_breaker = tie_breaker
+        if tie_breaker is None and self._tick:
+            # Hand any in-flight same-tick set back to the heap so the
+            # default loop sees every unexecuted event.
+            for event in self._tick:
+                heapq.heappush(self._queue, event)
+            self._tick = []
+
+    def at(self, time: int, fn: Callable[[], Any], key: str = "") -> Event:
+        """Schedule ``fn`` to run at absolute virtual time ``time``.
+
+        ``key`` optionally names the event's logical scheduling site for
+        schedule exploration (see :class:`Event`).
+        """
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule event at {time}us, clock is at {self._now}us"
             )
-        event = Event(int(time), self._seq, fn)
+        event = Event(int(time), self._seq, fn, key)
         self._seq += 1
         heapq.heappush(self._queue, event)
         return event
 
-    def after(self, delay: int, fn: Callable[[], Any]) -> Event:
+    def after(self, delay: int, fn: Callable[[], Any], key: str = "") -> Event:
         """Schedule ``fn`` to run ``delay`` microseconds from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}us")
-        return self.at(self._now + int(delay), fn)
+        return self.at(self._now + int(delay), fn, key)
 
-    def call_soon(self, fn: Callable[[], Any]) -> Event:
+    def call_soon(self, fn: Callable[[], Any], key: str = "") -> Event:
         """Schedule ``fn`` at the current time, after already-queued events."""
-        return self.after(0, fn)
+        return self.after(0, fn, key)
 
     def peek(self) -> Optional[int]:
         """Return the time of the next pending event, or ``None`` if idle."""
+        if self._tick and any(not e.cancelled for e in self._tick):
+            return self._now
         while self._queue and self._queue[0].cancelled:
             heapq.heappop(self._queue)
         if not self._queue:
@@ -89,6 +139,8 @@ class Simulator:
 
     def step(self) -> bool:
         """Run the next event.  Returns False when the queue is empty."""
+        if self.tie_breaker is not None:
+            return self._step_explored()
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
@@ -97,6 +149,50 @@ class Simulator:
             event.fn()
             return True
         return False
+
+    def _step_explored(self) -> bool:
+        """One tie-breaker-ordered event (the explored twin of step()).
+
+        Maintains the instance-level same-tick set: events a callback
+        scheduled at the current timestamp are absorbed into the set
+        before the next pick, so freshly spawned work competes with the
+        backlog exactly like a preemptable runqueue.  With the FIFO
+        tie-breaker (lowest seq first) the execution order is provably
+        identical to the default heap order.
+        """
+        queue = self._queue
+        tick = self._tick
+        while True:
+            if tick:
+                # Absorb same-timestamp arrivals; their seqs are above
+                # everything already here, so appending keeps the set
+                # seq-sorted.  Then drop members cancelled mid-tick.
+                while queue and queue[0].time == self._now:
+                    event = heapq.heappop(queue)
+                    if not event.cancelled:
+                        tick.append(event)
+                if any(e.cancelled for e in tick):
+                    tick[:] = [e for e in tick if not e.cancelled]
+                if not tick:
+                    continue
+            else:
+                while queue and queue[0].cancelled:
+                    heapq.heappop(queue)
+                if not queue:
+                    return False
+                tick_time = queue[0].time
+                while queue and queue[0].time == tick_time:
+                    event = heapq.heappop(queue)
+                    if not event.cancelled:
+                        tick.append(event)
+                if not tick:
+                    continue
+                self._now = tick_time
+            index = 0 if len(tick) == 1 else self.tie_breaker.pick(
+                self._now, tick)
+            event = tick.pop(index)
+            event.fn()
+            return True
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Drain the event queue.
@@ -112,6 +208,8 @@ class Simulator:
         """
         if self._running:
             raise SimulationError("simulator is not reentrant")
+        if self.tie_breaker is not None:
+            return self._run_explored(until, max_events)
         self._running = True
         executed = 0
         # The drain loop is the hottest code in the tree (every sim event
@@ -141,10 +239,40 @@ class Simulator:
             self._now = int(until)
         return executed
 
+    def _run_explored(self, until: Optional[int],
+                      max_events: Optional[int]) -> int:
+        """The tie-breaker drain loop: ``run()`` over explored steps.
+
+        ``peek()`` is consulted before each step so the clock never
+        advances past ``until`` while forming a same-tick set; unexecuted
+        members of the in-flight set live in ``self._tick`` and survive
+        early exits (max_events, an exception mid-tick) into the next
+        run()/step() call.
+        """
+        self._running = True
+        executed = 0
+        try:
+            while True:
+                if max_events is not None and executed >= max_events:
+                    break
+                next_time = self.peek()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self._step_explored()
+                executed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = int(until)
+        return executed
+
     def run_for(self, duration: int, max_events: Optional[int] = None) -> int:
         """Run the simulation for ``duration`` microseconds from now."""
         return self.run(until=self._now + int(duration), max_events=max_events)
 
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        return (sum(1 for e in self._queue if not e.cancelled)
+                + sum(1 for e in self._tick if not e.cancelled))

@@ -13,7 +13,12 @@ from repro.binder import BinderDriver, ServiceManager
 from repro.binder.driver import BinderError
 from repro.kernel.namespaces import NamespaceSet
 import repro.obs as obs
+from repro.sched import make_tie_breaker
 from repro.sim import Simulator
+
+#: same-tick schedules every ordering contract is re-checked under
+#: (index into the seeded random tie-breaker family, see repro.sched).
+EXPLORED_SCHEDULES = [0, 1, 2, 3, 4]
 
 
 @pytest.fixture
@@ -123,6 +128,27 @@ def test_messages_sent_during_flush_ride_the_next_event(registry):
     executed = sim.run(until=sim.now)
     assert events == [0, 1, 99]
     assert executed == 2, "mid-flush sends get their own flush event"
+
+
+@pytest.mark.parametrize("schedule", EXPLORED_SCHEDULES)
+@pytest.mark.parametrize("batched", [True, False])
+def test_reply_order_holds_under_explored_schedules(
+        registry, batched, schedule):
+    """Submission-order delivery is schedule-neutral on BOTH paths.
+
+    The legacy path once violated this: each message rode its own
+    delivery event's closure, so permuting same-tick events permuted
+    one sender's replies (see tests/sched/fixtures/).
+    """
+    _, sim, _, client, handle, calls = make_rig(batched=batched)
+    replies = []
+    for i in range(25):
+        client.transact_async(handle, f"op{i % 3}", {"x": i},
+                              on_reply=replies.append)
+    sim.set_tie_breaker(make_tie_breaker("random", 42, schedule))
+    sim.run(until=sim.now)
+    assert [r["echo"] for r in replies] == list(range(25))
+    assert [c[1]["x"] for c in calls] == list(range(25))
 
 
 def test_transact_async_requires_bound_sim():

@@ -354,3 +354,64 @@ class TestMetricDocs:
             "src/repro/flight/ok.py": "X = 1\n",
         })
         assert lint_rule(config, "metric-docs") == []
+
+
+class TestUnorderedIter:
+    def test_for_over_set_call_is_caught(self, mini):
+        config = mini({
+            "src/repro/sim/bad.py": """\
+                def drain(events):
+                    for e in set(events):
+                        e.fn()
+            """,
+        })
+        findings = lint_rule(config, "unordered-iter")
+        assert len(findings) == 1
+        assert "set()" in findings[0].message
+
+    def test_set_literal_and_comprehension_are_caught(self, mini):
+        config = mini({
+            "src/repro/sim/bad.py": """\
+                def f(xs):
+                    for x in {1, 2, 3}:
+                        print(x)
+                    return [y for y in {x.key for x in xs}]
+            """,
+        })
+        findings = lint_rule(config, "unordered-iter")
+        assert len(findings) == 2
+        assert "set literal" in findings[0].message
+        assert "set comprehension" in findings[1].message
+
+    def test_set_algebra_result_is_caught(self, mini):
+        config = mini({
+            "src/repro/sim/bad.py": """\
+                def f(a, b):
+                    return [x for x in a.intersection(b)]
+            """,
+        })
+        findings = lint_rule(config, "unordered-iter")
+        assert len(findings) == 1
+        assert ".intersection()" in findings[0].message
+
+    def test_sorted_wrapper_is_clean(self, mini):
+        config = mini({
+            "src/repro/sim/ok.py": """\
+                def f(events, a, b):
+                    for e in sorted(set(events), key=lambda e: e.seq):
+                        e.fn()
+                    return [x for x in sorted(a.union(b))]
+            """,
+        })
+        assert lint_rule(config, "unordered-iter") == []
+
+    def test_membership_and_construction_are_clean(self, mini):
+        # Building or probing a set is fine; only iteration is ordered.
+        config = mini({
+            "src/repro/sim/ok.py": """\
+                def f(xs, x):
+                    seen = set(xs)
+                    return x in seen
+            """,
+        })
+        assert lint_rule(config, "unordered-iter") == []

@@ -1,0 +1,55 @@
+"""Property-based schedule exploration: hypothesis drives the decisions.
+
+Two metamorphic properties over same-tick interleavings:
+
+* at the simulator level, ANY permutation of a same-tick event set runs
+  every event exactly once, at the right virtual time, without moving
+  the clock — and a FIFO-decision trace reproduces the default order;
+* at the binder level, ANY decision list (hypothesis-invented, however
+  out of range) fed to the burst scenario preserves its whole invariant
+  oracle set and its FIFO behavior digest (the neutrality claim).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sched import Explorer, TraceTieBreaker, make_scenario
+from repro.sched.oracles import run_oracles
+from repro.sim import Simulator
+
+# Module-scoped explorer: the FIFO baseline digest is computed once.
+_EXPLORER = Explorer(make_scenario("binder-burst"), seed=42)
+_BASELINE = _EXPLORER.baseline().digest
+
+
+@given(permutation=st.permutations(list(range(6))))
+@settings(max_examples=40, deadline=None)
+def test_any_same_tick_permutation_runs_each_event_once(permutation):
+    sim = Simulator()
+    ran = []
+    for i in range(len(permutation)):
+        sim.at(100, lambda i=i: ran.append((i, sim.now)), key=f"e{i}")
+    sim.at(200, lambda: ran.append(("late", sim.now)))
+    # Express the permutation as a decision list: at each pick the
+    # remaining set is seq-sorted, so the decision is the target's rank
+    # among the survivors.
+    remaining = list(range(len(permutation)))
+    decisions = []
+    for target in permutation:
+        decisions.append(remaining.index(target))
+        remaining.remove(target)
+    sim.set_tie_breaker(TraceTieBreaker(decisions))
+    sim.run()
+    assert ran[:-1] == [(i, 100) for i in permutation]
+    assert ran[-1] == ("late", 200)
+    assert sim.now == 200
+
+
+@given(decisions=st.lists(st.integers(min_value=0, max_value=12),
+                          max_size=40))
+@settings(max_examples=25, deadline=None)
+def test_any_schedule_preserves_burst_oracles_and_digest(decisions):
+    outcome = _EXPLORER.scenario.run(TraceTieBreaker(decisions),
+                                     schedule_id="hypothesis")
+    failures = run_oracles(_EXPLORER._oracles_for(outcome), outcome)
+    assert failures == {}
+    assert outcome.digest == _BASELINE
