@@ -3,8 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test bench examples results trace chaos parallel soak \
-	city explore docs-check lint check gate baselines profile throughput \
-	clean
+	city abuse explore docs-check lint check gate baselines profile \
+	throughput clean
 
 TRACE_FILE ?= trace.jsonl
 CHAOS_TRACE ?= chaos-trace.jsonl
@@ -13,6 +13,8 @@ SOAK_TRACE ?= soak-trace.jsonl
 PARALLEL_TRACE ?= parallel-trace.jsonl
 CITY_TRACE ?= city-trace.jsonl
 CITY_SEED ?= 42
+ABUSE_TRACE ?= abuse-trace.jsonl
+ABUSE_SEED ?= 2025
 EXPLORE_SCHEDULES ?= 25
 EXPLORE_SEED ?= 42
 EXPLORE_OUT ?= explore-artifacts
@@ -63,6 +65,13 @@ city: ## run the seeded city-scale control plane (twice: proves determinism), th
 	PYTHONPATH=src $(PYTHON) -m repro.obs.check $(CITY_TRACE) \
 		--require cp. --require portal.
 
+abuse: ## run the full DoS storm against the security fabric, then check the trace
+	PYTHONPATH=src ANDRONE_TRACE=$(ABUSE_TRACE) ABUSE_SEED=$(ABUSE_SEED) \
+		$(PYTHON) examples/abuse_storm.py
+	PYTHONPATH=src $(PYTHON) -m repro.obs.check $(ABUSE_TRACE) \
+		--require sec. --require abuse. --require loadgen. \
+		--require vdc.
+
 explore: ## hunt schedule races: N seeded same-tick schedules per smoke scenario
 	PYTHONPATH=src $(PYTHON) -m repro.sched explore \
 		--scenario storm-smoke --scenario city-smoke \
@@ -98,11 +107,14 @@ baselines: ## refresh the checked-in perf baselines from a fresh smoke sweep
 		benchmarks/bench_city.py --benchmark-only
 	PYTHONPATH=src THROUGHPUT_SMOKE=1 $(PYTHON) -m pytest \
 		benchmarks/bench_throughput.py --benchmark-only
+	PYTHONPATH=src ABUSE_SMOKE=1 $(PYTHON) -m pytest \
+		benchmarks/bench_abuse.py --benchmark-only
 	cp benchmarks/results/scale.jsonl \
 		benchmarks/results/scale_hotpaths.jsonl \
 		benchmarks/results/scale_parallel.jsonl \
 		benchmarks/results/city.jsonl \
-		benchmarks/results/throughput.jsonl benchmarks/baselines/
+		benchmarks/results/throughput.jsonl \
+		benchmarks/results/abuse.jsonl benchmarks/baselines/
 
 clean:
 	rm -rf .pytest_cache .ruff_cache .mypy_cache .hypothesis \

@@ -47,6 +47,7 @@ POLICIES: List[Tuple[str, str]] = [
     ("speedup", "higher_better"),
     (".completed", "exact"),
     (".violations", "exact"),
+    (".ok", "exact"),
 ]
 
 Key = Tuple[str, str]

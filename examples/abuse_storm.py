@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Abuse storm: every attack in the book vs the security fabric.
+
+A seeded :class:`FleetScenario` flies two honest tenants (survey +
+storm) on one drone while the full adversarial overlay fires at them:
+a portal order storm, a binder-hammering flood tenant, spoofed MAVLink
+velocity commands, and replayed telemetry frames.  The security fabric
+(secure channel, per-tenant token buckets, anomaly detector, simplex
+fallback) is wired in, and the invariant monitor additionally checks
+that every flagged tenant is actually contained.
+
+Environment knobs (all optional):
+
+=============  =======  ==================================================
+Variable       Default  Meaning
+=============  =======  ==================================================
+ABUSE_SEED     2025     scenario seed (same seed => byte-identical trace)
+ABUSE_ATTACKS  all      comma list from order-storm, mavlink-spam,
+                        replay, binder-flood
+ABUSE_GUARDS   1        0 runs the same storm with the fabric off
+                        (expect carnage; exit status then only requires
+                        the run to finish)
+ANDRONE_TRACE  (unset)  write the telemetry trace to this JSONL path
+=============  =======  ==================================================
+
+Exit status is 0 only if every honest tenant completed and no invariant
+broke — ``make abuse`` gates on that plus a ``sec.*`` trace check.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import repro.obs as obs
+from repro.loadgen import FleetScenario, run_scenario
+from repro.loadgen.scenario import ATTACKS
+
+
+def main() -> int:
+    attacks = os.environ.get("ABUSE_ATTACKS", ",".join(ATTACKS))
+    guarded = os.environ.get("ABUSE_GUARDS", "1") != "0"
+    scenario = FleetScenario(
+        seed=int(os.environ.get("ABUSE_SEED", "2025")),
+        drones=1,
+        tenants_per_drone=2,
+        workload_mix=["survey", "storm"],
+        max_duration_s=120.0,
+        attack_mix=[a.strip() for a in attacks.split(",") if a.strip()],
+        security_enabled=guarded,
+    )
+    print(f"scenario: {scenario.to_json()}")
+
+    result = run_scenario(scenario)
+
+    storm = result.order_storm or {}
+    print(f"\nstorm complete in {result.duration_s:.0f} s (sim time), "
+          f"guards {'ON' if guarded else 'OFF'}, "
+          f"{result.attack_injected} spoofed/replayed frame(s) injected, "
+          f"order storm {storm.get('admitted', 0)} admitted / "
+          f"{storm.get('rejected_rate', 0)} rate-limited / "
+          f"{storm.get('rejected_busy', 0)} busy")
+
+    header = (f"{'tenant':<24} {'wl':<14} {'role':<7} {'done':<5} "
+              f"{'wps':>3} {'time(s)':>8} {'beats':>6}")
+    print(header)
+    print("-" * len(header))
+    for name, s in sorted(result.tenants.items()):
+        role = "honest" if name in result.honest else "attack"
+        done = "yes" if s.completed else ("REFUSED" if not s.admitted
+                                          else "NO")
+        print(f"{name:<24} {s.workload:<14} {role:<7} {done:<7} "
+              f"{s.waypoints_completed:>3} {s.time_used_s:>8.1f} "
+              f"{s.heartbeats:>6}")
+
+    if result.security:
+        sec = result.security
+        print(f"\nsecurity: {sec['channel_rejected']} frame(s) rejected at "
+              f"the channel, {sec['flags_raised']} anomaly flag(s), "
+              f"{sec['demotions']} demotion(s), "
+              f"{sec['restorations']} restoration(s)")
+        for guard in sec["guards"]:
+            print(f"  guard[{guard['edge']}]: {guard['admitted']} admitted, "
+                  f"{guard['rejected']} rejected")
+
+    print(f"\ninvariants: {result.invariant_checks} sweeps, "
+          f"{len(result.violations)} violation(s)")
+    for violation in result.violations[:20]:
+        print(f"  {violation}")
+
+    trace_path = os.environ.get(obs.TRACE_ENV)
+    if trace_path:
+        written = obs.export_jsonl(trace_path)
+        print(f"telemetry: {written} records -> {trace_path}")
+
+    honest_ok = not result.honest_degraded and not result.violations
+    if not guarded:
+        # The unguarded arm exists to demonstrate damage; completing the
+        # run is the only requirement.
+        print(f"\nabuse storm UNGUARDED: "
+              f"{len(result.honest_degraded)} honest tenant(s) degraded")
+        return 0
+    print(f"\nabuse storm {'CLEAN' if honest_ok else 'FAILED'}: "
+          f"{len(result.honest_completed)}/{len(result.honest)} honest "
+          f"tenant(s) completed")
+    return 0 if honest_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,7 @@ from typing import Any, Callable, Dict, Optional
 import repro.obs as obs
 from repro.binder.objects import BinderNode, Transaction
 from repro.kernel.namespaces import Namespace
+from repro.security.errors import RateLimitError
 
 
 class BinderError(RuntimeError):
@@ -164,6 +165,8 @@ class BinderProcess:
             failure = driver.fault_hook(self, node, code)
             if failure is not None:
                 raise failure
+        if driver.rate_guard is not None:
+            driver.rate_guard.admit(self.container or "host")
         if not driver.use_fast_path:
             return self._transact_legacy(node, code, data)
         counter = self._txn_counters.get(node)
@@ -321,6 +324,12 @@ class BinderDriver:
         #: (see repro.faults).  None in production — a single is-None check
         #: is the entire disabled-path cost.
         self.fault_hook: Optional[Callable] = None
+        #: abuse hardening: an optional per-tenant
+        #: :class:`~repro.security.guards.RateGuard` consulted (keyed by
+        #: calling container) before each transaction, same is-None
+        #: disabled-path contract as ``fault_hook``.  Platform containers
+        #: are exempt via the guard's own exempt set.
+        self.rate_guard = None
         #: O(1) handle installation via the per-process reverse index.
         #: False falls back to the original linear handle-table scan —
         #: kept for A/B benchmarks and the equivalence property test.
@@ -394,12 +403,15 @@ class BinderDriver:
         for proc, handle, code, data, on_reply in batch:
             try:
                 reply = proc.transact(handle, code, data)
-            except BinderError as failure:
+            except (BinderError, RateLimitError) as failure:
                 # A synchronous caller would have seen the exception; an
-                # async sender gets it as an error reply.
+                # async sender gets it as an error reply.  A rate-guard
+                # refusal is transient by construction (retry after the
+                # bucket refills).
                 reply = {"error": str(failure),
                          "transient": isinstance(failure,
-                                                 TransientBinderError)}
+                                                 (TransientBinderError,
+                                                  RateLimitError))}
             if on_reply is not None:
                 on_reply(reply)
 

@@ -58,6 +58,13 @@ class AdmissionController:
         self.rate_per_s = rate_per_s
         self.burst = burst
         self.clock = clock
+        #: abuse hardening: an optional per-tenant
+        #: :class:`~repro.security.guards.RateGuard` consulted *before*
+        #: the pending-queue check, so a flood of bogus orders is refused
+        #: with a typed :class:`~repro.security.errors.RateLimitError`
+        #: before it can occupy (and exhaust) pending slots honest users
+        #: need.  None in production — one is-None check when disabled.
+        self.abuse_guard = None
         self.pending = 0
         self.admitted = 0
         self.rejected = 0
@@ -73,6 +80,8 @@ class AdmissionController:
 
         Admitted requests occupy a pending slot until :meth:`release`.
         """
+        if self.abuse_guard is not None:
+            self.abuse_guard.admit(key)
         if self.max_pending is not None and self.pending >= self.max_pending:
             self.rejected += 1
             # The queue drains as in-flight work completes; with no

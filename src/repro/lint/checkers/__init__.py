@@ -5,6 +5,7 @@ from repro.lint.checkers import (  # noqa: F401
     forksafety,
     metricdocs,
     rng,
+    security,
     simclock,
     taxonomy,
     unordered,

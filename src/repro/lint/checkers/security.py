@@ -1,0 +1,101 @@
+"""security-errors: the security package keeps its typed taxonomy.
+
+Two invariants over ``src/repro/security/``:
+
+1. Every ``raise`` in the package throws one of the typed errors
+   defined in ``security/errors.py`` (the :class:`SecurityError`
+   closure) — callers at the admission/binder/MAVLink edges dispatch on
+   those types to classify refusals, so an untyped raise silently
+   escapes the retry/containment logic.
+2. Every ``sec.*`` metric/event the package registers has a row in
+   docs/METRICS.md.  The project-wide ``metric-docs`` rule covers the
+   whole vocabulary; this one keeps the security slice enforced even
+   when that broader rule is suppressed or baselined.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Set
+
+from repro.lint.checkers.metricdocs import _code_names, _doc_names
+from repro.lint.core import Checker, SourceFile, register
+
+SECURITY_PREFIX = "security/"
+ERRORS_MODULE = "security/errors.py"
+ROOT_ERROR = "SecurityError"
+SEC_METRIC_PREFIX = "sec."
+
+
+def _typed_error_names(tree: ast.AST) -> Set[str]:
+    """The SecurityError subclass closure defined in errors.py."""
+    bases: Dict[str, Set[str]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            bases[node.name] = {b.id for b in node.bases
+                                if isinstance(b, ast.Name)}
+    typed = {ROOT_ERROR}
+    grew = True
+    while grew:
+        grew = False
+        for name, parents in bases.items():
+            if name not in typed and parents & typed:
+                typed.add(name)
+                grew = True
+    return typed
+
+
+@register
+class SecurityErrorsChecker(Checker):
+    rule = "security-errors"
+    scope = "project"
+    description = ("src/repro/security/ raises typed SecurityError "
+                   "subclasses only, and every sec.* metric it registers "
+                   "is documented in docs/METRICS.md")
+
+    def check_project(self, corpus: Dict[str, SourceFile],
+                      config) -> Iterable:
+        errors_src = next(
+            (src for src in corpus.values()
+             if src.package_rel == ERRORS_MODULE), None)
+        if errors_src is None:
+            return
+        typed = _typed_error_names(errors_src.tree)
+
+        for src in corpus.values():
+            if not src.package_rel.startswith(SECURITY_PREFIX):
+                continue
+            for node in ast.walk(src.tree):
+                if isinstance(node, ast.Raise):
+                    yield from self._check_raise(node, src, typed, config)
+
+        yield from self._check_metrics(corpus, config)
+
+    def _check_raise(self, node: ast.Raise, src: SourceFile,
+                     typed: Set[str], config) -> Iterable:
+        exc = node.exc
+        if exc is None:
+            return  # bare re-raise propagates the already-typed error
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        if isinstance(exc, ast.Name) and exc.id not in typed:
+            yield self.finding(
+                config, src.path, node.lineno, node.col_offset,
+                f"raise of {exc.id} inside the security package; raise "
+                f"a {ROOT_ERROR} subclass from security/errors.py so "
+                f"the guard edges can dispatch on it")
+
+    def _check_metrics(self, corpus: Dict[str, SourceFile],
+                       config) -> Iterable:
+        doc_path = config.root / config.metrics_doc_rel
+        if not doc_path.exists():
+            return  # metric-docs already reports the missing file
+        trees: Dict[str, ast.AST] = {
+            rel: src.tree for rel, src in corpus.items()}
+        documented = _doc_names(doc_path.read_text(encoding="utf-8"))
+        for name, (rel, line) in sorted(_code_names(trees).items()):
+            if name.startswith(SEC_METRIC_PREFIX) and name not in documented:
+                yield self.finding(
+                    config, config.root / rel, line, 0,
+                    f"security metric {name!r} is registered here but "
+                    f"has no row in {config.metrics_doc_rel}")

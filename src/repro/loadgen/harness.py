@@ -30,18 +30,20 @@ from typing import Dict, List, Optional
 import repro.obs as obs
 from repro.cloud.admission import AdmissionController
 from repro.cloud.planner import FlightPlanner
+from repro.cloud.portal import PortalBusyError
 from repro.core import AnDroneSystem
 from repro.core.mission import MissionReport, MissionRunner
 from repro.faults import FaultInjector, FaultKind, FaultPlan
 from repro.flight.geo import offset_geopoint
-from repro.loadgen import workloads
+from repro.loadgen import abuse, workloads
 from repro.loadgen.invariants import InvariantMonitor, InvariantViolation
-from repro.loadgen.scenario import FleetScenario
+from repro.loadgen.scenario import FleetScenario, WORKLOADS
 from repro.mavproxy.proxy import TelemetryFanout
 from repro.mavproxy.server import GroundStation, VfcServer
 from repro.net.link import wifi
 from repro.net.network import Network
 from repro.sdk.frontend import AppFrontendChannel
+from repro.security.fabric import SecurityFabric
 from repro.sim import Process
 
 #: Workload display names for the app store.
@@ -59,6 +61,9 @@ class TenantStats:
     tenant: str
     drone: int
     workload: str
+    #: False when the order never got past the portal (an order storm
+    #: exhausted the admission queue) — the tenant then never existed.
+    admitted: bool = True
     completed: bool = False
     interrupted: bool = False
     waypoints_completed: int = 0
@@ -86,6 +91,12 @@ class FleetResult:
     invariant_checks: int
     restarts: int
     faults_injected: int
+    #: outcome of the bogus-order burst, when the scenario staged one.
+    order_storm: Optional[Dict] = None
+    #: hardening-layer summary, when the scenario enabled security.
+    security: Optional[Dict] = None
+    #: spoofed/replayed frames the network attackers injected.
+    attack_injected: int = 0
 
     @property
     def completed(self) -> List[str]:
@@ -94,6 +105,22 @@ class FleetResult:
     @property
     def interrupted(self) -> List[str]:
         return sorted(t for t, s in self.tenants.items() if s.interrupted)
+
+    @property
+    def honest(self) -> Dict[str, TenantStats]:
+        """The tenants running real workloads (attack roles excluded)."""
+        return {t: s for t, s in self.tenants.items()
+                if s.workload in WORKLOADS}
+
+    @property
+    def honest_completed(self) -> List[str]:
+        return sorted(t for t, s in self.honest.items() if s.completed)
+
+    @property
+    def honest_degraded(self) -> List[str]:
+        """Honest tenants the adversary actually hurt: refused at the
+        portal, interrupted mid-task, or simply never done."""
+        return sorted(t for t, s in self.honest.items() if not s.completed)
 
     def assert_clean(self) -> None:
         if self.violations:
@@ -114,6 +141,9 @@ class FleetResult:
             "invariant_checks": self.invariant_checks,
             "restarts": self.restarts,
             "faults_injected": self.faults_injected,
+            "order_storm": self.order_storm,
+            "security": self.security,
+            "attack_injected": self.attack_injected,
         }
 
     def to_json(self) -> str:
@@ -181,7 +211,21 @@ class FleetHarness:
         self._channels: Dict[str, AppFrontendChannel] = {}
         self._frame_counts: Dict[str, int] = {}
         self._frame_latency: Dict[str, List[int]] = {}
+        # -- adversarial overlay (all None/empty unless the scenario asks) --
+        self.fabric: Optional[SecurityFabric] = None
+        if scenario.security_enabled:
+            self.fabric = SecurityFabric(self.system.sim, seed=scenario.seed)
+            self.fabric.protect_admission(self.system.portal.admission)
+            self.monitor.watch_security(self.fabric)
+        self.spammers: List[abuse.MavlinkSpammer] = []
+        self.order_storm_report = None
+        self._refused: List[TenantStats] = []
         self._publish_apps()
+        if "order-storm" in scenario.attack_mix:
+            # Fired before any honest user orders — worst case for the
+            # bounded admission queue.
+            self.order_storm_report = abuse.run_order_storm(
+                self.system.portal, scenario)
         for drone_index in self.drone_indices:
             self.slots.append(self._build_drone(drone_index))
 
@@ -190,6 +234,11 @@ class FleetHarness:
         for workload in workloads.PACKAGES:
             title, blurb = _APP_TITLES[workload]
             android_xml, androne_xml = workloads.manifests_for(workload)
+            self.system.app_store.publish(title, blurb, android_xml,
+                                          androne_xml)
+        if "binder-flood" in self.scenario.attack_mix:
+            title, blurb = abuse.FLOOD_TITLE
+            android_xml, androne_xml = abuse.flood_manifests()
             self.system.app_store.publish(title, blurb, android_xml,
                                           androne_xml)
 
@@ -209,6 +258,22 @@ class FleetHarness:
                 "max-radius": scenario.geofence_radius_m,
             })
         return points
+
+    def _attack_waypoints_for(self, drone_index: int,
+                              attacker_index: int) -> List[Dict[str, float]]:
+        """Flood tenants get a single waypoint in a column *west* of
+        home, clear of every honest tenant's cluster."""
+        scenario = self.scenario
+        east = -(drone_index * scenario.attackers_per_drone
+                 + attacker_index + 1) * scenario.waypoint_spacing_m
+        point = offset_geopoint(self.system.home, east,
+                                scenario.waypoint_spacing_m)
+        return [{
+            "latitude": point.latitude,
+            "longitude": point.longitude,
+            "altitude": 15,
+            "max-radius": scenario.geofence_radius_m,
+        }]
 
     def _build_drone(self, drone_index: int) -> _DroneSlot:
         scenario = self.scenario
@@ -233,27 +298,68 @@ class FleetHarness:
             node.sitl.physics.cache_snapshots = False
         if scenario.chaos_level >= 2:
             node.vdc.enable_supervision(heartbeat_interval_s=0.5)
+        if self.fabric is not None:
+            self.fabric.protect_node(node)
         slot = _DroneSlot(index=drone_index, node=node)
 
         orders = []
         for t in range(scenario.tenants_per_drone):
             tenant_index = drone_index * scenario.tenants_per_drone + t
             workload = scenario.workload_for(tenant_index)
-            order = system.portal.order_virtual_drone(
-                user=f"user{drone_index}-{t}",
-                waypoints=self._waypoints_for(tenant_index),
-                drone_type=scenario.drone_type,
-                apps=[workloads.PACKAGES[workload]],
-                max_charge=scenario.max_charge,
-                max_duration_s=scenario.max_duration_s,
-                geofence_radius_m=scenario.geofence_radius_m,
-            )
+            user = f"user{drone_index}-{t}"
+            try:
+                order = system.portal.order_virtual_drone(
+                    user=user,
+                    waypoints=self._waypoints_for(tenant_index),
+                    drone_type=scenario.drone_type,
+                    apps=[workloads.PACKAGES[workload]],
+                    max_charge=scenario.max_charge,
+                    max_duration_s=scenario.max_duration_s,
+                    geofence_radius_m=scenario.geofence_radius_m,
+                )
+            except PortalBusyError:
+                # An order storm exhausted the admission queue before
+                # this honest user got in: real, measurable harm.
+                obs.event("abuse.order_refused", user=user,
+                          workload=workload)
+                self._refused.append(TenantStats(
+                    tenant=user, drone=drone_index, workload=workload,
+                    admitted=False))
+                continue
             orders.append(order)
             tenant = order.definition.name
             slot.order_ids[tenant] = order.order_id
             slot.tenants.append(tenant)
             self.tenant_workload[tenant] = workload
             self.tenant_drone[tenant] = drone_index
+
+        if "binder-flood" in scenario.attack_mix:
+            # The adversarial tenants order through the front door like
+            # anyone else, in a parked id partition so honest tenant
+            # names stay identical with or without the attack.
+            system.portal.seek_order_ids(
+                10_000 + drone_index * scenario.attackers_per_drone + 1)
+            for a in range(scenario.attackers_per_drone):
+                try:
+                    order = system.portal.order_virtual_drone(
+                        user=f"mallory{drone_index}-{a}",
+                        waypoints=self._attack_waypoints_for(drone_index, a),
+                        drone_type=scenario.drone_type,
+                        apps=[abuse.FLOOD_PACKAGE],
+                        max_charge=scenario.max_charge,
+                        max_duration_s=scenario.attack_duration_s,
+                        geofence_radius_m=scenario.geofence_radius_m,
+                    )
+                except PortalBusyError:
+                    # The attacker's own order storm filled the queue
+                    # before its flood tenant could order.  Self-inflicted.
+                    continue
+                orders.append(order)
+                tenant = order.definition.name
+                slot.order_ids[tenant] = order.order_id
+                slot.tenants.append(tenant)
+                self.tenant_workload[tenant] = "binder-flood"
+                self.tenant_drone[tenant] = drone_index
 
         planner = FlightPlanner(
             system.home, system.planner.model,
@@ -274,6 +380,8 @@ class FleetHarness:
                 break
 
         installers = workloads.build_installers(scenario, self._attach_frontend)
+        if "binder-flood" in scenario.attack_mix:
+            installers[abuse.FLOOD_PACKAGE] = abuse.flood_installer(scenario)
         fanout = TelemetryFanout(system.sim, node.proxy) \
             if self.optimized else None
         for order in orders:
@@ -285,20 +393,41 @@ class FleetHarness:
                 if installer is not None:
                     vdrone.installers[package] = installer
                     installer(app, vdrone.sdk, vdrone)
+            session = self.fabric.session_for(tenant) \
+                if self.fabric is not None else None
             server = VfcServer(system.sim, vdrone.vfc, self.network,
                                f"vfc:{tenant}:5760", f"gcs:{tenant}:14550",
-                               link=wifi())
+                               link=wifi(),
+                               session=session.endpoint_for("vfc")
+                               if session is not None else None)
             if fanout is not None:
                 fanout.add_server(server)
             server.start()
             self.servers[tenant] = server
             self.stations[tenant] = GroundStation(
                 system.sim, self.network, f"gcs:{tenant}:14550",
-                f"vfc:{tenant}:5760", link=wifi())
+                f"vfc:{tenant}:5760", link=wifi(),
+                session=session.endpoint_for("gcs")
+                if session is not None else None)
         if fanout is not None:
             fanout.start()
             self.fanouts.append(fanout)
             slot.fanout = fanout
+
+        # Network-level attackers pick the drone's first honest tenant.
+        victims = [t for t in slot.tenants
+                   if self.tenant_workload[t] in WORKLOADS]
+        if victims:
+            modes = []
+            if "mavlink-spam" in scenario.attack_mix:
+                modes.append("spam")
+            if "replay" in scenario.attack_mix:
+                modes.append("replay")
+            for mode in modes:
+                self.spammers.append(abuse.MavlinkSpammer(
+                    system.sim, self.network, victims[0], mode=mode,
+                    rate_hz=scenario.attack_rate_hz,
+                    start_s=scenario.attack_start_s))
 
         if scenario.chaos_level > 0:
             plan = self._chaos_plan(drone_index, slot.tenants)
@@ -380,6 +509,10 @@ class FleetHarness:
         sim = self.system.sim
         for injector in self.injectors:
             injector.start()
+        if self.fabric is not None:
+            self.fabric.start()
+        for spammer in self.spammers:
+            spammer.start()
         self.monitor.start()
         for slot in self.slots:
             slot.process = Process(sim, self._flights(slot),
@@ -393,6 +526,10 @@ class FleetHarness:
         for slot in self.slots:
             self._finalize_slot(slot)
         self.monitor.stop()
+        for spammer in self.spammers:
+            spammer.stop()
+        if self.fabric is not None:
+            self.fabric.stop()
         for slot in self.slots:
             if slot.process.exception is not None:
                 raise slot.process.exception
@@ -468,6 +605,26 @@ class FleetHarness:
         for injector in self.injectors:
             faults += sum(1 for entry in injector.log
                           if entry["action"] == "inject")
+        for stats in self._refused:
+            tenants[stats.tenant] = stats
+        security = None
+        if self.fabric is not None:
+            detector = self.fabric.detector
+            channel_rejected = sum(
+                server.connection.rejected
+                for server in self.servers.values())
+            channel_rejected += sum(
+                station.connection.rejected
+                for station in self.stations.values())
+            security = {
+                "flags_raised": detector.flags_raised,
+                "flags_cleared": detector.flags_cleared,
+                "demotions": sum(s.demotions for s in self.fabric.simplexes),
+                "restorations": sum(s.restorations
+                                    for s in self.fabric.simplexes),
+                "channel_rejected": channel_rejected,
+                "guards": self.fabric.guard_snapshots(),
+            }
         return FleetResult(
             scenario=self.scenario,
             duration_s=duration,
@@ -477,6 +634,10 @@ class FleetHarness:
             invariant_checks=self.monitor.checks,
             restarts=restarts,
             faults_injected=faults,
+            order_storm=(self.order_storm_report.to_dict()
+                         if self.order_storm_report is not None else None),
+            security=security,
+            attack_injected=sum(s.sent for s in self.spammers),
         )
 
 

@@ -78,10 +78,22 @@ class InvariantMonitor:
         self._time_seen: Dict[Tuple[str, str], float] = {}
         self._energy_seen: Dict[Tuple[str, str], float] = {}
         self._counters_seen: Dict[Tuple[str, Tuple], float] = {}
+        # optional security fabric (see watch_security).
+        self._fabric = None
 
     # -- wiring ---------------------------------------------------------------
     def watch(self, name: str, node) -> "InvariantMonitor":
         self._nodes[name] = node
+        return self
+
+    def watch_security(self, fabric) -> "InvariantMonitor":
+        """Also assert the hardening layer's **containment** promise: a
+        tenant the anomaly detector has flagged must, within a couple of
+        sweeps, be contained — quarantined by a simplex controller,
+        finished, or unknown to every drone (a cloud-side attacker the
+        order guard already starves).  A flag left dangling means the
+        detector fired but nothing acted on it."""
+        self._fabric = fabric
         return self
 
     def start(self) -> "InvariantMonitor":
@@ -116,8 +128,22 @@ class InvariantMonitor:
             self._check_containment(name, node)
             self._check_allotments(name, node)
         self._check_counters()
+        if self._fabric is not None:
+            self._check_security()
         self.checks += 1
         self.sim.after(self.interval_us, self._tick)
+
+    def _check_security(self) -> None:
+        grace_us = 2 * self.interval_us
+        for tenant, flag in sorted(self._fabric.detector.flagged.items()):
+            if self.sim.now - flag["since_us"] <= grace_us:
+                continue  # the simplex may still be reacting.
+            if not self._fabric.is_contained(tenant):
+                self._flag("*", "security",
+                           f"tenant {tenant} flagged at edge "
+                           f"{flag['edge']!r} for "
+                           f"{(self.sim.now - flag['since_us']) / 1e6:.1f} s "
+                           f"without containment")
 
     def _check_isolation(self, name: str, node) -> None:
         vdc = node.vdc

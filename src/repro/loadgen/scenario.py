@@ -20,6 +20,17 @@ class ScenarioError(ValueError):
 #: The workload kinds the harness knows how to drive (see workloads.py).
 WORKLOADS = ("survey", "storm", "camera-feed")
 
+#: The adversarial overlays the harness can stage (see abuse.py):
+#: - ``order-storm``: a burst of bogus portal orders trying to exhaust
+#:   the bounded admission queue before honest users order;
+#: - ``mavlink-spam``: spoofed velocity commands injected straight at a
+#:   victim tenant's VFC network endpoint during its waypoint;
+#: - ``replay``: captured secure-channel frames re-sent verbatim;
+#: - ``binder-flood``: an adversarial *tenant* whose app hammers the
+#:   binder route at its waypoint and never completes, squatting on the
+#:   shared drone.
+ATTACKS = ("order-storm", "mavlink-spam", "replay", "binder-flood")
+
 #: Chaos levels: 0 = none, 1 = transient faults (link latency/loss,
 #: binder failures, service errors, sensor dropout), 2 = level 1 plus
 #: container crashes and a VDC restart (supervision is enabled).
@@ -50,6 +61,23 @@ class FleetScenario:
     geofence_radius_m: float = 30.0
     #: east spacing between consecutive tenants' waypoint clusters.
     waypoint_spacing_m: float = 35.0
+    # -- adversarial overlay (all defaults off: a scenario written before
+    # -- these fields existed runs bit-identically) ----------------------
+    #: attacks staged on top of the honest workloads (see ATTACKS).
+    attack_mix: List[str] = field(default_factory=list)
+    #: binder-flood tenants ordered per drone (only with "binder-flood").
+    attackers_per_drone: int = 1
+    #: when the network-level attackers open fire, sim seconds.
+    attack_start_s: float = 6.0
+    #: spoofed-command / replay injection rate.
+    attack_rate_hz: float = 50.0
+    #: bogus orders fired at the portal by the order storm.
+    order_storm_orders: int = 24
+    #: the flood tenant's purchased time allotment — kept short so an
+    #: *unguarded* run squats the drone measurably but still terminates.
+    attack_duration_s: float = 25.0
+    #: wire the SecurityFabric in (guards, secure channel, simplex).
+    security_enabled: bool = False
 
     def __post_init__(self):
         self.validate()
@@ -81,6 +109,27 @@ class FleetScenario:
                 raise ScenarioError(f"{name} must be >= 1")
         if self.sitl_rate_hz <= 0:
             raise ScenarioError("sitl_rate_hz must be positive")
+        for attack in self.attack_mix:
+            if attack not in ATTACKS:
+                raise ScenarioError(f"unknown attack {attack!r}: choose "
+                                    f"from {sorted(ATTACKS)}")
+        if self.attackers_per_drone < 0:
+            raise ScenarioError("attackers_per_drone must be >= 0, got "
+                                f"{self.attackers_per_drone}")
+        if "binder-flood" in self.attack_mix and self.attackers_per_drone < 1:
+            raise ScenarioError(
+                "binder-flood needs attackers_per_drone >= 1")
+        if self.attack_start_s < 0:
+            raise ScenarioError("attack_start_s must be >= 0")
+        for name in ("attack_rate_hz", "attack_duration_s"):
+            if getattr(self, name) <= 0:
+                raise ScenarioError(f"{name} must be positive")
+        if self.order_storm_orders < 1:
+            raise ScenarioError("order_storm_orders must be >= 1")
+
+    @property
+    def adversarial(self) -> bool:
+        return bool(self.attack_mix)
 
     # -- identity ---------------------------------------------------------------
     @property

@@ -15,22 +15,30 @@ from repro.mavlink.codec import CodecError, MavlinkCodec
 from repro.mavlink.messages import MavlinkMessage
 from repro.net.link import LinkModel
 from repro.net.network import Network
+from repro.security.channel import FRAME_OVERHEAD_BYTES
+from repro.security.errors import ChannelAuthError
 
 
 class MavlinkConnection:
     """One side of a MAVLink link."""
 
     def __init__(self, network: Network, local: str, remote: str, link=None,
-                 sysid: int = 1, compid: int = 1):
+                 sysid: int = 1, compid: int = 1, session=None):
         self.codec = MavlinkCodec(sysid, compid)
         self._tx = network.connect(local, remote, link)
         self.local = local
         self.remote = remote
+        #: optional :class:`~repro.security.channel.SecureEndpoint`: when
+        #: set, outbound frames are sealed (sequence-numbered, tagged)
+        #: and inbound frames must open cleanly — spoofed or replayed
+        #: traffic is counted and dropped instead of decoded.
+        self.session = session
         self._handlers: List[Callable[[MavlinkMessage, int, int], None]] = []
         self.received: List[MavlinkMessage] = []
         self.rx_count = 0
         self.tx_count = 0
         self.dropped = 0
+        self.rejected = 0
         network.endpoint(local).on_receive = self._on_frame
 
     @property
@@ -44,7 +52,11 @@ class MavlinkConnection:
         """Encode and transmit; returns False if the link dropped it."""
         frame = self.codec.encode(msg)
         self.tx_count += 1
-        sent = self._tx.send(frame, nbytes=len(frame))
+        nbytes = len(frame)
+        if self.session is not None:
+            frame = self.session.seal(frame)
+            nbytes += FRAME_OVERHEAD_BYTES
+        sent = self._tx.send(frame, nbytes=nbytes)
         if not sent:
             self.dropped += 1
             obs.counter("mavlink.dropped", local=self.local,
@@ -55,6 +67,18 @@ class MavlinkConnection:
         self._handlers.append(handler)
 
     def _on_frame(self, frame: bytes, source: str) -> None:
+        if self.session is not None:
+            try:
+                frame = self.session.open(frame)
+            except ChannelAuthError:
+                # Spoofed, replayed, or stale-epoch traffic: the session
+                # endpoint already counted it (sec.channel.rejected) and
+                # fed the anomaly detector; the frame never reaches the
+                # codec, let alone the VFC.
+                self.rejected += 1
+                return
+        elif not isinstance(frame, (bytes, bytearray)):
+            return  # a sealed frame reaching an insecure endpoint is noise
         try:
             msg, sysid, compid = self.codec.decode(frame)
         except CodecError:

@@ -36,6 +36,11 @@ class MavProxy:
         self.drone = drone
         self.vfcs: Dict[str, VirtualFlightController] = {}
         self.master_commands = 0
+        #: abuse hardening: an optional per-tenant
+        #: :class:`~repro.security.guards.RateGuard` every VFC consults
+        #: (keyed by its container) before processing a tenant message.
+        #: None in production — one is-None check when disabled.
+        self.rate_guard = None
         # Telemetry-round snapshot (see TelemetryFanout): while a round is
         # open at the current sim timestamp, every VFC shares one real
         # heartbeat/position instead of re-reading the autopilot per

@@ -34,11 +34,13 @@ class VfcServer:
 
     def __init__(self, sim, vfc: VirtualFlightController, network: Network,
                  local_address: str, remote_address: str, link=None,
-                 heartbeat_hz: float = 1.0, position_hz: float = 4.0):
+                 heartbeat_hz: float = 1.0, position_hz: float = 4.0,
+                 session=None):
         self.sim = sim
         self.vfc = vfc
         self.connection = MavlinkConnection(
-            network, local_address, remote_address, link, sysid=1)
+            network, local_address, remote_address, link, sysid=1,
+            session=session)
         self.connection.on_message(self._on_message)
         self.heartbeat_period_us = int(1e6 / heartbeat_hz)
         self.position_period_us = int(1e6 / position_hz)
@@ -105,10 +107,11 @@ class GroundStation:
     """A tenant-side MAVLink client (the APM Planner role)."""
 
     def __init__(self, sim, network: Network, local_address: str,
-                 remote_address: str, link=None):
+                 remote_address: str, link=None, session=None):
         self.sim = sim
         self.connection = MavlinkConnection(
-            network, local_address, remote_address, link, sysid=255)
+            network, local_address, remote_address, link, sysid=255,
+            session=session)
         self.connection.on_message(self._on_message)
         self.heartbeats: List[Heartbeat] = []
         self.positions: List[GlobalPositionInt] = []

@@ -52,11 +52,21 @@ class VfcState(enum.Enum):
     ACTIVE = "active"           # commands accepted (whitelisted, geofenced)
     RECOVERING = "recovering"   # breach recovery in progress
     HOLDING = "holding"         # link lost mid-waypoint: loiter until restored
+    SAFETY = "safety"           # simplex fallback: hold/RTL-only control law
     FINISHED = "finished"       # landing/landed view for the rest of the flight
 
 
 #: States in which the tenant sees (and the proxy manages) the real vehicle.
-_LIVE_STATES = (VfcState.ACTIVE, VfcState.RECOVERING, VfcState.HOLDING)
+_LIVE_STATES = (VfcState.ACTIVE, VfcState.RECOVERING, VfcState.HOLDING,
+                VfcState.SAFETY)
+
+#: The simplex fallback's whitelist: while a tenant is demoted to SAFETY
+#: its connection may only bring the vehicle home or down — return/land
+#: commands and mode changes to RTL/LAND; everything else is declined
+#: (see repro.security.simplex).
+_SAFETY_COMMANDS = frozenset({MavCommand.NAV_RETURN_TO_LAUNCH,
+                              MavCommand.NAV_LAND})
+_SAFETY_MODES = frozenset({int(CopterMode.RTL), int(CopterMode.LAND)})
 
 
 class VirtualFlightController:
@@ -85,6 +95,8 @@ class VirtualFlightController:
         #: messages queued for the tenant (statustexts, acks of virtual view).
         self.outbox: List[MavlinkMessage] = []
         self._virtual_alt_m = 0.0
+        #: state to restore when the simplex safety fallback disengages.
+        self._pre_safety_state: Optional[VfcState] = None
 
     # -- telemetry ---------------------------------------------------------------
     def _set_state(self, state: "VfcState", **attrs) -> None:
@@ -162,9 +174,48 @@ class VirtualFlightController:
             self.outbox.append(Statustext(
                 severity=6, text="link restored: control returned"))
 
+    # -- simplex safety fallback (repro.security) ---------------------------------------
+    def enter_safety(self, reason: str) -> None:
+        """Demote this connection to the minimal hold/RTL-only control
+        law.  An actively-flying tenant's vehicle holds position
+        (loiter); in every other state only the view changes."""
+        if self.state in (VfcState.SAFETY, VfcState.FINISHED):
+            return
+        self._pre_safety_state = self.state
+        was_active = self.state is VfcState.ACTIVE
+        self._set_state(VfcState.SAFETY, reason=reason)
+        if was_active:
+            self.proxy.fc_set_mode(CopterMode.LOITER)
+        self.outbox.append(Statustext(
+            severity=4, text="security fallback: hold/RTL-only control"))
+
+    def exit_safety(self) -> None:
+        """Pressure cleared: hand back the pre-demotion control level."""
+        if self.state is not VfcState.SAFETY:
+            return
+        prior = self._pre_safety_state or VfcState.INACTIVE
+        self._pre_safety_state = None
+        if prior is VfcState.ACTIVE:
+            self.proxy.fc_set_mode(CopterMode.GUIDED)
+        self._set_state(prior, restored=True)
+        self.outbox.append(Statustext(
+            severity=6, text="security fallback lifted: control restored"))
+
     # -- the tenant-facing MAVLink entry point ------------------------------------------
     def send(self, msg: MavlinkMessage) -> Optional[MavlinkMessage]:
         """Handle one message from the tenant; returns the reply (if any)."""
+        guard = getattr(self.proxy, "rate_guard", None)
+        if guard is not None and isinstance(
+                msg, (CommandLong, SetPositionTarget, ManualControl)) \
+                and not guard.try_admit(self.container):
+            if isinstance(msg, CommandLong):
+                self._deny("command", "rate-limit")
+                return CommandAck(command=msg.command,
+                                  result=int(MavResult.TEMPORARILY_REJECTED))
+            self._deny("position_target"
+                       if isinstance(msg, SetPositionTarget)
+                       else "manual_control", "rate-limit")
+            return None
         if isinstance(msg, CommandLong):
             result, reason = self._filter_command(msg)
             if result is None:
@@ -201,6 +252,15 @@ class VirtualFlightController:
     def _filter_command(self, cmd: CommandLong) -> Tuple[Optional[MavResult], str]:
         """(None, "") = forward to the FC; a MavResult = decline with that
         code, tagged with the denial reason the telemetry counters use."""
+        if self.state is VfcState.SAFETY:
+            # The simplex fallback law: bring it home or bring it down,
+            # nothing else.
+            if cmd.command in _SAFETY_COMMANDS:
+                return None, ""
+            if (cmd.command == MavCommand.DO_SET_MODE
+                    and int(cmd.param2) in _SAFETY_MODES):
+                return None, ""
+            return MavResult.TEMPORARILY_REJECTED, "simplex"
         if self._declines():
             return MavResult.TEMPORARILY_REJECTED, self._decline_reason()
         if cmd.command == MavCommand.DO_SET_MODE:
@@ -223,6 +283,8 @@ class VirtualFlightController:
         return None, ""
 
     def _filter_position_target(self, msg: SetPositionTarget) -> Tuple[Optional[MavResult], str]:
+        if self.state is VfcState.SAFETY:
+            return MavResult.TEMPORARILY_REJECTED, "simplex"
         if self._declines():
             return MavResult.TEMPORARILY_REJECTED, self._decline_reason()
         uses_velocity = bool(msg.type_mask & 0x0007) and not (msg.type_mask & 0x0038)
@@ -250,8 +312,19 @@ class VirtualFlightController:
         base_mode=CUSTOM_MODE_ENABLED,
         system_status=int(MavState.STANDBY))
 
+    def _live_view(self) -> bool:
+        """Whether telemetry shows the real vehicle.  A SAFETY demotion
+        keeps whichever view the tenant already had: demoted mid-flight
+        it watches the vehicle hold, demoted while inactive it keeps the
+        idle view (the real position between waypoints is another
+        tenant's flight path — not a demoted tenant's to see)."""
+        if self.state is VfcState.SAFETY:
+            return self._pre_safety_state in (
+                VfcState.ACTIVE, VfcState.RECOVERING, VfcState.HOLDING)
+        return self.state in _LIVE_STATES
+
     def heartbeat(self) -> Heartbeat:
-        if self.state in _LIVE_STATES:
+        if self._live_view():
             return self.proxy.fc_heartbeat()
         if self.state is VfcState.APPROACHING:
             return self._APPROACHING_HEARTBEAT
@@ -260,7 +333,7 @@ class VirtualFlightController:
 
     def global_position(self) -> GlobalPositionInt:
         real = self.proxy.fc_global_position()
-        if self.state in _LIVE_STATES:
+        if self._live_view():
             return real
         if self.continuous_view:
             # "To prevent a discrepancy between the view of the drone and

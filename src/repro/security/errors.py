@@ -1,0 +1,53 @@
+"""The typed security error taxonomy.
+
+Every failure the adversarial-tenant hardening layer can surface is a
+subclass of :class:`SecurityError`, so callers dispatch on type — a
+channel-auth failure is dropped and counted, a rate-limit rejection is
+retried after ``retry_after_s`` — and the ``security-errors`` lint rule
+holds ``src/repro/security/`` to raising nothing else.
+"""
+
+from __future__ import annotations
+
+
+class SecurityError(RuntimeError):
+    """Base class for every failure the security layer raises."""
+
+
+class SecurityConfigError(SecurityError, ValueError):
+    """Invalid guard/channel/detector configuration.  Subclasses
+    ``ValueError`` so config-validation callers that catch the bare
+    builtin keep working."""
+
+
+class ChannelAuthError(SecurityError):
+    """A frame failed authentication: no valid session framing, a bad
+    tag, or an epoch outside the rekey grace window."""
+
+    def __init__(self, message: str, reason: str = "auth"):
+        super().__init__(message)
+        self.reason = reason
+
+
+class ReplayError(ChannelAuthError):
+    """An authentic frame arrived a second time (sequence number already
+    seen inside the replay window, or at/below the high-water mark)."""
+
+    def __init__(self, message: str):
+        super().__init__(message, reason="replay")
+
+
+class RateLimitError(SecurityError):
+    """A per-tenant token bucket (or quarantine) refused the request.
+
+    ``retry_after_s`` is the earliest sim time at which retrying can
+    succeed (``inf`` while quarantined — only an anomaly-clear lifts
+    that), mirroring :class:`repro.cloud.admission.BusyError`.
+    """
+
+    def __init__(self, message: str, edge: str, tenant: str,
+                 retry_after_s: float):
+        super().__init__(message)
+        self.edge = edge
+        self.tenant = tenant
+        self.retry_after_s = retry_after_s

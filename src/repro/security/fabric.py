@@ -1,0 +1,170 @@
+"""SecurityFabric: one-call wiring of the hardening layer into a run.
+
+The fabric owns the fleet-wide :class:`AnomalyDetector` plus the
+cloud-edge order guard, builds per-node binder/MAVLink guards and a
+:class:`SimplexController` for every drone it protects, and mints the
+per-tenant :class:`TenantSession` secure channels (secrets derived from
+the scenario seed, so runs replay bit-for-bit).
+
+Everything is additive and reference-based: ``protect_*`` methods set
+the optional hook attributes the stack exposes
+(``AdmissionController.abuse_guard``, ``BinderDriver.rate_guard``,
+``MavProxy.rate_guard``, ``MavlinkConnection.session``) and nothing
+else changes — a run without a fabric is byte-identical to one built
+before this module existed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.security.anomaly import AnomalyDetector
+from repro.security.channel import TenantSession
+from repro.security.errors import SecurityConfigError
+from repro.security.guards import RateGuard
+from repro.security.simplex import SimplexController
+
+#: Platform containers never throttled at the binder edge: the device
+#: container's services, the flight container's HAL/proxy, and host
+#: ("" container) processes are trusted infrastructure, not tenants.
+PLATFORM_CONTAINERS = ("", "device", "flight", "host")
+
+
+@dataclass
+class SecurityConfig:
+    """Knobs for the guards, channel, and detector (defaults sized for
+    the loadgen scenarios: honest workloads fit comfortably inside every
+    bucket; the flood workloads exceed them within one window)."""
+
+    #: binder transactions per tenant container.
+    binder_rate_per_s: float = 120.0
+    binder_burst: int = 60
+    #: MAVLink commands per tenant VFC connection.
+    mavlink_rate_per_s: float = 10.0
+    mavlink_burst: int = 15
+    #: portal orders per user.
+    order_rate_per_s: float = 0.5
+    order_burst: int = 4
+    #: secure-channel key schedule.
+    rekey_interval_s: float = 20.0
+    replay_window: int = 64
+    #: anomaly detector windowing.
+    anomaly_window_s: float = 1.0
+    anomaly_threshold: int = 10
+    sustain_windows: int = 2
+    clear_windows: int = 3
+
+    def validate(self) -> None:
+        for name in ("binder_rate_per_s", "mavlink_rate_per_s",
+                     "order_rate_per_s", "rekey_interval_s",
+                     "anomaly_window_s"):
+            if getattr(self, name) <= 0:
+                raise SecurityConfigError(f"{name} must be positive")
+        for name in ("binder_burst", "mavlink_burst", "order_burst",
+                     "replay_window", "anomaly_threshold",
+                     "sustain_windows", "clear_windows"):
+            if getattr(self, name) < 1:
+                raise SecurityConfigError(f"{name} must be >= 1")
+
+
+class SecurityFabric:
+    """Build and hold every security component for one fleet run."""
+
+    def __init__(self, sim, seed: int = 0, config: SecurityConfig = None):
+        self.sim = sim
+        self.seed = seed
+        self.config = config or SecurityConfig()
+        self.config.validate()
+        clock = lambda: sim.now / 1e6  # noqa: E731
+        self._clock = clock
+        self.detector = AnomalyDetector(
+            sim, window_s=self.config.anomaly_window_s,
+            threshold=self.config.anomaly_threshold,
+            sustain_windows=self.config.sustain_windows,
+            clear_windows=self.config.clear_windows)
+        self.order_guard = RateGuard(
+            clock, edge="order", rate_per_s=self.config.order_rate_per_s,
+            burst=self.config.order_burst, detector=self.detector)
+        self.simplexes: List[SimplexController] = []
+        self.sessions: Dict[str, TenantSession] = {}
+        self._node_guards: List[RateGuard] = []
+        self._started = False
+
+    # -- wiring ---------------------------------------------------------------
+    def protect_admission(self, admission) -> "SecurityFabric":
+        """Rate-guard portal orders ahead of the pending-queue check, so
+        a storm of bogus orders is refused before it occupies slots."""
+        admission.abuse_guard = self.order_guard
+        return self
+
+    def protect_node(self, node) -> SimplexController:
+        """Guard one drone node's binder and MAVLink edges and attach a
+        simplex safety controller for its tenants."""
+        config = self.config
+        binder_guard = RateGuard(
+            self._clock, edge="binder",
+            rate_per_s=config.binder_rate_per_s, burst=config.binder_burst,
+            exempt=PLATFORM_CONTAINERS, detector=self.detector)
+        mavlink_guard = RateGuard(
+            self._clock, edge="mavlink",
+            rate_per_s=config.mavlink_rate_per_s, burst=config.mavlink_burst,
+            detector=self.detector)
+        node.driver.rate_guard = binder_guard
+        node.proxy.rate_guard = mavlink_guard
+        self._node_guards.extend((binder_guard, mavlink_guard))
+        simplex = SimplexController(self.sim, node,
+                                    guards=(binder_guard, mavlink_guard),
+                                    detector=self.detector)
+        self.simplexes.append(simplex)
+        return simplex
+
+    def session_for(self, tenant: str) -> TenantSession:
+        """The tenant's secure-channel session (created on first use;
+        the secret is seed+tenant derived, shared only by the two
+        endpoints the harness hands it to)."""
+        session = self.sessions.get(tenant)
+        if session is None:
+            session = TenantSession(
+                secret=f"andrones3cret:{self.seed}:{tenant}", tenant=tenant,
+                rekey_interval_s=self.config.rekey_interval_s,
+                replay_window=self.config.replay_window,
+                detector=self.detector)
+            if self._started:
+                session.start(self.sim)
+            self.sessions[tenant] = session
+        return session
+
+    def start(self) -> "SecurityFabric":
+        if not self._started:
+            self._started = True
+            self.detector.start()
+            for session in self.sessions.values():
+                session.start(self.sim)
+        return self
+
+    def stop(self) -> None:
+        self._started = False
+        self.detector.stop()
+        for session in self.sessions.values():
+            session.stop()
+
+    # -- introspection (invariant monitor) -------------------------------------
+    def is_contained(self, tenant: str) -> bool:
+        """A flagged tenant counts as contained once some simplex has it
+        engaged (quarantined + SAFETY/finished) or no node knows it
+        (cloud-side user names, e.g. an order-storm attacker)."""
+        known = False
+        for simplex in self.simplexes:
+            if tenant in simplex.node.vdc.drones:
+                known = True
+                if simplex.is_engaged(tenant):
+                    return True
+                drone = simplex.node.vdc.drones[tenant]
+                if drone.finished:
+                    return True
+        return not known
+
+    def guard_snapshots(self) -> List[Dict]:
+        guards = [self.order_guard, *self._node_guards]
+        return [guard.snapshot() for guard in guards]

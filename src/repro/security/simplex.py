@@ -1,0 +1,88 @@
+"""The simplex-style minimal safety controller in the flight container.
+
+The simplex architecture pairs a complex, untrusted controller with a
+minimal, verified fallback that takes over when the complex one
+misbehaves (the container-based DoS-resilient UAV control framework,
+arXiv 1812.02834, applies exactly this to resource-exhaustion attacks).
+Here the "complex controller" is a tenant's full command stream through
+its VFC; the fallback is a hold/RTL-only control law.
+
+One :class:`SimplexController` attaches per drone node and reacts to
+the :class:`~repro.security.anomaly.AnomalyDetector`:
+
+* **flag** → the tenant is *demoted*: quarantined on the node's binder
+  and MAVLink rate guards, its VFC dropped into the SAFETY state (only
+  RTL/LAND commands pass; an actively-flying vehicle holds position),
+  and — for sustained *binder* resource exhaustion while the tenant
+  occupies the shared waypoint slot — the VDC force-finishes it so the
+  flight moves on to honest tenants;
+* **clear** → quarantine lifted and the VFC restored to its pre-safety
+  state (unless the tenant was force-finished meanwhile).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+import repro.obs as obs
+
+#: Anomaly edges that mean the *drone's shared resources* are being
+#: exhausted (vs. the tenant's own control channel being attacked):
+#: these demote the active tenant all the way to force-finish.
+RESOURCE_EDGES = frozenset({"binder"})
+
+
+class SimplexController:
+    """Safety demotion/restoration for one drone node's tenants."""
+
+    def __init__(self, sim, node, guards: Iterable = (), detector=None):
+        self.sim = sim
+        self.node = node
+        self.guards = list(guards)
+        self.detector = detector
+        self.demotions = 0
+        self.restorations = 0
+        #: tenant -> edge that triggered the active demotion.
+        self.engaged: Dict[str, str] = {}
+        if detector is not None:
+            detector.on_flag(self.demote)
+            detector.on_clear(self.restore)
+
+    # -- demotion (anomaly flag) ------------------------------------------------
+    def demote(self, tenant: str, edge: str, rejections: int = 0) -> None:
+        vdc = self.node.vdc
+        if tenant not in vdc.drones or tenant in self.engaged:
+            return
+        self.engaged[tenant] = edge
+        self.demotions += 1
+        obs.counter("sec.simplex.demotions", edge=edge).inc()
+        obs.event("sec.simplex.engaged", tenant=tenant, edge=edge,
+                  rejections=rejections)
+        for guard in self.guards:
+            guard.quarantine(tenant)
+        vfc = self.node.proxy.vfcs.get(tenant)
+        if vfc is not None:
+            vfc.enter_safety(reason=edge)
+        if edge in RESOURCE_EDGES and vdc.active_tenant == tenant:
+            # The flood is starving the shared drone while this tenant
+            # holds the waypoint slot: end its session so honest tenants
+            # fly.  (Its allotment would eventually expire anyway — this
+            # is the same force-finish path, hours of hover earlier.)
+            vdc.demote_tenant(tenant, f"sustained {edge} flood "
+                                      f"({rejections} rejections/window)")
+
+    # -- restoration (anomaly clear) -------------------------------------------
+    def restore(self, tenant: str) -> None:
+        edge = self.engaged.pop(tenant, None)
+        if edge is None:
+            return
+        self.restorations += 1
+        for guard in self.guards:
+            guard.release(tenant)
+        vfc = self.node.proxy.vfcs.get(tenant)
+        if vfc is not None:
+            vfc.exit_safety()
+        obs.event("sec.simplex.released", tenant=tenant, edge=edge)
+
+    def is_engaged(self, tenant: str) -> bool:
+        return tenant in self.engaged

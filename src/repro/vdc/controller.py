@@ -290,6 +290,19 @@ class VirtualDroneController:
             self.policy.finish(name)
             self._close_tenant_span(drone)
 
+    def demote_tenant(self, name: str, reason: str) -> None:
+        """Security demotion: the simplex controller decided ``name`` is
+        abusing a shared resource while holding the drone (e.g. a binder
+        flood that never completes its waypoint).  The tenant loses its
+        turn immediately — same semantics as an exhausted allotment — so
+        the tour moves on to honest tenants instead of waiting out the
+        abuser's full time allotment."""
+        drone = self._drone(name)
+        if drone.finished:
+            return
+        obs.event("vdc.tenant_demoted", tenant=name, reason=reason)
+        self.force_finish(name, f"security demotion: {reason}")
+
     def _leave_waypoint(self, name: str, forced: bool) -> None:
         drone = self._drone(name)
         index = drone.current_index

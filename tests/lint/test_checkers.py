@@ -415,3 +415,102 @@ class TestUnorderedIter:
             """,
         })
         assert lint_rule(config, "unordered-iter") == []
+
+
+class TestSecurityErrors:
+    ERRORS = """\
+        class SecurityError(RuntimeError):
+            pass
+
+        class RateLimitError(SecurityError):
+            pass
+    """
+    DOC = """\
+        # Metrics
+
+        | name | kind |
+        | --- | --- |
+        | `sec.guard.rejected` | counter |
+    """
+
+    def test_untyped_raise_in_security_package_is_caught(self, mini):
+        config = mini({
+            "docs/METRICS.md": self.DOC,
+            "src/repro/security/errors.py": self.ERRORS,
+            "src/repro/security/guards.py": """\
+                def admit(ok):
+                    if not ok:
+                        raise ValueError("throttled")
+                """,
+        })
+        findings = lint_rule(config, "security-errors")
+        assert len(findings) == 1
+        assert "ValueError" in findings[0].message
+        assert findings[0].path == "src/repro/security/guards.py"
+
+    def test_typed_raise_and_reraise_are_clean(self, mini):
+        config = mini({
+            "docs/METRICS.md": self.DOC,
+            "src/repro/security/errors.py": self.ERRORS,
+            "src/repro/security/guards.py": """\
+                from repro.security.errors import RateLimitError
+
+                def admit(ok, obs):
+                    obs.counter("sec.guard.rejected")
+                    try:
+                        if not ok:
+                            raise RateLimitError("throttled")
+                    except RateLimitError:
+                        raise
+                """,
+        })
+        assert lint_rule(config, "security-errors") == []
+
+    def test_transitive_subclass_is_typed(self, mini):
+        config = mini({
+            "docs/METRICS.md": self.DOC,
+            "src/repro/security/errors.py": """\
+                class SecurityError(RuntimeError):
+                    pass
+
+                class ChannelAuthError(SecurityError):
+                    pass
+
+                class ReplayError(ChannelAuthError):
+                    pass
+            """,
+            "src/repro/security/channel.py": """\
+                from repro.security.errors import ReplayError
+
+                def open_frame(stale):
+                    if stale:
+                        raise ReplayError("seq seen")
+                """,
+        })
+        assert lint_rule(config, "security-errors") == []
+
+    def test_untyped_raise_outside_security_is_ignored(self, mini):
+        # the error-taxonomy rule owns the rest of the tree.
+        config = mini({
+            "docs/METRICS.md": self.DOC,
+            "src/repro/security/errors.py": self.ERRORS,
+            "src/repro/flight/core.py": """\
+                def step(dt):
+                    if dt <= 0:
+                        raise ValueError("bad dt")
+                """,
+        })
+        assert lint_rule(config, "security-errors") == []
+
+    def test_undocumented_sec_metric_is_caught(self, mini):
+        config = mini({
+            "docs/METRICS.md": self.DOC,
+            "src/repro/security/errors.py": self.ERRORS,
+            "src/repro/security/anomaly.py": """\
+                def flag(obs):
+                    obs.counter("sec.anomaly.flags")
+                """,
+        })
+        findings = lint_rule(config, "security-errors")
+        assert len(findings) == 1
+        assert "sec.anomaly.flags" in findings[0].message

@@ -1,0 +1,138 @@
+"""Adversarial-tenant scenarios: DoS storms with and without the guards.
+
+Each run keeps a single drone with two honest tenants so the whole
+attack/defense matrix stays inside the tier-1 budget.  The soak-scale
+storms live in ``benchmarks/bench_abuse.py``.
+"""
+
+import pytest
+
+from repro.loadgen import FleetScenario
+from repro.loadgen.harness import run_scenario
+from repro.loadgen.scenario import ATTACKS, ScenarioError
+
+
+def _scenario(**kwargs):
+    defaults = dict(
+        seed=2025, drones=1, tenants_per_drone=2,
+        workload_mix=["survey", "storm"], max_duration_s=120.0)
+    defaults.update(kwargs)
+    return FleetScenario(**defaults)
+
+
+class TestScenarioValidation:
+    def test_defaults_are_not_adversarial(self):
+        scenario = _scenario()
+        assert not scenario.adversarial
+        assert not scenario.security_enabled
+
+    def test_unknown_attack_rejected(self):
+        with pytest.raises(ScenarioError):
+            _scenario(attack_mix=["teardrop"])
+
+    def test_attack_knobs_validated(self):
+        with pytest.raises(ScenarioError):
+            _scenario(attack_mix=["order-storm"], attack_start_s=-1.0)
+        with pytest.raises(ScenarioError):
+            _scenario(attack_mix=["mavlink-spam"], attack_rate_hz=0.0)
+        with pytest.raises(ScenarioError):
+            _scenario(attack_mix=["order-storm"], order_storm_orders=0)
+        with pytest.raises(ScenarioError):
+            _scenario(attack_mix=["binder-flood"], attackers_per_drone=0)
+
+    def test_attack_fields_round_trip_json(self):
+        scenario = _scenario(attack_mix=list(ATTACKS),
+                             security_enabled=True)
+        clone = FleetScenario.from_json(scenario.to_json())
+        assert clone == scenario
+        assert clone.adversarial
+
+
+@pytest.fixture(scope="module")
+def guarded_storm():
+    """Every attack at once, with the security fabric wired in."""
+    return run_scenario(_scenario(
+        attack_mix=list(ATTACKS), security_enabled=True))
+
+
+class TestGuardedStorm:
+    def test_honest_tenants_complete(self, guarded_storm):
+        result = guarded_storm
+        assert result.honest
+        assert result.honest_completed == sorted(result.honest)
+        assert result.honest_degraded == []
+        assert result.violations == []
+
+    def test_order_storm_is_rate_limited(self, guarded_storm):
+        storm = guarded_storm.order_storm
+        assert storm["submitted"] == 24
+        assert storm["rejected_rate"] > storm["admitted"]
+
+    def test_spoofed_frames_all_rejected_at_the_channel(self, guarded_storm):
+        result = guarded_storm
+        assert result.attack_injected > 0
+        # frames injected on the final tick may still be in flight when
+        # the sim stops; none may ever be *accepted*.
+        in_flight = result.attack_injected - result.security["channel_rejected"]
+        assert 0 <= in_flight <= 2
+
+    def test_flood_tenant_is_demoted(self, guarded_storm):
+        security = guarded_storm.security
+        assert security["flags_raised"] >= 1
+        assert security["demotions"] >= 1
+        flood = [t for t, stats in guarded_storm.tenants.items()
+                 if t.startswith("mallory") and stats.admitted]
+        assert flood and all(
+            guarded_storm.tenants[t].interrupted for t in flood)
+
+    def test_binder_guard_saw_the_flood(self, guarded_storm):
+        guards = {g["edge"]: g for g in guarded_storm.security["guards"]}
+        assert guards["binder"]["rejected"] > 0
+        assert guards["mavlink"]["rejected"] == 0   # spam died at channel
+
+
+class TestUnguardedStorm:
+    def test_order_storm_locks_honest_tenants_out(self):
+        """Without the admission guard the storm's bogus orders occupy
+        the pending queue forever: every honest order is refused."""
+        result = run_scenario(_scenario(attack_mix=["order-storm"]))
+        storm = result.order_storm
+        assert storm["rejected_rate"] == 0
+        assert storm["admitted"] > 0
+        assert result.honest_completed == []
+        assert all(not stats.admitted for stats in result.honest.values())
+
+    def test_binder_flood_squats_the_drone(self):
+        """The unguarded flood tenant burns its whole time allotment
+        doing nothing; the guarded run demotes it within seconds."""
+        unguarded = run_scenario(_scenario(attack_mix=["binder-flood"]))
+        guarded = run_scenario(_scenario(
+            attack_mix=["binder-flood"], security_enabled=True))
+        assert guarded.honest_degraded == []
+        assert unguarded.duration_s > guarded.duration_s + 10.0
+        flood = next(t for t in guarded.tenants if t.startswith("mallory"))
+        # Unguarded: the flood squats until its allotment times out.
+        # Guarded: the simplex demotes it within a few seconds.
+        assert unguarded.tenants[flood].time_used_s > 20.0
+        assert guarded.tenants[flood].time_used_s < 10.0
+
+    def test_mavlink_spam_reaches_the_victim_vfc(self):
+        """Without the channel the spoofed velocity commands are
+        processed as if the tenant had sent them."""
+        result = run_scenario(_scenario(attack_mix=["mavlink-spam"]))
+        assert result.attack_injected > 0
+        assert result.security is None
+
+
+class TestSecurityNeutrality:
+    def test_guards_on_clean_run_changes_nothing_semantic(self):
+        clean = run_scenario(_scenario())
+        secured = run_scenario(_scenario(security_enabled=True))
+        assert sorted(secured.completed) == sorted(clean.completed)
+        assert secured.duration_s == clean.duration_s
+        assert secured.violations == []
+        assert secured.security["flags_raised"] == 0
+        assert all(g["rejected"] == 0 for g in secured.security["guards"])
+        for tenant in clean.tenants:
+            assert (secured.tenants[tenant].waypoints_completed
+                    == clean.tenants[tenant].waypoints_completed)

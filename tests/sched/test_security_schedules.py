@@ -1,0 +1,79 @@
+"""Schedule exploration over the security hot spots.
+
+Two same-tick races matter for the guards: two callers hitting one
+token bucket on the same tick, and a frame sealed on the exact tick the
+channel rekeys.  Both must be benign under every interleaving the
+tie-breaker can produce.
+"""
+
+import pytest
+
+from repro.security.channel import TenantSession
+from repro.security.guards import RateGuard
+from repro.sched.tiebreak import make_tie_breaker
+from repro.sim import Simulator
+
+SCHEDULES = range(8)
+
+
+def _race_last_token(schedule_index):
+    """Two same-tick admits against a one-token bucket; returns which
+    caller won."""
+    sim = Simulator()
+    sim.set_tie_breaker(make_tie_breaker("random", 9,
+                                         schedule_index=schedule_index))
+    guard = RateGuard(lambda: sim.now / 1e6, edge="binder",
+                      rate_per_s=1.0, burst=1)
+    outcomes = {}
+    for caller in ("first", "second"):
+        sim.at(1_000_000,
+               lambda c=caller: outcomes.update({c: guard.try_admit("t")}),
+               key=f"admit.{caller}")
+    sim.run()
+    return outcomes, guard
+
+
+@pytest.mark.parametrize("schedule_index", SCHEDULES)
+def test_last_token_race_admits_exactly_one(schedule_index):
+    outcomes, guard = _race_last_token(schedule_index)
+    assert sorted(outcomes.values()) == [False, True]
+    assert (guard.admitted, guard.rejected) == (1, 1)
+
+
+@pytest.mark.parametrize("schedule_index", SCHEDULES)
+def test_last_token_race_is_deterministic_per_schedule(schedule_index):
+    first, _ = _race_last_token(schedule_index)
+    second, _ = _race_last_token(schedule_index)
+    assert first == second
+
+
+def _race_rekey(schedule_index):
+    """Seal a frame on the exact tick the scheduled rekey fires; the
+    receiver must open it whichever side the tie-breaker runs first."""
+    sim = Simulator()
+    sim.set_tie_breaker(make_tie_breaker("random", 9,
+                                         schedule_index=schedule_index))
+    session = TenantSession("s3cret", tenant="t1", rekey_interval_s=1.0)
+    session.start(sim)
+    vfc, gcs = session.endpoint_for("vfc"), session.endpoint_for("gcs")
+    frames = []
+    sim.at(1_000_000, lambda: frames.append(vfc.seal(b"telemetry")),
+           key="tx")
+    sim.run(until=1_500_000)
+    session.stop()
+    return frames[0], gcs
+
+
+@pytest.mark.parametrize("schedule_index", SCHEDULES)
+def test_rekey_tick_race_is_benign(schedule_index):
+    frame, gcs = _race_rekey(schedule_index)
+    assert frame.epoch in (0, 1)          # sealed before or after rekey
+    assert gcs.open(frame) == b"telemetry"
+    assert gcs.rejected == 0
+
+
+def test_rekey_race_explores_both_orders():
+    epochs = {_race_rekey(i)[0].epoch for i in SCHEDULES}
+    assert epochs == {0, 1}, (
+        "eight random schedules should land the seal on both sides of "
+        f"the rekey, got epochs {sorted(epochs)}")

@@ -1,0 +1,116 @@
+"""Windowed anomaly detection: hysteresis on flag and clear."""
+
+import pytest
+
+from repro.security.anomaly import AnomalyDetector
+from repro.security.errors import SecurityConfigError
+from repro.sim import Simulator
+
+WINDOW_US = 1_000_000
+
+
+def _detector(sim, **kwargs):
+    defaults = dict(window_s=1.0, threshold=5, sustain_windows=2,
+                    clear_windows=2)
+    defaults.update(kwargs)
+    return AnomalyDetector(sim, **defaults)
+
+
+def _reject(detector, tenant, n, edge="binder"):
+    for _ in range(n):
+        detector.record(edge, tenant, admitted=False, reason="rate")
+
+
+def test_sustained_flood_flags_after_sustain_windows():
+    sim = Simulator()
+    detector = _detector(sim).start()
+    flags = []
+    detector.on_flag(lambda t, e, n: flags.append((t, e, n)))
+    for window in range(2):
+        sim.run(until=(window + 1) * WINDOW_US - 1)
+        _reject(detector, "evil", 8)
+    sim.run(until=3 * WINDOW_US)
+    assert flags == [("evil", "binder", 8)]
+    assert detector.is_flagged("evil")
+    assert detector.flagged["evil"]["edge"] == "binder"
+
+
+def test_single_burst_window_does_not_flag():
+    sim = Simulator()
+    detector = _detector(sim).start()
+    _reject(detector, "bursty", 50)        # one window only
+    sim.run(until=5 * WINDOW_US)
+    assert not detector.is_flagged("bursty")
+    assert detector.flags_raised == 0
+
+
+def test_below_threshold_never_flags():
+    sim = Simulator()
+    detector = _detector(sim, threshold=10).start()
+    for window in range(6):
+        sim.run(until=(window + 1) * WINDOW_US - 1)
+        _reject(detector, "mild", 9)
+    sim.run(until=8 * WINDOW_US)
+    assert detector.flags_raised == 0
+
+
+def test_admitted_traffic_is_ignored():
+    sim = Simulator()
+    detector = _detector(sim).start()
+    for window in range(3):
+        sim.run(until=(window + 1) * WINDOW_US - 1)
+        for _ in range(100):
+            detector.record("binder", "busy", admitted=True)
+    sim.run(until=4 * WINDOW_US)
+    assert detector.flags_raised == 0
+
+
+def test_quiet_windows_clear_the_flag():
+    sim = Simulator()
+    detector = _detector(sim, clear_windows=3).start()
+    cleared = []
+    detector.on_clear(cleared.append)
+    for window in range(2):
+        sim.run(until=(window + 1) * WINDOW_US - 1)
+        _reject(detector, "evil", 8)
+    sim.run(until=3 * WINDOW_US)
+    assert detector.is_flagged("evil")
+    # Three quiet windows later the flag clears; rejections meanwhile
+    # would have reset the quiet streak.
+    sim.run(until=6 * WINDOW_US)
+    assert cleared == ["evil"]
+    assert not detector.is_flagged("evil")
+    assert detector.flags_cleared == 1
+
+
+def test_rejections_while_flagged_reset_the_quiet_streak():
+    sim = Simulator()
+    detector = _detector(sim, clear_windows=2).start()
+    for window in range(2):
+        sim.run(until=(window + 1) * WINDOW_US - 1)
+        _reject(detector, "evil", 8)
+    sim.run(until=3 * WINDOW_US)
+    assert detector.is_flagged("evil")
+    sim.run(until=4 * WINDOW_US - 1)
+    _reject(detector, "evil", 1)          # still noisy
+    sim.run(until=5 * WINDOW_US)
+    assert detector.is_flagged("evil")    # quiet streak restarted
+
+
+def test_edges_aggregate_per_tenant():
+    sim = Simulator()
+    detector = _detector(sim, threshold=10).start()
+    for window in range(2):
+        sim.run(until=(window + 1) * WINDOW_US - 1)
+        _reject(detector, "evil", 6, edge="binder")
+        _reject(detector, "evil", 6, edge="mavlink")
+    sim.run(until=3 * WINDOW_US)
+    assert detector.is_flagged("evil")    # 12 total >= threshold
+
+
+def test_bad_config_is_typed():
+    sim = Simulator()
+    with pytest.raises(SecurityConfigError):
+        AnomalyDetector(sim, window_s=0)
+    with pytest.raises(SecurityConfigError):
+        AnomalyDetector(sim, threshold=0)

@@ -1,0 +1,146 @@
+"""The secure channel: seal/open, tamper, replay, rekey grace."""
+
+import pytest
+
+from repro.security.channel import (
+    EPOCH_GRACE,
+    KeySchedule,
+    SecureChannel,
+    SecureFrame,
+    TenantSession,
+)
+from repro.security.errors import (
+    ChannelAuthError,
+    ReplayError,
+    SecurityConfigError,
+)
+from repro.sim import Simulator
+
+
+def _pair(secret="s3cret", **kwargs):
+    keys = KeySchedule(secret, **kwargs)
+    return SecureChannel(keys), keys
+
+
+def test_roundtrip():
+    channel, _ = _pair()
+    frame = channel.seal(b"hello")
+    assert isinstance(frame, SecureFrame)
+    assert channel.open(frame) == b"hello"
+
+
+def test_sequence_numbers_increment():
+    channel, _ = _pair()
+    frames = [channel.seal(b"x") for _ in range(3)]
+    assert [f.seq for f in frames] == [0, 1, 2]
+
+
+def test_naked_frame_rejected():
+    channel, _ = _pair()
+    with pytest.raises(ChannelAuthError) as caught:
+        channel.open(b"raw mavlink bytes")
+    assert caught.value.reason == "naked"
+
+
+def test_tampered_payload_rejected():
+    channel, _ = _pair()
+    frame = channel.seal(b"hello")
+    frame.payload = b"evil!"
+    with pytest.raises(ChannelAuthError) as caught:
+        channel.open(frame)
+    assert caught.value.reason == "tag"
+
+
+def test_frame_minted_without_secret_rejected():
+    channel, _ = _pair()
+    forged = SecureFrame(epoch=0, seq=0, payload=b"spoof", tag="0" * 16)
+    with pytest.raises(ChannelAuthError) as caught:
+        channel.open(forged)
+    assert caught.value.reason == "tag"
+
+
+def test_replay_rejected_and_is_auth_error_subtype():
+    channel, _ = _pair()
+    frame = channel.seal(b"hello")
+    assert channel.open(frame) == b"hello"
+    with pytest.raises(ReplayError):
+        channel.open(frame)
+    assert issubclass(ReplayError, ChannelAuthError)
+
+
+def test_out_of_order_within_window_accepted_once():
+    channel, _ = _pair()
+    first, second = channel.seal(b"a"), channel.seal(b"b")
+    assert channel.open(second) == b"b"
+    assert channel.open(first) == b"a"       # late but fresh
+    with pytest.raises(ReplayError):
+        channel.open(first)                   # second delivery = replay
+
+
+def test_stale_seq_below_window_rejected():
+    channel, _ = _pair(secret="s")
+    channel.replay_window = 4
+    frames = [channel.seal(bytes([i])) for i in range(8)]
+    for frame in frames[1:]:
+        channel.open(frame)
+    with pytest.raises(ReplayError):
+        channel.open(frames[0])               # seq 0 <= high(7) - window(4)
+
+
+def test_rekey_grace_accepts_previous_epoch():
+    channel, keys = _pair()
+    old = channel.seal(b"in flight")
+    keys.rekey()
+    assert channel.open(old) == b"in flight"  # one-epoch grace
+    for _ in range(EPOCH_GRACE):
+        keys.rekey()
+    too_old = SecureFrame(old.epoch, 99, b"x", old.tag)
+    with pytest.raises(ChannelAuthError) as caught:
+        channel.open(too_old)
+    assert caught.value.reason == "epoch"
+
+
+def test_rekey_changes_keys_and_prunes_stale():
+    keys = KeySchedule("s3cret")
+    k0 = keys.key_for(0)
+    keys.rekey()
+    assert keys.key_for(1) != k0
+    assert keys.key_for(0) == k0              # grace epoch still held
+    keys.rekey()
+    assert keys.key_for(0) is None            # pruned
+
+
+def test_scheduled_rekey_rides_the_sim_clock():
+    sim = Simulator()
+    keys = KeySchedule("s3cret", rekey_interval_s=2.0).start(sim)
+    sim.run(until=int(6.5e6))
+    assert keys.epoch == 3
+    keys.stop()
+    sim.run(until=int(20e6))
+    assert keys.epoch == 3                    # stopped schedules stop
+
+
+def test_session_endpoints_pair_up():
+    session = TenantSession("s3cret", tenant="t1")
+    vfc, gcs = session.endpoint_for("vfc"), session.endpoint_for("gcs")
+    downlink = vfc.seal(b"telemetry")
+    assert gcs.open(downlink) == b"telemetry"
+    uplink = gcs.seal(b"command")
+    assert vfc.open(uplink) == b"command"
+
+
+def test_session_rejections_are_counted_per_endpoint():
+    session = TenantSession("s3cret", tenant="t1")
+    gcs = session.endpoint_for("gcs")
+    with pytest.raises(ChannelAuthError):
+        gcs.open(b"not a frame")
+    assert gcs.rejected == 1
+
+
+def test_bad_config_is_typed():
+    with pytest.raises(SecurityConfigError):
+        KeySchedule("s", rekey_interval_s=0)
+    with pytest.raises(SecurityConfigError):
+        SecureChannel(KeySchedule("s"), replay_window=0)
+    with pytest.raises(SecurityConfigError):
+        TenantSession("s").endpoint_for("mitm")

@@ -1,0 +1,127 @@
+"""Token-bucket rate guards: refill math, quarantine, typed refusals."""
+
+import math
+
+import pytest
+
+from repro.security.errors import RateLimitError, SecurityConfigError
+from repro.security.guards import RateGuard
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class SpyDetector:
+    def __init__(self):
+        self.records = []
+
+    def record(self, edge, tenant, admitted, reason=""):
+        self.records.append((edge, tenant, admitted, reason))
+
+
+def _guard(rate=10.0, burst=5, **kwargs):
+    clock = FakeClock()
+    return RateGuard(clock, edge="test", rate_per_s=rate, burst=burst,
+                     **kwargs), clock
+
+
+def test_burst_admits_then_throttles():
+    guard, _ = _guard(rate=10.0, burst=3)
+    assert [guard.try_admit("t") for _ in range(4)] == [
+        True, True, True, False]
+    assert guard.admitted == 3
+    assert guard.rejected == 1
+
+
+def test_refill_is_pure_arithmetic_over_the_clock():
+    guard, clock = _guard(rate=10.0, burst=2)
+    assert guard.try_admit("t") and guard.try_admit("t")
+    assert not guard.try_admit("t")
+    clock.now += 0.1                      # exactly one token
+    assert guard.try_admit("t")
+    assert not guard.try_admit("t")
+    clock.now += 10.0                     # refill clamps at burst
+    assert [guard.try_admit("t") for _ in range(3)] == [True, True, False]
+
+
+def test_keys_have_independent_buckets():
+    guard, _ = _guard(burst=1)
+    assert guard.try_admit("a")
+    assert guard.try_admit("b")
+    assert not guard.try_admit("a")
+
+
+def test_exempt_keys_bypass_everything():
+    guard, _ = _guard(burst=1, exempt=("device", ""))
+    for _ in range(100):
+        assert guard.try_admit("device")
+        assert guard.try_admit("")
+    guard.quarantine("device")
+    assert guard.try_admit("device")      # exemption beats quarantine
+    assert guard.admitted == 0            # platform traffic is not metered
+
+
+def test_admit_raises_typed_error_with_retry_hint():
+    guard, _ = _guard(rate=10.0, burst=1)
+    guard.admit("t")
+    with pytest.raises(RateLimitError) as caught:
+        guard.admit("t")
+    err = caught.value
+    assert err.edge == "test"
+    assert err.tenant == "t"
+    assert err.retry_after_s == pytest.approx(0.1)
+
+
+def test_quarantine_refuses_until_release():
+    guard, _ = _guard()
+    guard.quarantine("t")
+    assert not guard.try_admit("t")
+    with pytest.raises(RateLimitError) as caught:
+        guard.admit("t")
+    assert caught.value.retry_after_s == math.inf
+    guard.release("t")
+    assert guard.try_admit("t")
+
+
+def test_release_without_quarantine_is_a_noop():
+    guard, _ = _guard()
+    guard.release("never-quarantined")
+    assert guard.try_admit("never-quarantined")
+
+
+def test_decisions_feed_the_detector():
+    clock = FakeClock()
+    spy = SpyDetector()
+    guard = RateGuard(clock, edge="binder", rate_per_s=10.0, burst=1,
+                      detector=spy)
+    guard.try_admit("t")
+    guard.try_admit("t")
+    guard.quarantine("t")
+    guard.try_admit("t")
+    assert spy.records == [
+        ("binder", "t", True, ""),
+        ("binder", "t", False, "rate"),
+        ("binder", "t", False, "quarantine"),
+    ]
+
+
+def test_snapshot_reports_state():
+    guard, _ = _guard(burst=1)
+    guard.try_admit("a")
+    guard.try_admit("a")
+    guard.quarantine("z")
+    assert guard.snapshot() == {
+        "edge": "test", "admitted": 1, "rejected": 1, "quarantined": ["z"]}
+
+
+def test_bad_config_is_typed():
+    clock = FakeClock()
+    with pytest.raises(SecurityConfigError):
+        RateGuard(clock, edge="e", rate_per_s=0.0, burst=1)
+    with pytest.raises(SecurityConfigError):
+        RateGuard(clock, edge="e", rate_per_s=1.0, burst=0)

@@ -1,0 +1,132 @@
+"""The simplex safety controller: demotion, restoration, containment."""
+
+from types import SimpleNamespace
+
+from repro.security.anomaly import AnomalyDetector
+from repro.security.guards import RateGuard
+from repro.security.simplex import SimplexController
+from repro.sim import Simulator
+
+
+class StubVfc:
+    def __init__(self):
+        self.safety_reasons = []
+        self.exited = 0
+
+    def enter_safety(self, reason=""):
+        self.safety_reasons.append(reason)
+
+    def exit_safety(self):
+        self.exited += 1
+
+
+class StubVdc:
+    def __init__(self, tenants):
+        self.drones = {name: SimpleNamespace(finished=False)
+                       for name in tenants}
+        self.active_tenant = None
+        self.demoted = []
+
+    def demote_tenant(self, name, reason):
+        self.demoted.append((name, reason))
+        self.drones[name].finished = True
+
+
+def _node(tenants=("t1",)):
+    vdc = StubVdc(tenants)
+    vfcs = {name: StubVfc() for name in tenants}
+    return SimpleNamespace(vdc=vdc, proxy=SimpleNamespace(vfcs=vfcs))
+
+
+def _guard():
+    return RateGuard(lambda: 0.0, edge="binder", rate_per_s=10.0, burst=5)
+
+
+def test_unknown_tenant_is_ignored():
+    node = _node()
+    simplex = SimplexController(Simulator(), node)
+    simplex.demote("link:t1", "channel")
+    assert simplex.demotions == 0
+    assert not simplex.is_engaged("link:t1")
+
+
+def test_demote_quarantines_and_enters_safety():
+    node = _node()
+    guard = _guard()
+    simplex = SimplexController(Simulator(), node, guards=(guard,))
+    simplex.demote("t1", "mavlink", rejections=42)
+    assert simplex.is_engaged("t1")
+    assert "t1" in guard.quarantined
+    assert node.proxy.vfcs["t1"].safety_reasons == ["mavlink"]
+    # mavlink floods attack the tenant's own channel, not the shared
+    # drone: no VDC force-finish.
+    assert node.vdc.demoted == []
+
+
+def test_binder_flood_of_active_tenant_is_force_finished():
+    node = _node()
+    node.vdc.active_tenant = "t1"
+    simplex = SimplexController(Simulator(), node, guards=(_guard(),))
+    simplex.demote("t1", "binder", rejections=40)
+    assert node.vdc.demoted and node.vdc.demoted[0][0] == "t1"
+    assert "binder flood" in node.vdc.demoted[0][1]
+
+
+def test_binder_flood_of_inactive_tenant_keeps_its_slot():
+    node = _node()
+    node.vdc.active_tenant = "other"
+    simplex = SimplexController(Simulator(), node, guards=(_guard(),))
+    simplex.demote("t1", "binder")
+    assert node.vdc.demoted == []          # quarantine suffices off-slot
+    assert simplex.is_engaged("t1")
+
+
+def test_double_demote_is_idempotent():
+    node = _node()
+    simplex = SimplexController(Simulator(), node)
+    simplex.demote("t1", "mavlink")
+    simplex.demote("t1", "binder")
+    assert simplex.demotions == 1
+    assert node.proxy.vfcs["t1"].safety_reasons == ["mavlink"]
+
+
+def test_restore_releases_quarantine_and_exits_safety():
+    node = _node()
+    guard = _guard()
+    simplex = SimplexController(Simulator(), node, guards=(guard,))
+    simplex.demote("t1", "mavlink")
+    simplex.restore("t1")
+    assert not simplex.is_engaged("t1")
+    assert "t1" not in guard.quarantined
+    assert node.proxy.vfcs["t1"].exited == 1
+    simplex.restore("t1")                  # never-engaged restore: no-op
+    assert simplex.restorations == 1
+
+
+def test_detector_wiring_end_to_end():
+    """A sustained flood reported to the detector demotes through the
+    simplex with no manual calls, and quiet windows restore."""
+    sim = Simulator()
+    node = _node()
+    node.vdc.active_tenant = "t1"
+    detector = AnomalyDetector(sim, window_s=1.0, threshold=5,
+                               sustain_windows=2, clear_windows=2).start()
+    guard = RateGuard(lambda: sim.now / 1e6, edge="binder",
+                      rate_per_s=10.0, burst=5, detector=detector)
+    simplex = SimplexController(sim, node, guards=(guard,),
+                                detector=detector)
+
+    def hammer():
+        if simplex.is_engaged("t1"):
+            return                      # quarantined: the flood gives up
+        for _ in range(20):
+            guard.try_admit("t1")
+        sim.after(500_000, hammer)
+
+    sim.after(0, hammer)
+    sim.run(until=3_500_000)
+    assert simplex.is_engaged("t1")
+    assert node.vdc.demoted and node.vdc.demoted[0][0] == "t1"
+    sim.run(until=8_000_000)            # quiet windows pass
+    assert not simplex.is_engaged("t1")
+    assert node.proxy.vfcs["t1"].exited == 1
