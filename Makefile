@@ -3,8 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test bench examples results trace chaos parallel soak \
-	city abuse explore docs-check lint check gate baselines profile \
-	throughput clean
+	city abuse explore docs-check lint lint-deep check gate baselines \
+	profile throughput clean
 
 TRACE_FILE ?= trace.jsonl
 CHAOS_TRACE ?= chaos-trace.jsonl
@@ -93,6 +93,11 @@ lint: ## ruff (blocking) + mypy (advisory) + domain rules; pip install -e ".[lin
 	mypy src || echo "mypy: advisory for now (config in pyproject.toml)"
 	PYTHONPATH=src $(PYTHON) -m repro.lint
 
+lint-deep: ## whole-program pass: call graph, taint, exception flow, type-state
+	PYTHONPATH=src $(PYTHON) -m repro.lint \
+		--select flow-taint,flow-shard-state,flow-exceptions,flow-typestate \
+		--output repro-lint-flow.json --sarif repro-lint-flow.sarif
+
 check: test soak ## what CI gates on: quick tests, a clean soak, smoke-scale bench
 	PYTHONPATH=src SCALE_SMOKE=1 $(PYTHON) -m pytest \
 		benchmarks/bench_scale.py --benchmark-only
@@ -121,5 +126,6 @@ clean:
 		benchmarks/results .benchmarks src/repro.egg-info \
 		profiles trace.jsonl chaos-trace.jsonl soak-trace.jsonl \
 		parallel-trace.jsonl city-trace.jsonl shard-*.jsonl \
-		repro-lint.json explore-artifacts
+		repro-lint.json repro-lint-flow.json repro-lint-flow.sarif \
+		.lint-flow-cache.json explore-artifacts
 	find . -type d -name __pycache__ -prune -exec rm -rf {} +

@@ -84,7 +84,8 @@ class App:
 
     def write_file(self, relative_path: str, content: str) -> str:
         if self.container is None:
-            raise RuntimeError(f"app {self.package!r} has no container filesystem")
+            raise LifecycleError(
+                f"app {self.package!r} has no container filesystem")
         path = f"{self.data_dir}/{relative_path}"
         self.container.write_file(path, content)
         return path

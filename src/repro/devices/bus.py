@@ -13,6 +13,11 @@ from typing import Callable, Dict, List, Optional
 from repro.devices.state import DroneStateSnapshot
 
 
+class DeviceStateError(RuntimeError):
+    """A device operation was issued in a state that cannot honor it
+    (stopping a recording that never started, and the like)."""
+
+
 class DeviceBusyError(RuntimeError):
     """A second client tried to open a single-client device."""
 

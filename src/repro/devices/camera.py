@@ -10,7 +10,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.devices.bus import Device, DeviceHandle
+from repro.devices.bus import Device, DeviceHandle, DeviceStateError
 
 
 @dataclass
@@ -88,7 +88,7 @@ class Camera(Device):
     def start_recording(self, handle: DeviceHandle) -> None:
         self._check(handle)
         if self._recording_since is not None:
-            raise RuntimeError("camera is already recording")
+            raise DeviceStateError("camera is already recording")
         self._recording_since = self._state().time_us
 
     @property
@@ -98,7 +98,7 @@ class Camera(Device):
     def stop_recording(self, handle: DeviceHandle) -> VideoSegment:
         self._check(handle)
         if self._recording_since is None:
-            raise RuntimeError("camera is not recording")
+            raise DeviceStateError("camera is not recording")
         start = self._recording_since
         self._recording_since = None
         end = self._state().time_us

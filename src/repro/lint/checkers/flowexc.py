@@ -1,0 +1,96 @@
+"""flow-exceptions: exception flow from the cloud/VDC/security surface.
+
+The per-file ``error-taxonomy`` rule keeps ``cloud/``/``vdc/`` raising
+typed errors; a caller three modules up still sees a bare
+``RuntimeError`` if a helper in ``android/`` or ``devices/`` raises
+one.  Starting from every public function under ``flow_entry_prefixes``
+this checker walks the call graph and flags
+
+* reachable raises of blanket builtins (``Exception``, ``RuntimeError``,
+  ``OSError``, ...) outside the modules the per-file rule already
+  polices — these cross the API surface untyped, so callers cannot
+  distinguish "order infeasible" from "simulation bug";
+* any handler (anywhere — a swallow does not need to be reachable to be
+  wrong) that catches ``SecurityError`` or a subclass and neither
+  re-raises nor calls anything: a dropped security signal never reaches
+  the pressure detector.
+
+Intentional drops must carry an inline
+``# repro-lint: disable=flow-exceptions`` with a comment saying where
+the signal goes instead.
+"""
+
+from __future__ import annotations
+
+from repro.lint.core import Checker, register
+
+#: Builtins whose raise, reachable from the public surface, is blanket
+#: enough to ban.  Precise builtins (ValueError/KeyError/TypeError on
+#: argument validation) stay legal outside the typed-raise prefixes.
+_BANNED_BUILTINS = frozenset({
+    "Exception", "BaseException", "RuntimeError", "OSError", "IOError",
+})
+
+
+@register
+class FlowExceptionsChecker(Checker):
+    rule = "flow-exceptions"
+    scope = "project"
+    description = ("raises reachable from cloud/VDC/security entry "
+                   "points resolve to the typed taxonomy, and no "
+                   "handler swallows a SecurityError (interprocedural)")
+
+    def check_project(self, corpus, config):
+        # Lazy: repro.lint.flow.summary imports per-file checker
+        # constants, so a module-level import would be circular.
+        from repro.lint.flow.graph import project_graph
+        graph = project_graph(corpus, config)
+        entries = [
+            fid for fid in sorted(graph.functions)
+            if graph.functions[fid]["public"]
+            and graph.functions[fid]["package_rel"].startswith(
+                tuple(config.flow_entry_prefixes))
+        ]
+        reached = graph.reachable_from(entries)
+        typed_prefixes = tuple(config.typed_raise_prefixes) + ("security/",)
+        for fid in sorted(reached):
+            fn = graph.functions[fid]
+            if fn["package_rel"].startswith(typed_prefixes):
+                continue  # the per-file taxonomy rule polices these
+            for chain, line, col in fn["raises"]:
+                if chain not in _BANNED_BUILTINS:
+                    continue
+                entry = graph.fid_label(reached[fid])
+                yield self.finding(
+                    config, config.package_dir / fn["package_rel"],
+                    line, col,
+                    f"{fn['qualname']} raises bare {chain} and is "
+                    f"reachable from entry point {entry}: raise a typed "
+                    f"error (core/errors.py taxonomy) so API callers can "
+                    f"tell faults from bugs",
+                    identity=f"raise:{graph.fid_label(fid)}:{chain}")
+
+        root_pkg_rel, root_class = config.flow_security_root.split("::", 1)
+        root_rel = graph.rel_of_package_rel.get(root_pkg_rel)
+        if root_rel is None:
+            return
+        root_cid = f"{root_rel}::{root_class}"
+        for fid in sorted(graph.functions):
+            fn = graph.functions[fid]
+            for names, line, col, has_raise, has_call in fn["handlers"]:
+                if has_raise or has_call:
+                    continue
+                for name in names:
+                    cid = graph.resolve_class_chain(fn["rel"], name)
+                    if cid is None or not graph.is_project_subclass(
+                            cid, root_cid):
+                        continue
+                    yield self.finding(
+                        config, config.package_dir / fn["package_rel"],
+                        line, col,
+                        f"handler in {fn['qualname']} swallows "
+                        f"{name.rsplit('.', 1)[-1]} (no re-raise, no "
+                        f"call): security signals must reach the "
+                        f"pressure detector or be re-raised",
+                        identity=(f"swallow:{graph.fid_label(fid)}:"
+                                  f"{name.rsplit('.', 1)[-1]}"))

@@ -1,0 +1,98 @@
+"""flow-shard-state: mutable state reachable from shard-worker code.
+
+``ParallelFleetExecutor`` shards are real OS processes; anything a
+worker mutates in its own address space silently diverges from the
+parent and from sibling shards.  The per-file ``fork-safety`` rule
+polices module-level mutable *definitions*; this checker closes the
+behavioral half: starting from the declared shard entry points
+(``shard_entry_points``) plus every callable detected crossing a
+pool/process boundary (``pool.map``/``submit``/``Process(target=...)``),
+it walks the call graph and flags
+
+* ``global`` writes,
+* mutations of module-level bindings (``.append``/``[k] =``/``+=``),
+* mutable default arguments (shared across a worker's invocations),
+
+in any reached function, and lambdas crossing the boundary outright
+(closure state travels with them invisibly).  ``shard_state_allow``
+exempts modules whose process-wide registries are reset *by design* at
+shard start (the obs registry).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.lint.core import Checker, register
+
+
+@register
+class FlowShardStateChecker(Checker):
+    rule = "flow-shard-state"
+    scope = "project"
+    description = ("no shard-worker-reachable function mutates state "
+                   "that does not cross the process boundary back "
+                   "(interprocedural)")
+
+    def _entries(self, graph, config) -> Tuple[List[str], List]:
+        entries: List[str] = []
+        for spec in config.shard_entry_points:
+            package_rel, qualname = spec.split("::", 1)
+            rel = graph.rel_of_package_rel.get(package_rel)
+            if rel is not None and f"{rel}::{qualname}" in graph.functions:
+                entries.append(f"{rel}::{qualname}")
+        lambdas = []
+        for fid in sorted(graph.functions):
+            fn = graph.functions[fid]
+            for kind, ref, line, col in fn["crossings"]:
+                if kind == "lambda":
+                    lambdas.append((fn, line, col))
+                elif kind in ("name", "bound"):
+                    entries.extend(graph.resolve_chain(fid, ref))
+        return entries, lambdas
+
+    def check_project(self, corpus, config):
+        # Lazy: repro.lint.flow.summary imports per-file checker
+        # constants, so a module-level import would be circular.
+        from repro.lint.flow.graph import project_graph
+        graph = project_graph(corpus, config)
+        entries, lambdas = self._entries(graph, config)
+        for fn, line, col in lambdas:
+            yield self.finding(
+                config, config.package_dir / fn["package_rel"], line, col,
+                f"lambda crosses the shard boundary in {fn['qualname']}: "
+                f"captured closure state travels to the worker invisibly; "
+                f"pass a module-level function and explicit arguments",
+                identity=(f"shard-lambda:{fn['package_rel']}::"
+                          f"{fn['qualname']}:{line}"))
+
+        reached = graph.reachable_from(entries)
+        for fid in sorted(reached):
+            fn = graph.functions[fid]
+            if fn["package_rel"] in config.shard_state_allow:
+                continue
+            entry = graph.fid_label(reached[fid])
+            path = config.package_dir / fn["package_rel"]
+            for name in fn["globals_written"]:
+                yield self.finding(
+                    config, path, fn["line"], fn["col"],
+                    f"{fn['qualname']} writes global {name!r} but is "
+                    f"reachable from shard entry {entry}: the write stays "
+                    f"in one worker process; return the value or use a "
+                    f"per-shard accumulator",
+                    identity=f"shard-global:{graph.fid_label(fid)}:{name}")
+            for fname, line, col in fn["mutable_defaults"]:
+                yield self.finding(
+                    config, path, line, col,
+                    f"{fn['qualname']} has a mutable default argument and "
+                    f"is reachable from shard entry {entry}: the default "
+                    f"is shared across every call in that worker",
+                    identity=f"shard-default:{graph.fid_label(fid)}")
+            for name, how, line, col in fn["module_mutations"]:
+                yield self.finding(
+                    config, path, line, col,
+                    f"{fn['qualname']} mutates module-level {name!r} "
+                    f"({how}) and is reachable from shard entry {entry}: "
+                    f"the mutation never leaves the worker process",
+                    identity=(f"shard-mut:{graph.fid_label(fid)}:"
+                              f"{name}:{how}"))

@@ -1,0 +1,604 @@
+"""flow-typestate: state-machine assignments verified against the
+declared transition tables.
+
+The machines (``repro.lint.flow.statetables``) declare, per attribute,
+who may write it and which transitions are legal.  For each machine the
+checker
+
+* reads the enum members from the module and sanity-checks the table;
+* diffs the declared table against the module's runtime-validation dict
+  (``runtime_table``) so the two cannot drift apart;
+* flags *bypasses*: direct attribute writes outside ``__init__`` and
+  the declared setter — in the owner class, and in any other class
+  whose field is constructor-typed to the owner;
+* checks every setter call site for legality under a flow-sensitive
+  guard analysis: ``if self.state is X: ...`` narrows the possible
+  source states (early-return negation, ``in``/``not in`` over literal
+  tuples and module-level state-set constants included).  Machines with
+  ``enforcement="none"`` (the setter assigns blindly) get a
+  must-analysis — every possible source must allow the target; machines
+  with ``enforcement="runtime"`` (the setter validates) get a
+  may-analysis — flagged only when no possible source is legal, i.e.
+  the call is statically guaranteed to raise;
+* for ``protocol="monotonic-counter"`` machines, verifies the attribute
+  is seeded with a literal in ``__init__``, advanced by exactly
+  ``+= 1`` in the setter, and written nowhere else.
+
+Soundness caveat (docs/STATIC_ANALYSIS.md): loops widen the possible
+set back to all states only when the loop body writes the attribute;
+guards the parser cannot read (helper predicates, walrus) leave the
+set unnarrowed, which can only add *possible* sources — the
+must-analysis stays sound, the may-analysis may miss.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.lint.checkers._astutil import ImportMap
+from repro.lint.core import Checker, Severity, register
+from repro.lint.flow.statetables import DEFAULT_MACHINES
+
+
+def _function_nodes(tree: ast.AST) -> Dict[str, ast.FunctionDef]:
+    out: Dict[str, ast.FunctionDef] = {}
+    for stmt in tree.body:
+        if isinstance(stmt, ast.FunctionDef):
+            out[stmt.name] = stmt
+        elif isinstance(stmt, ast.ClassDef):
+            for sub in stmt.body:
+                if isinstance(sub, ast.FunctionDef):
+                    out[f"{stmt.name}.{sub.name}"] = sub
+    return out
+
+
+def _enum_members(tree: ast.AST, enum_name: str) -> Tuple[str, ...]:
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == enum_name:
+            names = []
+            for stmt in node.body:
+                for target in getattr(stmt, "targets",
+                                      [getattr(stmt, "target", None)]):
+                    if isinstance(target, ast.Name):
+                        names.append(target.id)
+            return tuple(names)
+    return ()
+
+
+class _Machine:
+    """One machine spec bound to its module's enum members."""
+
+    def __init__(self, spec: dict, members: Tuple[str, ...]):
+        self.spec = spec
+        self.name = spec["name"]
+        self.attr = spec["attr"]
+        self.setter = spec.get("setter")
+        self.members: Set[str] = set(members)
+        self.transitions = {s: set(t) for s, t in
+                            spec.get("transitions", {}).items()}
+        self.initial = set(spec.get("initial", ()))
+        self.restore_from = set(spec.get("restore_from", ()))
+        self.must = spec.get("enforcement", "none") == "none"
+
+
+class _SiteWalker:
+    """Flow-sensitive walk of one function: yields every state write
+    with the set of statically possible source states at that point."""
+
+    def __init__(self, machine: _Machine, resolver):
+        self.machine = machine
+        self.resolve_states = resolver  # expr -> Optional[Set[str]]
+        #: (kind, node, possible, target) — kind in {assign, call}
+        self.sites: List[Tuple[str, ast.AST, Set[str],
+                               Optional[str]]] = []
+
+    # -- guards -----------------------------------------------------------
+    def _is_state_read(self, expr: ast.AST) -> bool:
+        return isinstance(expr, ast.Attribute) \
+            and expr.attr == self.machine.attr
+
+    def _true_states(self, test: ast.AST) -> Set[str]:
+        members = self.machine.members
+        if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            return self._false_states(test.operand)
+        if isinstance(test, ast.BoolOp):
+            sets = [self._true_states(v) for v in test.values]
+            out = set(members)
+            if isinstance(test.op, ast.And):
+                for s in sets:
+                    out &= s
+            else:
+                out = set()
+                for s in sets:
+                    out |= s
+            return out
+        states = self._compare_states(test)
+        return states if states is not None else set(members)
+
+    def _false_states(self, test: ast.AST) -> Set[str]:
+        members = self.machine.members
+        if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            return self._true_states(test.operand)
+        if isinstance(test, ast.BoolOp):
+            sets = [self._false_states(v) for v in test.values]
+            if isinstance(test.op, ast.And):
+                out = set()
+                for s in sets:
+                    out |= s
+            else:
+                out = set(members)
+                for s in sets:
+                    out &= s
+            return out
+        states = self._compare_states(test)
+        return members - states if states is not None else set(members)
+
+    def _compare_states(self, test: ast.AST) -> Optional[Set[str]]:
+        """States for which the comparison is True, or None if it is
+        not a readable guard on the machine attribute."""
+        if not (isinstance(test, ast.Compare) and len(test.ops) == 1
+                and self._is_state_read(test.left)):
+            return None
+        states = self.resolve_states(test.comparators[0])
+        if states is None:
+            return None
+        op = test.ops[0]
+        if isinstance(op, (ast.Is, ast.Eq, ast.In)):
+            return states
+        if isinstance(op, (ast.IsNot, ast.NotEq, ast.NotIn)):
+            return self.machine.members - states
+        return None
+
+    # -- statements -------------------------------------------------------
+    def walk(self, stmts: Iterable[ast.stmt],
+             possible: Set[str]) -> Optional[Set[str]]:
+        """Returns the possible set after the block, None if the block
+        cannot fall through."""
+        for stmt in stmts:
+            if isinstance(stmt, (ast.Return, ast.Raise)):
+                self._scan_leaf(stmt, possible)
+                return None
+            if isinstance(stmt, (ast.Break, ast.Continue)):
+                return None
+            if isinstance(stmt, ast.If):
+                true_set = possible & self._true_states(stmt.test)
+                false_set = possible & self._false_states(stmt.test)
+                after_true = self.walk(stmt.body, true_set)
+                after_false = self.walk(stmt.orelse, false_set)
+                if after_true is None and after_false is None:
+                    return None
+                possible = (after_true or set()) | (after_false or set())
+            elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                self.walk(stmt.body, set(possible))
+                self.walk(stmt.orelse, set(possible))
+                if self._writes_state(stmt.body):
+                    possible = set(self.machine.members)
+            elif isinstance(stmt, ast.Try):
+                after = self.walk(stmt.body, set(possible))
+                for handler in stmt.handlers:
+                    self.walk(handler.body, set(possible))
+                if stmt.orelse and after is not None:
+                    after = self.walk(stmt.orelse, after)
+                exits = (after or set()) | possible
+                after_final = self.walk(stmt.finalbody, exits) \
+                    if stmt.finalbody else exits
+                possible = after_final if after_final is not None else set()
+                if not possible:
+                    return None
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                after = self.walk(stmt.body, possible)
+                if after is None:
+                    return None
+                possible = after
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.walk(stmt.body, set(self.machine.members))
+            else:
+                possible = self._scan_leaf(stmt, possible)
+        return possible
+
+    def _writes_state(self, stmts) -> bool:
+        for node in ast.walk(ast.Module(body=list(stmts), type_ignores=[])):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                if any(self._is_state_read(t) for t in targets):
+                    return True
+            elif isinstance(node, ast.Call) and self._is_setter(node):
+                return True
+        return False
+
+    def _is_setter(self, call: ast.Call) -> bool:
+        return self.machine.setter is not None \
+            and isinstance(call.func, ast.Attribute) \
+            and call.func.attr == self.machine.setter
+
+    def _scan_leaf(self, stmt: ast.stmt, possible: Set[str]) -> Set[str]:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if self._is_state_read(target):
+                        states = self.resolve_states(node.value)
+                        target_state = None
+                        if states is not None and len(states) == 1:
+                            target_state = next(iter(states))
+                        self.sites.append(("assign", node, set(possible),
+                                           target_state))
+                        possible = (set(states) if states is not None
+                                    else set(self.machine.members))
+            elif isinstance(node, ast.AugAssign) \
+                    and self._is_state_read(node.target):
+                self.sites.append(("assign", node, set(possible), None))
+                possible = set(self.machine.members)
+            elif isinstance(node, ast.Call) and self._is_setter(node):
+                target_state = None
+                if node.args:
+                    states = self.resolve_states(node.args[0])
+                    if states is not None and len(states) == 1:
+                        target_state = next(iter(states))
+                self.sites.append(("call", node, set(possible),
+                                   target_state))
+                possible = ({target_state} if target_state is not None
+                            else set(self.machine.members))
+        return possible
+
+
+@register
+class FlowTypestateChecker(Checker):
+    rule = "flow-typestate"
+    scope = "project"
+    description = ("state-machine writes and transitions are legal "
+                   "under the declared tables (VFC, migration, rekey "
+                   "epoch; interprocedural)")
+
+    def check_project(self, corpus, config):
+        # Lazy: repro.lint.flow.summary imports per-file checker
+        # constants, so a module-level import would be circular.
+        from repro.lint.flow.graph import project_graph
+        graph = project_graph(corpus, config)
+        specs = config.typestate_machines or DEFAULT_MACHINES
+        for spec in specs:
+            rel = graph.rel_of_package_rel.get(spec["module"])
+            if rel is None:
+                yield self.finding(
+                    config, config.package_dir / spec["module"], 1, 0,
+                    f"flow-typestate machine {spec['name']!r} skipped: "
+                    f"module not in the corpus",
+                    severity=Severity.WARNING,
+                    identity=f"typestate-skip:{spec['name']}")
+                continue
+            if spec.get("protocol") == "monotonic-counter":
+                yield from self._check_monotonic(spec, rel, corpus,
+                                                 config, graph)
+            else:
+                yield from self._check_enum_machine(spec, rel, corpus,
+                                                    config, graph)
+
+    # -- shared helpers ---------------------------------------------------
+    def _owner_node(self, tree: ast.AST,
+                    owner: str) -> Optional[ast.ClassDef]:
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef) and node.name == owner:
+                return node
+        return None
+
+    def _foreign_typed_writes(self, spec: dict, owner_cid: str, corpus,
+                              graph):
+        """Writes to ``self.<field>.<attr>`` where ``field`` is
+        constructor-typed to the owner class — bypasses from outside."""
+        attr = spec["attr"]
+        for rel in sorted(corpus):
+            for cls_node in corpus[rel].tree.body:
+                if not isinstance(cls_node, ast.ClassDef):
+                    continue
+                attr_types = graph.classes.get(
+                    f"{rel}::{cls_node.name}", {}).get("attr_types", {})
+                if not attr_types:
+                    continue
+                for node in ast.walk(cls_node):
+                    if not isinstance(node, (ast.Assign, ast.AugAssign)):
+                        continue
+                    targets = (node.targets if isinstance(node, ast.Assign)
+                               else [node.target])
+                    for target in targets:
+                        if not (isinstance(target, ast.Attribute)
+                                and target.attr == attr
+                                and isinstance(target.value, ast.Attribute)
+                                and isinstance(target.value.value, ast.Name)
+                                and target.value.value.id == "self"):
+                            continue
+                        ctor = attr_types.get(target.value.attr)
+                        if ctor is None or graph.resolve_class_chain(
+                                rel, ctor) != owner_cid:
+                            continue
+                        yield rel, cls_node.name, node
+
+    # -- monotonic counters -----------------------------------------------
+    def _check_monotonic(self, spec, rel, corpus, config, graph):
+        src = corpus[rel]
+        attr, setter = spec["attr"], spec["setter"]
+        owner = self._owner_node(src.tree, spec["owner"])
+        if owner is None:
+            return
+        for method in owner.body:
+            if not isinstance(method, ast.FunctionDef):
+                continue
+            for node in ast.walk(method):
+                ok = None
+                if isinstance(node, ast.Assign) and any(
+                        isinstance(t, ast.Attribute) and t.attr == attr
+                        and isinstance(t.value, ast.Name)
+                        and t.value.id == "self" for t in node.targets):
+                    ok = (method.name == "__init__"
+                          and isinstance(node.value, ast.Constant)
+                          and isinstance(node.value.value, int))
+                elif isinstance(node, ast.AugAssign) and isinstance(
+                        node.target, ast.Attribute) \
+                        and node.target.attr == attr \
+                        and isinstance(node.target.value, ast.Name) \
+                        and node.target.value.id == "self":
+                    ok = (method.name == setter
+                          and isinstance(node.op, ast.Add)
+                          and isinstance(node.value, ast.Constant)
+                          and node.value.value == 1)
+                if ok is False:
+                    yield self.finding(
+                        config, src.path, node.lineno, node.col_offset,
+                        f"{spec['owner']}.{method.name} writes "
+                        f"{attr!r} outside the monotonic-counter "
+                        f"protocol (literal seed in __init__, += 1 in "
+                        f"{setter}): a jump or reset resurrects "
+                        f"replayed frames",
+                        identity=(f"typestate-bypass:{spec['name']}:"
+                                  f"{method.name}"))
+        owner_cid = f"{rel}::{spec['owner']}"
+        for frel, cls_name, node in self._foreign_typed_writes(
+                spec, owner_cid, corpus, graph):
+            yield self.finding(
+                config, corpus[frel].path, node.lineno, node.col_offset,
+                f"{cls_name} writes {spec['owner']}.{attr} directly: "
+                f"only {spec['owner']}.{setter} may advance it",
+                identity=f"typestate-bypass:{spec['name']}:{cls_name}")
+
+    # -- enum machines ----------------------------------------------------
+    def _check_enum_machine(self, spec, rel, corpus, config, graph):
+        src = corpus[rel]
+        members = _enum_members(src.tree, spec["enum"])
+        if not members:
+            yield self.finding(
+                config, src.path, 1, 0,
+                f"flow-typestate machine {spec['name']!r} skipped: enum "
+                f"{spec['enum']} not found or empty",
+                severity=Severity.WARNING,
+                identity=f"typestate-skip:{spec['name']}")
+            return
+        machine = _Machine(spec, members)
+
+        declared = set(machine.transitions) | machine.initial \
+            | machine.restore_from
+        for targets in machine.transitions.values():
+            declared |= targets
+        for unknown in sorted(declared - machine.members):
+            yield self.finding(
+                config, src.path, 1, 0,
+                f"declared table for machine {spec['name']!r} references "
+                f"unknown state {unknown!r} (not a {spec['enum']} member)",
+                severity=Severity.WARNING,
+                identity=f"typestate-table:{spec['name']}:{unknown}")
+
+        if spec.get("runtime_table"):
+            yield from self._diff_runtime_table(spec, machine, src, config,
+                                                graph)
+
+        owner = self._owner_node(src.tree, spec["owner"])
+        owner_cid = f"{rel}::{spec['owner']}"
+        if owner is not None:
+            yield from self._check_dataclass_default(spec, machine, owner,
+                                                     src, config, graph)
+            for method in owner.body:
+                if isinstance(method, ast.FunctionDef):
+                    yield from self._check_function(
+                        spec, machine, method,
+                        f"{spec['owner']}.{method.name}", src, config,
+                        graph, in_owner=True)
+
+        # Setter call sites outside the owner class, preselected via the
+        # summaries (any call chain ending in ".<setter>").
+        suffix = f".{spec['setter']}"
+        for fid in sorted(graph.functions):
+            fn = graph.functions[fid]
+            frel, qualname = fid.split("::", 1)
+            if frel == rel and fn["class"] == spec["owner"]:
+                continue
+            if not any(chain is not None and chain.endswith(suffix)
+                       for chain, _l, _c in fn["calls"]):
+                continue
+            node = _function_nodes(corpus[frel].tree).get(qualname)
+            if node is not None:
+                yield from self._check_function(
+                    spec, machine, node, qualname, corpus[frel], config,
+                    graph, in_owner=False)
+
+        for frel, cls_name, node in self._foreign_typed_writes(
+                spec, owner_cid, corpus, graph):
+            yield self.finding(
+                config, corpus[frel].path, node.lineno, node.col_offset,
+                f"{cls_name} writes {spec['owner']}.{spec['attr']} "
+                f"directly, bypassing {spec['setter']}",
+                identity=f"typestate-bypass:{spec['name']}:{cls_name}")
+
+    def _diff_runtime_table(self, spec, machine, src, config, graph):
+        """The declared table and the module's runtime-validation dict
+        must agree edge for edge."""
+        resolve = self._state_resolver(spec, machine, src, graph)
+        table_node = None
+        for stmt in src.tree.body:
+            if isinstance(stmt, ast.Assign) and any(
+                    isinstance(t, ast.Name)
+                    and t.id == spec["runtime_table"]
+                    for t in stmt.targets):
+                table_node = stmt
+                break
+        if table_node is None or not isinstance(table_node.value, ast.Dict):
+            yield self.finding(
+                config, src.path, 1, 0,
+                f"runtime table {spec['runtime_table']} for machine "
+                f"{spec['name']!r} not found as a module-level dict",
+                severity=Severity.WARNING,
+                identity=f"typestate-table:{spec['name']}:missing")
+            return
+        runtime: Dict[str, Set[str]] = {}
+        for key, value in zip(table_node.value.keys,
+                              table_node.value.values):
+            sources = resolve(key) if key is not None else None
+            targets = resolve(value) if not (
+                isinstance(value, (ast.Tuple, ast.List, ast.Set))
+                and not value.elts) else set()
+            if sources is None or len(sources) != 1 or targets is None:
+                continue  # unreadable entry: leave it to runtime tests
+            runtime[next(iter(sources))] = targets
+        for source in sorted(set(machine.transitions) | set(runtime)):
+            declared = machine.transitions.get(source)
+            enforced = runtime.get(source)
+            if declared == enforced:
+                continue
+            yield self.finding(
+                config, src.path, table_node.lineno,
+                table_node.col_offset,
+                f"machine {spec['name']!r} drifted for source state "
+                f"{source}: declared table allows "
+                f"{{{', '.join(sorted(declared or ()))}}} but "
+                f"{spec['runtime_table']} enforces "
+                f"{{{', '.join(sorted(enforced or ()))}}}",
+                identity=f"typestate-table:{spec['name']}:{source}")
+
+    def _state_resolver(self, spec, machine, src, graph):
+        const_seqs = graph.summaries[src.rel]["const_seqs"]
+        enum_name = spec["enum"]
+
+        def one(ref: Optional[str]) -> Optional[str]:
+            if ref is None:
+                return None
+            parts = ref.split(".")
+            if len(parts) >= 2 and parts[-2] == enum_name \
+                    and parts[-1] in machine.members:
+                return parts[-1]
+            return None
+
+        imap = ImportMap(src.tree)
+
+        def resolve(expr: ast.AST) -> Optional[Set[str]]:
+            if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+                out = set()
+                for elt in expr.elts:
+                    member = one(imap.resolve(elt))
+                    if member is None:
+                        return None
+                    out.add(member)
+                return out
+            if isinstance(expr, ast.Name) and expr.id in const_seqs:
+                out = set()
+                for ref in const_seqs[expr.id]:
+                    member = one(ref)
+                    if member is None:
+                        return None
+                    out.add(member)
+                return out
+            member = one(imap.resolve(expr))
+            return {member} if member is not None else None
+
+        return resolve
+
+    def _check_dataclass_default(self, spec, machine, owner, src, config,
+                                 graph):
+        resolve = self._state_resolver(spec, machine, src, graph)
+        for stmt in owner.body:
+            if isinstance(stmt, ast.AnnAssign) \
+                    and isinstance(stmt.target, ast.Name) \
+                    and stmt.target.id == spec["attr"] \
+                    and stmt.value is not None:
+                states = resolve(stmt.value)
+                if states is not None and not states <= machine.initial:
+                    bad = ", ".join(sorted(states - machine.initial))
+                    yield self.finding(
+                        config, src.path, stmt.lineno, stmt.col_offset,
+                        f"{spec['owner']}.{spec['attr']} default is {bad} "
+                        f"but the machine starts in "
+                        f"{'/'.join(sorted(machine.initial))}",
+                        identity=f"typestate-initial:{spec['name']}")
+
+    def _check_function(self, spec, machine, node, qualname, src, config,
+                        graph, in_owner: bool):
+        resolve = self._state_resolver(spec, machine, src, graph)
+        walker = _SiteWalker(machine, resolve)
+        walker.walk(node.body, set(machine.members))
+        is_init = in_owner and node.name == "__init__"
+        is_setter = in_owner and node.name == spec["setter"]
+        for kind, site, possible, target in walker.sites:
+            if kind == "assign":
+                if is_setter:
+                    continue  # the setter's own write is the mechanism
+                if is_init:
+                    if target is not None \
+                            and target not in machine.initial:
+                        yield self.finding(
+                            config, src.path, site.lineno,
+                            site.col_offset,
+                            f"__init__ seeds {spec['attr']} with "
+                            f"{target}; the machine starts in "
+                            f"{'/'.join(sorted(machine.initial))}",
+                            identity=f"typestate-initial:{spec['name']}")
+                    continue
+                yield self.finding(
+                    config, src.path, site.lineno, site.col_offset,
+                    f"{qualname} assigns {spec['attr']!r} directly, "
+                    f"bypassing {spec['setter']}: transitions must go "
+                    f"through the setter so the table can be enforced",
+                    identity=f"typestate-bypass:{spec['name']}:{qualname}")
+                continue
+            # setter call site
+            if not possible:
+                continue  # statically unreachable
+            if target is None:
+                if machine.must:
+                    illegal = possible - machine.restore_from
+                    if illegal:
+                        yield self.finding(
+                            config, src.path, site.lineno,
+                            site.col_offset,
+                            f"{qualname} calls {spec['setter']} with a "
+                            f"statically unresolvable target while the "
+                            f"state may be "
+                            f"{'/'.join(sorted(illegal))}; "
+                            f"restore-style transitions are only legal "
+                            f"from "
+                            f"{'/'.join(sorted(machine.restore_from))}",
+                            identity=(f"typestate:{spec['name']}:"
+                                      f"{qualname}:restore"))
+                continue
+            if machine.must:
+                illegal = {s for s in possible
+                           if target not in machine.transitions.get(
+                               s, ())}
+                if illegal:
+                    yield self.finding(
+                        config, src.path, site.lineno, site.col_offset,
+                        f"{qualname} may transition "
+                        f"{'/'.join(sorted(illegal))} -> {target}, "
+                        f"which the {spec['name']} table forbids; guard "
+                        f"the call so every possible source state "
+                        f"allows it",
+                        identity=(f"typestate:{spec['name']}:"
+                                  f"{qualname}:{target}"))
+            else:
+                legal = {s for s in possible
+                         if target in machine.transitions.get(s, ())}
+                if not legal:
+                    yield self.finding(
+                        config, src.path, site.lineno, site.col_offset,
+                        f"{qualname} transitions to {target} from "
+                        f"{'/'.join(sorted(possible))}: no possible "
+                        f"source state allows it, so the runtime check "
+                        f"is guaranteed to raise",
+                        identity=(f"typestate:{spec['name']}:"
+                                  f"{qualname}:{target}"))

@@ -1,0 +1,62 @@
+"""flow-taint: wall-clock and unseeded-RNG taint crossing call
+boundaries into sim-path code.
+
+The per-file ``sim-clock``/``seeded-rng`` rules catch a direct
+``time.time()`` or ``random.random()``; they cannot see the same call
+wrapped in a helper — including a helper living in an allowlisted
+module, which is exactly how a measurement utility leaks wall-clock
+into simulation logic.  This checker propagates taint over the project
+call graph (``repro.lint.flow``) and flags every function that reaches
+a source *indirectly* from a module not allowlisted for that source
+kind.  Direct sources stay the per-file rules' findings; inline
+suppressions on a source are honored as sanitizers (the disable is a
+reviewed assertion the value never feeds sim behavior), as is the
+blessed ``sim/rng.py`` wrapper via ``flow_taint_sanitizers``.
+"""
+
+from __future__ import annotations
+
+from repro.lint.core import Checker, register
+
+#: taint kind -> (config allowlist attribute, remedy clause)
+_KINDS = {
+    "wall-clock": ("sim_clock_allow",
+                   "route timing through the SimClock"),
+    "global-rng": ("rng_allow",
+                   "draw from the run's seeded RngRegistry stream"),
+    "unseeded-rng": ("rng_allow",
+                     "seed the generator from the run's RngRegistry"),
+}
+
+
+@register
+class FlowTaintChecker(Checker):
+    rule = "flow-taint"
+    scope = "project"
+    description = ("no sim-path function reaches wall-clock or "
+                   "unseeded-RNG sources through helper calls "
+                   "(interprocedural)")
+
+    def check_project(self, corpus, config):
+        # Imported lazily: repro.lint.flow.summary reads constants from
+        # the per-file checkers, so a module-level import here would be
+        # circular.
+        from repro.lint.flow.graph import project_graph
+        graph = project_graph(corpus, config)
+        taint = graph.taint()
+        for fid in sorted(taint):
+            fn = graph.functions[fid]
+            for kind in sorted(taint[fid]):
+                via, _target = taint[fid][kind]
+                if via != "call":
+                    continue  # direct source: the per-file rule's beat
+                allow_attr, remedy = _KINDS[kind]
+                if fn["package_rel"] in getattr(config, allow_attr):
+                    continue
+                path = " -> ".join(graph.taint_path(fid, kind))
+                yield self.finding(
+                    config, config.package_dir / fn["package_rel"],
+                    fn["line"], fn["col"],
+                    f"{fn['qualname']} reaches a {kind} source through "
+                    f"helper calls ({path}); {remedy}",
+                    identity=f"taint:{kind}:{graph.fid_label(fid)}")

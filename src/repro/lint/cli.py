@@ -8,6 +8,7 @@ usage or configuration problem.
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -16,6 +17,7 @@ from repro.lint.baseline import BaselineError, load_baseline, write_baseline
 from repro.lint.config import default_config
 from repro.lint.core import Severity, all_checkers, run_lint
 from repro.lint.report import render_json, render_text
+from repro.lint.sarif import render_sarif
 
 EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
@@ -48,6 +50,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", type=Path, default=None,
         help="also write a JSON report to this file (for CI artifacts)")
     parser.add_argument(
+        "--sarif", type=Path, default=None,
+        help="also write a SARIF 2.1.0 report to this file (GitHub code "
+             "scanning)")
+    parser.add_argument(
+        "--diff", metavar="BASE", default=None,
+        help="report only findings in files changed since the git ref "
+             "BASE (untracked files included); the analysis itself stays "
+             "whole-program, so cross-file findings in changed files are "
+             "still caught")
+    parser.add_argument(
         "--baseline", type=Path, default=None,
         help="baseline file (default: <root>/lint-baseline.json)")
     parser.add_argument(
@@ -66,6 +78,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print the registered rules and exit")
     return parser
+
+
+class DiffError(RuntimeError):
+    """git could not produce the changed-file list for ``--diff``."""
+
+
+def changed_paths(root: Path, base: str) -> List[str]:
+    """Root-relative files changed since ``base`` plus untracked files —
+    the report filter for ``--diff`` (the analysis stays whole-program)."""
+    commands = (
+        ["git", "diff", "--name-only", "-z", base, "--"],
+        ["git", "ls-files", "--others", "--exclude-standard", "-z"],
+    )
+    out = set()
+    for command in commands:
+        proc = subprocess.run(command, cwd=root, capture_output=True,
+                              text=True)
+        if proc.returncode != 0:
+            raise DiffError(
+                f"{' '.join(command)}: {proc.stderr.strip() or 'failed'}")
+        out.update(p for p in proc.stdout.split("\0") if p)
+    return sorted(out)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -99,9 +133,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"repro.lint: {exc}", file=sys.stderr)
         return EXIT_USAGE
 
+    paths = list(args.paths)
+    if args.diff is not None:
+        try:
+            changed = changed_paths(config.root, args.diff)
+        except DiffError as exc:
+            print(f"repro.lint: --diff: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        if paths:
+            prefixes = tuple(p.rstrip("/") for p in paths)
+            changed = [c for c in changed
+                       if any(c == p or c.startswith(p + "/")
+                              for p in prefixes)]
+        # An empty changed set must report nothing; run_lint treats an
+        # empty paths list as "no filter", so pass an unmatchable one.
+        paths = changed or ["\0no-changed-files"]
+
     result = run_lint(config, select=select or None,
                       disable=disable or None, baseline=baseline,
-                      paths=args.paths or None)
+                      paths=paths or None)
 
     if args.write_baseline:
         count = write_baseline(baseline_path,
@@ -112,6 +162,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.output is not None:
         args.output.write_text(render_json(result), encoding="utf-8")
+    if args.sarif is not None:
+        args.sarif.write_text(render_sarif(result, all_checkers()),
+                              encoding="utf-8")
     if args.format == "json" and args.output is None:
         print(render_json(result), end="")
     else:

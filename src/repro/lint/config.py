@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Tuple
+from typing import Optional, Tuple
 
 
 @dataclass
@@ -51,6 +51,53 @@ class LintConfig:
     #: Default baseline location for grandfathered findings.
     baseline_rel: str = "lint-baseline.json"
 
+    # -- interprocedural (flow) layer -------------------------------------
+    #: Modules whose functions *sanitize* taint: reviewed boundaries
+    #: whose return values are deemed clock-free/deterministic.
+    #: ``sim/rng.py`` is the blessed seeded-stream wrapper (calls into
+    #: it are the fix, not the bug); ``loadgen/executor.py`` measures
+    #: real wall time of the parallel run itself — a measurement
+    #: boundary, not sim logic.  (Distinct from ``rng_allow``/
+    #: ``sim_clock_allow``, which only mute per-file reporting — taint
+    #: still propagates out of a merely allowlisted module, closing the
+    #: allowlist-laundering hole.)
+    flow_taint_sanitizers: Tuple[str, ...] = ("sim/rng.py",
+                                              "loadgen/executor.py")
+
+    #: Package-relative module prefixes whose public functions/methods
+    #: are exception-flow entry points: every ``raise`` reachable from
+    #: them must resolve to a project-defined typed error.
+    flow_entry_prefixes: Tuple[str, ...] = ("cloud/", "vdc/", "security/")
+
+    #: Functions that run inside ParallelFleetExecutor worker processes
+    #: (``module.py::function``); everything they can reach is subject
+    #: to the shard-boundary state rules.
+    shard_entry_points: Tuple[str, ...] = (
+        "loadgen/executor.py::run_shard",
+        "loadgen/executor.py::_run_shard_job",
+    )
+
+    #: Modules exempt from the shard-boundary state rules.  The obs
+    #: registry is process-wide *by design* — ``run_shard`` resets it at
+    #: worker start, which is the mechanism that makes it fork-safe.
+    shard_state_allow: Tuple[str, ...] = ("obs/__init__.py",)
+
+    #: Where the path of the ``SecurityError`` taxonomy root lives, for
+    #: the swallowed-SecurityError handler check
+    #: (``module.py::ClassName``).
+    flow_security_root: str = "security/errors.py::SecurityError"
+
+    #: Declared state-machine transition tables the ``flow-typestate``
+    #: rule verifies code against (see ``repro.lint.flow.statetables``).
+    #: ``None`` means the default three machines (VFC, migration,
+    #: channel rekey epoch); tests point this at fixture machines.
+    typestate_machines: Optional[Tuple[dict, ...]] = None
+
+    #: On-disk cache of per-module flow summaries, keyed by content
+    #: hash, so the cached whole-program pass stays fast (root-relative;
+    #: an absolute path is honored as-is).
+    flow_cache_rel: str = ".lint-flow-cache.json"
+
     #: Directory names never descended into.
     skip_dirs: Tuple[str, ...] = field(
         default=("__pycache__", ".git", ".pytest_cache", ".hypothesis"))
@@ -62,6 +109,10 @@ class LintConfig:
     @property
     def baseline_path(self) -> Path:
         return self.root / self.baseline_rel
+
+    @property
+    def flow_cache_path(self) -> Path:
+        return self.root / self.flow_cache_rel
 
     def rel(self, path: Path) -> str:
         """``path`` relative to the root, POSIX-style (finding identity)."""

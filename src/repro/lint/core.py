@@ -36,14 +36,20 @@ class Finding:
     line: int
     col: int
     message: str
+    #: Optional stable identity overriding ``message`` in the baseline
+    #: fingerprint.  Checkers whose messages embed volatile detail
+    #: (taint paths, entry-point attributions, counts) set this to the
+    #: invariant core of the finding so baseline entries don't churn
+    #: when the detail shifts.
+    identity: Optional[str] = None
 
     def fingerprint(self) -> Tuple[str, str, str]:
         """Line-number-free identity used for baseline matching, so a
         grandfathered finding survives unrelated edits above it."""
-        return (self.rule, self.path, self.message)
+        return (self.rule, self.path, self.identity or self.message)
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "rule": self.rule,
             "severity": self.severity.value,
             "path": self.path,
@@ -51,6 +57,9 @@ class Finding:
             "col": self.col,
             "message": self.message,
         }
+        if self.identity is not None:
+            payload["identity"] = self.identity
+        return payload
 
 
 #: ``# repro-lint: disable=rule[,rule]`` suppresses findings on its line;
@@ -110,10 +119,11 @@ class Checker:
         return ()
 
     def finding(self, config: LintConfig, path: Path, line: int, col: int,
-                message: str, severity: Optional[Severity] = None) -> Finding:
+                message: str, severity: Optional[Severity] = None,
+                identity: Optional[str] = None) -> Finding:
         return Finding(rule=self.rule, severity=severity or self.severity,
                        path=config.rel(path), line=line, col=col,
-                       message=message)
+                       message=message, identity=identity)
 
 
 _REGISTRY: Dict[str, Checker] = {}

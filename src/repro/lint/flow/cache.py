@@ -1,0 +1,79 @@
+"""The on-disk summary cache: ``{rel: {sha, summary}}`` keyed by
+content hash, so an unchanged module is never re-summarized.
+
+The cache is a pure accelerator — a missing, stale, or corrupt file
+degrades to a full re-extraction, never to wrong answers.  Write
+failures (read-only checkouts, concurrent runs) are swallowed the same
+way: the run completes, only colder.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Optional, Tuple
+
+from repro.lint.config import LintConfig
+from repro.lint.core import SourceFile
+from repro.lint.flow.summary import SCHEMA_VERSION, summarize_module
+
+_CACHE_VERSION = 1
+
+
+def content_sha(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _load_disk_cache(config: LintConfig) -> Dict[str, Dict]:
+    path = config.flow_cache_path
+    if not path.exists():
+        return {}
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, OSError):
+        return {}
+    if not isinstance(payload, dict) \
+            or payload.get("version") != _CACHE_VERSION \
+            or payload.get("schema") != SCHEMA_VERSION:
+        return {}
+    entries = payload.get("modules")
+    return entries if isinstance(entries, dict) else {}
+
+
+def _store_disk_cache(config: LintConfig,
+                      entries: Dict[str, Dict]) -> bool:
+    payload = {"version": _CACHE_VERSION, "schema": SCHEMA_VERSION,
+               "modules": entries}
+    try:
+        config.flow_cache_path.write_text(
+            json.dumps(payload, sort_keys=True), encoding="utf-8")
+    except OSError:
+        return False  # cold next run; never fail the lint over the cache
+    return True
+
+
+def load_summaries(corpus: Dict[str, SourceFile],
+                   config: LintConfig,
+                   use_disk: bool = True) -> Tuple[Dict[str, Dict], int]:
+    """``rel -> summary`` for the corpus, reusing disk-cache entries
+    whose content hash still matches.  Returns ``(summaries, hits)``;
+    the refreshed cache is written back when anything changed."""
+    disk = _load_disk_cache(config) if use_disk else {}
+    summaries: Dict[str, Dict] = {}
+    fresh: Dict[str, Dict] = {}
+    hits = 0
+    for rel in sorted(corpus):
+        src = corpus[rel]
+        sha = content_sha(src.text)
+        entry: Optional[Dict] = disk.get(rel)
+        if entry is not None and entry.get("sha") == sha:
+            summaries[rel] = entry["summary"]
+            fresh[rel] = entry
+            hits += 1
+            continue
+        summary = summarize_module(src)
+        summaries[rel] = summary
+        fresh[rel] = {"sha": sha, "summary": summary}
+    if use_disk and (hits < len(corpus) or set(disk) != set(fresh)):
+        _store_disk_cache(config, fresh)
+    return summaries, hits

@@ -1,0 +1,118 @@
+"""Declared transition tables for the project's state machines.
+
+The ``flow-typestate`` checker verifies every state assignment and
+transition call in code against these tables — the Simplex argument
+(arXiv 1812.02834) that a safety controller's state machine must be
+*verifiable* applies directly: the SAFETY quarantine is only as strong
+as the guarantee that no code path writes its way out of it.
+
+Each machine is a plain dict so tests can substitute fixture machines
+via ``LintConfig.typestate_machines``:
+
+``name``
+    Short id used in findings.
+``module``
+    Package-relative path of the module defining the machine.
+``owner``
+    Class whose instances carry the state attribute.
+``enum``
+    The state enum class (members are read from the module).
+``attr``
+    The instance attribute holding the state.
+``setter``
+    The one method allowed to assign ``attr`` (besides ``__init__``);
+    any other assignment is a bypass.
+``enforcement``
+    ``"none"``: the setter assigns blindly, so every statically
+    possible source state must be legal (*must*-analysis).
+    ``"runtime"``: the setter itself validates against a table, so a
+    call site is only flagged when **no** possible source state makes
+    it legal (*may*-analysis).
+``transitions``
+    Legal ``source -> targets`` map for transitions whose target state
+    is statically resolvable.
+``restore_from``
+    Source states from which a *statically unresolvable* target (a
+    restore-prior-state variable like ``_pre_safety_state``) is legal;
+    anywhere else an unresolvable target is flagged.
+``initial``
+    States ``__init__`` (or a dataclass field default) may assign.
+``runtime_table``
+    Optional module-level dict the runtime validates against; the
+    checker diffs it against ``transitions`` so the declared table and
+    the enforced table cannot drift apart.
+``protocol``
+    ``"monotonic-counter"`` replaces the enum machinery: the attribute
+    is an integer epoch that only ``__init__`` may seed and only the
+    setter may advance, by exactly ``+= 1``.
+"""
+
+#: The VFC per-tenant connection states (mavproxy/vfc.py).  SAFETY is
+#: the simplex quarantine: the only resolvable exit is ``finish`` (the
+#: terminal landing view); the only other way out is ``exit_safety``
+#: restoring the *recorded prior level* — an unresolvable target, legal
+#: solely from SAFETY via ``restore_from``.
+VFC_MACHINE = {
+    "name": "vfc",
+    "module": "mavproxy/vfc.py",
+    "owner": "VirtualFlightController",
+    "enum": "VfcState",
+    "attr": "state",
+    "setter": "_set_state",
+    "enforcement": "none",
+    "initial": ("INACTIVE",),
+    "restore_from": ("SAFETY",),
+    "transitions": {
+        "INACTIVE": ("INACTIVE", "APPROACHING", "ACTIVE", "SAFETY",
+                     "FINISHED"),
+        "APPROACHING": ("ACTIVE", "INACTIVE", "SAFETY", "FINISHED"),
+        "ACTIVE": ("ACTIVE", "HOLDING", "RECOVERING", "INACTIVE",
+                   "SAFETY", "FINISHED"),
+        "RECOVERING": ("RECOVERING", "ACTIVE", "INACTIVE", "SAFETY",
+                       "FINISHED"),
+        "HOLDING": ("ACTIVE", "RECOVERING", "INACTIVE", "SAFETY",
+                    "FINISHED"),
+        "SAFETY": ("FINISHED",),
+        "FINISHED": ("FINISHED",),
+    },
+}
+
+#: The VDR-based migration hand-off (cloud/controlplane/migration.py).
+#: ``MigrationTicket.transition`` validates against the module's own
+#: TRANSITIONS dict at runtime, so the static pass is a may-analysis
+#: plus a declared-vs-runtime table diff.
+MIGRATION_MACHINE = {
+    "name": "migration",
+    "module": "cloud/controlplane/migration.py",
+    "owner": "MigrationTicket",
+    "enum": "MigrationState",
+    "attr": "state",
+    "setter": "transition",
+    "enforcement": "runtime",
+    "initial": ("REQUESTED",),
+    "runtime_table": "TRANSITIONS",
+    "transitions": {
+        "REQUESTED": ("EXPORTING", "FAILED"),
+        "EXPORTING": ("STORED", "FAILED"),
+        "STORED": ("PLACING", "FAILED"),
+        "PLACING": ("IMPORTING", "PLACING", "FAILED"),
+        "IMPORTING": ("COMPLETED", "PLACING", "FAILED"),
+        "COMPLETED": (),
+        "FAILED": (),
+    },
+}
+
+#: The secure-channel rekey epoch (security/channel.py).  Replay
+#: rejection assumes the epoch is a monotonic counter: seeded once in
+#: ``__init__``, advanced by exactly one in ``rekey``, never written
+#: anywhere else — a jump or reset would resurrect replayed frames.
+REKEY_MACHINE = {
+    "name": "rekey-epoch",
+    "module": "security/channel.py",
+    "owner": "KeySchedule",
+    "attr": "epoch",
+    "setter": "rekey",
+    "protocol": "monotonic-counter",
+}
+
+DEFAULT_MACHINES = (VFC_MACHINE, MIGRATION_MACHINE, REKEY_MACHINE)

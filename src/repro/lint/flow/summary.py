@@ -1,0 +1,302 @@
+"""Per-module flow summaries: everything the whole-program layer needs
+from one module, as a JSON-serializable dict.
+
+A summary is a pure function of the module text (suppression comments
+included), which is what makes the on-disk cache sound: same bytes,
+same summary.  All structures are lists/dicts of primitives so they
+round-trip through JSON unchanged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+from repro.lint.checkers._astutil import ImportMap, is_constant_name
+from repro.lint.checkers.forksafety import _is_mutable_value
+from repro.lint.checkers.rng import GLOBAL_RNG_FUNCS
+from repro.lint.checkers.simclock import BANNED_CALLS
+from repro.lint.core import SourceFile
+
+#: Bumped whenever the summary schema changes; stale cache entries are
+#: silently re-extracted.
+SCHEMA_VERSION = 1
+
+#: Container-mutating method names: calling one on a module-level
+#: binding from shard-reachable code is a cross-shard state write.
+MUTATOR_METHODS = frozenset({
+    "append", "appendleft", "add", "update", "extend", "insert",
+    "setdefault", "pop", "popleft", "popitem", "remove", "discard",
+    "clear",
+})
+
+#: Pool/executor methods whose first argument crosses a process
+#: boundary.
+_CROSSING_METHODS = frozenset({"map", "starmap", "imap", "submit",
+                               "apply", "apply_async"})
+#: Constructors whose ``target=`` callable crosses a process/thread
+#: boundary.
+_CROSSING_CTORS = frozenset({"multiprocessing.Process",
+                             "threading.Thread"})
+
+
+def _suppressed(src: SourceFile, rule: str, line: int) -> bool:
+    sup = src.suppressions
+    for scope in (sup.file_rules, sup.line_rules.get(line, ())):
+        if rule in scope or "all" in scope:
+            return True
+    return False
+
+
+def _chain(imap: ImportMap, expr: ast.AST) -> Optional[str]:
+    return imap.resolve(expr)
+
+
+def _callable_ref(arg: ast.AST, imap: ImportMap) -> List:
+    """[kind, repr] of a callable crossing the shard boundary."""
+    if isinstance(arg, ast.Lambda):
+        return ["lambda", "<lambda>"]
+    if isinstance(arg, ast.Attribute):
+        return ["bound", _chain(imap, arg) or arg.attr]
+    if isinstance(arg, ast.Name):
+        return ["name", _chain(imap, arg) or arg.id]
+    return ["opaque", "<expr>"]
+
+
+def _taint_sources(call: ast.Call, chain: Optional[str],
+                   src: SourceFile) -> List[List]:
+    """Taint sources this call constitutes (suppressed sites sanitize:
+    the inline disable is a reviewed assertion that the value never
+    feeds sim behavior)."""
+    out: List[List] = []
+    if chain is None:
+        return out
+    if chain in BANNED_CALLS and not _suppressed(src, "sim-clock",
+                                                 call.lineno):
+        out.append(["wall-clock", chain, call.lineno, call.col_offset])
+    elif chain.startswith("random.") \
+            and not _suppressed(src, "seeded-rng", call.lineno):
+        suffix = chain[len("random."):]
+        if suffix in GLOBAL_RNG_FUNCS:
+            out.append(["global-rng", chain, call.lineno,
+                        call.col_offset])
+        elif suffix == "Random" and not call.args and not call.keywords:
+            out.append(["unseeded-rng", chain, call.lineno,
+                        call.col_offset])
+        elif suffix == "SystemRandom":
+            out.append(["unseeded-rng", chain, call.lineno,
+                        call.col_offset])
+    return out
+
+
+def _const_seq_items(value: ast.AST, imap: ImportMap) -> Optional[List[str]]:
+    """Resolved items of a module-level tuple/list of dotted refs
+    (state-set constants like ``_LIVE_STATES``), or None."""
+    if not isinstance(value, (ast.Tuple, ast.List)):
+        return None
+    items: List[str] = []
+    for elt in value.elts:
+        ref = imap.resolve(elt)
+        if ref is None:
+            return None
+        items.append(ref)
+    return items
+
+
+def _function_summary(node, qualname: str, cls: Optional[str],
+                      imap: ImportMap, src: SourceFile,
+                      module_names: frozenset) -> Dict:
+    params = {a.arg for a in (node.args.args + node.args.posonlyargs
+                              + node.args.kwonlyargs)}
+    if node.args.vararg:
+        params.add(node.args.vararg.arg)
+    if node.args.kwarg:
+        params.add(node.args.kwarg.arg)
+
+    calls: List[List] = []
+    crossings: List[List] = []
+    raises: List[List] = []
+    handlers: List[List] = []
+    sources: List[List] = []
+    globals_written: List[str] = []
+    mutable_defaults: List[List] = []
+    module_mutations: List[List] = []
+    locals_bound = set(params)
+
+    # First pass: every bound name (nested scopes included — being
+    # over-inclusive here only *reduces* module-mutation findings).
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and isinstance(
+                sub.ctx, (ast.Store, ast.Del)):
+            locals_bound.add(sub.id)
+        elif isinstance(sub, ast.Global):
+            globals_written.extend(sub.names)
+            locals_bound.difference_update(sub.names)
+
+    for default in (node.args.defaults + node.args.kw_defaults):
+        if default is not None and _is_mutable_value(default, imap):
+            mutable_defaults.append(
+                [node.name, default.lineno, default.col_offset])
+
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            chain = _chain(imap, sub.func)
+            calls.append([chain, sub.lineno, sub.col_offset])
+            sources.extend(_taint_sources(sub, chain, src))
+            if chain is not None:
+                parts = chain.split(".")
+                if len(parts) >= 2 and parts[-1] in _CROSSING_METHODS \
+                        and sub.args:
+                    crossings.append(
+                        _callable_ref(sub.args[0], imap)
+                        + [sub.lineno, sub.col_offset])
+                elif chain in _CROSSING_CTORS:
+                    for kw in sub.keywords:
+                        if kw.arg == "target":
+                            crossings.append(
+                                _callable_ref(kw.value, imap)
+                                + [sub.lineno, sub.col_offset])
+                if len(parts) == 2 and parts[-1] in MUTATOR_METHODS:
+                    base = parts[0]
+                    if base in module_names and base not in locals_bound \
+                            and not is_constant_name(base):
+                        module_mutations.append(
+                            [base, f".{parts[-1]}()", sub.lineno,
+                             sub.col_offset])
+        elif isinstance(sub, ast.Raise):
+            exc = sub.exc
+            if isinstance(exc, ast.Call):
+                exc = exc.func
+            raises.append([_chain(imap, exc) if exc is not None else None,
+                           sub.lineno, sub.col_offset])
+        elif isinstance(sub, ast.ExceptHandler):
+            names = []
+            if sub.type is not None:
+                nodes = (sub.type.elts if isinstance(sub.type, ast.Tuple)
+                         else [sub.type])
+                names = [c for c in (_chain(imap, n) for n in nodes)
+                         if c is not None]
+            has_raise = any(isinstance(s, ast.Raise)
+                            for s in ast.walk(ast.Module(
+                                body=sub.body, type_ignores=[])))
+            has_call = any(isinstance(s, ast.Call)
+                           for s in ast.walk(ast.Module(
+                               body=sub.body, type_ignores=[])))
+            handlers.append([names, sub.lineno, sub.col_offset,
+                             has_raise, has_call])
+        elif isinstance(sub, (ast.Assign, ast.AugAssign)):
+            targets = (sub.targets if isinstance(sub, ast.Assign)
+                       else [sub.target])
+            for tgt in targets:
+                base = tgt
+                how = "="
+                if isinstance(base, ast.Subscript):
+                    base = base.value
+                    how = "[...]="
+                if isinstance(base, ast.Name) and how != "=" \
+                        and base.id in module_names \
+                        and base.id not in locals_bound \
+                        and not is_constant_name(base.id):
+                    module_mutations.append(
+                        [base.id, how, sub.lineno, sub.col_offset])
+
+    return {
+        "name": node.name,
+        "qualname": qualname,
+        "class": cls,
+        "line": node.lineno,
+        "col": node.col_offset,
+        "public": not node.name.startswith("_"),
+        "calls": calls,
+        "crossings": crossings,
+        "raises": raises,
+        "handlers": handlers,
+        "sources": sources,
+        "globals_written": sorted(set(globals_written)),
+        "mutable_defaults": mutable_defaults,
+        "module_mutations": module_mutations,
+    }
+
+
+def _class_attr_types(node: ast.ClassDef, imap: ImportMap) -> Dict[str, str]:
+    """``self.attr = ClassName(...)`` bindings in ``__init__`` plus
+    annotated class fields — the instance-attribute type heuristic."""
+    types: Dict[str, str] = {}
+    for stmt in node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name):
+            ann = imap.resolve(stmt.annotation)
+            if ann is not None:
+                types[stmt.target.id] = ann
+        elif isinstance(stmt, ast.FunctionDef) and stmt.name == "__init__":
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Assign) and len(sub.targets) == 1:
+                    tgt = sub.targets[0]
+                    if (isinstance(tgt, ast.Attribute)
+                            and isinstance(tgt.value, ast.Name)
+                            and tgt.value.id == "self"
+                            and isinstance(sub.value, ast.Call)):
+                        ctor = imap.resolve(sub.value.func)
+                        if ctor is not None:
+                            types[tgt.attr] = ctor
+    return types
+
+
+def summarize_module(src: SourceFile) -> Dict:
+    """The flow summary of one parsed module."""
+    imap = ImportMap(src.tree)
+    module_names = set()
+    const_seqs: Dict[str, List[str]] = {}
+    classes: Dict[str, Dict] = {}
+    functions: Dict[str, Dict] = {}
+
+    for stmt in src.tree.body:
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                       else [stmt.target])
+            for tgt in targets:
+                if isinstance(tgt, ast.Name):
+                    module_names.add(tgt.id)
+                    value = getattr(stmt, "value", None)
+                    if value is not None:
+                        items = _const_seq_items(value, imap)
+                        if items is not None:
+                            const_seqs[tgt.id] = items
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            module_names.add(stmt.name)
+        elif isinstance(stmt, ast.ClassDef):
+            module_names.add(stmt.name)
+
+    frozen_names = frozenset(module_names)
+    for stmt in src.tree.body:
+        if isinstance(stmt, ast.FunctionDef):
+            functions[stmt.name] = _function_summary(
+                stmt, stmt.name, None, imap, src, frozen_names)
+        elif isinstance(stmt, ast.ClassDef):
+            bases = [c for c in (imap.resolve(b) for b in stmt.bases)
+                     if c is not None]
+            methods = []
+            for sub in stmt.body:
+                if isinstance(sub, ast.FunctionDef):
+                    qualname = f"{stmt.name}.{sub.name}"
+                    functions[qualname] = _function_summary(
+                        sub, qualname, stmt.name, imap, src, frozen_names)
+                    methods.append(sub.name)
+            classes[stmt.name] = {
+                "line": stmt.lineno,
+                "bases": bases,
+                "methods": methods,
+                "attr_types": _class_attr_types(stmt, imap),
+            }
+
+    return {
+        "schema": SCHEMA_VERSION,
+        "rel": src.rel,
+        "package_rel": src.package_rel,
+        "imports": {"modules": dict(imap.modules),
+                    "from_names": dict(imap.from_names)},
+        "module_names": sorted(module_names),
+        "const_seqs": const_seqs,
+        "classes": classes,
+        "functions": functions,
+    }

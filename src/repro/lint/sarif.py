@@ -1,0 +1,79 @@
+"""SARIF 2.1.0 reporter, the interchange format GitHub code scanning
+ingests.
+
+One run per document; every registered rule that ran appears in the
+tool's rule catalog (so code scanning can show descriptions even for
+clean rules), each fresh finding becomes a ``result`` with a physical
+location, and the finding's baseline identity doubles as the SARIF
+``partialFingerprints`` entry — the same stability contract in both
+systems.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from repro.lint.core import Checker, LintResult, Severity
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def render_sarif(result: LintResult,
+                 checkers: Dict[str, Checker]) -> str:
+    rules = []
+    for rule in result.rules_run:
+        chk = checkers.get(rule)
+        rules.append({
+            "id": rule,
+            "shortDescription": {
+                "text": chk.description if chk else rule},
+            "defaultConfiguration": {
+                "level": _LEVELS[chk.severity] if chk else "error"},
+        })
+    rule_index = {rule: i for i, rule in enumerate(result.rules_run)}
+
+    results = []
+    for finding in result.findings:
+        entry = {
+            "ruleId": finding.rule,
+            "level": _LEVELS[finding.severity],
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": finding.col + 1,
+                    },
+                },
+            }],
+            "partialFingerprints": {
+                "reproLintIdentity/v1":
+                    finding.identity or finding.message,
+            },
+        }
+        if finding.rule in rule_index:
+            entry["ruleIndex"] = rule_index[finding.rule]
+        results.append(entry)
+
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro.lint",
+                "rules": rules,
+            }},
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "results": results,
+        }],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"

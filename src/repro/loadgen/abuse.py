@@ -109,7 +109,10 @@ def flood_installer(scenario) -> Callable:
                         reply = app.call_service(service, code, dict(data))
                     except TransientBinderError:
                         reply = {"transient": True}
-                    except RateLimitError:
+                    except RateLimitError:  # repro-lint: disable=flow-exceptions
+                        # Deliberate abuse traffic: the throttle IS the
+                        # outcome, counted as loadgen.calls below; the
+                        # rate guard already fed the pressure detector.
                         reply = {"throttled": True}
                     outcome = "throttled" if reply.get("throttled") \
                         else _outcome(reply)
@@ -159,7 +162,9 @@ def run_order_storm(portal, scenario, user: str = "mallory",
                 user=user, waypoints=list(waypoint),
                 drone_type=scenario.drone_type,
                 max_charge=1.0, max_duration_s=30.0)
-        except RateLimitError:
+        except RateLimitError:  # repro-lint: disable=flow-exceptions
+            # Deliberate order storm: rejections are the measured
+            # outcome, tallied into the abuse.order_storm event below.
             report.rejected_rate += 1
         except PortalBusyError:
             report.rejected_busy += 1

@@ -70,7 +70,7 @@ class MavlinkConnection:
         if self.session is not None:
             try:
                 frame = self.session.open(frame)
-            except ChannelAuthError:
+            except ChannelAuthError:  # repro-lint: disable=flow-exceptions
                 # Spoofed, replayed, or stale-epoch traffic: the session
                 # endpoint already counted it (sec.channel.rejected) and
                 # fed the anomaly detector; the frame never reaches the

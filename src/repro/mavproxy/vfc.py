@@ -119,7 +119,19 @@ class VirtualFlightController:
     # -- lifecycle driven by the proxy / flight planner -----------------------------
     def activate(self, geofence: Geofence) -> None:
         """Waypoint reached: give the tenant control within the fence."""
+        if self.state is VfcState.FINISHED:
+            # Control was already revoked for the rest of the flight;
+            # a late waypoint arrival must not resurrect the connection.
+            return
         self.geofence = geofence
+        if self.state is VfcState.SAFETY:
+            # Demoted tenant reaching its waypoint: arm the fence and
+            # record that exit_safety should hand back ACTIVE, but stay
+            # quarantined — only the simplex controller lifts SAFETY.
+            self._pre_safety_state = VfcState.ACTIVE
+            self.proxy.fc_set_geofence(geofence,
+                                       on_breach=self._handle_breach)
+            return
         self._set_state(VfcState.ACTIVE, template=self.template.name)
         self.proxy.fc_set_geofence(geofence, on_breach=self._handle_breach)
         self.outbox.append(Statustext(severity=6, text="waypoint active: control granted"))
@@ -131,12 +143,22 @@ class VirtualFlightController:
     def deactivate(self, next_waypoint: Optional[GeoPoint] = None) -> None:
         """Intermediate waypoint done: back to the inactive view, anchored
         at the tenant's next waypoint."""
-        if self.state in _LIVE_STATES:
-            self.proxy.fc_clear_geofence()
-        self.geofence = None
+        if self.state is VfcState.FINISHED:
+            return
         if next_waypoint is not None:
             self.waypoint = next_waypoint
         self._virtual_alt_m = 0.0
+        if self.state is VfcState.SAFETY:
+            # Waypoint ended while demoted: drop the fence and restore
+            # to the idle view once the fallback lifts, but stay
+            # quarantined — only the simplex controller lifts SAFETY.
+            self.proxy.fc_clear_geofence()
+            self.geofence = None
+            self._pre_safety_state = VfcState.INACTIVE
+            return
+        if self.state in _LIVE_STATES:
+            self.proxy.fc_clear_geofence()
+        self.geofence = None
         self._set_state(VfcState.INACTIVE)
         self.outbox.append(Statustext(severity=6, text="waypoint complete: moving on"))
 
@@ -364,6 +386,12 @@ class VirtualFlightController:
     # -- breach recovery -------------------------------------------------------------------
     def _handle_breach(self, breach: GeofenceBreach) -> None:
         """AnDrone's modified geofence action (Section 4.3)."""
+        if self.state not in (VfcState.ACTIVE, VfcState.HOLDING,
+                              VfcState.RECOVERING):
+            # A late fence callback (tenant finished, demoted to SAFETY,
+            # or back between waypoints) must not re-grant a live
+            # recovery state.
+            return
         # 1. Inform the virtual drone of the breach.
         self.outbox.append(Statustext(severity=4, text=str(breach)))
         obs.counter("mavproxy.geofence_breaches", source=self.container).inc()

@@ -1,0 +1,147 @@
+"""flow-exceptions fixture tests: bare raises reachable from the
+cloud/VDC/security surface, and swallowed SecurityError handlers."""
+
+from tests.lint.conftest import lint_rule, make_repo
+
+_SECURITY_ERRORS = """\
+    class SecurityError(Exception):
+        pass
+
+    class ChannelAuthError(SecurityError):
+        pass
+    """
+
+
+class TestReachableRaises:
+    def test_bare_runtimeerror_through_helper(self, tmp_path):
+        config = make_repo(tmp_path, {
+            "src/repro/cloud/api.py": """\
+                from repro.devices.util import attach
+
+                def provision(spec):
+                    return attach(spec)
+                """,
+            "src/repro/devices/util.py": """\
+                def attach(spec):
+                    if spec is None:
+                        raise RuntimeError("no spec")
+                    return spec
+                """,
+        })
+        findings = lint_rule(config, "flow-exceptions")
+        assert [f.identity for f in findings] == [
+            "raise:devices/util.py::attach:RuntimeError"]
+        assert findings[0].path == "src/repro/devices/util.py"
+        assert "cloud/api.py::provision" in findings[0].message
+
+    def test_precise_builtin_is_legal(self, tmp_path):
+        config = make_repo(tmp_path, {
+            "src/repro/cloud/api.py": """\
+                from repro.devices.util import attach
+
+                def provision(spec):
+                    return attach(spec)
+                """,
+            "src/repro/devices/util.py": """\
+                def attach(spec):
+                    if spec is None:
+                        raise ValueError("no spec")
+                    return spec
+                """,
+        })
+        assert lint_rule(config, "flow-exceptions") == []
+
+    def test_unreachable_raise_is_not_flagged(self, tmp_path):
+        config = make_repo(tmp_path, {"src/repro/devices/util.py": """\
+            def attach(spec):
+                raise RuntimeError("no spec")
+            """})
+        assert lint_rule(config, "flow-exceptions") == []
+
+    def test_typed_prefix_modules_are_the_per_file_rules_beat(
+            self, tmp_path):
+        # A bare raise inside cloud/ itself is already policed by the
+        # per-file error-taxonomy rule; flow-exceptions stays silent.
+        config = make_repo(tmp_path, {"src/repro/cloud/api.py": """\
+            def provision(spec):
+                raise RuntimeError("no spec")
+            """})
+        assert lint_rule(config, "flow-exceptions") == []
+
+
+class TestSwallowedSecurityErrors:
+    def test_pass_handler_is_flagged(self, tmp_path):
+        config = make_repo(tmp_path, {
+            "src/repro/security/errors.py": _SECURITY_ERRORS,
+            "src/repro/mavlink/conn.py": """\
+                from repro.security.errors import ChannelAuthError
+
+                def recv(frame):
+                    try:
+                        return frame.open()
+                    except ChannelAuthError:
+                        return None
+                """,
+        })
+        findings = lint_rule(config, "flow-exceptions")
+        assert [f.identity for f in findings] == [
+            "swallow:mavlink/conn.py::recv:ChannelAuthError"]
+        assert "pressure detector" in findings[0].message
+
+    def test_handler_that_reraises_is_clean(self, tmp_path):
+        config = make_repo(tmp_path, {
+            "src/repro/security/errors.py": _SECURITY_ERRORS,
+            "src/repro/mavlink/conn.py": """\
+                from repro.security.errors import ChannelAuthError
+
+                def recv(frame):
+                    try:
+                        return frame.open()
+                    except ChannelAuthError:
+                        raise
+                """,
+        })
+        assert lint_rule(config, "flow-exceptions") == []
+
+    def test_handler_that_reports_is_clean(self, tmp_path):
+        config = make_repo(tmp_path, {
+            "src/repro/security/errors.py": _SECURITY_ERRORS,
+            "src/repro/mavlink/conn.py": """\
+                from repro.security.errors import ChannelAuthError
+
+                def recv(frame, detector):
+                    try:
+                        return frame.open()
+                    except ChannelAuthError:
+                        detector.record(frame)
+                """,
+        })
+        assert lint_rule(config, "flow-exceptions") == []
+
+    def test_unrelated_exception_swallow_is_clean(self, tmp_path):
+        config = make_repo(tmp_path, {
+            "src/repro/security/errors.py": _SECURITY_ERRORS,
+            "src/repro/mavlink/conn.py": """\
+                def recv(frame):
+                    try:
+                        return frame.open()
+                    except ValueError:
+                        return None
+                """,
+        })
+        assert lint_rule(config, "flow-exceptions") == []
+
+    def test_inline_suppression_documents_the_drop(self, tmp_path):
+        config = make_repo(tmp_path, {
+            "src/repro/security/errors.py": _SECURITY_ERRORS,
+            "src/repro/mavlink/conn.py": """\
+                from repro.security.errors import ChannelAuthError
+
+                def recv(frame):
+                    try:
+                        return frame.open()
+                    except ChannelAuthError:  # repro-lint: disable=flow-exceptions
+                        return None
+                """,
+        })
+        assert lint_rule(config, "flow-exceptions") == []

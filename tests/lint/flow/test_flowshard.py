@@ -1,0 +1,123 @@
+"""flow-shard-state fixture tests: mutable state reachable from
+declared shard entry points and auto-detected pool/process crossings."""
+
+from tests.lint.conftest import lint_rule, make_repo
+
+
+class TestFlowShardState:
+    def test_global_write_reachable_from_declared_entry(self, tmp_path):
+        config = make_repo(tmp_path, {
+            "src/repro/loadgen/executor.py": """\
+                from repro.loadgen.worker import work
+
+                def run_shard(jobs):
+                    return [work(j) for j in jobs]
+                """,
+            "src/repro/loadgen/worker.py": """\
+                _count = 0
+
+                def work(job):
+                    global _count
+                    _count += 1
+                    return job
+                """,
+        })
+        findings = lint_rule(config, "flow-shard-state")
+        assert [f.identity for f in findings] == [
+            "shard-global:loadgen/worker.py::work:_count"]
+        assert "loadgen/executor.py::run_shard" in findings[0].message
+
+    def test_pool_map_crossing_is_auto_detected(self, tmp_path):
+        # No declared entry point exists here; the crossing callable is
+        # picked up from the pool.map call itself.
+        config = make_repo(tmp_path, {"src/repro/fleet/batch.py": """\
+            _cache = []
+
+            def work(job):
+                _cache.append(job)
+                return job
+
+            def run_all(pool, jobs):
+                return pool.map(work, jobs)
+            """})
+        findings = lint_rule(config, "flow-shard-state")
+        assert [f.identity for f in findings] == [
+            "shard-mut:fleet/batch.py::work:_cache:.append()"]
+
+    def test_lambda_crossing_is_flagged_outright(self, tmp_path):
+        config = make_repo(tmp_path, {"src/repro/fleet/batch.py": """\
+            def run_all(pool, jobs):
+                return pool.map(lambda j: j + 1, jobs)
+            """})
+        findings = lint_rule(config, "flow-shard-state")
+        assert len(findings) == 1
+        assert findings[0].identity.startswith(
+            "shard-lambda:fleet/batch.py::run_all:")
+        assert "closure state" in findings[0].message
+
+    def test_mutable_default_in_reached_function(self, tmp_path):
+        config = make_repo(tmp_path, {
+            "src/repro/loadgen/executor.py": """\
+                from repro.loadgen.worker import work
+
+                def run_shard(jobs):
+                    return [work(j) for j in jobs]
+                """,
+            "src/repro/loadgen/worker.py": """\
+                def work(job, acc=[]):
+                    acc.append(job)
+                    return acc
+                """,
+        })
+        findings = lint_rule(config, "flow-shard-state")
+        assert [f.identity for f in findings] == [
+            "shard-default:loadgen/worker.py::work"]
+
+    def test_allowlisted_module_is_exempt(self, tmp_path):
+        config = make_repo(tmp_path, {
+            "src/repro/loadgen/executor.py": """\
+                from repro.loadgen.worker import work
+
+                def run_shard(jobs):
+                    return [work(j) for j in jobs]
+                """,
+            "src/repro/loadgen/worker.py": """\
+                _count = 0
+
+                def work(job):
+                    global _count
+                    _count += 1
+                    return job
+                """,
+        })
+        config.shard_state_allow = ("loadgen/worker.py",)
+        assert lint_rule(config, "flow-shard-state") == []
+
+    def test_pure_worker_is_clean(self, tmp_path):
+        config = make_repo(tmp_path, {
+            "src/repro/loadgen/executor.py": """\
+                from repro.loadgen.worker import work
+
+                def run_shard(jobs):
+                    return [work(j) for j in jobs]
+                """,
+            "src/repro/loadgen/worker.py": """\
+                def work(job):
+                    total = 0
+                    for step in job:
+                        total += step
+                    return total
+                """,
+        })
+        assert lint_rule(config, "flow-shard-state") == []
+
+    def test_unreached_mutation_is_not_flagged(self, tmp_path):
+        # The same mutation outside the shard-reachable slice is the
+        # per-file fork-safety rule's beat, not this one's.
+        config = make_repo(tmp_path, {"src/repro/fleet/local.py": """\
+            _cache = []
+
+            def remember(job):
+                _cache.append(job)
+            """})
+        assert lint_rule(config, "flow-shard-state") == []

@@ -1,0 +1,434 @@
+"""flow-typestate fixture tests: guard-sensitive transition legality,
+bypass detection, runtime-table drift, and the monotonic-counter
+protocol — all against fixture machines injected via
+``LintConfig.typestate_machines``."""
+
+from repro.lint import Severity
+
+from tests.lint.conftest import lint_rule, make_repo
+
+#: A must-analysis machine (the setter assigns blindly).
+_JOB_MACHINE = {
+    "name": "job",
+    "module": "jobs/machine.py",
+    "owner": "Job",
+    "enum": "Phase",
+    "attr": "state",
+    "setter": "_set_state",
+    "enforcement": "none",
+    "initial": ("IDLE",),
+    "restore_from": ("PAUSED",),
+    "transitions": {
+        "IDLE": ("RUNNING",),
+        "RUNNING": ("RUNNING", "PAUSED", "DONE"),
+        "PAUSED": ("RUNNING",),
+        "DONE": (),
+    },
+}
+
+# Closing quote at column 0 so concatenating a 4-space-indented class
+# body keeps a uniform indent for textwrap.dedent.
+_JOB_HEADER = """\
+    import enum
+
+    class Phase(enum.Enum):
+        IDLE = 0
+        RUNNING = 1
+        PAUSED = 2
+        DONE = 3
+
+"""
+
+
+def _job_repo(tmp_path, body, extra=None):
+    files = {"src/repro/jobs/machine.py": _JOB_HEADER + body}
+    files.update(extra or {})
+    config = make_repo(tmp_path, files)
+    config.typestate_machines = (_JOB_MACHINE,)
+    return config
+
+
+class TestMustAnalysis:
+    def test_guarded_transitions_are_clean(self, tmp_path):
+        config = _job_repo(tmp_path, """\
+    class Job:
+        def __init__(self):
+            self.state = Phase.IDLE
+
+        def _set_state(self, new):
+            self.state = new
+
+        def start(self):
+            if self.state is not Phase.IDLE:
+                return
+            self._set_state(Phase.RUNNING)
+
+        def finish(self):
+            if self.state is Phase.RUNNING:
+                self._set_state(Phase.DONE)
+    """)
+        assert lint_rule(config, "flow-typestate") == []
+
+    def test_unguarded_illegal_transition(self, tmp_path):
+        config = _job_repo(tmp_path, """\
+    class Job:
+        def __init__(self):
+            self.state = Phase.IDLE
+
+        def _set_state(self, new):
+            self.state = new
+
+        def finish(self):
+            self._set_state(Phase.DONE)
+    """)
+        findings = lint_rule(config, "flow-typestate")
+        assert [f.identity for f in findings] == [
+            "typestate:job:Job.finish:DONE"]
+        # Every source state that forbids the transition is listed.
+        assert "DONE/IDLE/PAUSED -> DONE" in findings[0].message
+
+    def test_in_guard_over_state_set_constant_narrows(self, tmp_path):
+        config = _job_repo(tmp_path, """\
+    _LIVE = (Phase.IDLE, Phase.RUNNING)
+
+    class Job:
+        def __init__(self):
+            self.state = Phase.IDLE
+
+        def _set_state(self, new):
+            self.state = new
+
+        def nudge(self):
+            if self.state in _LIVE:
+                self._set_state(Phase.RUNNING)
+    """)
+        assert lint_rule(config, "flow-typestate") == []
+
+    def test_direct_assignment_is_a_bypass(self, tmp_path):
+        config = _job_repo(tmp_path, """\
+    class Job:
+        def __init__(self):
+            self.state = Phase.IDLE
+
+        def _set_state(self, new):
+            self.state = new
+
+        def abort(self):
+            self.state = Phase.DONE
+    """)
+        findings = lint_rule(config, "flow-typestate")
+        assert [f.identity for f in findings] == [
+            "typestate-bypass:job:Job.abort"]
+
+    def test_wrong_initial_state(self, tmp_path):
+        config = _job_repo(tmp_path, """\
+    class Job:
+        def __init__(self):
+            self.state = Phase.RUNNING
+
+        def _set_state(self, new):
+            self.state = new
+    """)
+        findings = lint_rule(config, "flow-typestate")
+        assert [f.identity for f in findings] == ["typestate-initial:job"]
+
+    def test_unresolvable_target_needs_restore_guard(self, tmp_path):
+        config = _job_repo(tmp_path, """\
+    class Job:
+        def __init__(self):
+            self.state = Phase.IDLE
+            self._prev = Phase.IDLE
+
+        def _set_state(self, new):
+            self.state = new
+
+        def resume(self):
+            self._set_state(self._prev)
+    """)
+        findings = lint_rule(config, "flow-typestate")
+        assert [f.identity for f in findings] == [
+            "typestate:job:Job.resume:restore"]
+
+    def test_restore_guarded_to_restore_from_is_clean(self, tmp_path):
+        config = _job_repo(tmp_path, """\
+    class Job:
+        def __init__(self):
+            self.state = Phase.IDLE
+            self._prev = Phase.IDLE
+
+        def _set_state(self, new):
+            self.state = new
+
+        def resume(self):
+            if self.state is Phase.PAUSED:
+                self._set_state(self._prev)
+    """)
+        assert lint_rule(config, "flow-typestate") == []
+
+    def test_setter_call_outside_owner_is_checked(self, tmp_path):
+        config = _job_repo(tmp_path, """\
+    class Job:
+        def __init__(self):
+            self.state = Phase.IDLE
+
+        def _set_state(self, new):
+            self.state = new
+    """, extra={"src/repro/jobs/driver.py": """\
+            from repro.jobs.machine import Phase
+
+            def kick(job):
+                job._set_state(Phase.RUNNING)
+            """})
+        findings = lint_rule(config, "flow-typestate")
+        assert [f.identity for f in findings] == [
+            "typestate:job:kick:RUNNING"]
+        assert findings[0].path == "src/repro/jobs/driver.py"
+
+    def test_foreign_typed_field_write_is_a_bypass(self, tmp_path):
+        config = _job_repo(tmp_path, """\
+    class Job:
+        def __init__(self):
+            self.state = Phase.IDLE
+
+        def _set_state(self, new):
+            self.state = new
+    """, extra={"src/repro/jobs/pool.py": """\
+            from repro.jobs.machine import Job, Phase
+
+            class Pool:
+                def __init__(self):
+                    self.job = Job()
+
+                def smash(self):
+                    self.job.state = Phase.DONE
+            """})
+        findings = lint_rule(config, "flow-typestate")
+        assert [f.identity for f in findings] == [
+            "typestate-bypass:job:Pool"]
+
+    def test_missing_module_is_a_warning_skip(self, tmp_path):
+        config = make_repo(tmp_path, {"src/repro/other.py": "X = 1\n"})
+        config.typestate_machines = (_JOB_MACHINE,)
+        findings = lint_rule(config, "flow-typestate")
+        assert [f.identity for f in findings] == ["typestate-skip:job"]
+        assert findings[0].severity is Severity.WARNING
+
+    def test_unknown_state_in_table_is_a_warning(self, tmp_path):
+        machine = dict(_JOB_MACHINE)
+        machine["transitions"] = dict(machine["transitions"])
+        machine["transitions"]["GHOST"] = ("IDLE",)
+        config = _job_repo(tmp_path, """\
+    class Job:
+        def __init__(self):
+            self.state = Phase.IDLE
+
+        def _set_state(self, new):
+            self.state = new
+    """)
+        config.typestate_machines = (machine,)
+        findings = lint_rule(config, "flow-typestate")
+        assert [f.identity for f in findings] == [
+            "typestate-table:job:GHOST"]
+        assert findings[0].severity is Severity.WARNING
+
+
+#: A may-analysis machine: the setter validates at runtime against the
+#: module's own TABLE dict.
+_MIG_MACHINE = {
+    "name": "mig",
+    "module": "mig/ticket.py",
+    "owner": "Ticket",
+    "enum": "Mig",
+    "attr": "state",
+    "setter": "transition",
+    "enforcement": "runtime",
+    "initial": ("A",),
+    "runtime_table": "TABLE",
+    "transitions": {
+        "A": ("B",),
+        "B": ("C",),
+        "C": (),
+    },
+}
+
+_MIG_MODULE = """\
+    import enum
+
+    class Mig(enum.Enum):
+        A = 0
+        B = 1
+        C = 2
+
+    TABLE = {
+        Mig.A: (Mig.B,),
+        Mig.B: (Mig.C,),
+        Mig.C: (),
+    }
+
+    class Ticket:
+        def __init__(self):
+            self.state = Mig.A
+
+        def transition(self, new):
+            if new not in TABLE[self.state]:
+                raise ValueError("illegal transition")
+            self.state = new
+    """
+
+
+class TestMayAnalysisAndTableDrift:
+    def test_runtime_validated_call_with_a_legal_source_is_clean(
+            self, tmp_path):
+        config = make_repo(tmp_path, {
+            "src/repro/mig/ticket.py": _MIG_MODULE,
+            "src/repro/mig/driver.py": """\
+                from repro.mig.ticket import Mig
+
+                def push(ticket):
+                    ticket.transition(Mig.B)
+                """,
+        })
+        config.typestate_machines = (_MIG_MACHINE,)
+        assert lint_rule(config, "flow-typestate") == []
+
+    def test_statically_doomed_call_is_flagged(self, tmp_path):
+        config = make_repo(tmp_path, {
+            "src/repro/mig/ticket.py": _MIG_MODULE,
+            "src/repro/mig/driver.py": """\
+                from repro.mig.ticket import Mig
+
+                def rewind(ticket):
+                    ticket.transition(Mig.A)
+                """,
+        })
+        config.typestate_machines = (_MIG_MACHINE,)
+        findings = lint_rule(config, "flow-typestate")
+        assert [f.identity for f in findings] == ["typestate:mig:rewind:A"]
+        assert "guaranteed to raise" in findings[0].message
+
+    def test_declared_vs_runtime_table_drift(self, tmp_path):
+        drifted = _MIG_MODULE.replace("Mig.B: (Mig.C,),",
+                                      "Mig.B: (Mig.C, Mig.A),")
+        config = make_repo(tmp_path,
+                           {"src/repro/mig/ticket.py": drifted})
+        config.typestate_machines = (_MIG_MACHINE,)
+        findings = lint_rule(config, "flow-typestate")
+        assert [f.identity for f in findings] == ["typestate-table:mig:B"]
+        assert "declared table allows {C}" in findings[0].message
+        assert "TABLE enforces {A, C}" in findings[0].message
+
+    def test_missing_runtime_table_is_a_warning(self, tmp_path):
+        config = make_repo(tmp_path, {"src/repro/mig/ticket.py": """\
+            import enum
+
+            class Mig(enum.Enum):
+                A = 0
+                B = 1
+                C = 2
+
+            class Ticket:
+                def __init__(self):
+                    self.state = Mig.A
+
+                def transition(self, new):
+                    self.state = new
+            """})
+        config.typestate_machines = (_MIG_MACHINE,)
+        findings = lint_rule(config, "flow-typestate")
+        assert "typestate-table:mig:missing" in \
+            [f.identity for f in findings]
+
+
+#: The monotonic-counter protocol (the rekey epoch shape).
+_EPOCH_MACHINE = {
+    "name": "epoch",
+    "module": "sec/sched.py",
+    "owner": "Sched",
+    "attr": "epoch",
+    "setter": "rekey",
+    "protocol": "monotonic-counter",
+}
+
+
+class TestMonotonicCounter:
+    def test_protocol_conforming_counter_is_clean(self, tmp_path):
+        config = make_repo(tmp_path, {"src/repro/sec/sched.py": """\
+            class Sched:
+                def __init__(self):
+                    self.epoch = 0
+
+                def rekey(self):
+                    self.epoch += 1
+            """})
+        config.typestate_machines = (_EPOCH_MACHINE,)
+        assert lint_rule(config, "flow-typestate") == []
+
+    def test_reset_outside_init_is_flagged(self, tmp_path):
+        config = make_repo(tmp_path, {"src/repro/sec/sched.py": """\
+            class Sched:
+                def __init__(self):
+                    self.epoch = 0
+
+                def rekey(self):
+                    self.epoch += 1
+
+                def reset(self):
+                    self.epoch = 0
+            """})
+        config.typestate_machines = (_EPOCH_MACHINE,)
+        findings = lint_rule(config, "flow-typestate")
+        assert [f.identity for f in findings] == [
+            "typestate-bypass:epoch:reset"]
+        assert "replayed frames" in findings[0].message
+
+    def test_jump_in_setter_is_flagged(self, tmp_path):
+        config = make_repo(tmp_path, {"src/repro/sec/sched.py": """\
+            class Sched:
+                def __init__(self):
+                    self.epoch = 0
+
+                def rekey(self):
+                    self.epoch += 2
+            """})
+        config.typestate_machines = (_EPOCH_MACHINE,)
+        findings = lint_rule(config, "flow-typestate")
+        assert [f.identity for f in findings] == [
+            "typestate-bypass:epoch:rekey"]
+
+    def test_foreign_typed_write_is_flagged(self, tmp_path):
+        config = make_repo(tmp_path, {
+            "src/repro/sec/sched.py": """\
+                class Sched:
+                    def __init__(self):
+                        self.epoch = 0
+
+                    def rekey(self):
+                        self.epoch += 1
+                """,
+            "src/repro/sec/peer.py": """\
+                from repro.sec.sched import Sched
+
+                class Peer:
+                    def __init__(self):
+                        self.sched = Sched()
+
+                    def desync(self):
+                        self.sched.epoch = 99
+                """,
+        })
+        config.typestate_machines = (_EPOCH_MACHINE,)
+        findings = lint_rule(config, "flow-typestate")
+        assert [f.identity for f in findings] == [
+            "typestate-bypass:epoch:Peer"]
+
+
+class TestDefaultMachinesOnRealTree:
+    def test_default_machines_pass_on_this_repository(self):
+        # The three shipped machines (VFC, migration, rekey epoch) must
+        # hold on the real tree — this is the regression net for the
+        # state-machine bugs fixed alongside this checker.
+        from repro.lint import run_lint
+        from repro.lint.config import default_config
+
+        result = run_lint(default_config(), select=["flow-typestate"])
+        assert result.findings == []

@@ -86,7 +86,9 @@ class TestReports:
         assert main(["--list-rules"]) == EXIT_CLEAN
         out = capsys.readouterr().out
         for rule in ("sim-clock", "seeded-rng", "fork-safety",
-                     "error-taxonomy", "mav-whitelist", "metric-docs"):
+                     "error-taxonomy", "mav-whitelist", "metric-docs",
+                     "flow-taint", "flow-shard-state", "flow-exceptions",
+                     "flow-typestate"):
             assert rule in out
 
 
@@ -108,6 +110,65 @@ class TestBaselineWorkflow:
                                                  encoding="utf-8")
         assert main(["--root", str(root)]) == EXIT_USAGE
         capsys.readouterr()
+
+
+class TestSarifOutput:
+    def test_sarif_file_is_written_and_valid(self, tmp_path, capsys):
+        root = build_violating_tree(tmp_path)
+        out = tmp_path / "lint.sarif"
+        rc = main(["--root", str(root), "--select", "sim-clock",
+                   "--sarif", str(out)])
+        assert rc == EXIT_FINDINGS
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        assert doc["version"] == "2.1.0"
+        results = doc["runs"][0]["results"]
+        assert [r["ruleId"] for r in results] == ["sim-clock"]
+        assert results[0]["partialFingerprints"]["reproLintIdentity/v1"]
+        capsys.readouterr()
+
+
+class TestDiffMode:
+    @staticmethod
+    def _git(root, *args):
+        subprocess.run(
+            ["git", "-c", "user.email=ci@example.invalid",
+             "-c", "user.name=ci", *args],
+            cwd=root, check=True, capture_output=True)
+
+    def _committed_repo(self, tmp_path, files):
+        make_repo(tmp_path, files)
+        self._git(tmp_path, "init", "-q")
+        self._git(tmp_path, "add", "-A")
+        self._git(tmp_path, "commit", "-qm", "base")
+        return tmp_path
+
+    def test_diff_restricts_report_to_changed_files(self, tmp_path,
+                                                    capsys):
+        root = self._committed_repo(
+            tmp_path, {"src/repro/flight/old.py": VIOLATION})
+        make_repo(root, {"src/repro/flight/new.py": VIOLATION})
+        rc = main(["--root", str(root), "--select", "sim-clock",
+                   "--format", "json", "--diff", "HEAD"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == EXIT_FINDINGS
+        assert [f["path"] for f in payload["findings"]] == [
+            "src/repro/flight/new.py"]
+
+    def test_empty_diff_reports_nothing(self, tmp_path, capsys):
+        root = self._committed_repo(
+            tmp_path, {"src/repro/flight/old.py": VIOLATION})
+        rc = main(["--root", str(root), "--select", "sim-clock",
+                   "--diff", "HEAD"])
+        assert rc == EXIT_CLEAN
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_unknown_base_is_a_usage_error(self, tmp_path, capsys):
+        root = self._committed_repo(
+            tmp_path, {"src/repro/flight/old.py": VIOLATION})
+        rc = main(["--root", str(root), "--select", "sim-clock",
+                   "--diff", "no-such-ref"])
+        assert rc == EXIT_USAGE
+        assert "--diff" in capsys.readouterr().err
 
 
 class TestRealRepository:

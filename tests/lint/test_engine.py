@@ -128,6 +128,63 @@ class TestBaseline:
         with pytest.raises(BaselineError):
             load_baseline(path)
 
+    def test_identity_overrides_message_in_fingerprint(self):
+        from repro.lint.core import Finding, Severity
+
+        a = Finding(rule="flow-taint", severity=Severity.ERROR,
+                    path="src/repro/sim/engine.py", line=10, col=0,
+                    message="step reaches wall-clock (util.py::now)",
+                    identity="taint:wall-clock:sim/engine.py::step")
+        b = Finding(rule="flow-taint", severity=Severity.ERROR,
+                    path="src/repro/sim/engine.py", line=42, col=0,
+                    message="step reaches wall-clock "
+                            "(mid.py::stamp -> util.py::now)",
+                    identity="taint:wall-clock:sim/engine.py::step")
+        assert a.fingerprint() == b.fingerprint()
+        plain = Finding(rule="flow-taint", severity=Severity.ERROR,
+                        path="src/repro/sim/engine.py", line=10, col=0,
+                        message=a.message)
+        assert plain.fingerprint() != a.fingerprint()
+
+    def test_baseline_survives_taint_path_rewording(self, mini, tmp_path):
+        # The flow-taint message embeds the reconstructed helper chain;
+        # inserting an intermediate hop rewrites it, but the identity
+        # hook keeps the baseline entry matching.
+        config = mini({
+            "src/repro/timing/util.py": """\
+                import time
+
+                def now():
+                    return time.time()
+                """,
+            "src/repro/sim/engine.py": """\
+                from repro.timing.util import now
+
+                def step():
+                    return now()
+                """,
+        })
+        baseline_path = tmp_path / "lint-baseline.json"
+        first = run_lint(config, select=["flow-taint"])
+        assert len(first.findings) == 1
+        write_baseline(baseline_path, first.findings)
+
+        (tmp_path / "src/repro/sim/engine.py").write_text(
+            "from repro.timing.mid import stamp\n\n"
+            "def step():\n    return stamp()\n", encoding="utf-8")
+        (tmp_path / "src/repro/timing/mid.py").write_text(
+            "from repro.timing.util import now\n\n"
+            "def stamp():\n    return now()\n", encoding="utf-8")
+        second = run_lint(config, select=["flow-taint"],
+                          baseline=load_baseline(baseline_path))
+        # The helper itself is a new finding; the rewritten step finding
+        # stays baselined.
+        assert [f.identity for f in second.baselined] == [
+            "taint:wall-clock:sim/engine.py::step"]
+        assert [f.identity for f in second.findings] == [
+            "taint:wall-clock:timing/mid.py::stamp"]
+        assert second.baselined[0].message != first.findings[0].message
+
 
 class TestEngine:
     def test_paths_filter_restricts_the_report(self, mini):
